@@ -1,0 +1,185 @@
+//! The grid-mapfile: GSI identity → local account mapping.
+//!
+//! Paper §5.3 step 3: the MMJFS "determines the local account in which
+//! the job should be run based on the requestor's identity using the
+//! grid-mapfile, a local configuration file containing mappings from GSI
+//! identities to local identities".
+//!
+//! Format (one entry per line, as in GT):
+//!
+//! ```text
+//! "/O=Grid/CN=Jane Doe" jdoe
+//! "/O=Grid/CN=Carl K" carl,shared
+//! ```
+//!
+//! The first listed account is the default; additional comma-separated
+//! accounts are also permitted mappings.
+
+use crate::AuthzError;
+use gridsec_pki::name::DistinguishedName;
+
+/// One mapping entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapEntry {
+    /// The grid identity (base identity of a validated chain).
+    pub identity: DistinguishedName,
+    /// Permitted local accounts; the first is the default.
+    pub accounts: Vec<String>,
+}
+
+/// A parsed grid-mapfile.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct GridMapFile {
+    entries: Vec<MapEntry>,
+}
+
+impl GridMapFile {
+    /// Empty map.
+    pub fn new() -> Self {
+        GridMapFile::default()
+    }
+
+    /// Add a mapping (appends; earlier entries win on lookup).
+    pub fn add(&mut self, identity: DistinguishedName, accounts: Vec<String>) {
+        assert!(!accounts.is_empty(), "mapping needs at least one account");
+        self.entries.push(MapEntry { identity, accounts });
+    }
+
+    /// Parse the textual format. Blank lines and `#` comments allowed.
+    pub fn parse(text: &str) -> Result<GridMapFile, AuthzError> {
+        let mut map = GridMapFile::new();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let line = line
+                .strip_prefix('"')
+                .ok_or_else(|| AuthzError::BadMapEntry(raw.to_string()))?;
+            let (dn_str, rest) = line
+                .split_once('"')
+                .ok_or_else(|| AuthzError::BadMapEntry(raw.to_string()))?;
+            let identity = DistinguishedName::parse(dn_str)
+                .map_err(|_| AuthzError::BadMapEntry(raw.to_string()))?;
+            let accounts: Vec<String> = rest
+                .trim()
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if accounts.is_empty() {
+                return Err(AuthzError::BadMapEntry(raw.to_string()));
+            }
+            map.entries.push(MapEntry { identity, accounts });
+        }
+        Ok(map)
+    }
+
+    /// Serialize to the textual format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("\"{}\" {}\n", e.identity, e.accounts.join(",")));
+        }
+        out
+    }
+
+    /// Default account for an identity (first matching entry).
+    pub fn lookup(&self, identity: &DistinguishedName) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|e| &e.identity == identity)
+            .map(|e| e.accounts[0].as_str())
+    }
+
+    /// `true` iff `identity` may run as `account`.
+    pub fn permits(&self, identity: &DistinguishedName, account: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| &e.identity == identity && e.accounts.iter().any(|a| a == account))
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[MapEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    const SAMPLE: &str = r#"
+# DOE Science Grid mappings
+"/O=Grid/CN=Jane Doe" jdoe
+"/O=Grid/CN=Carl K" carl,shared
+
+"/O=Grid/OU=ISI/CN=Laura P" laura
+"#;
+
+    #[test]
+    fn parse_and_lookup() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        assert_eq!(map.entries().len(), 3);
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=Jane Doe")), Some("jdoe"));
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=Carl K")), Some("carl"));
+        assert_eq!(map.lookup(&dn("/O=Grid/CN=Nobody")), None);
+    }
+
+    #[test]
+    fn multi_account_permits() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        assert!(map.permits(&dn("/O=Grid/CN=Carl K"), "carl"));
+        assert!(map.permits(&dn("/O=Grid/CN=Carl K"), "shared"));
+        assert!(!map.permits(&dn("/O=Grid/CN=Carl K"), "jdoe"));
+        assert!(!map.permits(&dn("/O=Grid/CN=Jane Doe"), "shared"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        let again = GridMapFile::parse(&map.to_text()).unwrap();
+        assert_eq!(again, map);
+    }
+
+    #[test]
+    fn proxy_base_identity_maps() {
+        // The map is keyed on *base* identities: a proxy's leaf subject is
+        // NOT in the map but its base identity is.
+        let map = GridMapFile::parse(SAMPLE).unwrap();
+        let proxy_subject = dn("/O=Grid/CN=Jane Doe").with_extra_cn("12345");
+        assert_eq!(map.lookup(&proxy_subject), None);
+        assert_eq!(map.lookup(&proxy_subject.truncated(2)), Some("jdoe"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        for bad in [
+            "/O=G/CN=x jdoe",          // missing quotes
+            "\"/O=G/CN=x\"",           // missing account
+            "\"/O=G/CN=x jdoe",        // unterminated quote
+            "\"not-a-dn\" jdoe",       // bad DN
+        ] {
+            assert!(GridMapFile::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn first_entry_wins() {
+        let text = "\"/O=G/CN=x\" first\n\"/O=G/CN=x\" second\n";
+        let map = GridMapFile::parse(text).unwrap();
+        assert_eq!(map.lookup(&dn("/O=G/CN=x")), Some("first"));
+        assert!(map.permits(&dn("/O=G/CN=x"), "second"));
+    }
+
+    #[test]
+    fn add_api() {
+        let mut map = GridMapFile::new();
+        map.add(dn("/O=G/CN=y"), vec!["acct".to_string()]);
+        assert_eq!(map.lookup(&dn("/O=G/CN=y")), Some("acct"));
+    }
+}

@@ -1,0 +1,74 @@
+//! # gridsec-authz
+//!
+//! Authorization for the `gridsec` reproduction of *Security for Grid
+//! Services* (Welch et al., HPDC 2003): local policy, identity mapping,
+//! and the **Community Authorization Service** (CAS).
+//!
+//! The paper's Figure 2 is the heart of this crate: a VO expresses policy
+//! *outsourced to it by resource providers*; a user fetches a signed CAS
+//! assertion; the resource enforces **the intersection of local policy
+//! and VO policy**, remaining "the ultimate authority over that
+//! resource". Concretely:
+//!
+//! * [`gridmap`] — the grid-mapfile: GSI identity → local account
+//!   (paper §5.3 step 3).
+//! * [`policy`] — a rule-based policy engine (subject / resource / action
+//!   / effect with deny-overrides and friends), standing in for the
+//!   XACML evaluation a 2003 deployment would have used.
+//! * [`cas`] — the CAS server (issues signed rights assertions scoped to
+//!   a user and the VO's outsourced policy) and the resource-side
+//!   [`cas::ResourceGate`] that enforces `local ∩ VO`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cas;
+pub mod gridmap;
+pub mod policy;
+
+/// Errors from authorization components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzError {
+    /// grid-mapfile line could not be parsed.
+    BadMapEntry(String),
+    /// Assertion signature invalid or from an untrusted CAS.
+    UntrustedAssertion,
+    /// Assertion expired or not yet valid.
+    AssertionExpired {
+        /// Evaluation time.
+        now: u64,
+        /// Assertion expiry.
+        not_after: u64,
+    },
+    /// Assertion was issued to a different user.
+    SubjectMismatch {
+        /// User named in the assertion.
+        assertion_subject: String,
+        /// User presenting it.
+        presenter: String,
+    },
+    /// Structural decode failure.
+    Decode(&'static str),
+}
+
+impl core::fmt::Display for AuthzError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AuthzError::BadMapEntry(l) => write!(f, "bad grid-mapfile entry: {l}"),
+            AuthzError::UntrustedAssertion => write!(f, "untrusted CAS assertion"),
+            AuthzError::AssertionExpired { now, not_after } => {
+                write!(f, "assertion expired: now={now}, not_after={not_after}")
+            }
+            AuthzError::SubjectMismatch {
+                assertion_subject,
+                presenter,
+            } => write!(
+                f,
+                "assertion subject {assertion_subject:?} does not match presenter {presenter:?}"
+            ),
+            AuthzError::Decode(m) => write!(f, "decode error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthzError {}

@@ -1,0 +1,366 @@
+//! A rule-based policy engine (XACML-lite).
+//!
+//! The paper's §4.1 authorization service "evaluates policy rules
+//! regarding the decision to allow the attempted actions based on
+//! information about the requestor ..., the target ..., and details of
+//! the request". This module supplies that evaluation core, used by
+//! local resource policy, CAS VO policy, and the OGSA authorization
+//! service.
+
+/// A permit/deny outcome attached to a rule.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Effect {
+    /// The rule grants the request.
+    Permit,
+    /// The rule forbids the request.
+    Deny,
+}
+
+/// Result of evaluating a policy set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// Granted.
+    Permit,
+    /// Denied by rule.
+    Deny,
+    /// No rule applied (resource owners usually treat this as deny).
+    NotApplicable,
+}
+
+/// Subject matcher.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SubjectMatch {
+    /// Matches every subject.
+    Any,
+    /// Exact subject string (a DN, `vo:<name>`, or `group:<name>` tag).
+    Exact(String),
+}
+
+/// Matcher for resources and actions: exact string or `prefix*` glob.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Pattern {
+    /// Matches everything.
+    Any,
+    /// Exact match.
+    Exact(String),
+    /// Prefix match (`"/scratch/*"` style).
+    Prefix(String),
+}
+
+impl Pattern {
+    /// Parse from a compact string form: `*`, `prefix*`, or exact.
+    pub fn parse(s: &str) -> Pattern {
+        if s == "*" {
+            Pattern::Any
+        } else if let Some(prefix) = s.strip_suffix('*') {
+            Pattern::Prefix(prefix.to_string())
+        } else {
+            Pattern::Exact(s.to_string())
+        }
+    }
+
+    /// Test a value.
+    pub fn matches(&self, value: &str) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Exact(e) => e == value,
+            Pattern::Prefix(p) => value.starts_with(p.as_str()),
+        }
+    }
+}
+
+/// One policy rule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Who the rule applies to.
+    pub subject: SubjectMatch,
+    /// Which resources.
+    pub resource: Pattern,
+    /// Which actions.
+    pub action: Pattern,
+    /// Grant or forbid.
+    pub effect: Effect,
+}
+
+impl Rule {
+    /// Convenience constructor parsing pattern strings.
+    pub fn new(subject: SubjectMatch, resource: &str, action: &str, effect: Effect) -> Rule {
+        Rule {
+            subject,
+            resource: Pattern::parse(resource),
+            action: Pattern::parse(action),
+            effect,
+        }
+    }
+
+    fn applies(&self, req: &Request) -> bool {
+        let subject_ok = match &self.subject {
+            SubjectMatch::Any => true,
+            SubjectMatch::Exact(s) => req.subject == *s || req.subject_tags.contains(s),
+        };
+        subject_ok && self.resource.matches(&req.resource) && self.action.matches(&req.action)
+    }
+}
+
+/// How rule outcomes combine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CombiningAlg {
+    /// Any applicable Deny wins over Permits.
+    DenyOverrides,
+    /// Any applicable Permit wins over Denies.
+    PermitOverrides,
+    /// First applicable rule decides.
+    FirstApplicable,
+}
+
+/// An authorization request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Primary subject string (typically the base identity DN).
+    pub subject: String,
+    /// Additional subject tags (`group:...`, `vo:...`).
+    pub subject_tags: Vec<String>,
+    /// Target resource identifier.
+    pub resource: String,
+    /// Requested action.
+    pub action: String,
+}
+
+impl Request {
+    /// Request with no extra tags.
+    pub fn new(subject: &str, resource: &str, action: &str) -> Request {
+        Request {
+            subject: subject.to_string(),
+            subject_tags: Vec::new(),
+            resource: resource.to_string(),
+            action: action.to_string(),
+        }
+    }
+
+    /// Builder: attach a tag.
+    pub fn with_tag(mut self, tag: &str) -> Request {
+        self.subject_tags.push(tag.to_string());
+        self
+    }
+}
+
+/// An ordered rule set with a combining algorithm.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicySet {
+    /// The rules, in order.
+    pub rules: Vec<Rule>,
+    /// The combining algorithm.
+    pub combining: CombiningAlg,
+}
+
+impl PolicySet {
+    /// Empty deny-overrides policy.
+    pub fn new(combining: CombiningAlg) -> PolicySet {
+        PolicySet {
+            rules: Vec::new(),
+            combining,
+        }
+    }
+
+    /// Append a rule.
+    pub fn add(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Evaluate a request.
+    pub fn evaluate(&self, req: &Request) -> Decision {
+        let mut saw_permit = false;
+        let mut saw_deny = false;
+        for rule in &self.rules {
+            if !rule.applies(req) {
+                continue;
+            }
+            match (self.combining, rule.effect) {
+                (CombiningAlg::FirstApplicable, Effect::Permit) => return Decision::Permit,
+                (CombiningAlg::FirstApplicable, Effect::Deny) => return Decision::Deny,
+                (CombiningAlg::DenyOverrides, Effect::Deny) => return Decision::Deny,
+                (CombiningAlg::PermitOverrides, Effect::Permit) => return Decision::Permit,
+                (_, Effect::Permit) => saw_permit = true,
+                (_, Effect::Deny) => saw_deny = true,
+            }
+        }
+        match self.combining {
+            CombiningAlg::DenyOverrides if saw_permit => Decision::Permit,
+            CombiningAlg::PermitOverrides if saw_deny => Decision::Deny,
+            _ => Decision::NotApplicable,
+        }
+    }
+
+    /// All (resource, action) pairs this subject is permitted — used by
+    /// CAS to enumerate rights for an assertion. Only exact resource and
+    /// action patterns enumerate; glob rules are carried as globs.
+    pub fn permitted_rights(&self, subject: &str, tags: &[String]) -> Vec<(String, String)> {
+        let mut rights = Vec::new();
+        for rule in &self.rules {
+            if rule.effect != Effect::Permit {
+                continue;
+            }
+            let applies = match &rule.subject {
+                SubjectMatch::Any => true,
+                SubjectMatch::Exact(s) => s == subject || tags.contains(s),
+            };
+            if !applies {
+                continue;
+            }
+            let res = pattern_to_string(&rule.resource);
+            let act = pattern_to_string(&rule.action);
+            if !rights.contains(&(res.clone(), act.clone())) {
+                rights.push((res, act));
+            }
+        }
+        rights
+    }
+}
+
+fn pattern_to_string(p: &Pattern) -> String {
+    match p {
+        Pattern::Any => "*".to_string(),
+        Pattern::Exact(e) => e.clone(),
+        Pattern::Prefix(pre) => format!("{pre}*"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn permit(subject: &str, resource: &str, action: &str) -> Rule {
+        Rule::new(
+            SubjectMatch::Exact(subject.to_string()),
+            resource,
+            action,
+            Effect::Permit,
+        )
+    }
+
+    fn deny(subject: &str, resource: &str, action: &str) -> Rule {
+        Rule::new(
+            SubjectMatch::Exact(subject.to_string()),
+            resource,
+            action,
+            Effect::Deny,
+        )
+    }
+
+    #[test]
+    fn pattern_matching() {
+        assert!(Pattern::parse("*").matches("anything"));
+        assert!(Pattern::parse("/scratch/*").matches("/scratch/run1"));
+        assert!(!Pattern::parse("/scratch/*").matches("/home/x"));
+        assert!(Pattern::parse("read").matches("read"));
+        assert!(!Pattern::parse("read").matches("write"));
+    }
+
+    #[test]
+    fn deny_overrides() {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(permit("/O=G/CN=Jane", "/data/*", "*"));
+        p.add(deny("/O=G/CN=Jane", "/data/secret", "*"));
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/public", "read")),
+            Decision::Permit
+        );
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/secret", "read")),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn permit_overrides() {
+        let mut p = PolicySet::new(CombiningAlg::PermitOverrides);
+        p.add(deny("/O=G/CN=Jane", "*", "*"));
+        p.add(permit("/O=G/CN=Jane", "/data/open", "read"));
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/open", "read")),
+            Decision::Permit
+        );
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/other", "read")),
+            Decision::Deny
+        );
+    }
+
+    #[test]
+    fn first_applicable() {
+        let mut p = PolicySet::new(CombiningAlg::FirstApplicable);
+        p.add(deny("/O=G/CN=Jane", "/data/x", "*"));
+        p.add(permit("/O=G/CN=Jane", "/data/*", "*"));
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/x", "read")),
+            Decision::Deny
+        );
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/y", "read")),
+            Decision::Permit
+        );
+    }
+
+    #[test]
+    fn not_applicable_when_no_rule_matches() {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(permit("/O=G/CN=Jane", "/data/*", "read"));
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Eve", "/data/x", "read")),
+            Decision::NotApplicable
+        );
+        assert_eq!(
+            p.evaluate(&Request::new("/O=G/CN=Jane", "/data/x", "write")),
+            Decision::NotApplicable
+        );
+    }
+
+    #[test]
+    fn group_tags_match() {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(permit("group:physicists", "/detector/*", "read"));
+        let req = Request::new("/O=G/CN=Jane", "/detector/run5", "read")
+            .with_tag("group:physicists");
+        assert_eq!(p.evaluate(&req), Decision::Permit);
+        let untagged = Request::new("/O=G/CN=Jane", "/detector/run5", "read");
+        assert_eq!(p.evaluate(&untagged), Decision::NotApplicable);
+    }
+
+    #[test]
+    fn any_subject() {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(Rule::new(SubjectMatch::Any, "/public/*", "read", Effect::Permit));
+        assert_eq!(
+            p.evaluate(&Request::new("anyone", "/public/doc", "read")),
+            Decision::Permit
+        );
+    }
+
+    #[test]
+    fn permitted_rights_enumeration() {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(permit("/O=G/CN=Jane", "/data/*", "read"));
+        p.add(permit("group:staff", "/queue/batch", "submit"));
+        p.add(deny("/O=G/CN=Jane", "/data/secret", "read"));
+        p.add(permit("/O=G/CN=Eve", "/other", "read"));
+        let rights =
+            p.permitted_rights("/O=G/CN=Jane", &["group:staff".to_string()]);
+        assert_eq!(
+            rights,
+            vec![
+                ("/data/*".to_string(), "read".to_string()),
+                ("/queue/batch".to_string(), "submit".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_policy_not_applicable() {
+        let p = PolicySet::new(CombiningAlg::DenyOverrides);
+        assert_eq!(
+            p.evaluate(&Request::new("x", "y", "z")),
+            Decision::NotApplicable
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the policy engine and grid-mapfile.
+
+use gridsec_authz::gridmap::GridMapFile;
+use gridsec_authz::policy::{
+    CombiningAlg, Decision, Effect, Pattern, PolicySet, Request, Rule, SubjectMatch,
+};
+use gridsec_pki::name::DistinguishedName;
+use proptest::prelude::*;
+
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("*".to_string()),
+        "[a-z]{1,8}".prop_map(|s| format!("/{s}/*")),
+        "[a-z]{1,8}".prop_map(|s| format!("/{s}")),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        prop_oneof![
+            Just(SubjectMatch::Any),
+            "[a-z]{1,6}".prop_map(|s| SubjectMatch::Exact(format!("/O=G/CN={s}"))),
+        ],
+        pattern_strategy(),
+        prop_oneof![Just("*".to_string()), Just("read".to_string()), Just("write".to_string())],
+        prop_oneof![Just(Effect::Permit), Just(Effect::Deny)],
+    )
+        .prop_map(|(subject, resource, action, effect)| {
+            Rule::new(subject, &resource, &action, effect)
+        })
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        "[a-z]{1,6}",
+        "[a-z]{1,8}",
+        prop_oneof![Just("read"), Just("write"), Just("exec")],
+    )
+        .prop_map(|(subj, res, act)| Request::new(&format!("/O=G/CN={subj}"), &format!("/{res}/x"), act))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pattern_parse_matches_consistently(s in pattern_strategy(), v in "[/a-z]{0,16}") {
+        let p = Pattern::parse(&s);
+        // Any + prefix semantics.
+        match &p {
+            Pattern::Any => prop_assert!(p.matches(&v)),
+            Pattern::Prefix(pre) => prop_assert_eq!(p.matches(&v), v.starts_with(pre.as_str())),
+            Pattern::Exact(e) => prop_assert_eq!(p.matches(&v), &v == e),
+        }
+    }
+
+    #[test]
+    fn deny_overrides_is_sound(rules in prop::collection::vec(rule_strategy(), 0..12), req in request_strategy()) {
+        let policy = PolicySet { rules: rules.clone(), combining: CombiningAlg::DenyOverrides };
+        let decision = policy.evaluate(&req);
+        let applicable: Vec<&Rule> = rules.iter().filter(|r| {
+            let subject_ok = match &r.subject {
+                SubjectMatch::Any => true,
+                SubjectMatch::Exact(s) => *s == req.subject,
+            };
+            subject_ok && r.resource.matches(&req.resource) && r.action.matches(&req.action)
+        }).collect();
+        let any_deny = applicable.iter().any(|r| r.effect == Effect::Deny);
+        let any_permit = applicable.iter().any(|r| r.effect == Effect::Permit);
+        let expected = if any_deny { Decision::Deny }
+            else if any_permit { Decision::Permit }
+            else { Decision::NotApplicable };
+        prop_assert_eq!(decision, expected);
+    }
+
+    #[test]
+    fn adding_a_deny_never_grants(rules in prop::collection::vec(rule_strategy(), 0..8), req in request_strategy()) {
+        // Monotonicity: appending a deny rule can only move decisions
+        // toward Deny under deny-overrides.
+        let base = PolicySet { rules: rules.clone(), combining: CombiningAlg::DenyOverrides };
+        let mut extended_rules = rules;
+        extended_rules.push(Rule::new(SubjectMatch::Any, "*", "*", Effect::Deny));
+        let extended = PolicySet { rules: extended_rules, combining: CombiningAlg::DenyOverrides };
+        let before = base.evaluate(&req);
+        let after = extended.evaluate(&req);
+        prop_assert_eq!(after, Decision::Deny);
+        // And the base decision was never "more denied" than after.
+        prop_assert!(before == Decision::Deny || before == Decision::Permit || before == Decision::NotApplicable);
+    }
+
+    #[test]
+    fn permitted_rights_are_actually_permitted(rules in prop::collection::vec(rule_strategy(), 0..12), subj in "[a-z]{1,6}") {
+        // Every right enumerated for a subject evaluates Permit or Deny —
+        // never NotApplicable — under the same policy (a deny rule may
+        // still override, but the permit must apply).
+        let subject = format!("/O=G/CN={subj}");
+        let policy = PolicySet { rules, combining: CombiningAlg::DenyOverrides };
+        for (resource, action) in policy.permitted_rights(&subject, &[]) {
+            // Construct a concrete request inside the right's patterns.
+            let concrete_res = resource.replace('*', "x");
+            let concrete_act = if action == "*" { "read".to_string() } else { action };
+            let d = policy.evaluate(&Request::new(&subject, &concrete_res, &concrete_act));
+            prop_assert_ne!(d, Decision::NotApplicable);
+        }
+    }
+
+    #[test]
+    fn gridmap_roundtrip(entries in prop::collection::vec(("[a-z]{1,8}", "[a-z]{1,8}"), 0..10)) {
+        let mut map = GridMapFile::new();
+        for (cn, acct) in &entries {
+            map.add(
+                DistinguishedName::parse(&format!("/O=G/CN={cn}")).unwrap(),
+                vec![acct.clone()],
+            );
+        }
+        let reparsed = GridMapFile::parse(&map.to_text()).unwrap();
+        prop_assert_eq!(reparsed, map);
+    }
+}

@@ -1,0 +1,90 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **A1 — DH group size**: handshake with the 256-bit test group vs.
+//!   RFC 3526 MODP-2048 (what a 2003 deployment would run).
+//! * **A2 — XML share of stateless signing**: canonicalization + digest
+//!   alone vs. the full XML-Signature operation, across payload sizes —
+//!   how much of GT3's stateless cost is XML vs. RSA.
+//! * **A3 — revocation checking**: chain validation against an empty CRL
+//!   store vs. one carrying a large CRL (the soft-fail default's cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::{bench_world, KEY_BITS};
+use gridsec_crypto::dh::DhGroup;
+use gridsec_crypto::sha256::sha256;
+use gridsec_pki::store::CrlStore;
+use gridsec_pki::validate::{validate_chain, validate_chain_with_crls};
+use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::xmlsig::sign_envelope;
+use gridsec_xml::Element;
+
+fn a1_dh_group_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_dh_group");
+    group.sample_size(10);
+    let mut w = bench_world(b"a1 dh");
+    let base_client = TlsConfig::new(w.user.clone(), w.trust.clone(), 10);
+    let base_server = TlsConfig::new(w.service.clone(), w.trust.clone(), 10);
+
+    group.bench_function("handshake_dh256_test_group", |b| {
+        b.iter(|| {
+            handshake_in_memory(base_client.clone(), base_server.clone(), &mut w.rng).unwrap()
+        })
+    });
+    let big_client = base_client.clone().with_group(DhGroup::modp2048());
+    let big_server = base_server.clone().with_group(DhGroup::modp2048());
+    group.bench_function("handshake_dh2048_modp", |b| {
+        b.iter(|| handshake_in_memory(big_client.clone(), big_server.clone(), &mut w.rng).unwrap())
+    });
+    group.finish();
+}
+
+fn a2_xml_share_of_signing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_xml_share");
+    group.sample_size(10);
+    let w = bench_world(b"a2 xml");
+
+    for size in [64usize, 4096, 65536] {
+        let env = Envelope::request(
+            "op",
+            Element::new("data").with_text("x".repeat(size)),
+        );
+        let env_el = env.to_element();
+        // XML-only: canonicalize + hash (what a cheaper binary encoding
+        // would mostly eliminate).
+        group.bench_with_input(BenchmarkId::new("c14n_digest_only", size), &env_el, |b, el| {
+            b.iter(|| sha256(el.canonical_xml().as_bytes()))
+        });
+        // Full stateless signing (XML + RSA + chain embedding).
+        group.bench_with_input(BenchmarkId::new("full_sign", size), &env, |b, env| {
+            b.iter(|| sign_envelope(env, &w.user, 100, 300))
+        });
+    }
+    group.finish();
+}
+
+fn a3_revocation_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_revocation");
+    group.sample_size(10);
+    let mut w = bench_world(b"a3 crl");
+    let cred = w
+        .ca
+        .issue_identity(&mut w.rng, gridsec_bench::dn("/O=B/CN=V"), KEY_BITS, 0, 1_000_000);
+
+    group.bench_function("validate_no_crl_store", |b| {
+        b.iter(|| validate_chain(cred.chain(), &w.trust, 100).unwrap())
+    });
+
+    // A CRL listing 10 000 other serials.
+    let revoked: Vec<u64> = (1_000_000..1_010_000).collect();
+    let crl = w.ca.issue_crl(revoked, 10, 1_000_000);
+    let mut crls = CrlStore::new();
+    assert!(crls.add(crl, w.ca.certificate()));
+    group.bench_function("validate_with_10k_entry_crl", |b| {
+        b.iter(|| validate_chain_with_crls(cred.chain(), &w.trust, &crls, 100).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, a1_dh_group_size, a2_xml_share_of_signing, a3_revocation_cost);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiment C2 (paper §5.1): stateless signed messages need no
+//! synchronous recipient, and win for one-shot interactions; stateful
+//! contexts amortize their establishment over many messages.
+//!
+//! Expected shape: stateless cheaper at N=1; a crossover at small N
+//! after which the stateful context wins per-interaction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::bench_world;
+use gridsec_pki::store::CrlStore;
+use gridsec_tls::handshake::TlsConfig;
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::wssc::{establish, WsscResponder};
+use gridsec_wsse::xmlsig;
+use gridsec_xml::Element;
+use std::time::Instant;
+
+fn request_env(i: usize) -> Envelope {
+    Envelope::request(
+        "createService",
+        Element::new("gram:Job").with_text(format!("/bin/task{i}")),
+    )
+}
+
+fn one_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_one_shot");
+    group.sample_size(10);
+    let mut w = bench_world(b"c2 one shot");
+    let crls = CrlStore::new();
+
+    // Stateless: sign, (wire), verify. No prior contact.
+    group.bench_function("stateless_sign_verify", |b| {
+        b.iter(|| {
+            let signed = xmlsig::sign_envelope(&request_env(0), &w.user, 100, 300);
+            let parsed = Envelope::parse(&signed.to_xml()).unwrap();
+            xmlsig::verify_envelope(&parsed, &w.trust, &crls, 150).unwrap()
+        })
+    });
+
+    // Stateful: establish a context and send one message through it.
+    let client_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 10);
+    let server_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 10);
+    group.bench_function("stateful_establish_plus_one", |b| {
+        b.iter(|| {
+            let mut responder = WsscResponder::new(server_cfg.clone());
+            let mut session = establish(client_cfg.clone(), &mut responder, &mut w.rng).unwrap();
+            let protected = session.protect(&request_env(0));
+            responder
+                .unprotect(&Envelope::parse(&protected.to_xml()).unwrap())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn per_interaction_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c2_n_messages");
+    group.sample_size(10);
+    let mut w = bench_world(b"c2 series");
+    let crls = CrlStore::new();
+    let client_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 10);
+    let server_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 10);
+
+    for n in [1usize, 2, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("stateless", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..n {
+                    let signed = xmlsig::sign_envelope(&request_env(i), &w.user, 100, 300);
+                    let parsed = Envelope::parse(&signed.to_xml()).unwrap();
+                    xmlsig::verify_envelope(&parsed, &w.trust, &crls, 150).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stateful", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut responder = WsscResponder::new(server_cfg.clone());
+                let mut session =
+                    establish(client_cfg.clone(), &mut responder, &mut w.rng).unwrap();
+                for i in 0..n {
+                    let protected = session.protect(&request_env(i));
+                    responder
+                        .unprotect(&Envelope::parse(&protected.to_xml()).unwrap())
+                        .unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+
+    // Crossover search (printed once; recorded in EXPERIMENTS.md).
+    let time_stateless = |n: usize, w: &mut gridsec_bench::BenchWorld| {
+        let t = Instant::now();
+        for i in 0..n {
+            let signed = xmlsig::sign_envelope(&request_env(i), &w.user, 100, 300);
+            let parsed = Envelope::parse(&signed.to_xml()).unwrap();
+            xmlsig::verify_envelope(&parsed, &w.trust, &crls, 150).unwrap();
+        }
+        t.elapsed()
+    };
+    let time_stateful = |n: usize, w: &mut gridsec_bench::BenchWorld| {
+        let t = Instant::now();
+        let mut responder = WsscResponder::new(server_cfg.clone());
+        let mut session = establish(client_cfg.clone(), &mut responder, &mut w.rng).unwrap();
+        for i in 0..n {
+            let protected = session.protect(&request_env(i));
+            responder
+                .unprotect(&Envelope::parse(&protected.to_xml()).unwrap())
+                .unwrap();
+        }
+        t.elapsed()
+    };
+    let mut crossover = None;
+    for n in 1..=128usize {
+        let sl: u128 = (0..3).map(|_| time_stateless(n, &mut w).as_micros()).sum();
+        let sf: u128 = (0..3).map(|_| time_stateful(n, &mut w).as_micros()).sum();
+        if sf < sl {
+            crossover = Some(n);
+            break;
+        }
+    }
+    match crossover {
+        Some(n) => println!("\n[c2] stateful overtakes stateless at N = {n} messages"),
+        None => println!("\n[c2] no crossover up to N = 128 messages"),
+    }
+}
+
+criterion_group!(benches, one_shot, per_interaction_series);
+criterion_main!(benches);

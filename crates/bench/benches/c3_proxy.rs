@@ -1,0 +1,82 @@
+//! Experiment C3 (paper §3 claim): proxy creation is lightweight and
+//! requires no administrator, in contrast with CA-issued certificates
+//! and Kerberos cross-realm setup; and validation cost grows only
+//! mildly with delegation-chain depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_bench::{bench_world, dn, KEY_BITS};
+use gridsec_kerberos::Kdc;
+use gridsec_pki::proxy::{issue_proxy, ProxyType};
+use gridsec_pki::validate::validate_chain;
+
+fn issuance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_issuance");
+    group.sample_size(10);
+
+    // Proxy issuance: the user's own machine, no third party.
+    let mut w = bench_world(b"c3 issuance");
+    group.bench_function("proxy_issue_512", |b| {
+        b.iter(|| {
+            issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, KEY_BITS, 10, 3600)
+                .unwrap()
+        })
+    });
+    group.bench_function("proxy_issue_1024", |b| {
+        b.iter(|| {
+            issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 1024, 10, 3600).unwrap()
+        })
+    });
+
+    // CA issuance: same crypto, but in deployment this also costs an
+    // enrollment round-trip through a registration authority (humans).
+    group.bench_function("ca_issue_identity_512", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            w.ca
+                .issue_identity(&mut w.rng, dn(&format!("/O=B/CN=u{i}")), KEY_BITS, 0, 3600)
+        })
+    });
+
+    // Kerberos cross-realm trust: per *pair* of realms, both admins.
+    group.bench_function("kerberos_cross_realm_pair", |b| {
+        b.iter(|| {
+            let kdc_a = Kdc::new(&mut w.rng, "A", 1000);
+            let kdc_b = Kdc::new(&mut w.rng, "B", 1000);
+            let mut key = [0u8; 32];
+            gridsec_bignum::prime::EntropySource::fill_bytes(&mut w.rng, &mut key);
+            kdc_a.register_cross_realm_key("B", key);
+            kdc_b.register_cross_realm_key("A", key);
+            (kdc_a, kdc_b)
+        })
+    });
+    group.finish();
+}
+
+fn validation_vs_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_validate_depth");
+    group.sample_size(10);
+    let mut w = bench_world(b"c3 depth");
+
+    for depth in [1usize, 2, 4, 8, 16] {
+        let mut cred = w.user.clone();
+        for _ in 0..depth {
+            cred = issue_proxy(
+                &mut w.rng,
+                &cred,
+                ProxyType::Impersonation,
+                KEY_BITS,
+                10,
+                1_000_000,
+            )
+            .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &cred, |b, cred| {
+            b.iter(|| validate_chain(cred.chain(), &w.trust, 100).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, issuance, validation_vs_depth);
+criterion_main!(benches);

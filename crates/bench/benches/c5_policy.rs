@@ -1,0 +1,112 @@
+//! Experiment C5 (paper §4.3): published-policy negotiation. Clients
+//! that discover mechanisms via WS-Policy intersection interoperate with
+//! heterogeneous services that hardcoded-mechanism clients cannot reach.
+//!
+//! Expected shape: intersection cost grows linearly in the alternative
+//! count and stays in the microsecond range — negligible against the
+//! token exchanges it avoids; the success-rate table shows the
+//! functional win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_wsse::policy::{intersect, PolicyAlternative, Protection, SecurityPolicy};
+
+fn alt(mech: &str, token: &str) -> PolicyAlternative {
+    PolicyAlternative {
+        mechanism: mech.to_string(),
+        token_types: vec![token.to_string()],
+        trust_roots: vec![],
+        protection: Protection::Sign,
+    }
+}
+
+fn policy_with_n_alternatives(n: usize) -> SecurityPolicy {
+    let mut alternatives: Vec<PolicyAlternative> = (0..n.saturating_sub(1))
+        .map(|i| alt(&format!("exotic-mech-{i}"), "exotic-token"))
+        .collect();
+    // The match is last — worst case for the scan.
+    alternatives.push(alt("xml-signature", "x509-chain"));
+    SecurityPolicy {
+        service: "svc".to_string(),
+        alternatives,
+    }
+}
+
+fn intersection_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c5_intersection");
+    let client = SecurityPolicy {
+        service: "client".to_string(),
+        alternatives: vec![
+            alt("gsi-secure-conversation", "x509-chain"),
+            alt("xml-signature", "x509-chain"),
+        ],
+    };
+    for n in [1usize, 4, 8, 16, 32] {
+        let server = policy_with_n_alternatives(n);
+        group.bench_with_input(BenchmarkId::new("alternatives", n), &server, |b, s| {
+            b.iter(|| intersect(&client, s).unwrap())
+        });
+    }
+
+    // Parsing cost: policy documents arrive as XML from the service.
+    let server = policy_with_n_alternatives(16);
+    let xml = server.to_xml();
+    group.bench_function("parse_policy_16_alts", |b| {
+        b.iter(|| SecurityPolicy::parse(&xml).unwrap())
+    });
+    group.finish();
+}
+
+fn negotiation_success_rates(_c: &mut Criterion) {
+    // A fleet of heterogeneous services; count how many each client kind
+    // can reach (printed once; recorded in EXPERIMENTS.md).
+    let services: Vec<SecurityPolicy> = vec![
+        SecurityPolicy {
+            service: "a".into(),
+            alternatives: vec![alt("gsi-secure-conversation", "x509-chain")],
+        },
+        SecurityPolicy {
+            service: "b".into(),
+            alternatives: vec![alt("xml-signature", "x509-chain")],
+        },
+        SecurityPolicy {
+            service: "c".into(),
+            alternatives: vec![
+                alt("xml-signature", "cas-assertion"),
+                alt("gsi-secure-conversation", "x509-chain"),
+            ],
+        },
+        SecurityPolicy {
+            service: "d".into(),
+            alternatives: vec![alt("xml-signature", "kerberos-ticket")],
+        },
+    ];
+
+    let negotiate_client = SecurityPolicy {
+        service: "negotiating".into(),
+        alternatives: vec![
+            alt("gsi-secure-conversation", "x509-chain"),
+            alt("xml-signature", "x509-chain"),
+            alt("xml-signature", "cas-assertion"),
+        ],
+    };
+    let hardcoded_client = SecurityPolicy {
+        service: "hardcoded".into(),
+        alternatives: vec![alt("gsi-secure-conversation", "x509-chain")],
+    };
+
+    let reach = |client: &SecurityPolicy| {
+        services
+            .iter()
+            .filter(|s| intersect(client, s).is_ok())
+            .count()
+    };
+    println!(
+        "\n[c5] services reachable out of {}: policy-negotiating client = {}, hardcoded client = {}",
+        services.len(),
+        reach(&negotiate_client),
+        reach(&hardcoded_client)
+    );
+}
+
+criterion_group!(benches, intersection_cost, negotiation_success_rates);
+criterion_main!(benches);

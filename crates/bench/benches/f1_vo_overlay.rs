@@ -1,0 +1,81 @@
+//! Experiment F1 (Figure 1): building a VO policy-domain overlay over D
+//! classical domains, and the unilateral-vs-bilateral trust-establishment
+//! scaling argument of §3.
+//!
+//! Expected shape: overlay formation cost grows with D (quadratically in
+//! trust-store insertions), but every act is unilateral; the Kerberos
+//! alternative needs D(D−1)/2 *coordinated* agreements, which is the
+//! organizational cost the paper argues against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_gsi::vo::{create_domain, form_vo, kerberos_bilateral_agreements};
+use gridsec_pki::validate::validate_chain;
+
+fn overlay_formation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_overlay_formation");
+    group.sample_size(10);
+
+    for d in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("form_vo_domains", d), &d, |b, &d| {
+            // Domains (CA keygen etc.) are pre-built; we measure overlay
+            // formation itself: VO infra + trust edits + enrollment.
+            let mut rng = ChaChaRng::from_seed_bytes(b"f1 bench");
+            b.iter_batched(
+                || {
+                    (0..d)
+                        .map(|i| create_domain(&mut rng, &format!("s{i}"), 2, 512, u64::MAX / 2))
+                        .collect::<Vec<_>>()
+                },
+                |mut domains| {
+                    let mut rng2 = ChaChaRng::from_seed_bytes(b"f1 inner");
+                    form_vo(&mut rng2, "vo", &mut domains, 512, u64::MAX / 2)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // The scaling table (printed once; recorded in EXPERIMENTS.md).
+    println!("\n[f1] trust-establishment acts (overlay vs Kerberos mesh):");
+    println!("      D   unilateral(GSI)   bilateral(Kerberos)");
+    let mut rng = ChaChaRng::from_seed_bytes(b"f1 table");
+    for d in [2usize, 4, 8, 16, 32] {
+        let mut domains: Vec<_> = (0..d)
+            .map(|i| create_domain(&mut rng, &format!("s{i}"), 1, 512, u64::MAX / 2))
+            .collect();
+        let vo = form_vo(&mut rng, "vo", &mut domains, 512, u64::MAX / 2);
+        println!(
+            "    {:>3}   {:>15}   {:>19}",
+            d,
+            vo.unilateral_acts,
+            kerberos_bilateral_agreements(d)
+        );
+    }
+}
+
+fn cross_domain_validation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_cross_domain_auth");
+    group.sample_size(10);
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"f1 validation");
+    let mut domains: Vec<_> = (0..4)
+        .map(|i| create_domain(&mut rng, &format!("s{i}"), 2, 512, u64::MAX / 2))
+        .collect();
+    let _vo = form_vo(&mut rng, "vo", &mut domains, 512, u64::MAX / 2);
+    let foreign_user = domains[0].users[0].clone();
+    let local_user = domains[3].users[0].clone();
+    let gate_trust = domains[3].resource_trust.clone();
+
+    group.bench_function("validate_foreign_user", |b| {
+        b.iter(|| validate_chain(foreign_user.chain(), &gate_trust, 100).unwrap())
+    });
+    group.bench_function("validate_local_user", |b| {
+        b.iter(|| validate_chain(local_user.chain(), &gate_trust, 100).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overlay_formation, cross_domain_validation);
+criterion_main!(benches);

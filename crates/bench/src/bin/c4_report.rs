@@ -1,0 +1,7 @@
+//! Experiment C4: print the least-privilege accounting table
+//! (paper §5.2). Run with `cargo run --release -p gridsec-bench --bin c4_report`.
+
+fn main() {
+    let data = gridsec_bench::least_privilege::collect();
+    print!("{}", gridsec_bench::least_privilege::render(&data));
+}

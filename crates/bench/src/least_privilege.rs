@@ -1,0 +1,198 @@
+//! Experiment C4: least-privilege accounting and fault injection
+//! (paper §5.2). This is a counting experiment, not a timing one; the
+//! `c4_report` binary prints the table recorded in `EXPERIMENTS.md`.
+
+use gridsec_authz::gridmap::GridMapFile;
+use gridsec_gram::gt2::Gt2Gatekeeper;
+use gridsec_gram::resource::{GramConfig, GramResource};
+use gridsec_gram::types::JobDescription;
+use gridsec_gram::Requestor;
+use gridsec_testbed::clock::SimClock;
+use gridsec_testbed::faults::{compromise, CompromiseReport};
+use gridsec_testbed::os::SimOs;
+
+use crate::{bench_world, BenchWorld, KEY_BITS};
+
+/// One row of the C4 table.
+#[derive(Clone, Debug)]
+pub struct ComponentRow {
+    /// Architecture (`"GT2"` / `"GT3"`).
+    pub architecture: &'static str,
+    /// Component name.
+    pub component: String,
+    /// Was the process privileged while running?
+    pub privileged: bool,
+    /// Does it accept network input?
+    pub network_facing: bool,
+    /// Is it a long-running service (vs. a one-shot setuid program)?
+    pub long_running: bool,
+    /// Blast radius if compromised.
+    pub compromise: CompromiseReport,
+}
+
+/// The complete C4 dataset: both architectures after identical workloads.
+pub struct LeastPrivilegeData {
+    /// Per-component rows.
+    pub rows: Vec<ComponentRow>,
+    /// GT3: count of privileged network-facing services.
+    pub gt3_privileged_network: usize,
+    /// GT2: count of privileged network-facing services.
+    pub gt2_privileged_network: usize,
+}
+
+/// Run the C4 workload (2 users × 2 jobs on each architecture) and
+/// collect the accounting.
+pub fn collect() -> LeastPrivilegeData {
+    let mut w: BenchWorld = bench_world(b"c4 least privilege");
+    let clock = SimClock::starting_at(100);
+    let gridmap =
+        GridMapFile::parse("\"/O=B/CN=User\" u1\n\"/O=B/CN=User2\" u2\n").unwrap();
+    let user2 = w
+        .ca
+        .issue_identity(&mut w.rng, crate::dn("/O=B/CN=User2"), KEY_BITS, 0, u64::MAX / 4);
+
+    // ---- GT3 workload.
+    let mut gt3 = GramResource::install(
+        SimOs::new(),
+        clock.clone(),
+        "gt3host",
+        w.trust.clone(),
+        w.host.clone(),
+        &gridmap,
+        GramConfig::default(),
+    )
+    .unwrap();
+    let mut r1 = Requestor::new(w.user.clone(), w.trust.clone(), b"c4 r1");
+    let mut r2 = Requestor::new(user2.clone(), w.trust.clone(), b"c4 r2");
+    for _ in 0..2 {
+        r1.submit_job(&mut gt3, &JobDescription::new("/bin/x"), clock.now())
+            .unwrap();
+        r2.submit_job(&mut gt3, &JobDescription::new("/bin/y"), clock.now())
+            .unwrap();
+    }
+
+    // ---- GT2 workload.
+    let mut gt2 = Gt2Gatekeeper::install(
+        SimOs::new(),
+        clock.clone(),
+        "gt2host",
+        w.trust.clone(),
+        w.host.clone(),
+        &gridmap,
+    )
+    .unwrap();
+    for _ in 0..2 {
+        gt2.submit(&w.user, &JobDescription::new("/bin/x")).unwrap();
+        gt2.submit(&user2, &JobDescription::new("/bin/y")).unwrap();
+    }
+
+    // ---- Accounting rows: every live process + the (now dead) setuid
+    // programs, compromised one at a time.
+    let mut rows = Vec::new();
+    for p in gt3.os().processes("gt3host").unwrap() {
+        let report = compromise(gt3.os(), "gt3host", p.pid).unwrap();
+        rows.push(ComponentRow {
+            architecture: "GT3",
+            component: p.name.clone(),
+            privileged: p.is_privileged(),
+            network_facing: p.network_facing,
+            long_running: !p.via_setuid_binary,
+            compromise: report,
+        });
+    }
+    for p in gt2.os().processes("gt2host").unwrap() {
+        let report = compromise(gt2.os(), "gt2host", p.pid).unwrap();
+        rows.push(ComponentRow {
+            architecture: "GT2",
+            component: p.name.clone(),
+            privileged: p.is_privileged(),
+            network_facing: p.network_facing,
+            long_running: !p.via_setuid_binary,
+            compromise: report,
+        });
+    }
+
+    LeastPrivilegeData {
+        gt3_privileged_network: gt3
+            .os()
+            .privileged_network_facing("gt3host")
+            .unwrap()
+            .len(),
+        gt2_privileged_network: gt2
+            .os()
+            .privileged_network_facing("gt2host")
+            .unwrap()
+            .len(),
+        rows,
+    }
+}
+
+/// Render the report table as text.
+pub fn render(data: &LeastPrivilegeData) -> String {
+    let mut out = String::new();
+    out.push_str("Experiment C4 — least-privilege accounting (paper §5.2)\n");
+    out.push_str("========================================================\n\n");
+    out.push_str(&format!(
+        "privileged network-facing services:  GT2 = {}   GT3 = {}\n\n",
+        data.gt2_privileged_network, data.gt3_privileged_network
+    ));
+    out.push_str(&format!(
+        "{:<4} {:<22} {:>4} {:>4} {:>5} {:>6} {:>5}\n",
+        "arch", "component", "priv", "net", "blast", "creds", "accts"
+    ));
+    out.push_str(&format!("{}\n", "-".repeat(58)));
+    let mut rows = data.rows.clone();
+    rows.sort_by(|a, b| {
+        (a.architecture, b.compromise.blast_radius())
+            .cmp(&(b.architecture, a.compromise.blast_radius()))
+    });
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<4} {:<22} {:>4} {:>4} {:>5} {:>6} {:>5}{}\n",
+            r.architecture,
+            r.component,
+            if r.privileged { "YES" } else { "no" },
+            if r.network_facing { "YES" } else { "no" },
+            r.compromise.blast_radius(),
+            r.compromise.credentials_exposed.len(),
+            r.compromise.accounts_reachable.len(),
+            if r.compromise.full_host_compromise {
+                "  << FULL HOST"
+            } else {
+                ""
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c4_shape_holds() {
+        let data = collect();
+        assert_eq!(data.gt3_privileged_network, 0);
+        assert_eq!(data.gt2_privileged_network, 1);
+        // The worst GT2 component is strictly worse than the worst GT3 one.
+        let worst = |arch: &str| {
+            data.rows
+                .iter()
+                .filter(|r| r.architecture == arch)
+                .map(|r| r.compromise.blast_radius())
+                .max()
+                .unwrap()
+        };
+        assert!(worst("GT2") > worst("GT3"));
+        // No GT3 component is both privileged and network facing.
+        assert!(data
+            .rows
+            .iter()
+            .filter(|r| r.architecture == "GT3")
+            .all(|r| !(r.privileged && r.network_facing)));
+        // Render runs.
+        let text = render(&data);
+        assert!(text.contains("FULL HOST"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Primality testing and random prime generation.
+//!
+//! Used by `gridsec-crypto` for RSA key generation and for building
+//! Diffie–Hellman groups in tests. The entropy source is abstracted behind
+//! a simple trait so the crypto crate can plug in its deterministic CSPRNG.
+
+use crate::modular::mod_pow;
+use crate::BigUint;
+
+/// Minimal entropy-source abstraction: fills a byte slice with random data.
+///
+/// `gridsec-crypto`'s CSPRNG and `rand`-based test generators both
+/// implement this, keeping `gridsec-bignum` free of a hard `rand`
+/// dependency direction.
+pub trait EntropySource {
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: rand::RngCore> EntropySource for T {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        rand::RngCore::fill_bytes(self, dest)
+    }
+}
+
+/// Small primes used for fast trial-division rejection before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Deterministic Miller–Rabin witnesses sufficient for all n < 3.3 * 10^24,
+/// applied before random rounds for small inputs.
+const DETERMINISTIC_WITNESSES: [u64; 13] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41];
+
+/// Result of a primality check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primality {
+    /// Definitely composite.
+    Composite,
+    /// Probably prime (error probability ≤ 4^-rounds).
+    ProbablyPrime,
+}
+
+/// Generate a uniformly random [`BigUint`] with exactly `bits` significant
+/// bits (top bit set).
+pub fn random_bits<E: EntropySource>(rng: &mut E, bits: usize) -> BigUint {
+    assert!(bits > 0, "random_bits needs at least one bit");
+    let nbytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; nbytes];
+    rng.fill_bytes(&mut buf);
+    // Mask excess high bits, then force the top bit on.
+    let excess = nbytes * 8 - bits;
+    buf[0] &= 0xFFu8 >> excess;
+    buf[0] |= 1 << (7 - excess);
+    BigUint::from_bytes_be(&buf)
+}
+
+/// Generate a uniformly random value in `[0, bound)` by rejection sampling.
+pub fn random_below<E: EntropySource>(rng: &mut E, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "random_below with zero bound");
+    let bits = bound.bit_len();
+    let nbytes = bits.div_ceil(8);
+    let excess = nbytes * 8 - bits;
+    loop {
+        let mut buf = vec![0u8; nbytes];
+        rng.fill_bytes(&mut buf);
+        buf[0] &= 0xFFu8 >> excess;
+        let candidate = BigUint::from_bytes_be(&buf);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Miller–Rabin primality test with `rounds` random witnesses.
+///
+/// For candidates below 42 bits the deterministic witness set is decisive;
+/// above that, it is followed by `rounds` random witnesses.
+pub fn is_probably_prime<E: EntropySource>(n: &BigUint, rounds: usize, rng: &mut E) -> Primality {
+    // Handle tiny cases.
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return Primality::Composite;
+        }
+        if SMALL_PRIMES.contains(&v) {
+            return Primality::ProbablyPrime;
+        }
+    }
+    if n.is_even() {
+        return Primality::Composite;
+    }
+    // Trial division by small primes.
+    for &p in &SMALL_PRIMES {
+        let (_, r) = n.div_rem_limb(p);
+        if r == 0 {
+            return if n.to_u64() == Some(p) {
+                Primality::ProbablyPrime
+            } else {
+                Primality::Composite
+            };
+        }
+    }
+
+    // Write n-1 = d * 2^s with d odd.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub_ref(&one);
+    let s = n_minus_1.trailing_zeros().expect("n > 2 is odd");
+    let d = &n_minus_1 >> s;
+
+    let witness_passes = |a: &BigUint| -> bool {
+        let a = a.rem_ref(n);
+        if a.is_zero() || a.is_one() {
+            return true;
+        }
+        let mut x = mod_pow(&a, &d, n);
+        if x.is_one() || x == n_minus_1 {
+            return true;
+        }
+        for _ in 0..s - 1 {
+            x = x.square().rem_ref(n);
+            if x == n_minus_1 {
+                return true;
+            }
+        }
+        false
+    };
+
+    for &w in &DETERMINISTIC_WITNESSES {
+        if !witness_passes(&BigUint::from(w)) {
+            return Primality::Composite;
+        }
+    }
+    if n.bit_len() <= 42 {
+        // Deterministic witnesses are conclusive for this range.
+        return Primality::ProbablyPrime;
+    }
+    let two = BigUint::from(2u64);
+    let range = n.sub_ref(&BigUint::from(4u64)); // witnesses in [2, n-2]
+    for _ in 0..rounds {
+        let a = random_below(rng, &range).add_ref(&two);
+        if !witness_passes(&a) {
+            return Primality::Composite;
+        }
+    }
+    Primality::ProbablyPrime
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// The candidate stream is: random `bits`-bit odd integer, then increment
+/// by 2 until a probable prime is found (restarting if the bit length
+/// overflows). `rounds` Miller–Rabin rounds are applied (20 gives a
+/// 2^-40 error bound, ample for a research stack).
+pub fn generate_prime<E: EntropySource>(rng: &mut E, bits: usize, rounds: usize) -> BigUint {
+    assert!(bits >= 8, "prime generation needs at least 8 bits");
+    let two = BigUint::from(2u64);
+    loop {
+        let mut candidate = random_bits(rng, bits);
+        if candidate.is_even() {
+            candidate = candidate.add_ref(&BigUint::one());
+        }
+        // Scan a window of odd candidates from the random start.
+        for _ in 0..4096 {
+            if candidate.bit_len() != bits {
+                break; // wrapped past the top of the range; re-randomize
+            }
+            if is_probably_prime(&candidate, rounds, rng) == Primality::ProbablyPrime {
+                return candidate;
+            }
+            candidate = candidate.add_ref(&two);
+        }
+    }
+}
+
+/// Generate a "safe prime" `p` (i.e. `p = 2q + 1` with `q` prime), used for
+/// Diffie–Hellman group construction in tests. This is expensive; keep
+/// `bits` modest (≤ 256) in test contexts.
+pub fn generate_safe_prime<E: EntropySource>(rng: &mut E, bits: usize, rounds: usize) -> BigUint {
+    loop {
+        let q = generate_prime(rng, bits - 1, rounds);
+        let p = (&q << 1).add_ref(&BigUint::one());
+        if is_probably_prime(&p, rounds, rng) == Primality::ProbablyPrime {
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED_CAFE)
+    }
+
+    #[test]
+    fn small_primes_detected() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 281] {
+            assert_eq!(
+                is_probably_prime(&BigUint::from(p), 5, &mut r),
+                Primality::ProbablyPrime,
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_detected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 100, 561, 41041, 825265] {
+            // 561, 41041, 825265 are Carmichael numbers.
+            assert_eq!(
+                is_probably_prime(&BigUint::from(c), 5, &mut r),
+                Primality::Composite,
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        let mut r = rng();
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = (&BigUint::one() << 127) - &BigUint::one();
+        assert_eq!(is_probably_prime(&m127, 10, &mut r), Primality::ProbablyPrime);
+        // 2^128 - 1 is composite.
+        let c = (&BigUint::one() << 128) - &BigUint::one();
+        assert_eq!(is_probably_prime(&c, 10, &mut r), Primality::Composite);
+    }
+
+    #[test]
+    fn known_rsa_style_semiprime_is_composite() {
+        let mut r = rng();
+        let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let sq = p.square();
+        assert_eq!(is_probably_prime(&sq, 10, &mut r), Primality::Composite);
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut r = rng();
+        for bits in [8usize, 9, 63, 64, 65, 129, 256] {
+            let v = random_bits(&mut r, bits);
+            assert_eq!(v.bit_len(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from_decimal("1000000000000000000000").unwrap();
+        for _ in 0..50 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn generated_prime_has_requested_size() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 128, 10);
+        assert_eq!(p.bit_len(), 128);
+        assert!(p.is_odd());
+        assert_eq!(is_probably_prime(&p, 20, &mut r), Primality::ProbablyPrime);
+    }
+
+    #[test]
+    fn generated_safe_prime() {
+        let mut r = rng();
+        let p = generate_safe_prime(&mut r, 96, 8);
+        assert_eq!(p.bit_len(), 96);
+        let q = (&p - &BigUint::one()) >> 1;
+        assert_eq!(is_probably_prime(&q, 10, &mut r), Primality::ProbablyPrime);
+    }
+}

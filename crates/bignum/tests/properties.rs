@@ -1,0 +1,119 @@
+//! Property-based tests for `BigUint` arithmetic invariants.
+
+use gridsec_bignum::modular::{mod_inv, mod_mul, mod_pow};
+use gridsec_bignum::BigUint;
+use proptest::prelude::*;
+
+/// Strategy: random BigUint up to ~256 bits, built from raw bytes.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u8>(), 0..32).prop_map(|b| BigUint::from_bytes_be(&b))
+}
+
+/// Strategy: nonzero BigUint.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|v| if v.is_zero() { BigUint::one() } else { v })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn div_rem_invariant(a in biguint(), b in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn shift_is_mul_by_power_of_two(a in biguint(), s in 0usize..200) {
+        let shifted = &a << s;
+        let pow = &BigUint::one() << s;
+        prop_assert_eq!(shifted, &a * &pow);
+    }
+
+    #[test]
+    fn bytes_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let v = BigUint::from_bytes_be(&bytes);
+        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!(a.div_rem(&g).1.is_zero());
+        prop_assert!(b.div_rem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn mod_pow_product_rule(a in biguint(), e1 in 0u64..1000, e2 in 0u64..1000, m in biguint_nonzero()) {
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let m = if m.is_one() { BigUint::from(2u64) } else { m };
+        let lhs = mod_pow(&a, &BigUint::from(e1 + e2), &m);
+        let rhs = mod_mul(
+            &mod_pow(&a, &BigUint::from(e1), &m),
+            &mod_pow(&a, &BigUint::from(e2), &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in biguint_nonzero()) {
+        // Invert modulo a prime so the inverse always exists when a % p != 0.
+        let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let a = a.rem_ref(&p);
+        if !a.is_zero() {
+            let inv = mod_inv(&a, &p).unwrap();
+            prop_assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn cmp_consistent_with_sub(a in biguint(), b in biguint()) {
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
+            _ => prop_assert!(a.checked_sub(&b).is_some()),
+        }
+    }
+
+    #[test]
+    fn bit_len_matches_shift(s in 0usize..300) {
+        let v = &BigUint::one() << s;
+        prop_assert_eq!(v.bit_len(), s + 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality. Returns `false` for length
+/// mismatches (length itself is not secret in our protocols).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(ct_eq(&[0u8; 64], &[0u8; 64]));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"", b"x"));
+        // Differences at every position are caught.
+        let a = [0xAAu8; 32];
+        for i in 0..32 {
+            let mut b = a;
+            b[i] ^= 1;
+            assert!(!ct_eq(&a, &b));
+        }
+    }
+}

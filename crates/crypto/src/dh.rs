@@ -1,0 +1,172 @@
+//! Finite-field Diffie–Hellman key agreement.
+//!
+//! The `gridsec-tls` handshake is DHE-RSA-shaped: ephemeral DH shares are
+//! signed with the parties' certificate keys, and the shared secret feeds
+//! HKDF to derive record keys — the structure GT2's TLS channel relies on.
+
+use gridsec_bignum::modular::mod_pow;
+use gridsec_bignum::prime::{random_below, EntropySource};
+use gridsec_bignum::BigUint;
+
+/// A Diffie–Hellman group (safe prime `p`, generator `g`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DhGroup {
+    /// The group modulus (a safe prime).
+    pub p: BigUint,
+    /// The generator.
+    pub g: BigUint,
+}
+
+impl DhGroup {
+    /// RFC 3526 MODP group 14 (2048-bit). Interop-grade parameters.
+    pub fn modp2048() -> Self {
+        let p = BigUint::from_hex(
+            "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74\
+             020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437\
+             4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED\
+             EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05\
+             98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB\
+             9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B\
+             E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718\
+             3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+        )
+        .expect("constant");
+        DhGroup {
+            p,
+            g: BigUint::from(2u64),
+        }
+    }
+
+    /// A small 256-bit test group (fast; **test use only**).
+    ///
+    /// `p` is a fixed safe prime generated once with
+    /// `gridsec_bignum::prime::generate_safe_prime` and recorded here as a
+    /// constant; the unit tests re-verify both `p` and `(p-1)/2`.
+    pub fn test_group_256() -> Self {
+        let p = BigUint::from_hex(
+            "a5e579f41b72505da9fce2ccb8c774b1690261ea0a07ccb37921a10d9644c0bf",
+        )
+        .expect("constant");
+        DhGroup {
+            p,
+            g: BigUint::from(2u64),
+        }
+    }
+
+    /// Byte length of the group modulus.
+    pub fn modulus_len(&self) -> usize {
+        self.p.bit_len().div_ceil(8)
+    }
+}
+
+/// An ephemeral DH key pair within a group.
+pub struct DhKeyPair {
+    group: DhGroup,
+    private: BigUint,
+    /// The public share `g^x mod p`.
+    pub public: BigUint,
+}
+
+impl DhKeyPair {
+    /// Generate an ephemeral key pair: `x ∈ [2, p-2]`, `y = g^x mod p`.
+    pub fn generate<E: EntropySource>(rng: &mut E, group: &DhGroup) -> Self {
+        let two = BigUint::from(2u64);
+        let range = group.p.sub_ref(&BigUint::from(3u64));
+        let private = random_below(rng, &range).add_ref(&two);
+        let public = mod_pow(&group.g, &private, &group.p);
+        DhKeyPair {
+            group: group.clone(),
+            private,
+            public,
+        }
+    }
+
+    /// Compute the shared secret with a peer's public share, serialized as
+    /// fixed-width big-endian bytes (input to HKDF).
+    ///
+    /// Returns `None` for degenerate peer shares (0, 1, p-1, ≥ p) — the
+    /// classic small-subgroup / identity-element checks.
+    pub fn agree(&self, peer_public: &BigUint) -> Option<Vec<u8>> {
+        let one = BigUint::one();
+        let p_minus_1 = self.group.p.sub_ref(&one);
+        if peer_public.is_zero()
+            || peer_public.is_one()
+            || *peer_public >= self.group.p
+            || *peer_public == p_minus_1
+        {
+            return None;
+        }
+        let secret = mod_pow(peer_public, &self.private, &self.group.p);
+        Some(secret.to_bytes_be_padded(self.group.modulus_len()))
+    }
+
+    /// The group this key pair belongs to.
+    pub fn group(&self) -> &DhGroup {
+        &self.group
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::ChaChaRng;
+    use gridsec_bignum::prime::{is_probably_prime, Primality};
+
+    #[test]
+    fn test_group_is_safe_prime() {
+        let mut rng = ChaChaRng::from_seed_bytes(b"dh check");
+        let g = DhGroup::test_group_256();
+        assert_eq!(
+            is_probably_prime(&g.p, 20, &mut rng),
+            Primality::ProbablyPrime,
+            "p must be prime"
+        );
+        let q = (&g.p - &BigUint::one()) >> 1;
+        assert_eq!(
+            is_probably_prime(&q, 20, &mut rng),
+            Primality::ProbablyPrime,
+            "(p-1)/2 must be prime"
+        );
+    }
+
+    #[test]
+    fn agreement_matches() {
+        let mut rng = ChaChaRng::from_seed_bytes(b"dh agree");
+        let group = DhGroup::test_group_256();
+        let alice = DhKeyPair::generate(&mut rng, &group);
+        let bob = DhKeyPair::generate(&mut rng, &group);
+        let s1 = alice.agree(&bob.public).unwrap();
+        let s2 = bob.agree(&alice.public).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), group.modulus_len());
+    }
+
+    #[test]
+    fn different_sessions_different_secrets() {
+        let mut rng = ChaChaRng::from_seed_bytes(b"dh fresh");
+        let group = DhGroup::test_group_256();
+        let alice = DhKeyPair::generate(&mut rng, &group);
+        let bob1 = DhKeyPair::generate(&mut rng, &group);
+        let bob2 = DhKeyPair::generate(&mut rng, &group);
+        assert_ne!(alice.agree(&bob1.public), alice.agree(&bob2.public));
+    }
+
+    #[test]
+    fn degenerate_shares_rejected() {
+        let mut rng = ChaChaRng::from_seed_bytes(b"dh degen");
+        let group = DhGroup::test_group_256();
+        let kp = DhKeyPair::generate(&mut rng, &group);
+        assert!(kp.agree(&BigUint::zero()).is_none());
+        assert!(kp.agree(&BigUint::one()).is_none());
+        assert!(kp.agree(&(&group.p - &BigUint::one())).is_none());
+        assert!(kp.agree(&group.p).is_none());
+        assert!(kp.agree(&(&group.p + &BigUint::one())).is_none());
+    }
+
+    #[test]
+    fn modp2048_parses() {
+        let g = DhGroup::modp2048();
+        assert_eq!(g.p.bit_len(), 2048);
+        assert_eq!(g.modulus_len(), 256);
+    }
+}

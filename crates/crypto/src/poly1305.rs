@@ -1,0 +1,297 @@
+//! The Poly1305 one-time authenticator (RFC 8439).
+//!
+//! Implemented in the classic five-26-bit-limb style ("poly1305-donna"),
+//! using only safe 64-bit arithmetic. Verified against the RFC 8439 test
+//! vector.
+
+/// Key length in bytes (r || s).
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+const MASK26: u64 = (1 << 26) - 1;
+
+/// Streaming Poly1305 authenticator. One key must never authenticate two
+/// different messages; [`crate::aead`] derives a fresh key per nonce.
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 4],
+    h: [u64; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Create an authenticator from a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // r with clamping per RFC 8439 §2.5.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(key[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(key[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(key[12..16].try_into().unwrap()) as u64;
+
+        let r = [
+            t0 & 0x3ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x3ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x3f03fff,
+            (t3 >> 8) & 0x00fffff,
+        ];
+        let s = [
+            u32::from_le_bytes(key[16..20].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[20..24].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[24..28].try_into().unwrap()) as u64,
+            u32::from_le_bytes(key[28..32].try_into().unwrap()) as u64,
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1 << 24);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1 << 24);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// h = (h + block + hibit·2^128) · r  mod 2^130 - 5
+    fn process_block(&mut self, block: &[u8; 16], hibit: u64) {
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+
+        self.h[0] += t0 & MASK26;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & MASK26;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & MASK26;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & MASK26;
+        self.h[4] += (t3 >> 8) | hibit;
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+        let [h0, h1, h2, h3, h4] = self.h;
+
+        let d0 = (h0 as u128) * r0 as u128
+            + (h1 as u128) * s4 as u128
+            + (h2 as u128) * s3 as u128
+            + (h3 as u128) * s2 as u128
+            + (h4 as u128) * s1 as u128;
+        let d1 = (h0 as u128) * r1 as u128
+            + (h1 as u128) * r0 as u128
+            + (h2 as u128) * s4 as u128
+            + (h3 as u128) * s3 as u128
+            + (h4 as u128) * s2 as u128;
+        let d2 = (h0 as u128) * r2 as u128
+            + (h1 as u128) * r1 as u128
+            + (h2 as u128) * r0 as u128
+            + (h3 as u128) * s4 as u128
+            + (h4 as u128) * s3 as u128;
+        let d3 = (h0 as u128) * r3 as u128
+            + (h1 as u128) * r2 as u128
+            + (h2 as u128) * r1 as u128
+            + (h3 as u128) * r0 as u128
+            + (h4 as u128) * s4 as u128;
+        let d4 = (h0 as u128) * r4 as u128
+            + (h1 as u128) * r3 as u128
+            + (h2 as u128) * r2 as u128
+            + (h3 as u128) * r1 as u128
+            + (h4 as u128) * r0 as u128;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+
+        c = (d0 >> 26) as u64;
+        self.h[0] = (d0 as u64) & MASK26;
+        d1 += c as u128;
+        c = (d1 >> 26) as u64;
+        self.h[1] = (d1 as u64) & MASK26;
+        d2 += c as u128;
+        c = (d2 >> 26) as u64;
+        self.h[2] = (d2 as u64) & MASK26;
+        d3 += c as u128;
+        c = (d3 >> 26) as u64;
+        self.h[3] = (d3 as u64) & MASK26;
+        d4 += c as u128;
+        c = (d4 >> 26) as u64;
+        self.h[4] = (d4 as u64) & MASK26;
+        self.h[0] += c * 5;
+        c = self.h[0] >> 26;
+        self.h[0] &= MASK26;
+        self.h[1] += c;
+    }
+
+    /// Finalize, consuming the authenticator, and return the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; hibit = 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        // Full carry on h.
+        let mut h = self.h;
+        let mut c = h[1] >> 26;
+        h[1] &= MASK26;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= MASK26;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= MASK26;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= MASK26;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= MASK26;
+        h[1] += c;
+
+        // Compute g = h + 5 - 2^130 (i.e. h - p). If that does not borrow,
+        // h >= p and the reduced value is g; otherwise it is h itself.
+        let mut g = [0u64; 5];
+        c = 5;
+        for i in 0..4 {
+            g[i] = h[i] + c;
+            c = g[i] >> 26;
+            g[i] &= MASK26;
+        }
+        g[4] = h[4].wrapping_add(c).wrapping_sub(1 << 26);
+        // Borrow shows up as the sign bit of g[4].
+        let mask = if (g[4] >> 63) == 0 { u64::MAX } else { 0 };
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+        out[4] &= MASK26;
+
+        // h += s (mod 2^128), serializing into 4 little-endian u32 words.
+        let h0 = out[0] | (out[1] << 26);
+        let h1 = (out[1] >> 6) | (out[2] << 20);
+        let h2 = (out[2] >> 12) | (out[3] << 14);
+        let h3 = (out[3] >> 18) | (out[4] << 8);
+        let words = [h0 as u32, h1 as u32, h2 as u32, h3 as u32];
+
+        let mut tag = [0u8; TAG_LEN];
+        let mut carry = 0u64;
+        for i in 0..4 {
+            let v = words[i] as u64 + self.s[i] + carry;
+            tag[i * 4..i * 4 + 4].copy_from_slice(&(v as u32).to_le_bytes());
+            carry = v >> 32;
+        }
+        tag
+    }
+}
+
+/// One-shot Poly1305.
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2
+        let key: [u8; 32] = unhex(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .try_into()
+        .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex(&poly1305(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        let key = [1u8; 32];
+        // Tag of empty message is just s (h stays 0).
+        let tag = poly1305(&key, b"");
+        assert_eq!(&tag[..], &key[16..32]);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().unwrap();
+        let msg: Vec<u8> = (0..200u16).map(|i| (i * 7) as u8).collect();
+        for split in [1usize, 15, 16, 17, 31, 32, 100, 199] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "split={split}");
+        }
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [0x42u8; 32];
+        let msg = vec![0u8; 48];
+        let base = poly1305(&key, &msg);
+        for i in 0..48 {
+            let mut m = msg.clone();
+            m[i] ^= 1;
+            assert_ne!(poly1305(&key, &m), base, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn wraparound_values() {
+        // All-0xff blocks force maximal limb values through reduction.
+        let key: [u8; 32] = unhex(
+            "02000000000000000000000000000000ffffffffffffffffffffffffffffffff",
+        )
+        .try_into()
+        .unwrap();
+        let msg = unhex("02000000000000000000000000000000");
+        // r = 2, s = 2^128-1, m = 2 → h = (2+2^128)*2 mod p, tag = h + s mod 2^128
+        // Known answer from the Poly1305 test suite (nacl test vectors):
+        assert_eq!(hex(&poly1305(&key, &msg)), "03000000000000000000000000000000");
+    }
+}

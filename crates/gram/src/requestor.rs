@@ -1,0 +1,217 @@
+//! The requestor side of GT3 GRAM (Figure 4, left).
+//!
+//! Implements step 1 (sign the job description) and step 7 (mutual
+//! authentication with the MJS, *client-side authorization of the MJS via
+//! its GRIM credential*, credential delegation, and job start).
+
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_gssapi::context::{EstablishedContext, InitiatorContext, StepResult};
+use gridsec_gssapi::delegation;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::proxy::ProxyType;
+use gridsec_pki::store::TrustStore;
+use gridsec_tls::handshake::TlsConfig;
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::xmlsig;
+
+use crate::grim::extract_grim_policy;
+use crate::resource::GramResource;
+use crate::types::{JobDescription, JobState};
+use crate::GramError;
+
+/// A running job from the requestor's perspective.
+#[derive(Debug)]
+pub struct ActiveJob {
+    /// The MJS handle.
+    pub handle: String,
+    /// Whether submission took the cold (MMJFS) path.
+    pub cold_start: bool,
+    /// The remote account the job runs in.
+    pub account: String,
+}
+
+/// A GRAM client holding user proxy credentials.
+pub struct Requestor {
+    credential: Credential,
+    trust: TrustStore,
+    rng: ChaChaRng,
+    request_ttl: u64,
+    delegation_key_bits: usize,
+    delegation_lifetime: u64,
+}
+
+impl Requestor {
+    /// Create a requestor. `credential` is typically a proxy from
+    /// `grid-proxy-init` style sign-on.
+    pub fn new(credential: Credential, trust: TrustStore, rng_seed: &[u8]) -> Self {
+        Requestor {
+            credential,
+            trust,
+            rng: ChaChaRng::from_seed_bytes(rng_seed),
+            request_ttl: 300,
+            delegation_key_bits: 512,
+            delegation_lifetime: 43_200,
+        }
+    }
+
+    /// The requestor's grid identity.
+    pub fn identity(&self) -> &DistinguishedName {
+        self.credential.base_identity()
+    }
+
+    /// Step 1: form and sign the job request. The result is a
+    /// transport-independent signed envelope — deliverable to a service
+    /// that does not exist yet (the stateless property of §5.1).
+    pub fn signed_request(&mut self, description: &JobDescription, now: u64) -> String {
+        let env = Envelope::request("createManagedJob", description.to_element());
+        xmlsig::sign_envelope(&env, &self.credential, now, self.request_ttl).to_xml()
+    }
+
+    /// Full submission: steps 1–7 against a resource, in process.
+    pub fn submit_job(
+        &mut self,
+        resource: &mut GramResource,
+        description: &JobDescription,
+        now: u64,
+    ) -> Result<ActiveJob, GramError> {
+        // Steps 1–6.
+        let request = self.signed_request(description, now);
+        let outcome = resource.submit(&request)?;
+
+        // Step 7.
+        self.connect_and_start(resource, &outcome.mjs_handle, Some(&outcome.account), now)?;
+        Ok(ActiveJob {
+            handle: outcome.mjs_handle,
+            cold_start: outcome.cold_start,
+            account: outcome.account,
+        })
+    }
+
+    /// Step 7: connect to the MJS, mutually authenticate, authorize the
+    /// MJS via its GRIM credential, delegate, and start the job.
+    ///
+    /// `expected_account`, when known, is checked against the account the
+    /// GRIM credential names — the paper's "running not only on the right
+    /// host but also in an appropriate account".
+    pub fn connect_and_start(
+        &mut self,
+        resource: &mut GramResource,
+        handle: &str,
+        expected_account: Option<&str>,
+        now: u64,
+    ) -> Result<(), GramError> {
+        let ctxerr = |m: &str| GramError::Context(m.to_string());
+
+        // Mutual authentication (token loop, in process).
+        let config = TlsConfig::new(self.credential.clone(), self.trust.clone(), now);
+        let (mut initiator, token1) = InitiatorContext::new(config, &mut self.rng);
+        let mut acceptor = resource.mjs_begin_accept(handle)?;
+
+        let token2 = match acceptor
+            .step(&mut self.rng, &token1)
+            .map_err(|e| ctxerr(&e.to_string()))?
+        {
+            StepResult::ContinueWith(t) => t,
+            _ => return Err(ctxerr("unexpected acceptor state")),
+        };
+        let (token3, mut my_ctx) = match initiator
+            .step(&token2)
+            .map_err(|e| ctxerr(&e.to_string()))?
+        {
+            StepResult::Established { token, context } => {
+                (token.ok_or(ctxerr("missing finished token"))?, context)
+            }
+            _ => return Err(ctxerr("initiator should finish")),
+        };
+        let mut mjs_ctx: Box<EstablishedContext> = match acceptor
+            .step(&mut self.rng, &token3)
+            .map_err(|e| ctxerr(&e.to_string()))?
+        {
+            StepResult::Established { context, .. } => context,
+            _ => return Err(ctxerr("acceptor should finish")),
+        };
+
+        // Client-side authorization of the MJS: "the requestor authorizes
+        // the MJS as having a GRIM credential issued from an appropriate
+        // host credential and containing a Grid identity matching its
+        // own."
+        let peer = my_ctx.peer().clone();
+        let policy = extract_grim_policy(&peer).ok_or(GramError::GrimRejected(
+            "peer presented no GRIM credential",
+        ))?;
+        // Right host: the GRIM chain must bottom out at the resource's
+        // host identity (the client knows which host it contacted).
+        if peer.base_identity != *resource.host_identity() {
+            return Err(GramError::GrimRejected(
+                "GRIM credential chains to the wrong host",
+            ));
+        }
+        // Right user: the embedded identity must be our own.
+        if &policy.user_identity != self.identity() {
+            return Err(GramError::GrimRejected(
+                "GRIM credential embeds a different user identity",
+            ));
+        }
+        // Appropriate account.
+        if let Some(acct) = expected_account {
+            if policy.account != acct {
+                return Err(GramError::GrimRejected(
+                    "GRIM credential names a different account",
+                ));
+            }
+        }
+
+        // Delegation: the MJS generates a key locally; we sign a proxy.
+        let d1 = delegation::request_delegation(&mut my_ctx);
+        let (d2, pending) = delegation::respond_with_key(
+            &mut mjs_ctx,
+            &mut self.rng,
+            &d1,
+            self.delegation_key_bits,
+        )
+        .map_err(|e| ctxerr(&e.to_string()))?;
+        let d3 = delegation::deliver_proxy(
+            &mut my_ctx,
+            &mut self.rng,
+            &self.credential,
+            &d2,
+            ProxyType::Impersonation,
+            now,
+            self.delegation_lifetime,
+        )
+        .map_err(|e| ctxerr(&e.to_string()))?;
+        let delegated = pending
+            .finish(&mut mjs_ctx, &d3)
+            .map_err(|e| ctxerr(&e.to_string()))?;
+
+        // Start command over the secured channel.
+        let start = my_ctx.wrap(b"start-job");
+        let start_plain = mjs_ctx.unwrap(&start).map_err(|e| ctxerr(&e.to_string()))?;
+        if start_plain != b"start-job" {
+            return Err(ctxerr("start command corrupted"));
+        }
+        let requestor_identity = mjs_ctx.peer().base_identity.clone();
+        resource.mjs_start_job(handle, &requestor_identity, delegated)?;
+        Ok(())
+    }
+
+    /// Monitor a job.
+    pub fn job_state(
+        &self,
+        resource: &GramResource,
+        handle: &str,
+    ) -> Result<JobState, GramError> {
+        resource.job_state(handle)
+    }
+
+    /// Cancel a job we own.
+    pub fn cancel(
+        &mut self,
+        resource: &mut GramResource,
+        handle: &str,
+    ) -> Result<(), GramError> {
+        let me = self.identity().clone();
+        resource.cancel(handle, &me)
+    }
+}

@@ -1,0 +1,340 @@
+//! End-to-end tests of the Figure 4 GRAM flow and the §5.2
+//! least-privilege properties, GT3 vs. GT2.
+
+use gridsec_authz::gridmap::GridMapFile;
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_gram::gt2::Gt2Gatekeeper;
+use gridsec_gram::resource::{GramConfig, GramResource};
+use gridsec_gram::types::{JobDescription, JobState};
+use gridsec_gram::{GramError, Requestor};
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::proxy::{issue_proxy, ProxyType};
+use gridsec_pki::store::TrustStore;
+use gridsec_testbed::clock::SimClock;
+use gridsec_testbed::faults::compromise;
+use gridsec_testbed::os::SimOs;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct World {
+    rng: ChaChaRng,
+    trust: TrustStore,
+    ca: CertificateAuthority,
+    jane: Credential,
+    carl: Credential,
+    host_cred: Credential,
+    os: SimOs,
+    clock: SimClock,
+}
+
+fn world() -> World {
+    let mut rng = ChaChaRng::from_seed_bytes(b"gram figure4 tests");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+    let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
+    let carl = ca.issue_identity(&mut rng, dn("/O=G/CN=Carl"), 512, 0, 500_000);
+    let host_cred = ca.issue_host_identity(
+        &mut rng,
+        dn("/O=G/CN=host compute1"),
+        vec!["compute1".into()],
+        512,
+        0,
+        500_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    World {
+        rng,
+        trust,
+        ca,
+        jane,
+        carl,
+        host_cred,
+        os: SimOs::new(),
+        clock: SimClock::starting_at(100),
+    }
+}
+
+fn gridmap() -> GridMapFile {
+    GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n\"/O=G/CN=Carl\" carl\n").unwrap()
+}
+
+fn gt3(w: &World) -> GramResource {
+    GramResource::install(
+        w.os.clone(),
+        w.clock.clone(),
+        "compute1",
+        w.trust.clone(),
+        w.host_cred.clone(),
+        &gridmap(),
+        GramConfig::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure4_cold_then_warm_submission() {
+    let mut w = world();
+    let mut resource = gt3(&w);
+    // Sign on with a proxy (single sign-on, step 0).
+    let proxy = issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000)
+        .unwrap();
+    let mut requestor = Requestor::new(proxy, w.trust.clone(), b"jane requestor");
+
+    // First job: cold path (MMJFS → Setuid Starter → GRIM → LMJFS).
+    let job1 = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/sim1"), 100)
+        .unwrap();
+    assert!(job1.cold_start);
+    assert_eq!(job1.account, "jdoe");
+    assert_eq!(resource.job_state(&job1.handle).unwrap(), JobState::Active);
+
+    // Second job: warm path through the resident LMJFS.
+    let job2 = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/sim2"), 110)
+        .unwrap();
+    assert!(!job2.cold_start);
+    assert_eq!(resource.stats.cold_starts, 1);
+    assert_eq!(resource.stats.warm_starts, 1);
+
+    // The jobs run in the user's account, and the job process holds the
+    // delegated credential.
+    let jdoe_uid = resource.os().uid_of("compute1", "jdoe").unwrap();
+    let procs = resource.os().processes("compute1").unwrap();
+    let jobs: Vec<_> = procs.iter().filter(|p| p.name.starts_with("job:")).collect();
+    assert_eq!(jobs.len(), 2);
+    for j in &jobs {
+        assert_eq!(j.uid, jdoe_uid);
+        assert!(!j.is_privileged());
+        assert!(j.credentials.iter().any(|c| c.contains("delegated proxy")));
+    }
+}
+
+#[test]
+fn per_user_lmjfs_isolation() {
+    let w = world();
+    let mut resource = gt3(&w);
+    let mut jane = Requestor::new(w.jane.clone(), w.trust.clone(), b"jane");
+    let mut carl = Requestor::new(w.carl.clone(), w.trust.clone(), b"carl");
+
+    let j1 = jane
+        .submit_job(&mut resource, &JobDescription::new("/bin/a"), 100)
+        .unwrap();
+    let j2 = carl
+        .submit_job(&mut resource, &JobDescription::new("/bin/b"), 100)
+        .unwrap();
+    // Each user cold-starts their own LMJFS in their own account.
+    assert!(j1.cold_start && j2.cold_start);
+    assert_ne!(j1.account, j2.account);
+    assert!(resource.lmjfs_pid("jdoe").is_some());
+    assert!(resource.lmjfs_pid("carl").is_some());
+
+    // LMJFS processes are unprivileged and hold only their user's creds.
+    let lm = resource
+        .os()
+        .process("compute1", resource.lmjfs_pid("jdoe").unwrap())
+        .unwrap();
+    assert!(!lm.is_privileged());
+    assert!(lm.credentials.iter().all(|c| c.contains("Jane")));
+}
+
+#[test]
+fn limited_proxy_may_not_submit_jobs() {
+    let mut w = world();
+    let mut resource = gt3(&w);
+    // GT2 semantics: limited proxies are for data movement, not jobs.
+    let limited =
+        issue_proxy(&mut w.rng, &w.jane, ProxyType::Limited, 512, 100, 50_000).unwrap();
+    let mut requestor = Requestor::new(limited, w.trust.clone(), b"jane limited");
+    let err = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap_err();
+    assert!(matches!(err, GramError::NotAuthorized(_)));
+    // A full proxy of the same user is fine.
+    let full =
+        issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000).unwrap();
+    let mut requestor = Requestor::new(full, w.trust.clone(), b"jane full");
+    assert!(requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .is_ok());
+}
+
+#[test]
+fn unmapped_user_rejected_at_mmjfs() {
+    let mut w = world();
+    let mut resource = gt3(&w);
+    let mallory = w
+        .ca
+        .issue_identity(&mut w.rng, dn("/O=G/CN=Mallory"), 512, 0, 500_000);
+    let mut requestor = Requestor::new(mallory, w.trust.clone(), b"mallory");
+    let err = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap_err();
+    assert!(matches!(err, GramError::NoMapping(_)));
+    assert_eq!(resource.stats.denied, 1);
+    assert_eq!(resource.stats.jobs_submitted, 0);
+}
+
+#[test]
+fn untrusted_signature_rejected() {
+    let mut w = world();
+    let mut resource = gt3(&w);
+    let rogue_ca =
+        CertificateAuthority::create_root(&mut w.rng, dn("/O=Evil/CN=CA"), 512, 0, 1_000_000);
+    // Rogue CA certifies an identity that IS in the grid-mapfile.
+    let fake_jane = rogue_ca.issue_identity(&mut w.rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
+    let mut requestor = Requestor::new(fake_jane, w.trust.clone(), b"fake");
+    let err = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap_err();
+    assert!(matches!(err, GramError::RequestRejected(_)));
+}
+
+#[test]
+fn tampered_request_rejected() {
+    let w = world();
+    let mut resource = gt3(&w);
+    let mut requestor = Requestor::new(w.jane.clone(), w.trust.clone(), b"jane");
+    let signed = requestor.signed_request(&JobDescription::new("/bin/honest"), 100);
+    let tampered = signed.replace("/bin/honest", "/bin/evil!!");
+    let err = resource.submit(&tampered).unwrap_err();
+    assert!(matches!(err, GramError::RequestRejected(_)));
+}
+
+#[test]
+fn job_lifecycle_owner_controls() {
+    let w = world();
+    let mut resource = gt3(&w);
+    let mut jane = Requestor::new(w.jane.clone(), w.trust.clone(), b"jane");
+    let mut carl = Requestor::new(w.carl.clone(), w.trust.clone(), b"carl");
+
+    let job = jane
+        .submit_job(&mut resource, &JobDescription::new("/bin/longrun"), 100)
+        .unwrap();
+    // Carl cannot cancel Jane's job.
+    let err = carl.cancel(&mut resource, &job.handle).unwrap_err();
+    assert!(matches!(err, GramError::NotAuthorized(_)));
+    // Jane can.
+    jane.cancel(&mut resource, &job.handle).unwrap();
+    assert_eq!(
+        resource.job_state(&job.handle).unwrap(),
+        JobState::Cancelled
+    );
+    // Cancelling twice is a state error.
+    assert!(matches!(
+        jane.cancel(&mut resource, &job.handle),
+        Err(GramError::BadState(_))
+    ));
+}
+
+#[test]
+fn gt3_has_no_privileged_network_services() {
+    let w = world();
+    let mut resource = gt3(&w);
+    let mut requestor = Requestor::new(w.jane.clone(), w.trust.clone(), b"jane");
+    requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap();
+
+    // The §5.2 claim, checked directly on the process table.
+    let priv_net = resource
+        .os()
+        .privileged_network_facing("compute1")
+        .unwrap();
+    assert!(
+        priv_net.is_empty(),
+        "GT3 must run no privileged network services, found {priv_net:?}"
+    );
+    // The only processes that ever ran privileged were the two setuid
+    // programs, both dead by now.
+    let live_privileged = resource.os().privileged_processes("compute1").unwrap();
+    assert!(live_privileged.is_empty());
+}
+
+#[test]
+fn gt2_baseline_has_privileged_network_service() {
+    let mut w = world();
+    let os = SimOs::new();
+    let mut gatekeeper = Gt2Gatekeeper::install(
+        os,
+        w.clock.clone(),
+        "compute2",
+        w.trust.clone(),
+        w.host_cred.clone(),
+        &gridmap(),
+    )
+    .unwrap();
+
+    let handle = gatekeeper
+        .submit(&w.jane, &JobDescription::new("/bin/x"))
+        .unwrap();
+    assert_eq!(gatekeeper.job_state(&handle).unwrap(), JobState::Active);
+
+    let priv_net = gatekeeper
+        .os()
+        .privileged_network_facing("compute2")
+        .unwrap();
+    assert_eq!(priv_net.len(), 1);
+    assert_eq!(priv_net[0].name, "gatekeeper");
+    let _ = &mut w;
+}
+
+#[test]
+fn compromise_blast_radius_gt2_vs_gt3() {
+    // Experiment C4's core comparison as a test: compromising GT2's
+    // gatekeeper owns the host; compromising GT3's MMJFS does not.
+    let w = world();
+    let mut resource = gt3(&w);
+    let mut requestor = Requestor::new(w.jane.clone(), w.trust.clone(), b"jane");
+    requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap();
+    let gt3_report = compromise(resource.os(), "compute1", resource.mmjfs_pid()).unwrap();
+    assert!(!gt3_report.full_host_compromise);
+    // MMJFS holds no credentials at all.
+    assert!(gt3_report.credentials_exposed.is_empty());
+    // It cannot read the host key.
+    assert!(!gt3_report
+        .files_readable
+        .contains(&gridsec_gram::resource::HOSTCRED_PATH.to_string()));
+
+    let os2 = SimOs::new();
+    let mut gatekeeper = Gt2Gatekeeper::install(
+        os2,
+        w.clock.clone(),
+        "compute2",
+        w.trust.clone(),
+        w.host_cred.clone(),
+        &gridmap(),
+    )
+    .unwrap();
+    gatekeeper
+        .submit(&w.jane, &JobDescription::new("/bin/x"))
+        .unwrap();
+    let gt2_report = compromise(gatekeeper.os(), "compute2", gatekeeper.gatekeeper_pid()).unwrap();
+    assert!(gt2_report.full_host_compromise);
+    assert!(gt2_report
+        .files_readable
+        .contains(&gridsec_gram::resource::HOSTCRED_PATH.to_string()));
+    assert!(gt2_report.blast_radius() > gt3_report.blast_radius());
+}
+
+#[test]
+fn delegated_credential_speaks_for_user() {
+    let mut w = world();
+    let mut resource = gt3(&w);
+    let proxy = issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000)
+        .unwrap();
+    let mut requestor = Requestor::new(proxy, w.trust.clone(), b"jane");
+    let job = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
+        .unwrap();
+    // The job's description survived intact.
+    assert_eq!(
+        resource.job_description(&job.handle).unwrap().executable,
+        "/bin/x"
+    );
+}

@@ -1,0 +1,269 @@
+//! The GSS init/accept token loop and established-context operations.
+
+use gridsec_bignum::prime::EntropySource;
+use gridsec_pki::validate::ValidatedIdentity;
+use gridsec_tls::channel::SecureChannel;
+use gridsec_tls::handshake::{
+    ClientHandshake, ServerAwaitFinished, ServerHandshake, TlsConfig,
+};
+
+use crate::GssError;
+
+/// Result of feeding one token into a context under establishment.
+pub enum StepResult {
+    /// Send this token to the peer and keep stepping.
+    ContinueWith(Vec<u8>),
+    /// Context established; `token` (if any) must still be sent to the
+    /// peer (the final handshake token), then use the context.
+    Established {
+        /// Final token to deliver to the peer (initiator side), if any.
+        token: Option<Vec<u8>>,
+        /// The established security context.
+        context: Box<EstablishedContext>,
+    },
+}
+
+/// A mutually-authenticated context: wrap/unwrap + MIC operations.
+pub struct EstablishedContext {
+    channel: SecureChannel,
+}
+
+impl EstablishedContext {
+    /// The authenticated peer.
+    pub fn peer(&self) -> &ValidatedIdentity {
+        &self.channel.peer
+    }
+
+    /// Seal a message for the peer (GSS `Wrap` with confidentiality).
+    pub fn wrap(&mut self, msg: &[u8]) -> Vec<u8> {
+        self.channel.seal(msg)
+    }
+
+    /// Open a sealed message (GSS `Unwrap`).
+    pub fn unwrap(&mut self, token: &[u8]) -> Result<Vec<u8>, GssError> {
+        Ok(self.channel.open(token)?)
+    }
+
+    /// Detached integrity token (GSS `GetMIC`).
+    pub fn get_mic(&mut self, msg: &[u8]) -> Vec<u8> {
+        self.channel.get_mic(msg)
+    }
+
+    /// Verify a detached integrity token (GSS `VerifyMIC`).
+    pub fn verify_mic(&mut self, msg: &[u8], mic: &[u8]) -> Result<(), GssError> {
+        Ok(self.channel.verify_mic(msg, mic)?)
+    }
+}
+
+enum InitState {
+    AwaitServerHello(Box<ClientHandshake>),
+    Done,
+}
+
+/// The initiating (client) side of context establishment.
+pub struct InitiatorContext {
+    state: InitState,
+}
+
+impl InitiatorContext {
+    /// Begin establishment; returns the context and the first token
+    /// (GSS `init_sec_context` with no input token).
+    pub fn new<E: EntropySource>(config: TlsConfig, rng: &mut E) -> (Self, Vec<u8>) {
+        let (hs, token) = ClientHandshake::new(config, rng);
+        (
+            InitiatorContext {
+                state: InitState::AwaitServerHello(Box::new(hs)),
+            },
+            token,
+        )
+    }
+
+    /// Feed the next token from the acceptor.
+    pub fn step(&mut self, token_in: &[u8]) -> Result<StepResult, GssError> {
+        match std::mem::replace(&mut self.state, InitState::Done) {
+            InitState::AwaitServerHello(hs) => {
+                let (finished, channel) = hs.step(token_in)?;
+                Ok(StepResult::Established {
+                    token: Some(finished),
+                    context: Box::new(EstablishedContext { channel }),
+                })
+            }
+            InitState::Done => Err(GssError::BadState("initiator already established")),
+        }
+    }
+}
+
+enum AcceptState {
+    AwaitClientHello(Box<ServerHandshake>),
+    AwaitFinished(Box<ServerAwaitFinished>),
+    Done,
+}
+
+/// The accepting (server) side of context establishment.
+pub struct AcceptorContext {
+    state: AcceptState,
+}
+
+impl AcceptorContext {
+    /// Create the acceptor (GSS `accept_sec_context` loop).
+    pub fn new(config: TlsConfig) -> Self {
+        AcceptorContext {
+            state: AcceptState::AwaitClientHello(Box::new(ServerHandshake::new(config))),
+        }
+    }
+
+    /// Feed the next token from the initiator.
+    pub fn step<E: EntropySource>(
+        &mut self,
+        rng: &mut E,
+        token_in: &[u8],
+    ) -> Result<StepResult, GssError> {
+        match std::mem::replace(&mut self.state, AcceptState::Done) {
+            AcceptState::AwaitClientHello(hs) => {
+                let (server_hello, await_finished) = hs.step(rng, token_in)?;
+                self.state = AcceptState::AwaitFinished(Box::new(await_finished));
+                Ok(StepResult::ContinueWith(server_hello))
+            }
+            AcceptState::AwaitFinished(wait) => {
+                let channel = wait.step(token_in)?;
+                Ok(StepResult::Established {
+                    token: None,
+                    context: Box::new(EstablishedContext { channel }),
+                })
+            }
+            AcceptState::Done => Err(GssError::BadState("acceptor already established")),
+        }
+    }
+}
+
+/// Drive the full token loop in memory (both sides in one process);
+/// returns `(initiator_context, acceptor_context)`.
+pub fn establish_in_memory<E: EntropySource>(
+    init_config: TlsConfig,
+    accept_config: TlsConfig,
+    rng: &mut E,
+) -> Result<(EstablishedContext, EstablishedContext), GssError> {
+    let (mut init, token1) = InitiatorContext::new(init_config, rng);
+    let mut acceptor = AcceptorContext::new(accept_config);
+
+    let token2 = match acceptor.step(rng, &token1)? {
+        StepResult::ContinueWith(t) => t,
+        StepResult::Established { .. } => {
+            return Err(GssError::BadState("acceptor finished too early"))
+        }
+    };
+    let (token3, init_ctx) = match init.step(&token2)? {
+        StepResult::Established { token, context } => (token, context),
+        StepResult::ContinueWith(_) => {
+            return Err(GssError::BadState("initiator should finish on token 2"))
+        }
+    };
+    let token3 = token3.ok_or(GssError::BadState("missing finished token"))?;
+    let accept_ctx = match acceptor.step(rng, &token3)? {
+        StepResult::Established { context, .. } => context,
+        StepResult::ContinueWith(_) => {
+            return Err(GssError::BadState("acceptor should finish on token 3"))
+        }
+    };
+    Ok((*init_ctx, *accept_ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::credential::Credential;
+    use gridsec_pki::name::DistinguishedName;
+    use gridsec_pki::store::TrustStore;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    pub(crate) struct World {
+        pub rng: ChaChaRng,
+        pub trust: TrustStore,
+        pub alice: Credential,
+        pub service: Credential,
+    }
+
+    pub(crate) fn world() -> World {
+        let mut rng = ChaChaRng::from_seed_bytes(b"gss tests");
+        let ca =
+            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
+        let service = ca.issue_identity(&mut rng, dn("/O=G/CN=MJS"), 512, 0, 100_000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        World {
+            rng,
+            trust,
+            alice,
+            service,
+        }
+    }
+
+    fn cfg(w: &World, cred: &Credential) -> TlsConfig {
+        TlsConfig::new(cred.clone(), w.trust.clone(), 100)
+    }
+
+    #[test]
+    fn token_loop_establishes_mutual_context() {
+        let mut w = world();
+        let (mut ic, mut ac) =
+            establish_in_memory(cfg(&w, &w.alice), cfg(&w, &w.service), &mut w.rng).unwrap();
+        assert_eq!(ic.peer().base_identity, dn("/O=G/CN=MJS"));
+        assert_eq!(ac.peer().base_identity, dn("/O=G/CN=Alice"));
+
+        let t = ic.wrap(b"secured request");
+        assert_eq!(ac.unwrap(&t).unwrap(), b"secured request");
+        let r = ac.wrap(b"secured reply");
+        assert_eq!(ic.unwrap(&r).unwrap(), b"secured reply");
+    }
+
+    #[test]
+    fn mic_operations() {
+        let mut w = world();
+        let (mut ic, mut ac) =
+            establish_in_memory(cfg(&w, &w.alice), cfg(&w, &w.service), &mut w.rng).unwrap();
+        let msg = b"signed but visible job description";
+        let mic = ic.get_mic(msg);
+        assert!(ac.verify_mic(msg, &mic).is_ok());
+        assert!(ac.verify_mic(b"altered", &mic).is_err());
+    }
+
+    #[test]
+    fn stepping_finished_context_errors() {
+        let mut w = world();
+        let (mut init, _t1) = InitiatorContext::new(cfg(&w, &w.alice), &mut w.rng);
+        let mut acceptor = AcceptorContext::new(cfg(&w, &w.service));
+        // Feed garbage to move initiator to Done state via error path.
+        assert!(init.step(b"junk").is_err());
+        assert!(matches!(
+            init.step(b"junk"),
+            Err(GssError::BadState(_))
+        ));
+        // Acceptor consumed by garbage as well.
+        assert!(acceptor.step(&mut w.rng, b"junk").is_err());
+        assert!(matches!(
+            acceptor.step(&mut w.rng, b"junk"),
+            Err(GssError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn contexts_are_independent_sessions() {
+        let mut w = world();
+        let (mut ic1, mut ac1) =
+            establish_in_memory(cfg(&w, &w.alice), cfg(&w, &w.service), &mut w.rng).unwrap();
+        let (mut ic2, mut ac2) =
+            establish_in_memory(cfg(&w, &w.alice), cfg(&w, &w.service), &mut w.rng).unwrap();
+        let t1 = ic1.wrap(b"session 1");
+        // Cross-session tokens do not decrypt.
+        assert!(ac2.unwrap(&t1).is_err());
+        assert!(ac1.unwrap(&t1).is_ok());
+        let t2 = ic2.wrap(b"session 2");
+        assert!(ac2.unwrap(&t2).is_ok());
+    }
+}

@@ -1,0 +1,291 @@
+//! GSI credential delegation over an established context (paper §3, §5.3
+//! step 7).
+//!
+//! Protocol (all messages wrapped under the established context):
+//!
+//! 1. Initiator → acceptor: `DELEG-REQ` (announces intent + proxy type).
+//! 2. Acceptor generates a key pair *locally* and replies with the public
+//!    key (a CSR in spirit). The private key never leaves the acceptor.
+//! 3. Initiator signs a proxy certificate over that key with its own
+//!    credential and sends the certificate plus its chain.
+//! 4. Acceptor assembles the delegated [`Credential`].
+//!
+//! This is how an MJS obtains "GSI credentials for the job" without the
+//! user's key material ever crossing the network.
+
+use gridsec_bignum::prime::EntropySource;
+use gridsec_crypto::rsa::RsaKeyPair;
+use gridsec_pki::cert::Certificate;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::encoding::{Codec, Decoder, Encoder};
+use gridsec_pki::proxy::{issue_delegated_proxy, ProxyType};
+use gridsec_pki::PkiError;
+
+use crate::context::EstablishedContext;
+use crate::GssError;
+
+const REQ_MAGIC: &[u8] = b"GSI-DELEG-REQ-V1";
+
+/// Message 3 payload: the signed proxy certificate and the issuer chain.
+struct DelegatedChain {
+    proxy_cert: Certificate,
+    issuer_chain: Vec<Certificate>,
+}
+
+impl Codec for DelegatedChain {
+    fn encode(&self, enc: &mut Encoder) {
+        self.proxy_cert.encode(enc);
+        enc.put_seq(&self.issuer_chain, |e, c| c.encode(e));
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, PkiError> {
+        Ok(DelegatedChain {
+            proxy_cert: Certificate::decode(dec)?,
+            issuer_chain: dec.get_seq(Certificate::decode)?,
+        })
+    }
+}
+
+/// Initiator step 1: produce the (wrapped) delegation request token.
+pub fn request_delegation(ctx: &mut EstablishedContext) -> Vec<u8> {
+    ctx.wrap(REQ_MAGIC)
+}
+
+/// Acceptor step 2: on receiving the request, generate a local key pair
+/// and return the (wrapped) public-key token plus the pending state.
+pub fn respond_with_key<E: EntropySource>(
+    ctx: &mut EstablishedContext,
+    rng: &mut E,
+    request_token: &[u8],
+    key_bits: usize,
+) -> Result<(Vec<u8>, PendingDelegation), GssError> {
+    let req = ctx.unwrap(request_token)?;
+    if req != REQ_MAGIC {
+        return Err(GssError::Delegation("not a delegation request"));
+    }
+    let key = RsaKeyPair::generate(rng, key_bits);
+    let mut enc = Encoder::new();
+    gridsec_pki::cert::encode_public_key(&mut enc, key.public());
+    let token = ctx.wrap(&enc.finish());
+    Ok((token, PendingDelegation { key }))
+}
+
+/// Initiator step 3: sign a proxy over the acceptor's public key and send
+/// the certificate + chain.
+pub fn deliver_proxy<E: EntropySource>(
+    ctx: &mut EstablishedContext,
+    rng: &mut E,
+    delegator: &Credential,
+    key_token: &[u8],
+    proxy_type: ProxyType,
+    now: u64,
+    lifetime: u64,
+) -> Result<Vec<u8>, GssError> {
+    let key_bytes = ctx.unwrap(key_token)?;
+    let mut dec = Decoder::new(&key_bytes);
+    let remote_public = gridsec_pki::cert::decode_public_key(&mut dec)
+        .map_err(|_| GssError::Delegation("malformed public key"))?;
+    dec.expect_exhausted()
+        .map_err(|_| GssError::Delegation("trailing bytes in key token"))?;
+
+    let proxy_cert =
+        issue_delegated_proxy(rng, delegator, &remote_public, proxy_type, now, lifetime)
+            .map_err(|_| GssError::Delegation("proxy issuance refused"))?;
+    let msg = DelegatedChain {
+        proxy_cert,
+        issuer_chain: delegator.chain().to_vec(),
+    };
+    Ok(ctx.wrap(&msg.to_bytes()))
+}
+
+/// Acceptor-side state between steps 2 and 4: the locally-generated key.
+pub struct PendingDelegation {
+    key: RsaKeyPair,
+}
+
+impl PendingDelegation {
+    /// Acceptor step 4: assemble the delegated credential.
+    pub fn finish(
+        self,
+        ctx: &mut EstablishedContext,
+        chain_token: &[u8],
+    ) -> Result<Credential, GssError> {
+        let bytes = ctx.unwrap(chain_token)?;
+        let msg = DelegatedChain::from_bytes(&bytes)
+            .map_err(|_| GssError::Delegation("malformed delegated chain"))?;
+        if msg.proxy_cert.public_key() != self.key.public() {
+            return Err(GssError::Delegation("certificate is not over our key"));
+        }
+        let mut chain = vec![msg.proxy_cert];
+        chain.extend(msg.issuer_chain);
+        Ok(Credential::new(chain, self.key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::establish_in_memory;
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::name::DistinguishedName;
+    use gridsec_pki::store::TrustStore;
+    use gridsec_pki::validate::{validate_chain, EffectiveRights};
+    use gridsec_tls::handshake::TlsConfig;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    struct Setup {
+        rng: ChaChaRng,
+        trust: TrustStore,
+        alice: Credential,
+        ic: EstablishedContext,
+        ac: EstablishedContext,
+    }
+
+    fn setup() -> Setup {
+        let mut rng = ChaChaRng::from_seed_bytes(b"delegation tests");
+        let ca =
+            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
+        let mjs = ca.issue_identity(&mut rng, dn("/O=G/CN=MJS"), 512, 0, 100_000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        let (ic, ac) = establish_in_memory(
+            TlsConfig::new(alice.clone(), trust.clone(), 100),
+            TlsConfig::new(mjs, trust.clone(), 100),
+            &mut rng,
+        )
+        .unwrap();
+        Setup {
+            rng,
+            trust,
+            alice,
+            ic,
+            ac,
+        }
+    }
+
+    fn run_delegation(s: &mut Setup, proxy_type: ProxyType) -> Credential {
+        let t1 = request_delegation(&mut s.ic);
+        let (t2, pending) = respond_with_key(&mut s.ac, &mut s.rng, &t1, 512).unwrap();
+        let t3 = deliver_proxy(
+            &mut s.ic,
+            &mut s.rng,
+            &s.alice,
+            &t2,
+            proxy_type,
+            100,
+            5000,
+        )
+        .unwrap();
+        pending.finish(s.ic_to_ac_ctx_hack(), &t3).unwrap()
+    }
+
+    impl Setup {
+        // `finish` must run on the acceptor context; this helper exists to
+        // keep borrows simple in run_delegation.
+        fn ic_to_ac_ctx_hack(&mut self) -> &mut EstablishedContext {
+            &mut self.ac
+        }
+    }
+
+    #[test]
+    fn delegated_credential_is_valid_proxy_of_initiator() {
+        let mut s = setup();
+        let cred = run_delegation(&mut s, ProxyType::Impersonation);
+        assert_eq!(cred.base_identity(), &dn("/O=G/CN=Alice"));
+        assert_eq!(cred.proxy_depth(), 1);
+        let id = validate_chain(cred.chain(), &s.trust, 200).unwrap();
+        assert_eq!(id.base_identity, dn("/O=G/CN=Alice"));
+        assert_eq!(id.rights, EffectiveRights::Full);
+    }
+
+    #[test]
+    fn limited_delegation_yields_limited_rights() {
+        let mut s = setup();
+        let cred = run_delegation(&mut s, ProxyType::Limited);
+        let id = validate_chain(cred.chain(), &s.trust, 200).unwrap();
+        assert_eq!(id.rights, EffectiveRights::Limited);
+    }
+
+    #[test]
+    fn delegated_key_can_sign() {
+        let mut s = setup();
+        let cred = run_delegation(&mut s, ProxyType::Impersonation);
+        let sig = cred.sign(b"act on behalf of alice");
+        assert!(cred
+            .certificate()
+            .public_key()
+            .verify_pkcs1_sha256(b"act on behalf of alice", &sig));
+    }
+
+    #[test]
+    fn non_request_token_rejected() {
+        let mut s = setup();
+        let bogus = s.ic.wrap(b"not a delegation request");
+        assert!(matches!(
+            respond_with_key(&mut s.ac, &mut s.rng, &bogus, 512),
+            Err(GssError::Delegation(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_certificate_rejected() {
+        let mut s = setup();
+        let t1 = request_delegation(&mut s.ic);
+        let (_t2, pending) = respond_with_key(&mut s.ac, &mut s.rng, &t1, 512).unwrap();
+        // Initiator signs over the WRONG key (its own, not the acceptor's).
+        let wrong = issue_delegated_proxy(
+            &mut s.rng,
+            &s.alice,
+            s.alice.certificate().public_key(),
+            ProxyType::Impersonation,
+            100,
+            1000,
+        )
+        .unwrap();
+        let msg = DelegatedChain {
+            proxy_cert: wrong,
+            issuer_chain: s.alice.chain().to_vec(),
+        };
+        let t3 = s.ic.wrap(&msg.to_bytes());
+        assert!(matches!(
+            pending.finish(&mut s.ac, &t3),
+            Err(GssError::Delegation("certificate is not over our key"))
+        ));
+    }
+
+    #[test]
+    fn delegation_chain_can_be_redelegated() {
+        // MJS redelegates alice's credential onward (proxy of proxy).
+        let mut s = setup();
+        let first = run_delegation(&mut s, ProxyType::Impersonation);
+        // New context: MJS (holding delegated cred) → another service.
+        let mut rng2 = ChaChaRng::from_seed_bytes(b"redelegate");
+        let ca2 = &s.trust; // same trust
+        let (mut ic2, mut ac2) = establish_in_memory(
+            TlsConfig::new(first.clone(), ca2.clone(), 200),
+            TlsConfig::new(s.alice.clone(), ca2.clone(), 200),
+            &mut rng2,
+        )
+        .unwrap();
+        let t1 = request_delegation(&mut ic2);
+        let (t2, pending) = respond_with_key(&mut ac2, &mut rng2, &t1, 512).unwrap();
+        let t3 = deliver_proxy(
+            &mut ic2,
+            &mut rng2,
+            &first,
+            &t2,
+            ProxyType::Impersonation,
+            200,
+            1000,
+        )
+        .unwrap();
+        let second = pending.finish(&mut ac2, &t3).unwrap();
+        assert_eq!(second.proxy_depth(), 2);
+        let id = validate_chain(second.chain(), &s.trust, 250).unwrap();
+        assert_eq!(id.base_identity, dn("/O=G/CN=Alice"));
+    }
+}

@@ -1,0 +1,62 @@
+//! # gridsec-gssapi
+//!
+//! A GSS-API-shaped security context layer over the `gridsec-tls` token
+//! state machines, for the `gridsec` reproduction of *Security for Grid
+//! Services* (Welch et al., HPDC 2003).
+//!
+//! The paper (§1) notes GSI supports "standardized APIs such as GSS-API":
+//! GT code establishes security contexts through an
+//! init/accept token loop that is agnostic to how tokens move. This crate
+//! provides exactly that shape:
+//!
+//! * [`context::InitiatorContext`] / [`context::AcceptorContext`] — the
+//!   token loop (`step(token_in) -> token_out / established`). The tokens
+//!   are the *same bytes* as `gridsec-tls` handshake tokens; GT2 moves
+//!   them over TCP framing, GT3 moves them inside WS-SecureConversation
+//!   envelopes (paper §5.1).
+//! * [`context::EstablishedContext`] — `wrap`/`unwrap` (sealed messages),
+//!   `get_mic`/`verify_mic` (detached integrity), and the authenticated
+//!   peer identity.
+//! * [`delegation`] — the GSI delegation extension: after mutual
+//!   authentication, the initiator delegates a proxy credential to the
+//!   acceptor. The acceptor generates the key pair locally, so private
+//!   keys never cross the wire (GRAM step 7 depends on this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod delegation;
+
+pub use context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
+
+use gridsec_tls::TlsError;
+
+/// Errors from GSS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GssError {
+    /// Underlying context/transport failure.
+    Tls(TlsError),
+    /// Token arrived for the wrong state.
+    BadState(&'static str),
+    /// Delegation protocol violation.
+    Delegation(&'static str),
+}
+
+impl From<TlsError> for GssError {
+    fn from(e: TlsError) -> Self {
+        GssError::Tls(e)
+    }
+}
+
+impl core::fmt::Display for GssError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GssError::Tls(e) => write!(f, "context error: {e}"),
+            GssError::BadState(m) => write!(f, "bad state: {m}"),
+            GssError::Delegation(m) => write!(f, "delegation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GssError {}

@@ -1,0 +1,154 @@
+//! Direct unit tests for the PKINIT AS exchange (the SSLK5 substrate).
+//! End-to-end coverage lives in `gridsec-services::sslk5`; these tests
+//! pin the KDC-side behaviour in isolation.
+
+#![cfg(test)]
+
+use crate::messages::{open, ReplyPart};
+use crate::{Kdc, KrbError};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::encoding::Codec;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::store::TrustStore;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct World {
+    rng: ChaChaRng,
+    kdc: Kdc,
+    trust: TrustStore,
+    user: Credential,
+}
+
+fn world() -> World {
+    let mut rng = ChaChaRng::from_seed_bytes(b"pkinit unit tests");
+    let kdc = Kdc::new(&mut rng, "REALM.X", 36_000);
+    kdc.add_principal("mapped", "pw");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=P/CN=CA"), 512, 0, 1_000_000);
+    let user = ca.issue_identity(&mut rng, dn("/O=P/CN=User"), 512, 0, 500_000);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    World {
+        rng,
+        kdc,
+        trust,
+        user,
+    }
+}
+
+fn pop(w: &World, nonce: &[u8]) -> Vec<u8> {
+    let mut payload = b"pkinit-pop".to_vec();
+    payload.extend_from_slice(nonce);
+    w.user.sign(&payload)
+}
+
+#[test]
+fn pkinit_reply_key_is_rsa_bound() {
+    let mut w = world();
+    let nonce = [7u8; 16];
+    let sig = pop(&w, &nonce);
+    let (wrapped, reply) = w
+        .kdc
+        .pkinit_as_exchange(
+            &mut w.rng,
+            w.user.chain(),
+            &sig,
+            &nonce,
+            &w.trust,
+            |_| Some("mapped".to_string()),
+            100,
+            10_000,
+        )
+        .unwrap();
+    // Only the certificate key can unwrap the reply key.
+    let reply_key: [u8; 32] = w
+        .user
+        .key()
+        .decrypt_pkcs1(&wrapped)
+        .unwrap()
+        .try_into()
+        .unwrap();
+    let plain = open(&reply_key, b"krb-as-rep", &reply.enc_part).unwrap();
+    let part = ReplyPart::from_bytes(&plain).unwrap();
+    assert_eq!(part.service, "krbtgt");
+    assert_eq!(part.end_time, 10_100);
+    // A random key cannot open the reply.
+    assert!(open(&[9u8; 32], b"krb-as-rep", &reply.enc_part).is_err());
+}
+
+#[test]
+fn pkinit_rejects_bad_pop_signature() {
+    let mut w = world();
+    let nonce = [7u8; 16];
+    // Signature over a different nonce.
+    let sig = pop(&w, &[8u8; 16]);
+    let err = w
+        .kdc
+        .pkinit_as_exchange(
+            &mut w.rng,
+            w.user.chain(),
+            &sig,
+            &nonce,
+            &w.trust,
+            |_| Some("mapped".to_string()),
+            100,
+            10_000,
+        )
+        .unwrap_err();
+    assert_eq!(err, KrbError::PkiRejected);
+}
+
+#[test]
+fn pkinit_rejects_expired_chain() {
+    let mut w = world();
+    let nonce = [1u8; 16];
+    let sig = pop(&w, &nonce);
+    let err = w
+        .kdc
+        .pkinit_as_exchange(
+            &mut w.rng,
+            w.user.chain(),
+            &sig,
+            &nonce,
+            &w.trust,
+            |_| Some("mapped".to_string()),
+            900_000, // past the user's not_after
+            10_000,
+        )
+        .unwrap_err();
+    assert_eq!(err, KrbError::PkiRejected);
+}
+
+#[test]
+fn pkinit_lifetime_capped_by_kdc() {
+    let mut w = world();
+    let nonce = [2u8; 16];
+    let sig = pop(&w, &nonce);
+    let (wrapped, reply) = w
+        .kdc
+        .pkinit_as_exchange(
+            &mut w.rng,
+            w.user.chain(),
+            &sig,
+            &nonce,
+            &w.trust,
+            |_| Some("mapped".to_string()),
+            100,
+            u64::MAX,
+        )
+        .unwrap();
+    let reply_key: [u8; 32] = w
+        .user
+        .key()
+        .decrypt_pkcs1(&wrapped)
+        .unwrap()
+        .try_into()
+        .unwrap();
+    let part =
+        ReplyPart::from_bytes(&open(&reply_key, b"krb-as-rep", &reply.enc_part).unwrap()).unwrap();
+    assert_eq!(part.end_time, 100 + 36_000);
+}

@@ -1,0 +1,204 @@
+//! Security-aware firewalls and WS-Routing intermediaries.
+//!
+//! Paper §4.4: "entities in the network can recognize whether and how an
+//! interaction is secured. For example, a firewall can recognize whether
+//! a connection is authenticated and allow only authenticated
+//! connections." And §6 (future work): "exploiting WS-Routing to improve
+//! firewall compatibility."
+//!
+//! Both are implemented here, key-free: the [`Firewall`] classifies
+//! envelopes purely from their observable structure (security headers,
+//! token-exchange actions), and [`run_router`] forwards envelopes along
+//! their `wsr:path` through the simulated network — so a service behind
+//! a perimeter is reachable without the perimeter holding any
+//! credentials or terminating any security context.
+
+use gridsec_testbed::net::Network;
+use gridsec_wsse::routing;
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::wssc::RST_ACTION;
+
+use crate::transport::Transport;
+use crate::OgsaError;
+
+/// What a firewall decided about one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Message may pass.
+    Allow(&'static str),
+    /// Message dropped.
+    Deny(&'static str),
+}
+
+/// Per-firewall counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FirewallStats {
+    /// Messages allowed through.
+    pub allowed: u64,
+    /// Messages denied.
+    pub denied: u64,
+}
+
+/// A key-free, message-inspecting firewall.
+#[derive(Default)]
+pub struct Firewall {
+    /// Whether unsecured `getPolicy` bootstrap requests may pass.
+    pub allow_policy_bootstrap: bool,
+    /// Counters.
+    pub stats: FirewallStats,
+}
+
+impl Firewall {
+    /// A firewall with the common configuration: security required, but
+    /// the unsecured policy-discovery bootstrap permitted.
+    pub fn new() -> Self {
+        Firewall {
+            allow_policy_bootstrap: true,
+            stats: FirewallStats::default(),
+        }
+    }
+
+    /// Classify one message. The firewall holds no keys: the decision
+    /// uses only what any network element can observe.
+    pub fn inspect(&mut self, xml: &str) -> Verdict {
+        let verdict = match Envelope::parse(xml) {
+            Err(_) => Verdict::Deny("not a SOAP envelope"),
+            Ok(env) => match env.action.as_deref() {
+                Some("getPolicy") if self.allow_policy_bootstrap => {
+                    Verdict::Allow("policy bootstrap")
+                }
+                Some(a) if a == RST_ACTION => Verdict::Allow("token exchange"),
+                _ if env.is_secured() => Verdict::Allow("secured message"),
+                _ => Verdict::Deny("unsecured application message"),
+            },
+        };
+        match verdict {
+            Verdict::Allow(_) => self.stats.allowed += 1,
+            Verdict::Deny(_) => self.stats.denied += 1,
+        }
+        verdict
+    }
+}
+
+/// A transport wrapper that applies a firewall to every outbound request
+/// (modelling a perimeter between client and service).
+pub struct FirewalledTransport<T: Transport> {
+    inner: T,
+    /// The perimeter firewall.
+    pub firewall: Firewall,
+}
+
+impl<T: Transport> FirewalledTransport<T> {
+    /// Wrap a transport behind a firewall.
+    pub fn new(inner: T, firewall: Firewall) -> Self {
+        FirewalledTransport { inner, firewall }
+    }
+}
+
+impl<T: Transport> Transport for FirewalledTransport<T> {
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
+        match self.firewall.inspect(&request_xml) {
+            Verdict::Allow(_) => self.inner.call(request_xml),
+            Verdict::Deny(reason) => Err(OgsaError::Transport(format!(
+                "dropped by firewall: {reason}"
+            ))),
+        }
+    }
+}
+
+/// Run a WS-Routing intermediary on the simulated network: receive an
+/// envelope, apply the firewall, pop the next hop, forward, and relay
+/// the reply back. Serves `max_requests` messages, then exits.
+pub fn run_router(
+    network: &Network,
+    name: &str,
+    mut firewall: Firewall,
+    max_requests: usize,
+) -> FirewallStats {
+    let endpoint = network.register(name);
+    for _ in 0..max_requests {
+        let Ok(msg) = endpoint.recv() else { break };
+        let xml = String::from_utf8_lossy(&msg.payload).into_owned();
+        let reply = match firewall.inspect(&xml) {
+            Verdict::Deny(reason) => {
+                crate::hosting::fault_envelope(&OgsaError::Transport(format!(
+                    "dropped by firewall: {reason}"
+                )))
+                .to_xml()
+            }
+            Verdict::Allow(_) => {
+                // Route to the next hop and relay its reply.
+                match Envelope::parse(&xml) {
+                    Ok(mut env) => match routing::advance(&mut env) {
+                        Ok(Some(next)) => match endpoint.call(&next, env.to_xml().into_bytes()) {
+                            Ok(reply) => String::from_utf8_lossy(&reply.payload).into_owned(),
+                            Err(e) => crate::hosting::fault_envelope(&OgsaError::Transport(
+                                e.to_string(),
+                            ))
+                            .to_xml(),
+                        },
+                        _ => crate::hosting::fault_envelope(&OgsaError::Malformed(
+                            "router received unrouted message",
+                        ))
+                        .to_xml(),
+                    },
+                    Err(e) => {
+                        crate::hosting::fault_envelope(&OgsaError::Wsse(e)).to_xml()
+                    }
+                }
+            }
+        };
+        let _ = endpoint.send(&msg.from, reply.into_bytes());
+    }
+    firewall.stats
+}
+
+/// A client-side transport that sends every request via a routed path
+/// (client → router(s) → service) on the simulated network.
+pub struct RoutedTransport {
+    endpoint: gridsec_testbed::net::Endpoint,
+    path: routing::RoutingPath,
+}
+
+impl RoutedTransport {
+    /// Connect, targeting `path` (first via = the entry router).
+    pub fn connect(network: &Network, client_name: &str, path: routing::RoutingPath) -> Self {
+        RoutedTransport {
+            endpoint: network.register(client_name),
+            path,
+        }
+    }
+}
+
+impl Transport for RoutedTransport {
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
+        let mut env = Envelope::parse(&request_xml)?;
+        routing::set_path(&mut env, &self.path);
+        // First hop: either the first via or the destination directly.
+        let first = self
+            .path
+            .via
+            .first()
+            .cloned()
+            .unwrap_or_else(|| self.path.to.clone());
+        // The envelope we send must have the first hop already consumed
+        // when going direct; for routed paths the router pops hops.
+        if self.path.via.is_empty() {
+            let mut direct = env.clone();
+            let _ = routing::advance(&mut direct).map_err(OgsaError::Wsse)?;
+            let reply = self
+                .endpoint
+                .call(&first, direct.to_xml().into_bytes())
+                .map_err(|e| OgsaError::Transport(e.to_string()))?;
+            return String::from_utf8(reply.payload)
+                .map_err(|_| OgsaError::Transport("non-UTF8".into()));
+        }
+        // Pop the entry router from the path before sending to it.
+        let _ = routing::advance(&mut env).map_err(OgsaError::Wsse)?;
+        let reply = self
+            .endpoint
+            .call(&first, env.to_xml().into_bytes())
+            .map_err(|e| OgsaError::Transport(e.to_string()))?;
+        String::from_utf8(reply.payload).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+    }
+}

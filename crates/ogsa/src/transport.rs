@@ -1,0 +1,95 @@
+//! Message transports connecting OGSA clients to hosting environments.
+//!
+//! * [`InProcessTransport`] — direct function call into a shared hosting
+//!   environment (single-threaded benches and tests).
+//! * [`NetworkTransport`] — request/response over the `gridsec-testbed`
+//!   message network; pair with [`serve`] running the environment behind
+//!   an endpoint (multi-host scenarios, GRAM).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gridsec_testbed::net::{Endpoint, Network};
+
+use crate::hosting::HostingEnvironment;
+use crate::OgsaError;
+
+/// Moves one serialized envelope to the service and returns the reply.
+pub trait Transport {
+    /// Perform one request/response exchange.
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError>;
+}
+
+/// Direct dispatch into a locally-shared hosting environment.
+#[derive(Clone)]
+pub struct InProcessTransport {
+    env: Rc<RefCell<HostingEnvironment>>,
+}
+
+impl InProcessTransport {
+    /// Wrap a hosting environment for in-process calls.
+    pub fn new(env: Rc<RefCell<HostingEnvironment>>) -> Self {
+        InProcessTransport { env }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
+        Ok(self.env.borrow_mut().handle_message(&request_xml))
+    }
+}
+
+/// Request/response over the simulated network. Each call sends to the
+/// server endpoint and blocks for the reply.
+pub struct NetworkTransport {
+    endpoint: Endpoint,
+    server: String,
+}
+
+impl NetworkTransport {
+    /// Register `client_name` on the network and target `server`.
+    pub fn connect(network: &Network, client_name: &str, server: &str) -> Self {
+        NetworkTransport {
+            endpoint: network.register(client_name),
+            server: server.to_string(),
+        }
+    }
+}
+
+impl Transport for NetworkTransport {
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
+        let reply = self
+            .endpoint
+            .call(&self.server, request_xml.into_bytes())
+            .map_err(|e| OgsaError::Transport(e.to_string()))?;
+        String::from_utf8(reply.payload).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+    }
+}
+
+/// Run a hosting environment behind a network endpoint until the endpoint
+/// is unregistered or the process count hits `max_requests` (`None` =
+/// forever). Intended to run on its own thread.
+pub fn serve(
+    mut env: HostingEnvironment,
+    network: &Network,
+    endpoint_name: &str,
+    max_requests: Option<usize>,
+) {
+    let endpoint = network.register(endpoint_name);
+    let mut served = 0usize;
+    loop {
+        let msg = match endpoint.recv() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        let request = String::from_utf8_lossy(&msg.payload).into_owned();
+        let reply = env.handle_message(&request);
+        let _ = endpoint.send(&msg.from, reply.into_bytes());
+        served += 1;
+        if let Some(max) = max_requests {
+            if served >= max {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Time-advancement and fault-handling behaviour of the hosting
+//! environment.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_ogsa::client::{OgsaClient, StaticCredential};
+use gridsec_ogsa::hosting::{fault_envelope, parse_fault, HostingEnvironment};
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::transport::InProcessTransport;
+use gridsec_ogsa::OgsaError;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::store::TrustStore;
+use gridsec_testbed::clock::SimClock;
+use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
+use gridsec_xml::Element;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct Null;
+impl GridService for Null {
+    fn service_type(&self) -> &str {
+        "null"
+    }
+    fn invoke(
+        &mut self,
+        _c: &RequestContext,
+        _o: &str,
+        _p: &Element,
+    ) -> Result<Element, OgsaError> {
+        Ok(Element::new("ok"))
+    }
+}
+
+fn build(clock: &SimClock, mechanism: &str, user_lifetime: u64) -> (
+    Rc<RefCell<HostingEnvironment>>,
+    OgsaClient<InProcessTransport>,
+) {
+    let mut rng = ChaChaRng::from_seed_bytes(b"time tests");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 10_000_000);
+    let user = ca.issue_identity(&mut rng, dn("/O=G/CN=U"), 512, 0, user_lifetime);
+    let service = ca.issue_identity(&mut rng, dn("/O=G/CN=S"), 512, 0, 10_000_000);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+
+    let published = SecurityPolicy {
+        service: "null".to_string(),
+        alternatives: vec![PolicyAlternative {
+            mechanism: mechanism.to_string(),
+            token_types: vec!["x509-chain".to_string()],
+            trust_roots: vec![],
+            protection: Protection::Sign,
+        }],
+    };
+    let mut authz = PolicySet::new(CombiningAlg::DenyOverrides);
+    authz.add(Rule::new(
+        SubjectMatch::Exact("/O=G/CN=U".to_string()),
+        "*",
+        "*",
+        Effect::Permit,
+    ));
+    let mut env = HostingEnvironment::new(
+        "time-host",
+        service,
+        trust.clone(),
+        clock.clone(),
+        published,
+        authz,
+    );
+    env.registry
+        .register_factory("null", Box::new(|_c, _a| Ok(Box::new(Null))));
+    let env = Rc::new(RefCell::new(env));
+    let mut client = OgsaClient::new(
+        InProcessTransport::new(env.clone()),
+        trust,
+        clock.clone(),
+        b"time client",
+    );
+    client.add_source(Box::new(StaticCredential(user)));
+    (env, client)
+}
+
+#[test]
+fn expired_credential_refused_for_new_contexts() {
+    let clock = SimClock::starting_at(100);
+    let (_env, mut client) = build(&clock, "gsi-secure-conversation", 1_000);
+    let handle = client.create_service("null", Element::new("a")).unwrap();
+    client.invoke(&handle, "x", Element::new("p")).unwrap();
+
+    // Advance time past the user's certificate lifetime; a fresh context
+    // must be refused at the token exchange.
+    clock.advance(10_000);
+    client.reset_session();
+    let err = client.invoke(&handle, "x", Element::new("p")).unwrap_err();
+    assert!(matches!(
+        err,
+        OgsaError::Application(_) | OgsaError::Wsse(_)
+    ));
+}
+
+#[test]
+fn stateless_requests_expire_with_credential() {
+    let clock = SimClock::starting_at(100);
+    let (_env, mut client) = build(&clock, "xml-signature", 1_000);
+    let handle = client.create_service("null", Element::new("a")).unwrap();
+    client.invoke(&handle, "x", Element::new("p")).unwrap();
+
+    clock.advance(10_000);
+    let err = client.invoke(&handle, "x", Element::new("p")).unwrap_err();
+    assert!(matches!(
+        err,
+        OgsaError::Application(_) | OgsaError::Wsse(_)
+    ));
+}
+
+#[test]
+fn fault_envelopes_roundtrip_every_variant() {
+    let errors = vec![
+        OgsaError::NotAuthorized {
+            caller: "x".to_string(),
+            operation: "y".to_string(),
+        },
+        OgsaError::NoSuchService("gsh:1".to_string()),
+        OgsaError::NoSuchFactory("warp".to_string()),
+        OgsaError::Application("boom".to_string()),
+        OgsaError::Transport("down".to_string()),
+        OgsaError::InsecureReply("bad"),
+        OgsaError::NoUsableCredential,
+        OgsaError::Malformed("junk"),
+    ];
+    for e in errors {
+        let env = fault_envelope(&e);
+        let reparsed = gridsec_wsse::soap::Envelope::parse(&env.to_xml()).unwrap();
+        let (code, msg) = parse_fault(&reparsed).expect("is a fault");
+        assert!(!code.is_empty());
+        assert!(!msg.is_empty(), "fault {code} carries its message");
+    }
+    // Non-fault envelopes parse as None.
+    let normal = gridsec_wsse::soap::Envelope::request("op", Element::new("x"));
+    assert!(parse_fault(&normal).is_none());
+}

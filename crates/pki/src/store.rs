@@ -1,0 +1,190 @@
+//! Trust anchors and revocation state.
+//!
+//! A [`TrustStore`] is per-entity: adding a CA is the *unilateral* trust
+//! decision the paper highlights as the reason GSI chose PKI over
+//! Kerberos-style bilateral realm agreements.
+
+use crate::ca::Crl;
+use crate::cert::Certificate;
+use crate::name::DistinguishedName;
+use std::collections::HashMap;
+
+/// A set of trusted root CA certificates.
+#[derive(Clone, Default, Debug)]
+pub struct TrustStore {
+    roots: Vec<Certificate>,
+}
+
+impl TrustStore {
+    /// Empty store (trusts nothing).
+    pub fn new() -> Self {
+        TrustStore::default()
+    }
+
+    /// Add a root CA certificate. Self-signed CA shape is required.
+    pub fn add_root(&mut self, cert: Certificate) {
+        assert!(cert.is_ca(), "trust anchors must be CA certificates");
+        assert!(
+            cert.is_self_issued(),
+            "trust anchors must be self-issued roots"
+        );
+        if !self.contains(&cert) {
+            self.roots.push(cert);
+        }
+    }
+
+    /// All trusted roots.
+    pub fn roots(&self) -> &[Certificate] {
+        &self.roots
+    }
+
+    /// Find a trusted root by subject name.
+    pub fn find_by_subject(&self, name: &DistinguishedName) -> Option<&Certificate> {
+        self.roots.iter().find(|c| c.subject() == name)
+    }
+
+    /// `true` iff this exact certificate (by fingerprint) is a trusted root.
+    pub fn contains(&self, cert: &Certificate) -> bool {
+        let fp = cert.fingerprint();
+        self.roots.iter().any(|c| c.fingerprint() == fp)
+    }
+
+    /// Number of trusted roots.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// `true` if no roots are trusted.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+/// A store of current CRLs keyed by issuer name.
+///
+/// CRLs are only accepted if their signature verifies against the issuer
+/// certificate supplied at insertion time.
+#[derive(Clone, Default, Debug)]
+pub struct CrlStore {
+    crls: HashMap<String, Crl>,
+}
+
+impl CrlStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        CrlStore::default()
+    }
+
+    /// Insert a CRL after verifying its signature against `issuer`.
+    /// Returns `false` (and does not insert) if verification fails or the
+    /// issuer name does not match.
+    pub fn add(&mut self, crl: Crl, issuer: &Certificate) -> bool {
+        if crl.tbs.issuer != *issuer.subject() || !crl.verify(issuer.public_key()) {
+            return false;
+        }
+        self.crls.insert(crl.tbs.issuer.to_string(), crl);
+        true
+    }
+
+    /// Check revocation: `true` iff a current CRL from `issuer` lists
+    /// `serial`. Missing or stale CRLs are treated as "not revoked" —
+    /// matching GT2's default soft-fail behaviour.
+    pub fn is_revoked(&self, issuer: &DistinguishedName, serial: u64, now: u64) -> bool {
+        match self.crls.get(&issuer.to_string()) {
+            Some(crl) if !crl.is_stale(now) => crl.is_revoked(serial),
+            _ => false,
+        }
+    }
+
+    /// Number of stored CRLs.
+    pub fn len(&self) -> usize {
+        self.crls.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.crls.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+    use crate::name::DistinguishedName;
+    use gridsec_crypto::rng::ChaChaRng;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn ca(seed: &[u8], name: &str) -> CertificateAuthority {
+        let mut rng = ChaChaRng::from_seed_bytes(seed);
+        CertificateAuthority::create_root(&mut rng, dn(name), 512, 0, 1_000_000)
+    }
+
+    #[test]
+    fn add_and_find_roots() {
+        let ca1 = ca(b"s1", "/O=A/CN=CA1");
+        let ca2 = ca(b"s2", "/O=B/CN=CA2");
+        let mut store = TrustStore::new();
+        assert!(store.is_empty());
+        store.add_root(ca1.certificate().clone());
+        store.add_root(ca2.certificate().clone());
+        assert_eq!(store.len(), 2);
+        assert!(store.find_by_subject(&dn("/O=A/CN=CA1")).is_some());
+        assert!(store.find_by_subject(&dn("/O=C/CN=CA3")).is_none());
+        assert!(store.contains(ca1.certificate()));
+    }
+
+    #[test]
+    fn duplicate_roots_deduplicated() {
+        let ca1 = ca(b"s1", "/O=A/CN=CA1");
+        let mut store = TrustStore::new();
+        store.add_root(ca1.certificate().clone());
+        store.add_root(ca1.certificate().clone());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be CA")]
+    fn non_ca_anchor_rejected() {
+        let ca1 = ca(b"s1", "/O=A/CN=CA1");
+        let mut rng = ChaChaRng::from_seed_bytes(b"user");
+        let user = ca1.issue_identity(&mut rng, dn("/O=A/CN=U"), 512, 0, 100);
+        let mut store = TrustStore::new();
+        store.add_root(user.certificate().clone());
+    }
+
+    #[test]
+    fn crl_store_checks_signature() {
+        let ca1 = ca(b"s1", "/O=A/CN=CA1");
+        let ca2 = ca(b"s2", "/O=B/CN=CA2");
+        let crl = ca1.issue_crl(vec![7], 100, 500);
+        let mut store = CrlStore::new();
+        // Wrong issuer cert → rejected.
+        assert!(!store.add(crl.clone(), ca2.certificate()));
+        assert!(store.is_empty());
+        // Right issuer → accepted.
+        assert!(store.add(crl, ca1.certificate()));
+        assert!(store.is_revoked(&dn("/O=A/CN=CA1"), 7, 200));
+        assert!(!store.is_revoked(&dn("/O=A/CN=CA1"), 8, 200));
+    }
+
+    #[test]
+    fn stale_crl_soft_fails() {
+        let ca1 = ca(b"s1", "/O=A/CN=CA1");
+        let crl = ca1.issue_crl(vec![7], 100, 150);
+        let mut store = CrlStore::new();
+        assert!(store.add(crl, ca1.certificate()));
+        assert!(store.is_revoked(&dn("/O=A/CN=CA1"), 7, 120));
+        // Past next_update: treated as unknown → not revoked.
+        assert!(!store.is_revoked(&dn("/O=A/CN=CA1"), 7, 151));
+    }
+
+    #[test]
+    fn missing_crl_means_not_revoked() {
+        let store = CrlStore::new();
+        assert!(!store.is_revoked(&dn("/O=A/CN=CA1"), 1, 100));
+    }
+}

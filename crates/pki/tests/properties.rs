@@ -1,0 +1,138 @@
+//! Property-based tests for PKI invariants.
+
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::cert::Certificate;
+use gridsec_pki::encoding::Codec;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::proxy::{issue_proxy, ProxyType};
+use gridsec_pki::store::TrustStore;
+use gridsec_pki::validate::{validate_chain, EffectiveRights};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    ca: CertificateAuthority,
+    trust: TrustStore,
+    user: gridsec_pki::credential::Credential,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut rng = ChaChaRng::from_seed_bytes(b"pki proptest fixture");
+        let ca = CertificateAuthority::create_root(
+            &mut rng,
+            DistinguishedName::parse("/O=G/CN=CA").unwrap(),
+            512,
+            0,
+            1_000_000,
+        );
+        let user = ca.issue_identity(
+            &mut rng,
+            DistinguishedName::parse("/O=G/CN=User").unwrap(),
+            512,
+            0,
+            1_000_000,
+        );
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        Fixture { ca, trust, user }
+    })
+}
+
+/// DN component strategy: attribute from a small alphabet, value without
+/// '/' or '='.
+fn dn_strategy() -> impl Strategy<Value = DistinguishedName> {
+    prop::collection::vec(
+        (
+            prop::sample::select(vec!["C", "O", "OU", "CN", "L", "DC"]),
+            "[A-Za-z0-9 .-]{1,12}",
+        ),
+        1..6,
+    )
+    .prop_map(|parts| {
+        let s: String = parts
+            .iter()
+            .map(|(a, v)| format!("/{a}={v}"))
+            .collect();
+        DistinguishedName::parse(&s).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dn_display_parse_roundtrip(dn in dn_strategy()) {
+        prop_assert_eq!(DistinguishedName::parse(&dn.to_string()).unwrap(), dn);
+    }
+
+    #[test]
+    fn dn_codec_roundtrip(dn in dn_strategy()) {
+        prop_assert_eq!(DistinguishedName::from_bytes(&dn.to_bytes()).unwrap(), dn);
+    }
+
+    #[test]
+    fn proxy_extension_always_validates_name_rule(dn in dn_strategy(), cn in "[0-9]{1,10}") {
+        let ext = dn.with_extra_cn(&cn);
+        prop_assert!(ext.is_proxy_extension_of(&dn));
+    }
+
+    #[test]
+    fn certificate_decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Err or Ok, never panic.
+        let _ = Certificate::from_bytes(&data);
+    }
+
+    #[test]
+    fn validation_time_respects_window(now in 0u64..2_000_000) {
+        let f = fixture();
+        let result = validate_chain(f.user.chain(), &f.trust, now);
+        prop_assert_eq!(result.is_ok(), now <= 1_000_000);
+    }
+
+    #[test]
+    fn proxy_chain_depth_matches(depth in 1usize..5, seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let mut cred = f.user.clone();
+        for _ in 0..depth {
+            cred = issue_proxy(&mut rng, &cred, ProxyType::Impersonation, 512, 10, 500_000)
+                .unwrap();
+        }
+        let id = validate_chain(cred.chain(), &f.trust, 100).unwrap();
+        prop_assert_eq!(id.proxy_depth, depth);
+        prop_assert_eq!(id.base_identity.to_string(), "/O=G/CN=User");
+        prop_assert_eq!(id.rights, EffectiveRights::Full);
+    }
+
+    #[test]
+    fn any_limited_proxy_limits_chain(
+        depth in 2usize..5,
+        limited_at in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let limited_at = limited_at % depth;
+        let f = fixture();
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let mut cred = f.user.clone();
+        for i in 0..depth {
+            let ty = if i == limited_at { ProxyType::Limited } else { ProxyType::Impersonation };
+            cred = issue_proxy(&mut rng, &cred, ty, 512, 10, 500_000).unwrap();
+        }
+        let id = validate_chain(cred.chain(), &f.trust, 100).unwrap();
+        prop_assert_eq!(id.rights, EffectiveRights::Limited);
+    }
+
+    #[test]
+    fn crl_roundtrip_and_revocation(serials in prop::collection::vec(any::<u64>(), 0..20)) {
+        let f = fixture();
+        let crl = f.ca.issue_crl(serials.clone(), 10, 100);
+        let decoded = gridsec_pki::ca::Crl::from_bytes(&crl.to_bytes()).unwrap();
+        prop_assert!(decoded.verify(f.ca.certificate().public_key()));
+        for s in &serials {
+            prop_assert!(decoded.is_revoked(*s));
+        }
+    }
+}

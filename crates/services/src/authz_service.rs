@@ -1,0 +1,178 @@
+//! The authorization service (paper §4.1, Figure 3 step 5): "evaluates
+//! policy rules regarding the decision to allow the attempted actions" —
+//! the PERMIS/Akenti role in the paper's example, hostable as a Grid
+//! service.
+
+use gridsec_authz::policy::{Decision, PolicySet, Request};
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::OgsaError;
+use gridsec_xml::Element;
+
+/// Policy evaluation as a hostable Grid service. Operation `decide` takes
+/// `<authz:Request subject=".." resource=".." action=".."/>` (plus
+/// optional `<authz:Tag>` children) and returns the decision.
+pub struct AuthorizationService {
+    policy: PolicySet,
+    /// Decisions served (experiment instrumentation).
+    pub decisions: u64,
+}
+
+impl AuthorizationService {
+    /// Wrap a policy set.
+    pub fn new(policy: PolicySet) -> Self {
+        AuthorizationService {
+            policy,
+            decisions: 0,
+        }
+    }
+}
+
+impl GridService for AuthorizationService {
+    fn service_type(&self) -> &str {
+        "authorization"
+    }
+
+    fn invoke(
+        &mut self,
+        _ctx: &RequestContext,
+        operation: &str,
+        payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        match operation {
+            "decide" => {
+                let subject = payload
+                    .attr("subject")
+                    .ok_or(OgsaError::Malformed("decide needs subject"))?;
+                let resource = payload
+                    .attr("resource")
+                    .ok_or(OgsaError::Malformed("decide needs resource"))?;
+                let action = payload
+                    .attr("action")
+                    .ok_or(OgsaError::Malformed("decide needs action"))?;
+                let mut req = Request::new(subject, resource, action);
+                for tag in payload.find_all("authz:Tag") {
+                    req = req.with_tag(&tag.text_content());
+                }
+                self.decisions += 1;
+                let d = self.policy.evaluate(&req);
+                Ok(Element::new("authz:Decision").with_text(match d {
+                    Decision::Permit => "permit",
+                    Decision::Deny => "deny",
+                    Decision::NotApplicable => "not-applicable",
+                }))
+            }
+            other => Err(OgsaError::Application(format!("unknown op {other}"))),
+        }
+    }
+
+    fn service_data(&self, name: &str) -> Option<Element> {
+        (name == "decisionCount")
+            .then(|| Element::new("sde:decisionCount").with_text(self.decisions.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_authz::policy::{CombiningAlg, Effect, Rule, SubjectMatch};
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::name::DistinguishedName;
+    use gridsec_pki::store::TrustStore;
+    use gridsec_pki::validate::validate_chain;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn ctx() -> RequestContext {
+        let mut rng = ChaChaRng::from_seed_bytes(b"authz svc");
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1000);
+        let cred = ca.issue_identity(&mut rng, dn("/O=G/CN=HE"), 512, 0, 1000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        RequestContext {
+            caller: validate_chain(cred.chain(), &trust, 10).unwrap(),
+            now: 10,
+            handle: "gsh:authz".to_string(),
+        }
+    }
+
+    fn service() -> AuthorizationService {
+        let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
+        p.add(Rule::new(
+            SubjectMatch::Exact("/O=G/CN=Jane".to_string()),
+            "queue:batch",
+            "submit",
+            Effect::Permit,
+        ));
+        p.add(Rule::new(
+            SubjectMatch::Exact("group:ops".to_string()),
+            "queue:*",
+            "*",
+            Effect::Permit,
+        ));
+        AuthorizationService::new(p)
+    }
+
+    fn decide(svc: &mut AuthorizationService, c: &RequestContext, s: &str, r: &str, a: &str) -> String {
+        svc.invoke(
+            c,
+            "decide",
+            &Element::new("authz:Request")
+                .with_attr("subject", s)
+                .with_attr("resource", r)
+                .with_attr("action", a),
+        )
+        .unwrap()
+        .text_content()
+    }
+
+    #[test]
+    fn decisions() {
+        let mut svc = service();
+        let c = ctx();
+        assert_eq!(decide(&mut svc, &c, "/O=G/CN=Jane", "queue:batch", "submit"), "permit");
+        assert_eq!(
+            decide(&mut svc, &c, "/O=G/CN=Jane", "queue:batch", "cancel"),
+            "not-applicable"
+        );
+        assert_eq!(
+            decide(&mut svc, &c, "/O=G/CN=Eve", "queue:batch", "submit"),
+            "not-applicable"
+        );
+        assert_eq!(svc.decisions, 3);
+        assert_eq!(
+            svc.service_data("decisionCount").unwrap().text_content(),
+            "3"
+        );
+    }
+
+    #[test]
+    fn tags_carry_groups() {
+        let mut svc = service();
+        let c = ctx();
+        let result = svc
+            .invoke(
+                &c,
+                "decide",
+                &Element::new("authz:Request")
+                    .with_attr("subject", "/O=G/CN=Op1")
+                    .with_attr("resource", "queue:debug")
+                    .with_attr("action", "drain")
+                    .with_child(Element::new("authz:Tag").with_text("group:ops")),
+            )
+            .unwrap();
+        assert_eq!(result.text_content(), "permit");
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        let mut svc = service();
+        let c = ctx();
+        assert!(svc
+            .invoke(&c, "decide", &Element::new("authz:Request"))
+            .is_err());
+        assert!(svc.invoke(&c, "nonsense", &Element::new("x")).is_err());
+    }
+}

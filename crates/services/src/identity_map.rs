@@ -1,0 +1,176 @@
+//! The identity mapping service (paper §4.1): "takes a user's identity in
+//! one domain and returns the identity in another (e.g., given the user's
+//! X.509 identity, it could return the Kerberos principal name)".
+//!
+//! Provided both as a plain library type ([`IdentityMap`]) and as a
+//! hostable Grid service ([`IdentityMappingService`]) so other services
+//! can out-call it per the paper's security-as-services model.
+
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::OgsaError;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_xml::Element;
+use std::collections::HashMap;
+
+/// Bidirectional DN ↔ Kerberos-principal map.
+#[derive(Clone, Default, Debug)]
+pub struct IdentityMap {
+    dn_to_principal: HashMap<String, String>,
+    principal_to_dn: HashMap<String, String>,
+}
+
+impl IdentityMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        IdentityMap::default()
+    }
+
+    /// Register a bidirectional mapping.
+    pub fn add(&mut self, dn: &DistinguishedName, principal: &str, realm: &str) {
+        let qualified = format!("{principal}@{realm}");
+        self.dn_to_principal.insert(dn.to_string(), qualified.clone());
+        self.principal_to_dn.insert(qualified, dn.to_string());
+    }
+
+    /// X.509 → Kerberos (`user@REALM`).
+    pub fn to_principal(&self, dn: &DistinguishedName) -> Option<&str> {
+        self.dn_to_principal.get(&dn.to_string()).map(|s| s.as_str())
+    }
+
+    /// Kerberos → X.509.
+    pub fn to_dn(&self, principal: &str, realm: &str) -> Option<DistinguishedName> {
+        self.principal_to_dn
+            .get(&format!("{principal}@{realm}"))
+            .and_then(|s| DistinguishedName::parse(s).ok())
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.dn_to_principal.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.dn_to_principal.is_empty()
+    }
+}
+
+/// The map as a hostable Grid service. Operations: `toPrincipal` (payload
+/// text = DN) and `toDn` (payload text = `user@REALM`).
+pub struct IdentityMappingService {
+    map: IdentityMap,
+}
+
+impl IdentityMappingService {
+    /// Wrap a map.
+    pub fn new(map: IdentityMap) -> Self {
+        IdentityMappingService { map }
+    }
+}
+
+impl GridService for IdentityMappingService {
+    fn service_type(&self) -> &str {
+        "identity-mapping"
+    }
+
+    fn invoke(
+        &mut self,
+        _ctx: &RequestContext,
+        operation: &str,
+        payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        match operation {
+            "toPrincipal" => {
+                let dn = DistinguishedName::parse(&payload.text_content())
+                    .map_err(|_| OgsaError::Malformed("bad DN"))?;
+                match self.map.to_principal(&dn) {
+                    Some(p) => Ok(Element::new("idmap:Principal").with_text(p)),
+                    None => Ok(Element::new("idmap:NoMapping")),
+                }
+            }
+            "toDn" => {
+                let text = payload.text_content();
+                let (user, realm) = text
+                    .split_once('@')
+                    .ok_or(OgsaError::Malformed("expected user@REALM"))?;
+                match self.map.to_dn(user, realm) {
+                    Some(dn) => Ok(Element::new("idmap:Dn").with_text(dn.to_string())),
+                    None => Ok(Element::new("idmap:NoMapping")),
+                }
+            }
+            other => Err(OgsaError::Application(format!("unknown op {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn bidirectional_mapping() {
+        let mut map = IdentityMap::new();
+        map.add(&dn("/O=G/CN=Jane"), "jdoe", "SITE.A");
+        map.add(&dn("/O=G/CN=Carl"), "carl", "SITE.A");
+        assert_eq!(map.to_principal(&dn("/O=G/CN=Jane")), Some("jdoe@SITE.A"));
+        assert_eq!(map.to_dn("jdoe", "SITE.A"), Some(dn("/O=G/CN=Jane")));
+        assert_eq!(map.to_principal(&dn("/O=G/CN=Nobody")), None);
+        assert_eq!(map.to_dn("ghost", "SITE.A"), None);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn realm_disambiguates() {
+        let mut map = IdentityMap::new();
+        map.add(&dn("/O=A/CN=J"), "j", "SITE.A");
+        map.add(&dn("/O=B/CN=J"), "j", "SITE.B");
+        assert_eq!(map.to_dn("j", "SITE.A"), Some(dn("/O=A/CN=J")));
+        assert_eq!(map.to_dn("j", "SITE.B"), Some(dn("/O=B/CN=J")));
+    }
+
+    #[test]
+    fn grid_service_operations() {
+        use gridsec_crypto::rng::ChaChaRng;
+        use gridsec_pki::ca::CertificateAuthority;
+        use gridsec_pki::store::TrustStore;
+        use gridsec_pki::validate::validate_chain;
+
+        let mut map = IdentityMap::new();
+        map.add(&dn("/O=G/CN=Jane"), "jdoe", "SITE.A");
+        let mut svc = IdentityMappingService::new(map);
+
+        let mut rng = ChaChaRng::from_seed_bytes(b"idmap svc");
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1000);
+        let cred = ca.issue_identity(&mut rng, dn("/O=G/CN=Caller"), 512, 0, 1000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        let ctx = RequestContext {
+            caller: validate_chain(cred.chain(), &trust, 10).unwrap(),
+            now: 10,
+            handle: "gsh:idmap".to_string(),
+        };
+
+        let r = svc
+            .invoke(&ctx, "toPrincipal", &Element::new("q").with_text("/O=G/CN=Jane"))
+            .unwrap();
+        assert_eq!(r.text_content(), "jdoe@SITE.A");
+
+        let r = svc
+            .invoke(&ctx, "toDn", &Element::new("q").with_text("jdoe@SITE.A"))
+            .unwrap();
+        assert_eq!(r.text_content(), "/O=G/CN=Jane");
+
+        let r = svc
+            .invoke(&ctx, "toPrincipal", &Element::new("q").with_text("/O=G/CN=Ghost"))
+            .unwrap();
+        assert_eq!(r.name, "idmap:NoMapping");
+
+        assert!(svc
+            .invoke(&ctx, "toDn", &Element::new("q").with_text("no-at-sign"))
+            .is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! An MDS-like index (Monitoring and Discovery) service.
+//!
+//! The paper's §2 motivates dynamically-created VO services with exactly
+//! this example: "the VO itself may create directory services to keep
+//! track of VO participants. Like their static counterparts, these
+//! resources must be securely coordinated." This Grid service is such a
+//! directory: VO members register service endpoints; queries are
+//! authenticated and authorized by the hosting environment like any
+//! other Grid service, and registrations record the authenticated owner.
+
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::OgsaError;
+use gridsec_xml::Element;
+use std::collections::BTreeMap;
+
+/// One registered entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Logical name (e.g. `"gram.compute1"`).
+    pub name: String,
+    /// Endpoint or handle the name resolves to.
+    pub endpoint: String,
+    /// Free-form metadata (e.g. service type).
+    pub metadata: String,
+    /// Base identity of the registrant (recorded from the authenticated
+    /// caller, not from the payload — registrations are attributable).
+    pub owner: String,
+    /// Registration time.
+    pub registered_at: u64,
+}
+
+/// The index service. Operations:
+/// * `register` — payload `<mds:Register name=".." endpoint=".." meta=".."/>`
+/// * `lookup`   — payload `<mds:Lookup name=".."/>`
+/// * `list`     — payload ignored; returns all entries
+/// * `unregister` — owner-only removal
+#[derive(Default)]
+pub struct IndexService {
+    entries: BTreeMap<String, IndexEntry>,
+}
+
+impl IndexService {
+    /// Empty index.
+    pub fn new() -> Self {
+        IndexService::default()
+    }
+
+    /// Number of registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no registrations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn entry_element(e: &IndexEntry) -> Element {
+    Element::new("mds:Entry")
+        .with_attr("name", e.name.clone())
+        .with_attr("endpoint", e.endpoint.clone())
+        .with_attr("meta", e.metadata.clone())
+        .with_attr("owner", e.owner.clone())
+        .with_attr("registeredAt", e.registered_at.to_string())
+}
+
+impl GridService for IndexService {
+    fn service_type(&self) -> &str {
+        "mds-index"
+    }
+
+    fn invoke(
+        &mut self,
+        ctx: &RequestContext,
+        operation: &str,
+        payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        match operation {
+            "register" => {
+                let name = payload
+                    .attr("name")
+                    .ok_or(OgsaError::Malformed("register needs name"))?
+                    .to_string();
+                let endpoint = payload
+                    .attr("endpoint")
+                    .ok_or(OgsaError::Malformed("register needs endpoint"))?
+                    .to_string();
+                let owner = ctx.caller.base_identity.to_string();
+                // Re-registration allowed only by the same owner.
+                if let Some(existing) = self.entries.get(&name) {
+                    if existing.owner != owner {
+                        return Err(OgsaError::NotAuthorized {
+                            caller: owner,
+                            operation: format!("re-register {name}"),
+                        });
+                    }
+                }
+                self.entries.insert(
+                    name.clone(),
+                    IndexEntry {
+                        name: name.clone(),
+                        endpoint,
+                        metadata: payload.attr("meta").unwrap_or("").to_string(),
+                        owner,
+                        registered_at: ctx.now,
+                    },
+                );
+                Ok(Element::new("mds:Registered").with_attr("name", name))
+            }
+            "lookup" => {
+                let name = payload
+                    .attr("name")
+                    .ok_or(OgsaError::Malformed("lookup needs name"))?;
+                match self.entries.get(name) {
+                    Some(e) => Ok(entry_element(e)),
+                    None => Ok(Element::new("mds:NotFound").with_attr("name", name)),
+                }
+            }
+            "list" => {
+                let mut out = Element::new("mds:Entries");
+                for e in self.entries.values() {
+                    out.push_child(entry_element(e));
+                }
+                Ok(out)
+            }
+            "unregister" => {
+                let name = payload
+                    .attr("name")
+                    .ok_or(OgsaError::Malformed("unregister needs name"))?;
+                let owner = ctx.caller.base_identity.to_string();
+                match self.entries.get(name) {
+                    Some(e) if e.owner == owner => {
+                        self.entries.remove(name);
+                        Ok(Element::new("mds:Unregistered"))
+                    }
+                    Some(_) => Err(OgsaError::NotAuthorized {
+                        caller: owner,
+                        operation: format!("unregister {name}"),
+                    }),
+                    None => Ok(Element::new("mds:NotFound").with_attr("name", name)),
+                }
+            }
+            other => Err(OgsaError::Application(format!("unknown op {other}"))),
+        }
+    }
+
+    fn service_data(&self, name: &str) -> Option<Element> {
+        (name == "entryCount")
+            .then(|| Element::new("sde:entryCount").with_text(self.entries.len().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::name::DistinguishedName;
+    use gridsec_pki::store::TrustStore;
+    use gridsec_pki::validate::validate_chain;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    fn ctx_for(name: &str, seed: &[u8]) -> RequestContext {
+        let mut rng = ChaChaRng::from_seed_bytes(seed);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 10_000);
+        let cred = ca.issue_identity(&mut rng, dn(name), 512, 0, 10_000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        RequestContext {
+            caller: validate_chain(cred.chain(), &trust, 10).unwrap(),
+            now: 500,
+            handle: "gsh:mds".to_string(),
+        }
+    }
+
+    fn register(svc: &mut IndexService, ctx: &RequestContext, name: &str, ep: &str) -> Result<Element, OgsaError> {
+        svc.invoke(
+            ctx,
+            "register",
+            &Element::new("mds:Register")
+                .with_attr("name", name)
+                .with_attr("endpoint", ep)
+                .with_attr("meta", "type=gram"),
+        )
+    }
+
+    #[test]
+    fn register_lookup_list_unregister() {
+        let mut svc = IndexService::new();
+        let jane = ctx_for("/O=G/CN=Jane", b"idx jane");
+        register(&mut svc, &jane, "gram.compute1", "net:compute1").unwrap();
+        register(&mut svc, &jane, "ftp.data1", "net:data1").unwrap();
+        assert_eq!(svc.len(), 2);
+
+        let found = svc
+            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "gram.compute1"))
+            .unwrap();
+        assert_eq!(found.attr("endpoint"), Some("net:compute1"));
+        assert_eq!(found.attr("owner"), Some("/O=G/CN=Jane"));
+        assert_eq!(found.attr("registeredAt"), Some("500"));
+
+        let all = svc.invoke(&jane, "list", &Element::new("q")).unwrap();
+        assert_eq!(all.child_elements().count(), 2);
+
+        svc.invoke(&jane, "unregister", &Element::new("q").with_attr("name", "ftp.data1"))
+            .unwrap();
+        assert_eq!(svc.len(), 1);
+        assert_eq!(
+            svc.service_data("entryCount").unwrap().text_content(),
+            "1"
+        );
+    }
+
+    #[test]
+    fn lookup_missing_is_not_found() {
+        let mut svc = IndexService::new();
+        let jane = ctx_for("/O=G/CN=Jane", b"idx jane");
+        let r = svc
+            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "ghost"))
+            .unwrap();
+        assert_eq!(r.name, "mds:NotFound");
+    }
+
+    #[test]
+    fn registrations_are_owned() {
+        let mut svc = IndexService::new();
+        let jane = ctx_for("/O=G/CN=Jane", b"idx jane");
+        let eve = ctx_for("/O=G/CN=Eve", b"idx eve");
+        register(&mut svc, &jane, "gram.compute1", "net:real").unwrap();
+        // Eve cannot hijack the name...
+        let err = register(&mut svc, &eve, "gram.compute1", "net:evil").unwrap_err();
+        assert!(matches!(err, OgsaError::NotAuthorized { .. }));
+        // ...nor unregister it.
+        let err = svc
+            .invoke(&eve, "unregister", &Element::new("q").with_attr("name", "gram.compute1"))
+            .unwrap_err();
+        assert!(matches!(err, OgsaError::NotAuthorized { .. }));
+        // Jane can update her own entry.
+        register(&mut svc, &jane, "gram.compute1", "net:moved").unwrap();
+        let found = svc
+            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "gram.compute1"))
+            .unwrap();
+        assert_eq!(found.attr("endpoint"), Some("net:moved"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # gridsec-services
+//!
+//! The OGSA security services itemized by the paper's §4.1 (from the OGSA
+//! Security Roadmap), implemented for the `gridsec` reproduction of
+//! *Security for Grid Services* (Welch et al., HPDC 2003):
+//!
+//! * **Credential processing service** — [`credproc`]: validates
+//!   authentication tokens (certificate chains) and reports the
+//!   authenticated identity.
+//! * **Authorization service** — [`authz_service`]: evaluates policy
+//!   rules for (requestor, target, action) triples; hostable as a Grid
+//!   service so hosting environments can out-call it (Figure 3 step 5).
+//! * **Credential conversion service** — [`kca`] (Kerberos → GSI, the
+//!   paper's KCA) and [`sslk5`] (GSI → Kerberos via PKINIT), bridging
+//!   mechanism domains (Figure 3 step 2).
+//! * **Identity mapping service** — [`identity_map`]: X.509 DN ↔
+//!   Kerberos principal translation.
+//! * **Audit service** — [`audit`]: a tamper-evident, hash-chained log
+//!   that hosting environments feed.
+//! * **CAS as credential conversion** — [`cas_source`]: wraps a CAS
+//!   assertion into a *restricted proxy* credential, "translating the
+//!   user's personal credential to a VO credential".
+//! * **MDS-like index** — [`index`]: the VO directory service §2 uses to
+//!   motivate dynamically-created, securely-coordinated services.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod authz_service;
+pub mod cas_source;
+pub mod credproc;
+pub mod identity_map;
+pub mod index;
+pub mod kca;
+pub mod sslk5;

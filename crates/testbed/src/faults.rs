@@ -1,0 +1,210 @@
+//! Compromise injection and blast-radius analysis.
+//!
+//! The paper argues (§5.2) that GT3 improves security because network
+//! services hold no privilege: "GT3 removes all privileges from these
+//! services, significantly reducing the impact of compromises". This
+//! module makes that claim measurable: [`compromise`] marks a process as
+//! attacker-controlled and computes everything the attacker now reaches
+//! under the simulated OS's access rules.
+
+use crate::os::{Pid, SimOs, ROOT_UID};
+use crate::TestbedError;
+
+/// What an attacker controls after compromising one process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompromiseReport {
+    /// Host of the compromised process.
+    pub host: String,
+    /// Compromised process id.
+    pub pid: Pid,
+    /// Component name (e.g. `"gatekeeper"`, `"MMJFS"`).
+    pub process_name: String,
+    /// Effective uid at compromise time.
+    pub euid: u32,
+    /// `true` iff the attacker gains root (full host compromise).
+    pub full_host_compromise: bool,
+    /// Account names whose resources the attacker can act as.
+    pub accounts_reachable: Vec<String>,
+    /// File paths the attacker can read.
+    pub files_readable: Vec<String>,
+    /// File paths the attacker can write.
+    pub files_writable: Vec<String>,
+    /// Credential labels now exposed (from every reachable process).
+    pub credentials_exposed: Vec<String>,
+}
+
+impl CompromiseReport {
+    /// A scalar "blast radius" for easy comparison across architectures:
+    /// reachable accounts + exposed credentials + writable files.
+    pub fn blast_radius(&self) -> usize {
+        self.accounts_reachable.len() + self.credentials_exposed.len() + self.files_writable.len()
+    }
+}
+
+/// Compromise `pid` on `host` and compute the blast radius.
+///
+/// Rules of the model:
+/// * euid 0 → attacker owns the host: every account, file, and in-memory
+///   credential of every process.
+/// * otherwise → the attacker acts as that euid: files readable/writable
+///   under the permission bits, credentials held by processes of the same
+///   euid, and the single account that euid maps to.
+pub fn compromise(os: &SimOs, host: &str, pid: Pid) -> Result<CompromiseReport, TestbedError> {
+    let proc = os.process(host, pid)?;
+    let euid = proc.euid;
+    let all_files = os.files(host)?;
+    let all_procs = os.processes(host)?;
+
+    if euid == ROOT_UID {
+        let accounts = os.accounts(host)?;
+        let files: Vec<String> = all_files.iter().map(|(p, _)| p.clone()).collect();
+        let mut creds: Vec<String> = all_procs
+            .iter()
+            .flat_map(|p| p.credentials.iter().cloned())
+            .collect();
+        creds.sort();
+        return Ok(CompromiseReport {
+            host: host.to_string(),
+            pid,
+            process_name: proc.name,
+            euid,
+            full_host_compromise: true,
+            accounts_reachable: accounts,
+            files_readable: files.clone(),
+            files_writable: files,
+            credentials_exposed: creds,
+        });
+    }
+
+    let mut files_readable = Vec::new();
+    let mut files_writable = Vec::new();
+    for (path, f) in &all_files {
+        // Re-check via the OS so the permission logic lives in one place.
+        if os.read_file(host, path, euid).is_ok() {
+            files_readable.push(path.clone());
+        }
+        if f.mode.writable_by(euid, f.owner) {
+            files_writable.push(path.clone());
+        }
+    }
+
+    let mut creds: Vec<String> = all_procs
+        .iter()
+        .filter(|p| p.euid == euid)
+        .flat_map(|p| p.credentials.iter().cloned())
+        .collect();
+    creds.sort();
+
+    let accounts_reachable = os
+        .account_of_uid(host, euid)?
+        .into_iter()
+        .collect::<Vec<_>>();
+
+    Ok(CompromiseReport {
+        host: host.to_string(),
+        pid,
+        process_name: proc.name,
+        euid,
+        full_host_compromise: false,
+        accounts_reachable,
+        files_readable,
+        files_writable,
+        credentials_exposed: creds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::os::FileMode;
+
+    /// Build a host with the GT2 shape: a privileged, network-facing
+    /// gatekeeper; and user processes with credentials.
+    fn gt2_host() -> (SimOs, Pid, Pid) {
+        let os = SimOs::new();
+        os.add_host("h");
+        let alice = os.add_account("h", "alice").unwrap();
+        let bob = os.add_account("h", "bob").unwrap();
+        os.write_file("h", "/home/alice/proxy", alice, FileMode::private(), vec![1])
+            .unwrap();
+        os.write_file("h", "/home/bob/proxy", bob, FileMode::private(), vec![2])
+            .unwrap();
+        os.write_file(
+            "h",
+            "/etc/hostkey",
+            crate::os::ROOT_UID,
+            FileMode::private(),
+            vec![3],
+        )
+        .unwrap();
+        let gk = os.spawn_privileged("h", "gatekeeper").unwrap();
+        os.mark_network_facing("h", gk).unwrap();
+        os.grant_credential("h", gk, "host credential").unwrap();
+        let ajob = os.spawn("h", "jobmanager-alice", "alice").unwrap();
+        os.grant_credential("h", ajob, "alice delegated proxy")
+            .unwrap();
+        (os, gk, ajob)
+    }
+
+    #[test]
+    fn root_compromise_owns_everything() {
+        let (os, gk, _) = gt2_host();
+        let report = compromise(&os, "h", gk).unwrap();
+        assert!(report.full_host_compromise);
+        assert_eq!(report.accounts_reachable.len(), 3); // root, alice, bob
+        assert_eq!(report.files_readable.len(), 3);
+        assert!(report
+            .credentials_exposed
+            .contains(&"alice delegated proxy".to_string()));
+        assert!(report
+            .credentials_exposed
+            .contains(&"host credential".to_string()));
+    }
+
+    #[test]
+    fn unprivileged_compromise_is_contained() {
+        let (os, _, ajob) = gt2_host();
+        let report = compromise(&os, "h", ajob).unwrap();
+        assert!(!report.full_host_compromise);
+        assert_eq!(report.accounts_reachable, vec!["alice".to_string()]);
+        // Can read own proxy, not bob's, not the host key.
+        assert!(report
+            .files_readable
+            .contains(&"/home/alice/proxy".to_string()));
+        assert!(!report.files_readable.contains(&"/home/bob/proxy".to_string()));
+        assert!(!report.files_readable.contains(&"/etc/hostkey".to_string()));
+        assert_eq!(
+            report.credentials_exposed,
+            vec!["alice delegated proxy".to_string()]
+        );
+    }
+
+    #[test]
+    fn blast_radius_orders_architectures() {
+        let (os, gk, ajob) = gt2_host();
+        let privileged = compromise(&os, "h", gk).unwrap();
+        let contained = compromise(&os, "h", ajob).unwrap();
+        assert!(privileged.blast_radius() > contained.blast_radius());
+    }
+
+    #[test]
+    fn world_writable_files_count_for_everyone() {
+        let (os, _, ajob) = gt2_host();
+        os.write_file(
+            "h",
+            "/tmp/scratch",
+            crate::os::ROOT_UID,
+            FileMode(FileMode::WORLD_READ | FileMode::WORLD_WRITE | FileMode::OWNER_READ | FileMode::OWNER_WRITE),
+            vec![],
+        )
+        .unwrap();
+        let report = compromise(&os, "h", ajob).unwrap();
+        assert!(report.files_writable.contains(&"/tmp/scratch".to_string()));
+    }
+
+    #[test]
+    fn unknown_pid_errors() {
+        let (os, _, _) = gt2_host();
+        assert!(compromise(&os, "h", 999_999).is_err());
+    }
+}

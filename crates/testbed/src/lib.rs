@@ -1,0 +1,63 @@
+//! # gridsec-testbed
+//!
+//! The simulated execution environment for the `gridsec` reproduction of
+//! *Security for Grid Services* (Welch et al., HPDC 2003).
+//!
+//! The paper's claims were demonstrated on real hosts with Unix accounts,
+//! setuid binaries, and TCP. This crate substitutes (per `DESIGN.md` §2):
+//!
+//! * [`clock::SimClock`] — shared logical time, so certificate validity,
+//!   ticket lifetimes, and CRL freshness are deterministic.
+//! * [`net`] — an in-memory message network with per-link byte/message
+//!   accounting (the "bytes on the wire" series in experiment C1) and a
+//!   blocking byte-stream abstraction for the TLS record layer.
+//! * [`os`] — a simulated operating system: hosts, accounts, files with
+//!   owners and modes, and a process table that tracks *which code runs
+//!   with which privilege* — the measurement substrate for the paper's
+//!   §5.2 least-privilege claims (experiment C4).
+//! * [`faults`] — compromise injection: mark a process compromised and
+//!   compute the blast radius (accounts, files, credentials reachable),
+//!   which is how we quantify "no privileged network services".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod faults;
+pub mod net;
+pub mod os;
+
+/// Errors from testbed operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestbedError {
+    /// Referenced host does not exist.
+    NoSuchHost(String),
+    /// Referenced account does not exist.
+    NoSuchAccount(String),
+    /// Referenced process does not exist.
+    NoSuchProcess(u64),
+    /// Referenced file does not exist.
+    NoSuchFile(String),
+    /// The operation requires privileges the caller lacks.
+    PermissionDenied(&'static str),
+    /// Network endpoint not registered.
+    NoSuchEndpoint(String),
+    /// The peer endpoint hung up.
+    Disconnected,
+}
+
+impl core::fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestbedError::NoSuchHost(h) => write!(f, "no such host: {h}"),
+            TestbedError::NoSuchAccount(a) => write!(f, "no such account: {a}"),
+            TestbedError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            TestbedError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            TestbedError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
+            TestbedError::NoSuchEndpoint(e) => write!(f, "no such endpoint: {e}"),
+            TestbedError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}

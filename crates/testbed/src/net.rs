@@ -1,0 +1,376 @@
+//! In-memory network simulation.
+//!
+//! Two abstractions:
+//!
+//! * [`Network`] / [`Endpoint`] — datagram-style message passing between
+//!   named endpoints, with global byte/message accounting. GT3's
+//!   SOAP-based exchanges run over this.
+//! * [`StreamPair`] — a pair of connected, blocking byte streams
+//!   implementing [`std::io::Read`]/[`std::io::Write`]. GT2's TLS channel
+//!   runs over this.
+//!
+//! The accounting counters feed experiment C1 (bytes on the wire for
+//! GT2-TLS vs. GT3-WS-SecureConversation context establishment).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::TestbedError;
+
+/// A network-wide traffic accounting snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TrafficStats {
+    /// Total messages (or stream writes) delivered.
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A delivered message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Sending endpoint name.
+    pub from: String,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A named message network.
+#[derive(Clone, Default)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+#[derive(Default)]
+struct NetworkInner {
+    endpoints: Mutex<HashMap<String, Sender<Message>>>,
+    counters: Counters,
+}
+
+impl Network {
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Register an endpoint name, returning its handle. Re-registering a
+    /// name replaces the previous endpoint (the old receiver disconnects).
+    pub fn register(&self, name: &str) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.inner
+            .endpoints
+            .lock()
+            .insert(name.to_string(), tx);
+        Endpoint {
+            name: name.to_string(),
+            network: self.clone(),
+            rx,
+        }
+    }
+
+    /// Remove an endpoint (its receiver starts reporting `Disconnected`).
+    pub fn unregister(&self, name: &str) {
+        self.inner.endpoints.lock().remove(name);
+    }
+
+    /// `true` iff an endpoint with this name is registered.
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.inner.endpoints.lock().contains_key(name)
+    }
+
+    fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
+        let tx = {
+            let map = self.inner.endpoints.lock();
+            map.get(to)
+                .cloned()
+                .ok_or_else(|| TestbedError::NoSuchEndpoint(to.to_string()))?
+        };
+        self.inner.counters.record(payload.len());
+        tx.send(Message {
+            from: from.to_string(),
+            payload,
+        })
+        .map_err(|_| TestbedError::Disconnected)
+    }
+
+    /// Traffic accounting since creation.
+    pub fn stats(&self) -> TrafficStats {
+        self.inner.counters.snapshot()
+    }
+}
+
+/// A registered endpoint: can send to any name and receive its own mail.
+pub struct Endpoint {
+    name: String,
+    network: Network,
+    rx: Receiver<Message>,
+}
+
+impl Endpoint {
+    /// This endpoint's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Send `payload` to endpoint `to`.
+    pub fn send(&self, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
+        self.network.send(&self.name, to, payload)
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Message, TestbedError> {
+        self.rx.recv().map_err(|_| TestbedError::Disconnected)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Send a request and block for the next message (simple RPC idiom for
+    /// single-threaded scenarios where the callee answers synchronously).
+    pub fn call(&self, to: &str, payload: Vec<u8>) -> Result<Message, TestbedError> {
+        self.send(to, payload)?;
+        self.recv()
+    }
+}
+
+/// One direction of a byte stream.
+struct StreamHalf {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    read_buf: Vec<u8>,
+    read_pos: usize,
+    counters: Arc<Counters>,
+}
+
+/// A connected, blocking, in-memory byte stream (one side of a pair).
+pub struct SimStream {
+    half: StreamHalf,
+}
+
+/// Create a connected stream pair with shared byte accounting.
+pub struct StreamPair;
+
+impl StreamPair {
+    /// Create two connected [`SimStream`]s. Bytes written to one can be
+    /// read from the other. The returned [`Arc`]d stats reflect all bytes
+    /// written on either side.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (SimStream, SimStream, StreamStats) {
+        let (a2b_tx, a2b_rx) = unbounded();
+        let (b2a_tx, b2a_rx) = unbounded();
+        let counters = Arc::new(Counters::default());
+        let a = SimStream {
+            half: StreamHalf {
+                tx: a2b_tx,
+                rx: b2a_rx,
+                read_buf: Vec::new(),
+                read_pos: 0,
+                counters: counters.clone(),
+            },
+        };
+        let b = SimStream {
+            half: StreamHalf {
+                tx: b2a_tx,
+                rx: a2b_rx,
+                read_buf: Vec::new(),
+                read_pos: 0,
+                counters: counters.clone(),
+            },
+        };
+        (a, b, StreamStats { counters })
+    }
+}
+
+/// Shared traffic statistics for a stream pair.
+#[derive(Clone)]
+pub struct StreamStats {
+    counters: Arc<Counters>,
+}
+
+impl StreamStats {
+    /// Snapshot of writes/bytes across both directions.
+    pub fn snapshot(&self) -> TrafficStats {
+        self.counters.snapshot()
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.half.read_pos == self.half.read_buf.len() {
+            match self.half.rx.recv() {
+                Ok(chunk) => {
+                    self.half.read_buf = chunk;
+                    self.half.read_pos = 0;
+                }
+                Err(_) => return Ok(0), // EOF: peer dropped
+            }
+        }
+        let available = &self.half.read_buf[self.half.read_pos..];
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.half.read_pos += n;
+        Ok(n)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.half.counters.record(buf.len());
+        self.half
+            .tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn message_delivery() {
+        let net = Network::new();
+        let a = net.register("alice");
+        let _b = net.register("bob");
+        a.send("bob", b"hi".to_vec()).unwrap();
+        let b = net.register("bob"); // re-register drops old mailbox
+        a.send("bob", b"hi again".to_vec()).unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(m.from, "alice");
+        assert_eq!(m.payload, b"hi again");
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let net = Network::new();
+        let a = net.register("alice");
+        assert!(matches!(
+            a.send("nobody", vec![]),
+            Err(TestbedError::NoSuchEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_disconnects() {
+        let net = Network::new();
+        let a = net.register("alice");
+        net.register("bob");
+        net.unregister("bob");
+        assert!(!net.is_registered("bob"));
+        assert!(a.send("bob", vec![]).is_err());
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let net = Network::new();
+        let a = net.register("alice");
+        let b = net.register("bob");
+        a.send("bob", vec![0u8; 100]).unwrap();
+        a.send("bob", vec![0u8; 50]).unwrap();
+        let _ = b.try_recv();
+        assert_eq!(
+            net.stats(),
+            TrafficStats {
+                messages: 2,
+                bytes: 150
+            }
+        );
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let net = Network::new();
+        let a = net.register("alice");
+        assert!(a.try_recv().is_none());
+        let b = net.register("bob");
+        a.send("bob", b"x".to_vec()).unwrap();
+        assert!(b.try_recv().is_some());
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let (mut a, mut b, stats) = StreamPair::new();
+        a.write_all(b"hello stream").unwrap();
+        let mut buf = [0u8; 12];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello stream");
+        assert_eq!(stats.snapshot().bytes, 12);
+    }
+
+    #[test]
+    fn stream_bidirectional() {
+        let (mut a, mut b, _) = StreamPair::new();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn stream_partial_reads() {
+        let (mut a, mut b, _) = StreamPair::new();
+        a.write_all(&[1, 2, 3, 4, 5]).unwrap();
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [1, 2]);
+        let mut rest = [0u8; 3];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(rest, [3, 4, 5]);
+    }
+
+    #[test]
+    fn stream_eof_on_drop() {
+        let (a, mut b, _) = StreamPair::new();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn stream_threads() {
+        let (mut a, mut b, _) = StreamPair::new();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            b.write_all(&buf).unwrap();
+        });
+        a.write_all(b"echo!").unwrap();
+        let mut buf = [0u8; 5];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"echo!");
+        t.join().unwrap();
+    }
+}

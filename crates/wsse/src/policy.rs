@@ -1,0 +1,343 @@
+//! WS-Policy: publishing security requirements and computing policy
+//! intersection (paper §4.3).
+//!
+//! "An application wishing to interact with the service can examine this
+//! published policy and gather the needed credentials and functionality"
+//! — a service publishes a [`SecurityPolicy`] (alternatives of mechanism,
+//! token types, trust roots, protection level) alongside its interface;
+//! a client intersects its own capabilities with the published policy to
+//! select a workable [`PolicyAlternative`] *before* first contact.
+//! Experiment C5 measures this negotiation against hardcoded-mechanism
+//! failure rates.
+
+use gridsec_xml::Element;
+
+use crate::WsseError;
+
+/// Message-protection requirement level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum Protection {
+    /// Integrity only (XML-Signature).
+    Sign,
+    /// Confidentiality only (XML-Encryption).
+    Encrypt,
+    /// Both.
+    SignAndEncrypt,
+}
+
+impl Protection {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Protection::Sign => "sign",
+            Protection::Encrypt => "encrypt",
+            Protection::SignAndEncrypt => "sign-and-encrypt",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, WsseError> {
+        Ok(match s {
+            "sign" => Protection::Sign,
+            "encrypt" => Protection::Encrypt,
+            "sign-and-encrypt" => Protection::SignAndEncrypt,
+            _ => return Err(WsseError::Missing("valid sp:Protection")),
+        })
+    }
+}
+
+/// One acceptable way to talk to a service (a `wsp:All` branch).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PolicyAlternative {
+    /// Security mechanism, e.g. `"gsi-secure-conversation"`,
+    /// `"xml-signature"`, `"gt2-tls"`.
+    pub mechanism: String,
+    /// Acceptable credential token types, e.g. `"x509-chain"`,
+    /// `"kerberos-ticket"`, `"cas-assertion"`.
+    pub token_types: Vec<String>,
+    /// Acceptable trust roots (CA distinguished names). Empty = any.
+    pub trust_roots: Vec<String>,
+    /// Required protection level.
+    pub protection: Protection,
+}
+
+/// A service's published security policy: a `wsp:ExactlyOne` over
+/// alternatives.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SecurityPolicy {
+    /// Name of the publishing service (documentation only).
+    pub service: String,
+    /// Acceptable alternatives in preference order.
+    pub alternatives: Vec<PolicyAlternative>,
+}
+
+impl SecurityPolicy {
+    /// Render as a `wsp:Policy` document (published in the service's WSDL
+    /// per WS-PolicyAttachment).
+    pub fn to_element(&self) -> Element {
+        let mut exactly_one = Element::new("wsp:ExactlyOne");
+        for alt in &self.alternatives {
+            let mut all = Element::new("wsp:All")
+                .with_child(Element::new("sp:Mechanism").with_text(alt.mechanism.clone()))
+                .with_child(
+                    Element::new("sp:Protection").with_text(alt.protection.as_str()),
+                );
+            for t in &alt.token_types {
+                all.push_child(Element::new("sp:TokenType").with_text(t.clone()));
+            }
+            for r in &alt.trust_roots {
+                all.push_child(Element::new("sp:TrustRoot").with_text(r.clone()));
+            }
+            exactly_one.push_child(all);
+        }
+        Element::new("wsp:Policy")
+            .with_attr("sp:Service", self.service.clone())
+            .with_child(exactly_one)
+    }
+
+    /// Parse a `wsp:Policy` document.
+    pub fn from_element(el: &Element) -> Result<SecurityPolicy, WsseError> {
+        if el.local_name() != "Policy" {
+            return Err(WsseError::Missing("wsp:Policy"));
+        }
+        let service = el.attr("sp:Service").unwrap_or("").to_string();
+        let exactly_one = el
+            .find("wsp:ExactlyOne")
+            .ok_or(WsseError::Missing("wsp:ExactlyOne"))?;
+        let mut alternatives = Vec::new();
+        for all in exactly_one.find_all("wsp:All") {
+            let mechanism = all
+                .find("sp:Mechanism")
+                .ok_or(WsseError::Missing("sp:Mechanism"))?
+                .text_content();
+            let protection = Protection::parse(
+                &all.find("sp:Protection")
+                    .ok_or(WsseError::Missing("sp:Protection"))?
+                    .text_content(),
+            )?;
+            alternatives.push(PolicyAlternative {
+                mechanism,
+                token_types: all.find_all("sp:TokenType").map(|t| t.text_content()).collect(),
+                trust_roots: all.find_all("sp:TrustRoot").map(|t| t.text_content()).collect(),
+                protection,
+            });
+        }
+        Ok(SecurityPolicy {
+            service,
+            alternatives,
+        })
+    }
+
+    /// XML text convenience.
+    pub fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Parse from XML text.
+    pub fn parse(xml: &str) -> Result<SecurityPolicy, WsseError> {
+        Self::from_element(&Element::parse(xml)?)
+    }
+}
+
+/// Intersect a client's capabilities with a server's published policy.
+///
+/// Returns the first workable combination in *server* preference order:
+/// mechanisms must match exactly, the token-type sets must overlap, the
+/// trust-root sets must overlap (empty list = accepts any), and the
+/// resulting protection level is the stronger of the two requirements.
+pub fn intersect(
+    client: &SecurityPolicy,
+    server: &SecurityPolicy,
+) -> Result<PolicyAlternative, WsseError> {
+    for s in &server.alternatives {
+        for c in &client.alternatives {
+            if s.mechanism != c.mechanism {
+                continue;
+            }
+            let tokens: Vec<String> = s
+                .token_types
+                .iter()
+                .filter(|t| c.token_types.contains(t))
+                .cloned()
+                .collect();
+            if tokens.is_empty() {
+                continue;
+            }
+            let roots: Vec<String> = if s.trust_roots.is_empty() {
+                c.trust_roots.clone()
+            } else if c.trust_roots.is_empty() {
+                s.trust_roots.clone()
+            } else {
+                let shared: Vec<String> = s
+                    .trust_roots
+                    .iter()
+                    .filter(|r| c.trust_roots.contains(r))
+                    .cloned()
+                    .collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                shared
+            };
+            return Ok(PolicyAlternative {
+                mechanism: s.mechanism.clone(),
+                token_types: tokens,
+                trust_roots: roots,
+                protection: s.protection.max(c.protection),
+            });
+        }
+    }
+    Err(WsseError::NoCommonPolicy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alt(mech: &str, tokens: &[&str], roots: &[&str], p: Protection) -> PolicyAlternative {
+        PolicyAlternative {
+            mechanism: mech.to_string(),
+            token_types: tokens.iter().map(|s| s.to_string()).collect(),
+            trust_roots: roots.iter().map(|s| s.to_string()).collect(),
+            protection: p,
+        }
+    }
+
+    fn gram_policy() -> SecurityPolicy {
+        SecurityPolicy {
+            service: "MMJFS".to_string(),
+            alternatives: vec![
+                alt(
+                    "gsi-secure-conversation",
+                    &["x509-chain"],
+                    &["/O=G/CN=CA"],
+                    Protection::SignAndEncrypt,
+                ),
+                alt(
+                    "xml-signature",
+                    &["x509-chain", "cas-assertion"],
+                    &["/O=G/CN=CA"],
+                    Protection::Sign,
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let p = gram_policy();
+        let parsed = SecurityPolicy::parse(&p.to_xml()).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn intersection_picks_server_preference() {
+        let server = gram_policy();
+        let client = SecurityPolicy {
+            service: "client".to_string(),
+            alternatives: vec![
+                alt("xml-signature", &["x509-chain"], &["/O=G/CN=CA"], Protection::Sign),
+                alt(
+                    "gsi-secure-conversation",
+                    &["x509-chain"],
+                    &["/O=G/CN=CA"],
+                    Protection::Sign,
+                ),
+            ],
+        };
+        let result = intersect(&client, &server).unwrap();
+        // Server's first alternative wins even though client listed it second.
+        assert_eq!(result.mechanism, "gsi-secure-conversation");
+        // Protection upgraded to the stronger requirement.
+        assert_eq!(result.protection, Protection::SignAndEncrypt);
+    }
+
+    #[test]
+    fn token_type_mismatch_skips_alternative() {
+        let server = gram_policy();
+        let client = SecurityPolicy {
+            service: "krb-only-client".to_string(),
+            alternatives: vec![alt(
+                "xml-signature",
+                &["cas-assertion"],
+                &["/O=G/CN=CA"],
+                Protection::Sign,
+            )],
+        };
+        let result = intersect(&client, &server).unwrap();
+        assert_eq!(result.mechanism, "xml-signature");
+        assert_eq!(result.token_types, vec!["cas-assertion".to_string()]);
+    }
+
+    #[test]
+    fn disjoint_trust_roots_fail() {
+        let server = gram_policy();
+        let client = SecurityPolicy {
+            service: "foreign".to_string(),
+            alternatives: vec![alt(
+                "xml-signature",
+                &["x509-chain"],
+                &["/O=Other/CN=CA"],
+                Protection::Sign,
+            )],
+        };
+        assert_eq!(
+            intersect(&client, &server).unwrap_err(),
+            WsseError::NoCommonPolicy
+        );
+    }
+
+    #[test]
+    fn empty_trust_roots_accept_any() {
+        let server = SecurityPolicy {
+            service: "open".to_string(),
+            alternatives: vec![alt("xml-signature", &["x509-chain"], &[], Protection::Sign)],
+        };
+        let client = SecurityPolicy {
+            service: "c".to_string(),
+            alternatives: vec![alt(
+                "xml-signature",
+                &["x509-chain"],
+                &["/O=Mine/CN=CA"],
+                Protection::Sign,
+            )],
+        };
+        let result = intersect(&client, &server).unwrap();
+        assert_eq!(result.trust_roots, vec!["/O=Mine/CN=CA".to_string()]);
+    }
+
+    #[test]
+    fn no_mechanism_overlap_fails() {
+        let server = gram_policy();
+        let client = SecurityPolicy {
+            service: "legacy".to_string(),
+            alternatives: vec![alt("gt2-tls", &["x509-chain"], &[], Protection::Sign)],
+        };
+        assert_eq!(
+            intersect(&client, &server).unwrap_err(),
+            WsseError::NoCommonPolicy
+        );
+    }
+
+    #[test]
+    fn malformed_policy_rejected() {
+        assert!(SecurityPolicy::parse("<wsp:Policy/>").is_err());
+        assert!(SecurityPolicy::parse(
+            "<wsp:Policy><wsp:ExactlyOne><wsp:All/></wsp:ExactlyOne></wsp:Policy>"
+        )
+        .is_err());
+        assert!(SecurityPolicy::parse("<other/>").is_err());
+    }
+
+    #[test]
+    fn empty_alternatives_policy() {
+        let p = SecurityPolicy {
+            service: "none".to_string(),
+            alternatives: vec![],
+        };
+        let parsed = SecurityPolicy::parse(&p.to_xml()).unwrap();
+        assert!(parsed.alternatives.is_empty());
+        assert_eq!(
+            intersect(&parsed, &gram_policy()).unwrap_err(),
+            WsseError::NoCommonPolicy
+        );
+    }
+}

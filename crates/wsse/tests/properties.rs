@@ -1,0 +1,140 @@
+//! Property tests over the WS-Security layers.
+
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::store::{CrlStore, TrustStore};
+use gridsec_wsse::b64;
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::xmlenc::{decrypt_body, encrypt_body};
+use gridsec_wsse::xmlsig::{sign_envelope, verify_envelope};
+use gridsec_xml::Element;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Fixture {
+    trust: TrustStore,
+    user: Credential,
+    recipient: gridsec_crypto::rsa::RsaKeyPair,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let mut rng = ChaChaRng::from_seed_bytes(b"wsse proptest");
+        let ca = CertificateAuthority::create_root(
+            &mut rng,
+            DistinguishedName::parse("/O=P/CN=CA").unwrap(),
+            512,
+            0,
+            1_000_000,
+        );
+        let user = ca.issue_identity(
+            &mut rng,
+            DistinguishedName::parse("/O=P/CN=U").unwrap(),
+            512,
+            0,
+            1_000_000,
+        );
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        let recipient = gridsec_crypto::rsa::RsaKeyPair::generate(&mut rng, 512);
+        Fixture {
+            trust,
+            user,
+            recipient,
+        }
+    })
+}
+
+fn payload_strategy() -> impl Strategy<Value = Element> {
+    ("[A-Za-z][A-Za-z0-9]{0,8}", "[ -~]{0,64}").prop_map(|(name, text)| {
+        let mut el = Element::new(format!("app:{name}"));
+        if !text.trim().is_empty() {
+            el.push_text(text.trim().to_string());
+        }
+        el
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn b64_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(b64::decode(&b64::encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn b64_rejects_or_roundtrips_arbitrary_text(s in "[A-Za-z0-9+/= \n]{0,64}") {
+        // decode never panics; when it succeeds, re-encoding the decoded
+        // bytes and re-decoding yields the same bytes (canonicalization).
+        if let Some(bytes) = b64::decode(&s) {
+            prop_assert_eq!(b64::decode(&b64::encode(&bytes)).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn any_signed_envelope_verifies_and_any_tamper_fails(
+        payload in payload_strategy(),
+        action in "[a-z]{1,12}",
+        flip in any::<u16>(),
+    ) {
+        let f = fixture();
+        let env = Envelope::request(&action, payload);
+        let signed = sign_envelope(&env, &f.user, 100, 300);
+        let xml = signed.to_xml();
+        let parsed = Envelope::parse(&xml).unwrap();
+        prop_assert!(verify_envelope(&parsed, &f.trust, &CrlStore::new(), 200).is_ok());
+
+        // Flip one character of the serialized body text; verification
+        // must not succeed with altered content.
+        if let Some(start) = xml.find("<soap:Body") {
+            let end = xml.find("</soap:Body>").unwrap_or(xml.len());
+            if end > start + 20 {
+                let idx = start + 12 + (flip as usize % (end - start - 12));
+                let mut bytes = xml.clone().into_bytes();
+                let orig = bytes[idx];
+                // Substitute with a different alphanumeric to keep XML valid.
+                let repl = if orig == b'a' { b'b' } else { b'a' };
+                if orig != repl && orig.is_ascii_alphanumeric() {
+                    bytes[idx] = repl;
+                    if let Ok(s) = String::from_utf8(bytes) {
+                        if let Ok(tampered) = Envelope::parse(&s) {
+                            if tampered != parsed {
+                                prop_assert!(
+                                    verify_envelope(&tampered, &f.trust, &CrlStore::new(), 200)
+                                        .is_err()
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_any_payload(payload in payload_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let env = Envelope::request("op", payload);
+        let enc = encrypt_body(&env, f.recipient.public(), &mut rng).unwrap();
+        // The ciphertext hides the payload name.
+        let dec = decrypt_body(&Envelope::parse(&enc.to_xml()).unwrap(), &f.recipient).unwrap();
+        prop_assert_eq!(dec.body, env.body);
+    }
+
+    #[test]
+    fn sign_then_encrypt_composes(payload in payload_strategy(), seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let env = Envelope::request("op", payload);
+        let signed = sign_envelope(&env, &f.user, 100, 300);
+        let enc = encrypt_body(&signed, f.recipient.public(), &mut rng).unwrap();
+        let wire = Envelope::parse(&enc.to_xml()).unwrap();
+        let dec = decrypt_body(&wire, &f.recipient).unwrap();
+        prop_assert!(verify_envelope(&dec, &f.trust, &CrlStore::new(), 200).is_ok());
+    }
+}

@@ -1,0 +1,391 @@
+//! A strict, non-validating XML parser.
+//!
+//! Supports: elements, attributes (single- or double-quoted), text with
+//! the five predefined entities plus numeric character references,
+//! comments, CDATA sections, and a leading XML declaration. Rejects:
+//! DTDs, processing instructions, mismatched tags, and trailing content.
+
+use crate::{Element, Node};
+
+/// Parse errors with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl core::fmt::Display for XmlError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parse a document into its root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip XML declaration, comments, and whitespace before the root.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            match self.input[self.pos..]
+                .windows(2)
+                .position(|w| w == b"?>")
+            {
+                Some(rel) => self.pos += rel + 2,
+                None => return Err(self.err("unterminated XML declaration")),
+            }
+        }
+        self.skip_misc();
+        if self.starts_with("<!DOCTYPE") {
+            return Err(self.err("DTDs are not supported"));
+        }
+        Ok(())
+    }
+
+    /// Skip whitespace and comments.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if let Some(rel) = self.input[self.pos + 4..]
+                    .windows(3)
+                    .position(|w| w == b"-->")
+                {
+                    self.pos += 4 + rel + 3;
+                    continue;
+                }
+                // Unterminated comment: leave for the element parser to fail.
+                self.pos = self.input.len();
+            }
+            break;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b':' | b'_' | b'-' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), XmlError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el); // self-closing
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect(b'=')?;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => {
+                            self.pos += 1;
+                            q
+                        }
+                        _ => return Err(self.err("attribute value must be quoted")),
+                    };
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        if c == b'<' {
+                            return Err(self.err("'<' in attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    let value = unescape(&raw).map_err(|m| self.err(m))?;
+                    if el.attr(&attr_name).is_some() {
+                        return Err(self.err(format!("duplicate attribute {attr_name:?}")));
+                    }
+                    el.attributes.push((attr_name, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Children until the matching end tag.
+        loop {
+            if self.starts_with("<!--") {
+                let before = self.pos;
+                self.skip_misc();
+                if self.pos == before {
+                    return Err(self.err("unterminated comment"));
+                }
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                match self.input[start..].windows(3).position(|w| w == b"]]>") {
+                    Some(rel) => {
+                        let text =
+                            String::from_utf8_lossy(&self.input[start..start + rel]).into_owned();
+                        el.children.push(Node::Text(text));
+                        self.pos = start + rel + 3;
+                        continue;
+                    }
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != el.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        el.name, end_name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(el);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    el.children.push(Node::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = unescape(&raw).map_err(|m| self.err(m))?;
+                    // Whitespace-only runs between elements are not
+                    // significant for our protocols; keep them only when
+                    // the element has no element children yet mixed text.
+                    if (!text.trim().is_empty() || el.children.is_empty())
+                        && !text.trim().is_empty() {
+                            el.children.push(Node::Text(text));
+                        }
+                }
+                None => return Err(self.err("unexpected end of input in element content")),
+            }
+        }
+    }
+}
+
+/// Decode the predefined entities and numeric character references.
+fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let semi = rest.find(';').ok_or("unterminated entity reference")?;
+        let entity = &rest[..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| "bad hex character reference")?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            _ if entity.starts_with('#') => {
+                let code = entity[1..]
+                    .parse::<u32>()
+                    .map_err(|_| "bad decimal character reference")?;
+                out.push(char::from_u32(code).ok_or("invalid character reference")?);
+            }
+            other => return Err(format!("unknown entity &{other};")),
+        }
+        // Skip the consumed entity body.
+        for _ in 0..semi + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let el = parse("<a/>").unwrap();
+        assert_eq!(el.name, "a");
+        assert!(el.children.is_empty());
+    }
+
+    #[test]
+    fn xml_decl_and_comments_skipped() {
+        let el = parse("<?xml version=\"1.0\"?><!-- hi --><a>x</a><!-- bye -->").unwrap();
+        assert_eq!(el.text_content(), "x");
+    }
+
+    #[test]
+    fn nested_elements_and_attrs() {
+        let el = parse(r#"<a x="1" y='2'><b><c z="3"/></b>text</a>"#).unwrap();
+        assert_eq!(el.attr("x"), Some("1"));
+        assert_eq!(el.attr("y"), Some("2"));
+        assert_eq!(el.path(&["b", "c"]).unwrap().attr("z"), Some("3"));
+        assert_eq!(el.text_content(), "text");
+    }
+
+    #[test]
+    fn entities_decoded() {
+        let el = parse("<a t=\"&quot;&apos;\">&amp;&lt;&gt;&#65;&#x42;</a>").unwrap();
+        assert_eq!(el.text_content(), "&<>AB");
+        assert_eq!(el.attr("t"), Some("\"'"));
+    }
+
+    #[test]
+    fn cdata_supported() {
+        let el = parse("<a><![CDATA[<raw>&stuff]]></a>").unwrap();
+        assert_eq!(el.text_content(), "<raw>&stuff");
+    }
+
+    #[test]
+    fn interelement_whitespace_dropped() {
+        let el = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(el.child_elements().count(), 2);
+        assert_eq!(el.text_content(), "");
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a><b></a></b>").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "",
+            "<",
+            "<a",
+            "<a x=1/>",
+            "<a x=\"1/>",
+            "<a/><b/>",
+            "junk<a/>",
+            "<a>&nbsp;</a>",
+            "<a>&unterminated</a>",
+            "<!DOCTYPE html><a/>",
+            "<a x=\"1\" x=\"2\"/>",
+            "<a><![CDATA[x]]</a>",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse("<a></b>").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn deeply_nested_ok() {
+        let mut doc = String::new();
+        for _ in 0..100 {
+            doc.push_str("<d>");
+        }
+        doc.push('x');
+        for _ in 0..100 {
+            doc.push_str("</d>");
+        }
+        let el = parse(&doc).unwrap();
+        let mut depth = 1;
+        let mut cur = &el;
+        while let Some(c) = cur.find("d") {
+            depth += 1;
+            cur = c;
+        }
+        assert_eq!(depth, 100);
+    }
+}

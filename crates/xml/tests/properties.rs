@@ -1,0 +1,101 @@
+//! Property tests: serialize → parse roundtrips over random trees.
+
+use gridsec_xml::{Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9._-]{0,8}(:[A-Za-z][A-Za-z0-9._-]{0,8})?"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Printable text including characters that need escaping; avoid
+    // whitespace-only strings (dropped as insignificant by the parser).
+    "[ -~]{0,24}".prop_map(|s| {
+        if s.trim().is_empty() {
+            "x".to_string()
+        } else {
+            s.trim().to_string()
+        }
+    })
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..4),
+        prop::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                el.set_attr(k, v); // dedups names
+            }
+            if let Some(t) = text {
+                el.push_text(t);
+            }
+            el
+        });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                for c in children {
+                    el.push_child(c);
+                }
+                el
+            })
+    })
+}
+
+/// Merge adjacent text nodes the way a parser would see them.
+fn normalize(el: &Element) -> Element {
+    let mut out = Element::new(el.name.clone());
+    out.attributes = el.attributes.clone();
+    let mut pending_text = String::new();
+    for c in &el.children {
+        match c {
+            Node::Text(t) => pending_text.push_str(t),
+            Node::Element(e) => {
+                if !pending_text.trim().is_empty() {
+                    out.children.push(Node::Text(pending_text.clone()));
+                }
+                pending_text.clear();
+                out.children.push(Node::Element(normalize(e)));
+            }
+        }
+    }
+    if !pending_text.trim().is_empty() {
+        out.children.push(Node::Text(pending_text));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_roundtrip(el in element_strategy()) {
+        let xml = el.to_xml();
+        let parsed = Element::parse(&xml).unwrap();
+        prop_assert_eq!(normalize(&parsed), normalize(&el));
+    }
+
+    #[test]
+    fn canonical_stable_under_reparse(el in element_strategy()) {
+        let c1 = el.canonical_xml();
+        let parsed = Element::parse(&c1).unwrap();
+        prop_assert_eq!(parsed.canonical_xml(), c1);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[ -~<>&\"']{0,200}") {
+        let _ = Element::parse(&s);
+    }
+}

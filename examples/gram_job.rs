@@ -1,0 +1,144 @@
+//! GT3 GRAM job submission — the complete Figure 4 flow of *Security for
+//! Grid Services*, with privilege accounting.
+//!
+//! Shows: signed stateless job requests, the cold path (MMJFS → Setuid
+//! Starter → GRIM → LMJFS), the warm path, step 7 mutual authorization
+//! (the client checking the MJS's GRIM credential), delegation, and the
+//! least-privilege property (no privileged network services) contrasted
+//! with a GT2 gatekeeper on a second host.
+//!
+//! Run with: `cargo run --example gram_job`
+
+use gridsec_gram::gt2::Gt2Gatekeeper;
+use gridsec_gram::resource::GramConfig;
+use gridsec_gsi::prelude::*;
+use gridsec_gsi::sso;
+use gridsec_testbed::faults::compromise;
+
+fn main() {
+    let mut rng = ChaChaRng::from_seed_bytes(b"gram example");
+    let clock = SimClock::starting_at(500);
+    let os = SimOs::new();
+
+    // Grid fabric: CA, user, host credential, grid-mapfile.
+    let ca = CertificateAuthority::create_root(
+        &mut rng,
+        DistinguishedName::parse("/O=Grid/CN=CA").unwrap(),
+        512,
+        0,
+        100_000_000,
+    );
+    let jane = ca.issue_identity(
+        &mut rng,
+        DistinguishedName::parse("/O=Grid/CN=Jane Doe").unwrap(),
+        512,
+        0,
+        10_000_000,
+    );
+    let host_cred = ca.issue_host_identity(
+        &mut rng,
+        DistinguishedName::parse("/O=Grid/CN=host compute1").unwrap(),
+        vec!["compute1.grid".to_string()],
+        512,
+        0,
+        10_000_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let gridmap = GridMapFile::parse("\"/O=Grid/CN=Jane Doe\" jdoe\n").unwrap();
+
+    // Install GT3 GRAM on compute1.
+    let mut resource = GramResource::install(
+        os.clone(),
+        clock.clone(),
+        "compute1",
+        trust.clone(),
+        host_cred.clone(),
+        &gridmap,
+        GramConfig::default(),
+    )
+    .expect("install GRAM");
+
+    // Sign on and submit two jobs.
+    let session =
+        sso::grid_proxy_init(&mut rng, &jane, sso::ProxyOptions::default(), clock.now()).unwrap();
+    let mut requestor = Requestor::new(session.credential().clone(), trust.clone(), b"jane");
+
+    let job1 = requestor
+        .submit_job(
+            &mut resource,
+            &JobDescription::new("/bin/climate-sim").with_args(&["--years", "50"]),
+            clock.now(),
+        )
+        .expect("job 1");
+    println!(
+        "job 1: handle={} path={} account={}",
+        job1.handle,
+        if job1.cold_start { "COLD (MMJFS→SetuidStarter→GRIM→LMJFS)" } else { "WARM" },
+        job1.account
+    );
+
+    let job2 = requestor
+        .submit_job(&mut resource, &JobDescription::new("/bin/postprocess"), clock.now())
+        .expect("job 2");
+    println!(
+        "job 2: handle={} path={}",
+        job2.handle,
+        if job2.cold_start { "COLD" } else { "WARM (resident LMJFS)" }
+    );
+
+    // Process table: who runs as what?
+    println!("\nprocess table on compute1:");
+    for p in resource.os().processes("compute1").unwrap() {
+        println!(
+            "  pid {:>3}  uid {:>5}  euid {:>5}  net={}  {}{}",
+            p.pid,
+            p.uid,
+            p.euid,
+            if p.network_facing { "Y" } else { "n" },
+            p.name,
+            if p.credentials.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", p.credentials.join("; "))
+            }
+        );
+    }
+    let priv_net = resource.os().privileged_network_facing("compute1").unwrap();
+    println!(
+        "\nGT3 privileged network-facing services: {} (paper claim: zero)",
+        priv_net.len()
+    );
+
+    // Contrast: GT2 gatekeeper on compute2.
+    let mut gatekeeper = Gt2Gatekeeper::install(
+        SimOs::new(),
+        clock.clone(),
+        "compute2",
+        trust.clone(),
+        host_cred,
+        &gridmap,
+    )
+    .expect("install GT2");
+    gatekeeper
+        .submit(session.credential(), &JobDescription::new("/bin/legacy-sim"))
+        .expect("GT2 job");
+    let gt2_priv = gatekeeper.os().privileged_network_facing("compute2").unwrap();
+    println!(
+        "GT2 privileged network-facing services: {} ({})",
+        gt2_priv.len(),
+        gt2_priv.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+
+    // Fault injection: compromise each architecture's network service.
+    let gt3_blast = compromise(resource.os(), "compute1", resource.mmjfs_pid()).unwrap();
+    let gt2_blast = compromise(gatekeeper.os(), "compute2", gatekeeper.gatekeeper_pid()).unwrap();
+    println!("\ncompromise of GT3 MMJFS:      blast radius {:>3} (full host: {})",
+        gt3_blast.blast_radius(), gt3_blast.full_host_compromise);
+    println!("compromise of GT2 gatekeeper: blast radius {:>3} (full host: {})",
+        gt2_blast.blast_radius(), gt2_blast.full_host_compromise);
+
+    // Tidy up job 1.
+    requestor.cancel(&mut resource, &job1.handle).unwrap();
+    println!("\njob 1 state after cancel: {:?}", resource.job_state(&job1.handle).unwrap());
+}

@@ -1,0 +1,165 @@
+//! Quickstart: the core GSI workflow in one file.
+//!
+//! 1. A certificate authority and a user identity (enrollment).
+//! 2. Single sign-on: `grid-proxy-init` creates a session proxy.
+//! 3. Mutual authentication with a service over the GT2-style secure
+//!    channel, and protected messaging.
+//! 4. The same user invoking a GT3 Grid service through the full OGSA
+//!    security pipeline (policy discovery → negotiation → invocation).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use gridsec_gsi::prelude::*;
+use gridsec_gsi::sso;
+use gridsec_ogsa::transport::InProcessTransport;
+use gridsec_ogsa::OgsaError;
+use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+
+/// A trivially small Grid service for the demo.
+struct GreeterService;
+
+impl GridService for GreeterService {
+    fn service_type(&self) -> &str {
+        "greeter"
+    }
+    fn invoke(
+        &mut self,
+        ctx: &RequestContext,
+        operation: &str,
+        payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        match operation {
+            "greet" => Ok(Element::new("greeting").with_text(format!(
+                "Hello {} (you said: {})",
+                ctx.caller.base_identity,
+                payload.text_content()
+            ))),
+            other => Err(OgsaError::Application(format!("unknown op {other}"))),
+        }
+    }
+}
+
+fn main() {
+    let mut rng = ChaChaRng::from_seed_bytes(b"quickstart example");
+    let clock = SimClock::starting_at(1_000);
+
+    // ------------------------------------------------------------------
+    // 1. Enrollment: a CA issues the user's long-lived identity.
+    // ------------------------------------------------------------------
+    let ca = CertificateAuthority::create_root(
+        &mut rng,
+        DistinguishedName::parse("/O=DOE Science Grid/CN=Certificate Authority").unwrap(),
+        512,
+        0,
+        100_000_000,
+    );
+    let jane = ca.issue_identity(
+        &mut rng,
+        DistinguishedName::parse("/O=DOE Science Grid/CN=Jane Doe").unwrap(),
+        512,
+        0,
+        10_000_000,
+    );
+    let service_cred = ca.issue_identity(
+        &mut rng,
+        DistinguishedName::parse("/O=DOE Science Grid/CN=greeter service").unwrap(),
+        512,
+        0,
+        10_000_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    println!("enrolled: {}", jane.subject());
+
+    // ------------------------------------------------------------------
+    // 2. Single sign-on: a 12-hour proxy, no administrator involved.
+    // ------------------------------------------------------------------
+    let session = sso::grid_proxy_init(&mut rng, &jane, sso::ProxyOptions::default(), clock.now())
+        .expect("proxy creation");
+    println!(
+        "signed on: {} (proxy of {}, {}s remaining)",
+        session.credential().subject(),
+        session.credential().base_identity(),
+        session.remaining(clock.now()),
+    );
+
+    // ------------------------------------------------------------------
+    // 3. GT2 style: mutual authentication + protected messages.
+    // ------------------------------------------------------------------
+    let (mut client_chan, mut server_chan) = handshake_in_memory(
+        TlsConfig::new(session.credential().clone(), trust.clone(), clock.now()),
+        TlsConfig::new(service_cred.clone(), trust.clone(), clock.now()),
+        &mut rng,
+    )
+    .expect("handshake");
+    println!(
+        "GT2 channel: client sees {}, server sees {}",
+        client_chan.peer.base_identity, server_chan.peer.base_identity
+    );
+    let sealed = client_chan.seal(b"protected payload");
+    assert_eq!(server_chan.open(&sealed).unwrap(), b"protected payload");
+    println!("GT2 channel: {} byte protected message delivered", sealed.len());
+
+    // ------------------------------------------------------------------
+    // 4. GT3 style: the full OGSA pipeline against a hosted service.
+    // ------------------------------------------------------------------
+    let published = SecurityPolicy {
+        service: "greeter".to_string(),
+        alternatives: vec![PolicyAlternative {
+            mechanism: "gsi-secure-conversation".to_string(),
+            token_types: vec!["x509-chain".to_string()],
+            trust_roots: vec![],
+            protection: Protection::SignAndEncrypt,
+        }],
+    };
+    let mut authz = PolicySet::new(CombiningAlg::DenyOverrides);
+    authz.add(Rule::new(
+        SubjectMatch::Exact("/O=DOE Science Grid/CN=Jane Doe".to_string()),
+        "factory:greeter",
+        "create",
+        Effect::Permit,
+    ));
+    authz.add(Rule::new(
+        SubjectMatch::Exact("/O=DOE Science Grid/CN=Jane Doe".to_string()),
+        "service:greeter",
+        "*",
+        Effect::Permit,
+    ));
+    let mut env = HostingEnvironment::new(
+        "greeter-host",
+        service_cred,
+        trust.clone(),
+        clock.clone(),
+        published,
+        authz,
+    );
+    env.registry
+        .register_factory("greeter", Box::new(|_ctx, _args| Ok(Box::new(GreeterService))));
+    let env = Rc::new(RefCell::new(env));
+
+    let mut client = OgsaClient::new(
+        InProcessTransport::new(env),
+        trust,
+        clock.clone(),
+        b"quickstart client",
+    );
+    client.add_source(Box::new(StaticCredential(session.credential().clone())));
+
+    let handle = client
+        .create_service("greeter", Element::new("args"))
+        .expect("createService");
+    let reply = client
+        .invoke(&handle, "greet", Element::new("m").with_text("hi from the quickstart"))
+        .expect("invoke");
+    println!("GT3 service replied: {}", reply.text_content());
+    println!(
+        "GT3 pipeline: {} policy fetch(es), {} security context(s)",
+        client.policy_fetches, client.contexts_established
+    );
+
+    client.destroy(&handle).expect("destroy");
+    println!("done.");
+}
