@@ -20,7 +20,7 @@ use gridsec_pki::credential::Credential;
 use gridsec_pki::encoding::{Codec, Decoder, Encoder};
 use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::PkiError;
-use parking_lot::RwLock;
+use gridsec_util::sync::RwLock;
 use std::collections::HashMap;
 
 /// A right granted by the VO: (resource pattern, action pattern).

@@ -5,106 +5,141 @@ use gridsec_authz::policy::{
     CombiningAlg, Decision, Effect, Pattern, PolicySet, Request, Rule, SubjectMatch,
 };
 use gridsec_pki::name::DistinguishedName;
-use proptest::prelude::*;
+use gridsec_util::check::{check, Gen};
 
-fn pattern_strategy() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("*".to_string()),
-        "[a-z]{1,8}".prop_map(|s| format!("/{s}/*")),
-        "[a-z]{1,8}".prop_map(|s| format!("/{s}")),
-    ]
+const CASES: u64 = 128;
+const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+
+fn pattern(g: &mut Gen) -> String {
+    match g.pick(3) {
+        0 => "*".to_string(),
+        1 => format!("/{}/*", g.string(LOWER, 1..9)),
+        _ => format!("/{}", g.string(LOWER, 1..9)),
+    }
 }
 
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (
-        prop_oneof![
-            Just(SubjectMatch::Any),
-            "[a-z]{1,6}".prop_map(|s| SubjectMatch::Exact(format!("/O=G/CN={s}"))),
-        ],
-        pattern_strategy(),
-        prop_oneof![Just("*".to_string()), Just("read".to_string()), Just("write".to_string())],
-        prop_oneof![Just(Effect::Permit), Just(Effect::Deny)],
-    )
-        .prop_map(|(subject, resource, action, effect)| {
-            Rule::new(subject, &resource, &action, effect)
-        })
+fn rule(g: &mut Gen) -> Rule {
+    let subject = match g.pick(2) {
+        0 => SubjectMatch::Any,
+        _ => SubjectMatch::Exact(format!("/O=G/CN={}", g.string(LOWER, 1..7))),
+    };
+    let resource = pattern(g);
+    let action = (*g.choice(&["*", "read", "write"])).to_string();
+    let effect = *g.choice(&[Effect::Permit, Effect::Deny]);
+    Rule::new(subject, &resource, &action, effect)
 }
 
-fn request_strategy() -> impl Strategy<Value = Request> {
-    (
-        "[a-z]{1,6}",
-        "[a-z]{1,8}",
-        prop_oneof![Just("read"), Just("write"), Just("exec")],
-    )
-        .prop_map(|(subj, res, act)| Request::new(&format!("/O=G/CN={subj}"), &format!("/{res}/x"), act))
+fn request(g: &mut Gen) -> Request {
+    let subj = g.string(LOWER, 1..7);
+    let res = g.string(LOWER, 1..9);
+    let act = *g.choice(&["read", "write", "exec"]);
+    Request::new(&format!("/O=G/CN={subj}"), &format!("/{res}/x"), act)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pattern_parse_matches_consistently(s in pattern_strategy(), v in "[/a-z]{0,16}") {
+#[test]
+fn pattern_parse_matches_consistently() {
+    check("pattern_parse_matches_consistently", CASES, |g| {
+        let s = pattern(g);
+        let v = g.string("/abcdefghijklmnopqrstuvwxyz", 0..16);
         let p = Pattern::parse(&s);
         // Any + prefix semantics.
         match &p {
-            Pattern::Any => prop_assert!(p.matches(&v)),
-            Pattern::Prefix(pre) => prop_assert_eq!(p.matches(&v), v.starts_with(pre.as_str())),
-            Pattern::Exact(e) => prop_assert_eq!(p.matches(&v), &v == e),
+            Pattern::Any => assert!(p.matches(&v)),
+            Pattern::Prefix(pre) => assert_eq!(p.matches(&v), v.starts_with(pre.as_str())),
+            Pattern::Exact(e) => assert_eq!(p.matches(&v), &v == e),
         }
-    }
+    });
+}
 
-    #[test]
-    fn deny_overrides_is_sound(rules in prop::collection::vec(rule_strategy(), 0..12), req in request_strategy()) {
-        let policy = PolicySet { rules: rules.clone(), combining: CombiningAlg::DenyOverrides };
+#[test]
+fn deny_overrides_is_sound() {
+    check("deny_overrides_is_sound", CASES, |g| {
+        let rules = g.vec(0..12, rule);
+        let req = request(g);
+        let policy = PolicySet {
+            rules: rules.clone(),
+            combining: CombiningAlg::DenyOverrides,
+        };
         let decision = policy.evaluate(&req);
-        let applicable: Vec<&Rule> = rules.iter().filter(|r| {
-            let subject_ok = match &r.subject {
-                SubjectMatch::Any => true,
-                SubjectMatch::Exact(s) => *s == req.subject,
-            };
-            subject_ok && r.resource.matches(&req.resource) && r.action.matches(&req.action)
-        }).collect();
+        let applicable: Vec<&Rule> = rules
+            .iter()
+            .filter(|r| {
+                let subject_ok = match &r.subject {
+                    SubjectMatch::Any => true,
+                    SubjectMatch::Exact(s) => *s == req.subject,
+                };
+                subject_ok && r.resource.matches(&req.resource) && r.action.matches(&req.action)
+            })
+            .collect();
         let any_deny = applicable.iter().any(|r| r.effect == Effect::Deny);
         let any_permit = applicable.iter().any(|r| r.effect == Effect::Permit);
-        let expected = if any_deny { Decision::Deny }
-            else if any_permit { Decision::Permit }
-            else { Decision::NotApplicable };
-        prop_assert_eq!(decision, expected);
-    }
+        let expected = if any_deny {
+            Decision::Deny
+        } else if any_permit {
+            Decision::Permit
+        } else {
+            Decision::NotApplicable
+        };
+        assert_eq!(decision, expected);
+    });
+}
 
-    #[test]
-    fn adding_a_deny_never_grants(rules in prop::collection::vec(rule_strategy(), 0..8), req in request_strategy()) {
+#[test]
+fn adding_a_deny_never_grants() {
+    check("adding_a_deny_never_grants", CASES, |g| {
+        let rules = g.vec(0..8, rule);
+        let req = request(g);
         // Monotonicity: appending a deny rule can only move decisions
         // toward Deny under deny-overrides.
-        let base = PolicySet { rules: rules.clone(), combining: CombiningAlg::DenyOverrides };
+        let base = PolicySet {
+            rules: rules.clone(),
+            combining: CombiningAlg::DenyOverrides,
+        };
         let mut extended_rules = rules;
         extended_rules.push(Rule::new(SubjectMatch::Any, "*", "*", Effect::Deny));
-        let extended = PolicySet { rules: extended_rules, combining: CombiningAlg::DenyOverrides };
+        let extended = PolicySet {
+            rules: extended_rules,
+            combining: CombiningAlg::DenyOverrides,
+        };
         let before = base.evaluate(&req);
         let after = extended.evaluate(&req);
-        prop_assert_eq!(after, Decision::Deny);
+        assert_eq!(after, Decision::Deny);
         // And the base decision was never "more denied" than after.
-        prop_assert!(before == Decision::Deny || before == Decision::Permit || before == Decision::NotApplicable);
-    }
+        assert!(
+            before == Decision::Deny
+                || before == Decision::Permit
+                || before == Decision::NotApplicable
+        );
+    });
+}
 
-    #[test]
-    fn permitted_rights_are_actually_permitted(rules in prop::collection::vec(rule_strategy(), 0..12), subj in "[a-z]{1,6}") {
+#[test]
+fn permitted_rights_are_actually_permitted() {
+    check("permitted_rights_are_actually_permitted", CASES, |g| {
+        let rules = g.vec(0..12, rule);
+        let subj = g.string(LOWER, 1..7);
         // Every right enumerated for a subject evaluates Permit or Deny —
         // never NotApplicable — under the same policy (a deny rule may
         // still override, but the permit must apply).
         let subject = format!("/O=G/CN={subj}");
-        let policy = PolicySet { rules, combining: CombiningAlg::DenyOverrides };
+        let policy = PolicySet {
+            rules,
+            combining: CombiningAlg::DenyOverrides,
+        };
         for (resource, action) in policy.permitted_rights(&subject, &[]) {
             // Construct a concrete request inside the right's patterns.
             let concrete_res = resource.replace('*', "x");
             let concrete_act = if action == "*" { "read".to_string() } else { action };
             let d = policy.evaluate(&Request::new(&subject, &concrete_res, &concrete_act));
-            prop_assert_ne!(d, Decision::NotApplicable);
+            assert_ne!(d, Decision::NotApplicable);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gridmap_roundtrip(entries in prop::collection::vec(("[a-z]{1,8}", "[a-z]{1,8}"), 0..10)) {
+#[test]
+fn gridmap_roundtrip() {
+    check("gridmap_roundtrip", CASES, |g| {
+        let entries = g.vec(0..10, |g| (g.string(LOWER, 1..9), g.string(LOWER, 1..9)));
         let mut map = GridMapFile::new();
         for (cn, acct) in &entries {
             map.add(
@@ -113,6 +148,6 @@ proptest! {
             );
         }
         let reparsed = GridMapFile::parse(&map.to_text()).unwrap();
-        prop_assert_eq!(reparsed, map);
-    }
+        assert_eq!(reparsed, map);
+    });
 }

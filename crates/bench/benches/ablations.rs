@@ -8,7 +8,7 @@
 //! * **A3 — revocation checking**: chain validation against an empty CRL
 //!   store vs. one carrying a large CRL (the soft-fail default's cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::{bench_world, KEY_BITS};
 use gridsec_crypto::dh::DhGroup;
 use gridsec_crypto::sha256::sha256;

@@ -7,7 +7,7 @@
 //! base64 framing around identical tokens); per-message protection
 //! overhead is similarly XML-dominated.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridsec_bench::bench_world;
 use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
 use gridsec_wsse::soap::Envelope;

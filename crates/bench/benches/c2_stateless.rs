@@ -5,7 +5,7 @@
 //! Expected shape: stateless cheaper at N=1; a crossover at small N
 //! after which the stateful context wins per-interaction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::bench_world;
 use gridsec_pki::store::CrlStore;
 use gridsec_tls::handshake::TlsConfig;

@@ -3,7 +3,7 @@
 //! and Kerberos cross-realm setup; and validation cost grows only
 //! mildly with delegation-chain depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::{bench_world, dn, KEY_BITS};
 use gridsec_kerberos::Kdc;
 use gridsec_pki::proxy::{issue_proxy, ProxyType};

@@ -7,7 +7,7 @@
 //! token exchanges it avoids; the success-rate table shows the
 //! functional win.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_wsse::policy::{intersect, PolicyAlternative, Protection, SecurityPolicy};
 
 fn alt(mech: &str, token: &str) -> PolicyAlternative {

@@ -7,7 +7,7 @@
 //! alternative needs D(D−1)/2 *coordinated* agreements, which is the
 //! organizational cost the paper argues against.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_gsi::vo::{create_domain, form_vo, kerberos_bilateral_agreements};
 use gridsec_pki::validate::validate_chain;
@@ -31,7 +31,7 @@ fn overlay_formation(c: &mut Criterion) {
                     let mut rng2 = ChaChaRng::from_seed_bytes(b"f1 inner");
                     form_vo(&mut rng2, "vo", &mut domains, 512, u64::MAX / 2)
                 },
-                criterion::BatchSize::SmallInput,
+                gridsec_util::bench::BatchSize::SmallInput,
             )
         });
     }

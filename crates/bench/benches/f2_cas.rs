@@ -6,7 +6,7 @@
 //! policy size (the assertion carries the user's slice); issuance scales
 //! with the number of rules scanned.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_authz::cas::{CasServer, ResourceGate};
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_bench::{bench_world, dn, KEY_BITS};

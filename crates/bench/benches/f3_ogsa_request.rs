@@ -12,7 +12,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Monotonic seed counter shared across criterion's repeated routine
+/// Monotonic seed counter shared across the bench runner's repeated routine
 /// invocations (a per-closure counter would reset and replay nonces).
 static SEED: AtomicU64 = AtomicU64::new(1);
 
@@ -20,7 +20,7 @@ fn next_seed() -> [u8; 8] {
     SEED.fetch_add(1, Ordering::Relaxed).to_le_bytes()
 }
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_bench::{bench_world, dn, BenchWorld, KEY_BITS};
 use gridsec_kerberos::Kdc;

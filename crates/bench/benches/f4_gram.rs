@@ -6,7 +6,7 @@
 //! executions and a GRIM key generation); GT2 sits near the warm path in
 //! latency — its problem is privilege, not speed (see c4_report).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 use gridsec_authz::gridmap::GridMapFile;
 use gridsec_bench::{bench_world, KEY_BITS};
 use gridsec_gram::gt2::Gt2Gatekeeper;
@@ -48,7 +48,7 @@ fn gram_paths(c: &mut Criterion) {
                     .submit_job(&mut resource, &JobDescription::new("/bin/x"), clock.now())
                     .unwrap()
             },
-            criterion::BatchSize::SmallInput,
+            gridsec_util::bench::BatchSize::SmallInput,
         )
     });
 
@@ -102,7 +102,7 @@ fn gram_paths(c: &mut Criterion) {
                 (r, signed)
             },
             |(mut r, signed)| r.submit(&signed).unwrap(),
-            criterion::BatchSize::SmallInput,
+            gridsec_util::bench::BatchSize::SmallInput,
         )
     });
 

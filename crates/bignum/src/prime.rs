@@ -9,17 +9,17 @@ use crate::BigUint;
 
 /// Minimal entropy-source abstraction: fills a byte slice with random data.
 ///
-/// `gridsec-crypto`'s CSPRNG and `rand`-based test generators both
-/// implement this, keeping `gridsec-bignum` free of a hard `rand`
-/// dependency direction.
+/// `gridsec-crypto`'s CSPRNG and `gridsec-util`'s deterministic test RNG
+/// both implement this via the [`gridsec_util::rng::RngCore`] blanket
+/// impl, keeping `gridsec-bignum` free of a crypto dependency direction.
 pub trait EntropySource {
     /// Fill `dest` with random bytes.
     fn fill_bytes(&mut self, dest: &mut [u8]);
 }
 
-impl<T: rand::RngCore> EntropySource for T {
+impl<T: gridsec_util::rng::RngCore> EntropySource for T {
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        rand::RngCore::fill_bytes(self, dest)
+        gridsec_util::rng::RngCore::fill_bytes(self, dest)
     }
 }
 
@@ -190,11 +190,10 @@ pub fn generate_safe_prime<E: EntropySource>(rng: &mut E, bits: usize, rounds: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use gridsec_util::rng::DetRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0x5EED_CAFE)
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(0x5EED_CAFE)
     }
 
     #[test]

@@ -2,85 +2,128 @@
 
 use gridsec_bignum::modular::{mod_inv, mod_mul, mod_pow};
 use gridsec_bignum::BigUint;
-use proptest::prelude::*;
+use gridsec_util::check::{check, Gen};
 
-/// Strategy: random BigUint up to ~256 bits, built from raw bytes.
-fn biguint() -> impl Strategy<Value = BigUint> {
-    prop::collection::vec(any::<u8>(), 0..32).prop_map(|b| BigUint::from_bytes_be(&b))
+const CASES: u64 = 256;
+
+/// Generator: random BigUint up to ~256 bits, built from raw bytes.
+fn biguint(g: &mut Gen) -> BigUint {
+    BigUint::from_bytes_be(&g.bytes(0..32))
 }
 
-/// Strategy: nonzero BigUint.
-fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
-    biguint().prop_map(|v| if v.is_zero() { BigUint::one() } else { v })
+/// Generator: nonzero BigUint.
+fn biguint_nonzero(g: &mut Gen) -> BigUint {
+    let v = biguint(g);
+    if v.is_zero() {
+        BigUint::one()
+    } else {
+        v
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn add_commutes() {
+    check("add_commutes", CASES, |g| {
+        let (a, b) = (biguint(g), biguint(g));
+        assert_eq!(&a + &b, &b + &a);
+    });
+}
 
-    #[test]
-    fn add_commutes(a in biguint(), b in biguint()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-    }
+#[test]
+fn add_associates() {
+    check("add_associates", CASES, |g| {
+        let (a, b, c) = (biguint(g), biguint(g), biguint(g));
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    });
+}
 
-    #[test]
-    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
+#[test]
+fn add_sub_roundtrip() {
+    check("add_sub_roundtrip", CASES, |g| {
+        let (a, b) = (biguint(g), biguint(g));
+        assert_eq!(&(&a + &b) - &b, a);
+    });
+}
 
-    #[test]
-    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
+#[test]
+fn mul_commutes() {
+    check("mul_commutes", CASES, |g| {
+        let (a, b) = (biguint(g), biguint(g));
+        assert_eq!(&a * &b, &b * &a);
+    });
+}
 
-    #[test]
-    fn mul_commutes(a in biguint(), b in biguint()) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
+#[test]
+fn mul_distributes() {
+    check("mul_distributes", CASES, |g| {
+        let (a, b, c) = (biguint(g), biguint(g), biguint(g));
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    });
+}
 
-    #[test]
-    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn div_rem_invariant(a in biguint(), b in biguint_nonzero()) {
+#[test]
+fn div_rem_invariant() {
+    check("div_rem_invariant", CASES, |g| {
+        let (a, b) = (biguint(g), biguint_nonzero(g));
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
-    }
+        assert!(r < b);
+        assert_eq!(&(&q * &b) + &r, a);
+    });
+}
 
-    #[test]
-    fn shift_is_mul_by_power_of_two(a in biguint(), s in 0usize..200) {
+#[test]
+fn shift_is_mul_by_power_of_two() {
+    check("shift_is_mul_by_power_of_two", CASES, |g| {
+        let a = biguint(g);
+        let s = g.usize_in(0..200);
         let shifted = &a << s;
         let pow = &BigUint::one() << s;
-        prop_assert_eq!(shifted, &a * &pow);
-    }
+        assert_eq!(shifted, &a * &pow);
+    });
+}
 
-    #[test]
-    fn bytes_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn bytes_roundtrip() {
+    check("bytes_roundtrip", CASES, |g| {
+        let bytes = g.bytes(0..64);
         let v = BigUint::from_bytes_be(&bytes);
-        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
-    }
+        assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    });
+}
 
-    #[test]
-    fn hex_roundtrip(a in biguint()) {
-        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
-    }
+#[test]
+fn hex_roundtrip() {
+    check("hex_roundtrip", CASES, |g| {
+        let a = biguint(g);
+        assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    });
+}
 
-    #[test]
-    fn decimal_roundtrip(a in biguint()) {
-        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
-    }
+#[test]
+fn decimal_roundtrip() {
+    check("decimal_roundtrip", CASES, |g| {
+        let a = biguint(g);
+        assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    });
+}
 
-    #[test]
-    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
-        let g = a.gcd(&b);
-        prop_assert!(a.div_rem(&g).1.is_zero());
-        prop_assert!(b.div_rem(&g).1.is_zero());
-    }
+#[test]
+fn gcd_divides_both() {
+    check("gcd_divides_both", CASES, |g| {
+        let (a, b) = (biguint_nonzero(g), biguint_nonzero(g));
+        let gcd = a.gcd(&b);
+        assert!(a.div_rem(&gcd).1.is_zero());
+        assert!(b.div_rem(&gcd).1.is_zero());
+    });
+}
 
-    #[test]
-    fn mod_pow_product_rule(a in biguint(), e1 in 0u64..1000, e2 in 0u64..1000, m in biguint_nonzero()) {
+#[test]
+fn mod_pow_product_rule() {
+    check("mod_pow_product_rule", CASES, |g| {
+        let a = biguint(g);
+        let e1 = g.u64_in(0..1000);
+        let e2 = g.u64_in(0..1000);
+        let m = biguint_nonzero(g);
         // a^(e1+e2) = a^e1 * a^e2 (mod m)
         let m = if m.is_one() { BigUint::from(2u64) } else { m };
         let lhs = mod_pow(&a, &BigUint::from(e1 + e2), &m);
@@ -89,31 +132,40 @@ proptest! {
             &mod_pow(&a, &BigUint::from(e2), &m),
             &m,
         );
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    #[test]
-    fn mod_inv_is_inverse(a in biguint_nonzero()) {
+#[test]
+fn mod_inv_is_inverse() {
+    check("mod_inv_is_inverse", CASES, |g| {
+        let a = biguint_nonzero(g);
         // Invert modulo a prime so the inverse always exists when a % p != 0.
         let p = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
         let a = a.rem_ref(&p);
         if !a.is_zero() {
             let inv = mod_inv(&a, &p).unwrap();
-            prop_assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
+            assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
         }
-    }
+    });
+}
 
-    #[test]
-    fn cmp_consistent_with_sub(a in biguint(), b in biguint()) {
+#[test]
+fn cmp_consistent_with_sub() {
+    check("cmp_consistent_with_sub", CASES, |g| {
+        let (a, b) = (biguint(g), biguint(g));
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert!(a.checked_sub(&b).is_none()),
-            _ => prop_assert!(a.checked_sub(&b).is_some()),
+            std::cmp::Ordering::Less => assert!(a.checked_sub(&b).is_none()),
+            _ => assert!(a.checked_sub(&b).is_some()),
         }
-    }
+    });
+}
 
-    #[test]
-    fn bit_len_matches_shift(s in 0usize..300) {
+#[test]
+fn bit_len_matches_shift() {
+    check("bit_len_matches_shift", CASES, |g| {
+        let s = g.usize_in(0..300);
         let v = &BigUint::one() << s;
-        prop_assert_eq!(v.bit_len(), s + 1);
-    }
+        assert_eq!(v.bit_len(), s + 1);
+    });
 }

@@ -2,187 +2,9 @@
 //!
 //! Used directly by the AEAD construction in [`crate::aead`] and as the
 //! core of the deterministic random bit generator in [`crate::rng`].
+//!
+//! The block core lives in [`gridsec_util::chacha`] so the workspace's
+//! deterministic test RNG shares the same audited keystream; this module
+//! re-exports it under the crate's historical path.
 
-/// Key size in bytes.
-pub const KEY_LEN: usize = 32;
-/// Nonce size in bytes (IETF 96-bit variant).
-pub const NONCE_LEN: usize = 12;
-/// Keystream block size in bytes.
-pub const BLOCK_LEN: usize = 64;
-
-const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574]; // "expand 32-byte k"
-
-#[inline]
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
-}
-
-/// Compute one 64-byte ChaCha20 keystream block for (key, counter, nonce).
-pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
-    let mut state = [0u32; 16];
-    state[..4].copy_from_slice(&SIGMA);
-    for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
-    }
-    state[12] = counter;
-    for i in 0..3 {
-        state[13 + i] = u32::from_le_bytes([
-            nonce[i * 4],
-            nonce[i * 4 + 1],
-            nonce[i * 4 + 2],
-            nonce[i * 4 + 3],
-        ]);
-    }
-
-    let mut working = state;
-    for _ in 0..10 {
-        // Column rounds.
-        quarter_round(&mut working, 0, 4, 8, 12);
-        quarter_round(&mut working, 1, 5, 9, 13);
-        quarter_round(&mut working, 2, 6, 10, 14);
-        quarter_round(&mut working, 3, 7, 11, 15);
-        // Diagonal rounds.
-        quarter_round(&mut working, 0, 5, 10, 15);
-        quarter_round(&mut working, 1, 6, 11, 12);
-        quarter_round(&mut working, 2, 7, 8, 13);
-        quarter_round(&mut working, 3, 4, 9, 14);
-    }
-
-    let mut out = [0u8; BLOCK_LEN];
-    for i in 0..16 {
-        let word = working[i].wrapping_add(state[i]);
-        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
-    }
-    out
-}
-
-/// XOR `data` in place with the ChaCha20 keystream starting at block
-/// `initial_counter`. Encryption and decryption are the same operation.
-pub fn xor_stream(
-    key: &[u8; KEY_LEN],
-    nonce: &[u8; NONCE_LEN],
-    initial_counter: u32,
-    data: &mut [u8],
-) {
-    let mut counter = initial_counter;
-    for chunk in data.chunks_mut(BLOCK_LEN) {
-        let ks = block(key, counter, nonce);
-        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
-            *b ^= k;
-        }
-        counter = counter.wrapping_add(1);
-    }
-}
-
-/// Encrypt (or decrypt) returning a new buffer.
-pub fn apply(
-    key: &[u8; KEY_LEN],
-    nonce: &[u8; NONCE_LEN],
-    initial_counter: u32,
-    data: &[u8],
-) -> Vec<u8> {
-    let mut out = data.to_vec();
-    xor_stream(key, nonce, initial_counter, &mut out);
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn unhex(s: &str) -> Vec<u8> {
-        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
-    }
-
-    fn hex(bytes: &[u8]) -> String {
-        bytes.iter().map(|b| format!("{b:02x}")).collect()
-    }
-
-    #[test]
-    fn rfc8439_block_function_vector() {
-        // RFC 8439 §2.3.2
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
-        let ks = block(&key, 1, &nonce);
-        assert_eq!(
-            hex(&ks),
-            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
-             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
-        );
-    }
-
-    #[test]
-    fn rfc8439_encryption_vector() {
-        // RFC 8439 §2.4.2
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
-        let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
-        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
-        let ct = apply(&key, &nonce, 1, plaintext);
-        assert_eq!(
-            hex(&ct),
-            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
-             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
-             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
-             5af90bbf74a35be6b40b8eedf2785e42874d"
-                .replace(' ', "")
-        );
-    }
-
-    #[test]
-    fn roundtrip() {
-        let key = [7u8; 32];
-        let nonce = [9u8; 12];
-        let msg: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
-        let ct = apply(&key, &nonce, 0, &msg);
-        assert_ne!(ct, msg);
-        assert_eq!(apply(&key, &nonce, 0, &ct), msg);
-    }
-
-    #[test]
-    fn counter_advances_per_block() {
-        let key = [1u8; 32];
-        let nonce = [2u8; 12];
-        // Encrypting 128 bytes starting at counter 0 equals two blocks at 0,1.
-        let data = [0u8; 128];
-        let full = apply(&key, &nonce, 0, &data);
-        let b0 = block(&key, 0, &nonce);
-        let b1 = block(&key, 1, &nonce);
-        assert_eq!(&full[..64], &b0[..]);
-        assert_eq!(&full[64..], &b1[..]);
-    }
-
-    #[test]
-    fn distinct_nonces_distinct_streams() {
-        let key = [3u8; 32];
-        let data = [0u8; 64];
-        let a = apply(&key, &[0u8; 12], 0, &data);
-        let mut n2 = [0u8; 12];
-        n2[11] = 1;
-        let b = apply(&key, &n2, 0, &data);
-        assert_ne!(a, b);
-    }
-}
+pub use gridsec_util::chacha::{apply, block, xor_stream, BLOCK_LEN, KEY_LEN, NONCE_LEN};

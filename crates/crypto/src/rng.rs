@@ -5,13 +5,13 @@
 //! reproducible tests and benchmarks (determinism matters for the
 //! experiment harness in `gridsec-bench`).
 //!
-//! [`ChaChaRng`] implements [`rand::RngCore`], which also gives it the
-//! `gridsec_bignum::prime::EntropySource` blanket impl used by prime
-//! generation.
+//! [`ChaChaRng`] implements [`gridsec_util::rng::RngCore`], which also
+//! gives it the `gridsec_bignum::prime::EntropySource` blanket impl used
+//! by prime generation.
 
 use crate::chacha20;
 use crate::sha256::sha256;
-use rand::{CryptoRng, RngCore};
+use gridsec_util::rng::{fill_os_entropy, CryptoRng, RngCore};
 
 /// ChaCha20-based DRBG: the keystream of ChaCha20 under a hashed seed key,
 /// with a 64-bit block counter in the nonce/counter space.
@@ -36,7 +36,7 @@ impl ChaChaRng {
     /// Seed from the operating system's entropy source.
     pub fn from_os_entropy() -> Self {
         let mut seed = [0u8; 32];
-        rand::rngs::OsRng.fill_bytes(&mut seed);
+        fill_os_entropy(&mut seed);
         Self::from_seed_bytes(&seed)
     }
 
@@ -75,11 +75,6 @@ impl RngCore for ChaChaRng {
             self.buf_pos += take;
             pos += take;
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -129,6 +124,13 @@ mod tests {
             pieced.extend_from_slice(&buf);
         }
         assert_eq!(&bulk[..], &pieced[..]);
+    }
+
+    #[test]
+    fn os_entropy_seeding_differs_per_instance() {
+        let mut a = ChaChaRng::from_os_entropy();
+        let mut b = ChaChaRng::from_os_entropy();
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::messages::{
 use crate::{string_to_key, KrbError};
 use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::encoding::Codec;
-use parking_lot::Mutex;
+use gridsec_util::sync::Mutex;
 use std::collections::HashSet;
 
 /// A Kerberos client: principal name plus the password-derived key.

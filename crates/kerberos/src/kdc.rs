@@ -6,7 +6,7 @@ use crate::messages::{
 };
 use crate::{string_to_key, KrbError};
 use gridsec_bignum::prime::EntropySource;
-use parking_lot::Mutex;
+use gridsec_util::sync::Mutex;
 use std::collections::HashMap;
 
 /// Principal name of the ticket-granting service.

@@ -8,8 +8,10 @@ use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::proxy::{issue_proxy, ProxyType};
 use gridsec_pki::store::TrustStore;
 use gridsec_pki::validate::{validate_chain, EffectiveRights};
-use proptest::prelude::*;
+use gridsec_util::check::{check, Gen};
 use std::sync::OnceLock;
+
+const CASES: u64 = 64;
 
 struct Fixture {
     ca: CertificateAuthority,
@@ -41,98 +43,116 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-/// DN component strategy: attribute from a small alphabet, value without
-/// '/' or '='.
-fn dn_strategy() -> impl Strategy<Value = DistinguishedName> {
-    prop::collection::vec(
-        (
-            prop::sample::select(vec!["C", "O", "OU", "CN", "L", "DC"]),
-            "[A-Za-z0-9 .-]{1,12}",
-        ),
-        1..6,
-    )
-    .prop_map(|parts| {
-        let s: String = parts
-            .iter()
-            .map(|(a, v)| format!("/{a}={v}"))
-            .collect();
-        DistinguishedName::parse(&s).unwrap()
-    })
+const DN_VALUE: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 .-";
+
+/// DN generator: 1–5 components, attribute from a small alphabet, value
+/// without '/' or '='.
+fn dn(g: &mut Gen) -> DistinguishedName {
+    let parts = g.vec(1..6, |g| {
+        let attr = *g.choice(&["C", "O", "OU", "CN", "L", "DC"]);
+        let value = g.string(DN_VALUE, 1..13);
+        (attr, value)
+    });
+    let s: String = parts.iter().map(|(a, v)| format!("/{a}={v}")).collect();
+    DistinguishedName::parse(&s).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn dn_display_parse_roundtrip() {
+    check("dn_display_parse_roundtrip", CASES, |g| {
+        let dn = dn(g);
+        assert_eq!(DistinguishedName::parse(&dn.to_string()).unwrap(), dn);
+    });
+}
 
-    #[test]
-    fn dn_display_parse_roundtrip(dn in dn_strategy()) {
-        prop_assert_eq!(DistinguishedName::parse(&dn.to_string()).unwrap(), dn);
-    }
+#[test]
+fn dn_codec_roundtrip() {
+    check("dn_codec_roundtrip", CASES, |g| {
+        let dn = dn(g);
+        assert_eq!(DistinguishedName::from_bytes(&dn.to_bytes()).unwrap(), dn);
+    });
+}
 
-    #[test]
-    fn dn_codec_roundtrip(dn in dn_strategy()) {
-        prop_assert_eq!(DistinguishedName::from_bytes(&dn.to_bytes()).unwrap(), dn);
-    }
-
-    #[test]
-    fn proxy_extension_always_validates_name_rule(dn in dn_strategy(), cn in "[0-9]{1,10}") {
+#[test]
+fn proxy_extension_always_validates_name_rule() {
+    check("proxy_extension_always_validates_name_rule", CASES, |g| {
+        let dn = dn(g);
+        let cn = g.string("0123456789", 1..11);
         let ext = dn.with_extra_cn(&cn);
-        prop_assert!(ext.is_proxy_extension_of(&dn));
-    }
+        assert!(ext.is_proxy_extension_of(&dn));
+    });
+}
 
-    #[test]
-    fn certificate_decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn certificate_decode_never_panics_on_garbage() {
+    check("certificate_decode_never_panics_on_garbage", CASES, |g| {
+        let data = g.bytes(0..256);
         // Must return Err or Ok, never panic.
         let _ = Certificate::from_bytes(&data);
-    }
+    });
+}
 
-    #[test]
-    fn validation_time_respects_window(now in 0u64..2_000_000) {
+#[test]
+fn validation_time_respects_window() {
+    check("validation_time_respects_window", CASES, |g| {
+        let now = g.u64_in(0..2_000_000);
         let f = fixture();
         let result = validate_chain(f.user.chain(), &f.trust, now);
-        prop_assert_eq!(result.is_ok(), now <= 1_000_000);
-    }
+        assert_eq!(result.is_ok(), now <= 1_000_000);
+    });
+}
 
-    #[test]
-    fn proxy_chain_depth_matches(depth in 1usize..5, seed in any::<u64>()) {
+#[test]
+fn proxy_chain_depth_matches() {
+    check("proxy_chain_depth_matches", CASES, |g| {
+        let depth = g.usize_in(1..5);
+        let seed = g.u64();
         let f = fixture();
         let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
         let mut cred = f.user.clone();
         for _ in 0..depth {
-            cred = issue_proxy(&mut rng, &cred, ProxyType::Impersonation, 512, 10, 500_000)
-                .unwrap();
+            cred =
+                issue_proxy(&mut rng, &cred, ProxyType::Impersonation, 512, 10, 500_000).unwrap();
         }
         let id = validate_chain(cred.chain(), &f.trust, 100).unwrap();
-        prop_assert_eq!(id.proxy_depth, depth);
-        prop_assert_eq!(id.base_identity.to_string(), "/O=G/CN=User");
-        prop_assert_eq!(id.rights, EffectiveRights::Full);
-    }
+        assert_eq!(id.proxy_depth, depth);
+        assert_eq!(id.base_identity.to_string(), "/O=G/CN=User");
+        assert_eq!(id.rights, EffectiveRights::Full);
+    });
+}
 
-    #[test]
-    fn any_limited_proxy_limits_chain(
-        depth in 2usize..5,
-        limited_at in 0usize..5,
-        seed in any::<u64>(),
-    ) {
-        let limited_at = limited_at % depth;
+#[test]
+fn any_limited_proxy_limits_chain() {
+    check("any_limited_proxy_limits_chain", CASES, |g| {
+        let depth = g.usize_in(2..5);
+        let limited_at = g.usize_in(0..5) % depth;
+        let seed = g.u64();
         let f = fixture();
         let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
         let mut cred = f.user.clone();
         for i in 0..depth {
-            let ty = if i == limited_at { ProxyType::Limited } else { ProxyType::Impersonation };
+            let ty = if i == limited_at {
+                ProxyType::Limited
+            } else {
+                ProxyType::Impersonation
+            };
             cred = issue_proxy(&mut rng, &cred, ty, 512, 10, 500_000).unwrap();
         }
         let id = validate_chain(cred.chain(), &f.trust, 100).unwrap();
-        prop_assert_eq!(id.rights, EffectiveRights::Limited);
-    }
+        assert_eq!(id.rights, EffectiveRights::Limited);
+    });
+}
 
-    #[test]
-    fn crl_roundtrip_and_revocation(serials in prop::collection::vec(any::<u64>(), 0..20)) {
+#[test]
+fn crl_roundtrip_and_revocation() {
+    check("crl_roundtrip_and_revocation", CASES, |g| {
+        let serials = g.vec(0..20, |g| g.u64());
         let f = fixture();
         let crl = f.ca.issue_crl(serials.clone(), 10, 100);
         let decoded = gridsec_pki::ca::Crl::from_bytes(&crl.to_bytes()).unwrap();
-        prop_assert!(decoded.verify(f.ca.certificate().public_key()));
+        assert!(decoded.verify(f.ca.certificate().public_key()));
         for s in &serials {
-            prop_assert!(decoded.is_revoked(*s));
+            assert!(decoded.is_revoked(*s));
         }
-    }
+    });
 }

@@ -7,7 +7,7 @@
 
 use gridsec_crypto::sha256::sha256;
 use gridsec_ogsa::hosting::AuditEvent;
-use parking_lot::Mutex;
+use gridsec_util::sync::Mutex;
 use std::sync::Arc;
 
 /// One chained audit record.

@@ -12,8 +12,8 @@
 //! The accounting counters feed experiment C1 (bytes on the wire for
 //! GT2-TLS vs. GT3-WS-SecureConversation context establishment).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use gridsec_util::channel::{unbounded, Receiver, Sender};
+use gridsec_util::sync::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};

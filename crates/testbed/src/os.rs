@@ -9,7 +9,7 @@
 //! GT2 gatekeeper vs. GT3 GRAM architectures.
 
 use crate::TestbedError;
-use parking_lot::Mutex;
+use gridsec_util::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

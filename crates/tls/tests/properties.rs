@@ -7,11 +7,13 @@ use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::store::TrustStore;
 use gridsec_tls::channel::SecureChannel;
 use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
-use proptest::prelude::*;
+use gridsec_util::check::check;
 use std::sync::{Mutex, OnceLock};
 
+const CASES: u64 = 16;
+
 /// Build a fresh channel pair per test case (channels are stateful).
-fn channel_pair(seed: u64) -> (SecureChannel, SecureChannel) {
+fn channel_pair() -> (SecureChannel, SecureChannel) {
     // Cache the expensive world (CA + creds) once; handshakes are cheap.
     struct World {
         client_cfg: TlsConfig,
@@ -51,53 +53,51 @@ fn channel_pair(seed: u64) -> (SecureChannel, SecureChannel) {
     static RNG: OnceLock<Mutex<ChaChaRng>> = OnceLock::new();
     let rng = RNG.get_or_init(|| Mutex::new(ChaChaRng::from_seed_bytes(b"tls proptest rng")));
     let mut rng = rng.lock().unwrap();
-    let _ = seed;
     handshake_in_memory(w.client_cfg.clone(), w.server_cfg.clone(), &mut *rng).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn any_message_sequence_roundtrips(
-        messages in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..8),
-        seed in any::<u64>(),
-    ) {
-        let (mut c, mut s) = channel_pair(seed);
+#[test]
+fn any_message_sequence_roundtrips() {
+    check("any_message_sequence_roundtrips", CASES, |g| {
+        let messages = g.vec(1..8, |g| g.bytes(0..256));
+        let (mut c, mut s) = channel_pair();
         for (i, m) in messages.iter().enumerate() {
             if i % 2 == 0 {
                 let sealed = c.seal(m);
-                prop_assert_eq!(&s.open(&sealed).unwrap(), m);
+                assert_eq!(&s.open(&sealed).unwrap(), m);
             } else {
                 let sealed = s.seal(m);
-                prop_assert_eq!(&c.open(&sealed).unwrap(), m);
+                assert_eq!(&c.open(&sealed).unwrap(), m);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn any_bitflip_is_detected(
-        msg in prop::collection::vec(any::<u8>(), 1..128),
-        byte_frac in 0.0f64..1.0,
-        bit in 0u8..8,
-        seed in any::<u64>(),
-    ) {
-        let (mut c, mut s) = channel_pair(seed);
+#[test]
+fn any_bitflip_is_detected() {
+    check("any_bitflip_is_detected", CASES, |g| {
+        let msg = g.bytes(1..128);
+        let byte_frac = g.f64_unit();
+        let bit = g.u8_in(0..8);
+        let (mut c, mut s) = channel_pair();
         let mut sealed = c.seal(&msg);
         let idx = ((sealed.len() as f64) * byte_frac) as usize % sealed.len();
         sealed[idx] ^= 1 << bit;
-        prop_assert!(s.open(&sealed).is_err());
-    }
+        assert!(s.open(&sealed).is_err());
+    });
+}
 
-    #[test]
-    fn mic_agrees_for_any_message(msg in prop::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
-        let (mut c, mut s) = channel_pair(seed);
+#[test]
+fn mic_agrees_for_any_message() {
+    check("mic_agrees_for_any_message", CASES, |g| {
+        let msg = g.bytes(0..256);
+        let (mut c, mut s) = channel_pair();
         let mic = c.get_mic(&msg);
-        prop_assert!(s.verify_mic(&msg, &mic).is_ok());
+        assert!(s.verify_mic(&msg, &mic).is_ok());
         // A different message never verifies against the same MIC.
         let mut other = msg.clone();
         other.push(0);
         let mic2 = c.get_mic(&other);
-        prop_assert!(s.verify_mic(&msg, &mic2).is_err());
-    }
+        assert!(s.verify_mic(&msg, &mic2).is_err());
+    });
 }

@@ -1,0 +1,367 @@
+//! A small micro-benchmark runner with a criterion-shaped API.
+//!
+//! Replaces the workspace's former `criterion` dependency. The surface
+//! mirrors the subset the `gridsec-bench` targets use — benchmark groups,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`/`iter_batched`, and the `criterion_group!`/
+//! `criterion_main!` macros — so bench scenario code ports with only a
+//! `use` change.
+//!
+//! Each group writes `BENCH_<group>.json` (into `GRIDSEC_BENCH_DIR`, or
+//! the current directory) containing per-benchmark iteration counts and
+//! min/mean/median/p95/max nanosecond statistics, and prints a one-line
+//! human summary per benchmark. The perf trajectory of the repo is
+//! recorded from these files.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+/// Target wall-clock time per sample; iterations are batched up to this.
+const TARGET_SAMPLE_NS: f64 = 2_000_000.0;
+/// Soft cap on a single benchmark's total measured time.
+const TARGET_TOTAL_NS: f64 = 1_000_000_000.0;
+
+/// Top-level benchmark driver; create one per bench binary (the
+/// [`criterion_main!`] macro does this).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group. Results are written when the group
+    /// is finished (or dropped).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+            results: Vec::new(),
+            written: false,
+        }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `new("validate", 8)` displays as `validate/8`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; this runner always times one batch per sample).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct BenchResult {
+    name: String,
+    samples: usize,
+    iters_per_sample: u64,
+    min_ns: f64,
+    mean_ns: f64,
+    median_ns: f64,
+    p95_ns: f64,
+    max_ns: f64,
+    throughput_bytes: Option<u64>,
+}
+
+/// A named collection of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    results: Vec<BenchResult>,
+    written: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure a routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            per_iter_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Measure a routine against a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            per_iter_ns: Vec::new(),
+            iters_per_sample: 0,
+        };
+        f(&mut bencher, input);
+        self.record(id.id, bencher);
+        self
+    }
+
+    fn record(&mut self, name: String, bencher: Bencher) {
+        let mut ns = bencher.per_iter_ns;
+        if ns.is_empty() {
+            return; // routine never called b.iter — nothing to record
+        }
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            let idx = ((ns.len() - 1) as f64 * p).round() as usize;
+            ns[idx]
+        };
+        let result = BenchResult {
+            name,
+            samples: ns.len(),
+            iters_per_sample: bencher.iters_per_sample,
+            min_ns: ns[0],
+            mean_ns: ns.iter().sum::<f64>() / ns.len() as f64,
+            median_ns: pct(0.5),
+            p95_ns: pct(0.95),
+            max_ns: *ns.last().unwrap(),
+            throughput_bytes: match self.throughput {
+                Some(Throughput::Bytes(b)) => Some(b),
+                _ => None,
+            },
+        };
+        println!(
+            "[bench] {}/{}: median {} p95 {} ({} samples x {} iters)",
+            self.name,
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            result.samples,
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+    }
+
+    /// Write this group's `BENCH_<group>.json` report.
+    pub fn finish(mut self) {
+        self.write_report();
+    }
+
+    fn write_report(&mut self) {
+        if self.written {
+            return;
+        }
+        self.written = true;
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = std::env::var("GRIDSEC_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+        let path = format!("{}/BENCH_{}.json", dir, self.name);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.name));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"max_ns\": {:.1}, \"throughput_bytes\": {}}}{}\n",
+                r.name,
+                r.samples,
+                r.iters_per_sample,
+                r.min_ns,
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.max_ns,
+                r.throughput_bytes
+                    .map_or("null".to_string(), |b| b.to_string()),
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("[bench] WARNING: could not write {path}: {e}");
+        }
+    }
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.write_report();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Passed to benchmark routines; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] exactly once with the code under test.
+pub struct Bencher {
+    sample_size: usize,
+    per_iter_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Warm up, pick a batch size targeting ~2 ms per sample, then record
+    /// `sample_size` samples of per-iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let mut est_ns = start.elapsed().as_nanos() as f64;
+        if est_ns < 1.0 {
+            est_ns = 1.0;
+        }
+        let mut iters = (TARGET_SAMPLE_NS / est_ns).clamp(1.0, 1_000_000.0) as u64;
+        // Keep the whole benchmark under the total budget.
+        let budget = (TARGET_TOTAL_NS / (est_ns * self.sample_size as f64)).max(1.0) as u64;
+        iters = iters.min(budget);
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter`], but with a per-sample `setup` whose cost is
+    /// excluded from the measurement (one setup + one routine per sample).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warmup round (not recorded).
+        black_box(routine(setup()));
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Combine bench functions into a named group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::bench::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples_and_report_is_written() {
+        let dir = std::env::temp_dir().join("gridsec_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("GRIDSEC_BENCH_DIR", &dir);
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("utiltest");
+            g.sample_size(5);
+            g.throughput(Throughput::Bytes(128));
+            g.bench_function("spin", |b| {
+                b.iter(|| {
+                    let mut x = 0u64;
+                    for i in 0..100u64 {
+                        x = x.wrapping_add(i * i);
+                    }
+                    x
+                })
+            });
+            g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+                b.iter_batched(
+                    || vec![0u8; n as usize],
+                    |v| v.len(),
+                    BatchSize::SmallInput,
+                )
+            });
+            g.finish();
+        }
+        std::env::remove_var("GRIDSEC_BENCH_DIR");
+        let json = std::fs::read_to_string(dir.join("BENCH_utiltest.json")).unwrap();
+        assert!(json.contains("\"group\": \"utiltest\""), "{json}");
+        assert!(json.contains("\"name\": \"spin\""), "{json}");
+        assert!(json.contains("\"name\": \"param/4\""), "{json}");
+        assert!(json.contains("median_ns"), "{json}");
+        assert!(json.contains("\"throughput_bytes\": 128"), "{json}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Unbounded multi-producer single-consumer channel.
+//!
+//! Backed by `std::sync::mpsc`, exposing the `crossbeam::channel` call
+//! surface the testbed's in-memory network uses: `unbounded()`, cloneable
+//! senders, and `Result`-returning `recv`/`try_recv` that report
+//! disconnection once every sender is gone and the queue is drained.
+
+use std::sync::mpsc;
+
+/// Create an unbounded channel, returning the (sender, receiver) pair.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+/// Error from [`Sender::send`]: the receiver was dropped. Carries the
+/// undelivered message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error from [`Receiver::recv`]: every sender was dropped and the queue
+/// is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error from [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now, but senders remain.
+    Empty,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+/// The sending half; clone freely across threads.
+#[derive(Debug)]
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    /// Queue `value`; fails iff the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// The receiving half.
+#[derive(Debug)]
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Drain every queued message without blocking.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.try_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn try_recv_empty_vs_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_drains_queue_after_all_senders_drop() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send("a").unwrap();
+        tx2.send("b").unwrap();
+        drop(tx);
+        drop(tx2);
+        // Queued messages are still delivered...
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        // ...then disconnection is reported.
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors_with_payload() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(42), Err(SendError(42)));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let (tx, rx) = unbounded();
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100u64 {
+                        tx.send(i * 100 + j).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got.len(), 400);
+        assert_eq!(got[0], 0);
+        assert_eq!(got[399], 399);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gridsec-util
+//!
+//! Self-contained infrastructure shared by the whole `gridsec` workspace,
+//! replacing every crates.io dependency so the workspace builds hermetically
+//! with zero registry access (the hosting-environment argument of Welch et
+//! al. §4: security infrastructure should own its dependency closure).
+//!
+//! * [`sync`] — non-poisoning [`sync::Mutex`]/[`sync::RwLock`] wrappers over
+//!   `std::sync` with the `parking_lot` guard-returning signatures.
+//! * [`channel`] — unbounded MPSC channel over `std::sync::mpsc` with the
+//!   `crossbeam::channel` surface used by the testbed.
+//! * [`chacha`] — the ChaCha20 block core (RFC 8439), shared by
+//!   `gridsec-crypto`'s cipher/AEAD/DRBG and by [`rng::DetRng`].
+//! * [`rng`] — the [`rng::RngCore`] entropy abstraction, a deterministic
+//!   seedable ChaCha-backed RNG, and an OS entropy source.
+//! * [`check`] — a minimal property-testing harness (seeded cases,
+//!   failing-seed reporting, shrink-by-replay).
+//! * [`bench`] — a criterion-shaped micro-benchmark runner emitting
+//!   median/p95 JSON reports (`BENCH_*.json`).
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod chacha;
+pub mod channel;
+pub mod check;
+pub mod rng;
+pub mod sync;

@@ -1,0 +1,219 @@
+//! Non-poisoning mutex and reader–writer lock.
+//!
+//! Thin wrappers over `std::sync` that return guards directly from
+//! `lock()`/`read()`/`write()` instead of a `Result`, matching the
+//! `parking_lot` call-site signature used across the workspace. A panic
+//! while holding a lock does not poison it: the next locker simply
+//! recovers the guard. That is the right semantics for this codebase —
+//! every protected structure is a plain map/vector that remains valid at
+//! any suspension point.
+
+/// A guard for [`Mutex`]; derefs to the protected value.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+/// A shared-read guard for [`RwLock`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// An exclusive-write guard for [`RwLock`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A mutual-exclusion lock that never poisons.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is acquired. Recovers from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Exclusive access through a `&mut` receiver (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+/// A reader–writer lock that never poisons.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Wrap `value` in a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Block until shared read access is acquired.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.0.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Block until exclusive write access is acquired.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.0.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Exclusive access through a `&mut` receiver (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_mutual_exclusion_under_contention() {
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    *counter.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 8000);
+    }
+
+    #[test]
+    fn mutex_survives_panic_without_poisoning() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("die while holding the lock");
+        })
+        .join();
+        // parking_lot semantics: the next locker just gets the guard.
+        assert_eq!(m.lock().len(), 3);
+    }
+
+    #[test]
+    fn mutex_try_lock() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn rwlock_many_readers_one_writer() {
+        let l = Arc::new(RwLock::new(0u64));
+        {
+            let _r1 = l.read();
+            let _r2 = l.read(); // concurrent readers allowed
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *l.write() += 1;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _ = *l.read();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2000);
+    }
+
+    #[test]
+    fn rwlock_survives_panic_without_poisoning() {
+        let l = Arc::new(RwLock::new(7u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("die while writing");
+        })
+        .join();
+        assert_eq!(*l.read(), 7);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m = Mutex::new(String::from("a"));
+        m.get_mut().push('b');
+        assert_eq!(m.into_inner(), "ab");
+        let mut l = RwLock::new(1);
+        *l.get_mut() = 2;
+        assert_eq!(l.into_inner(), 2);
+    }
+}

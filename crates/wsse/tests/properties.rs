@@ -5,13 +5,15 @@ use gridsec_pki::ca::CertificateAuthority;
 use gridsec_pki::credential::Credential;
 use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::store::{CrlStore, TrustStore};
+use gridsec_util::check::{check, Gen};
 use gridsec_wsse::b64;
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::xmlenc::{decrypt_body, encrypt_body};
 use gridsec_wsse::xmlsig::{sign_envelope, verify_envelope};
 use gridsec_xml::Element;
-use proptest::prelude::*;
 use std::sync::OnceLock;
+
+const CASES: u64 = 32;
 
 struct Fixture {
     trust: TrustStore,
@@ -48,45 +50,53 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-fn payload_strategy() -> impl Strategy<Value = Element> {
-    ("[A-Za-z][A-Za-z0-9]{0,8}", "[ -~]{0,64}").prop_map(|(name, text)| {
-        let mut el = Element::new(format!("app:{name}"));
-        if !text.trim().is_empty() {
-            el.push_text(text.trim().to_string());
-        }
-        el
-    })
+const NAME_FIRST: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+const NAME_REST: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+fn payload(g: &mut Gen) -> Element {
+    let mut name = String::new();
+    name.push(g.char_from(NAME_FIRST));
+    name.push_str(&g.string(NAME_REST, 0..9));
+    let text = g.printable_string(0..64);
+    let mut el = Element::new(format!("app:{name}"));
+    if !text.trim().is_empty() {
+        el.push_text(text.trim().to_string());
+    }
+    el
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn b64_roundtrip() {
+    check("b64_roundtrip", CASES, |g| {
+        let data = g.bytes(0..256);
+        assert_eq!(b64::decode(&b64::encode(&data)).unwrap(), data);
+    });
+}
 
-    #[test]
-    fn b64_roundtrip(data in prop::collection::vec(any::<u8>(), 0..256)) {
-        prop_assert_eq!(b64::decode(&b64::encode(&data)).unwrap(), data);
-    }
-
-    #[test]
-    fn b64_rejects_or_roundtrips_arbitrary_text(s in "[A-Za-z0-9+/= \n]{0,64}") {
+#[test]
+fn b64_rejects_or_roundtrips_arbitrary_text() {
+    check("b64_rejects_or_roundtrips_arbitrary_text", CASES, |g| {
+        let s = g.string("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/= \n", 0..64);
         // decode never panics; when it succeeds, re-encoding the decoded
         // bytes and re-decoding yields the same bytes (canonicalization).
         if let Some(bytes) = b64::decode(&s) {
-            prop_assert_eq!(b64::decode(&b64::encode(&bytes)).unwrap(), bytes);
+            assert_eq!(b64::decode(&b64::encode(&bytes)).unwrap(), bytes);
         }
-    }
+    });
+}
 
-    #[test]
-    fn any_signed_envelope_verifies_and_any_tamper_fails(
-        payload in payload_strategy(),
-        action in "[a-z]{1,12}",
-        flip in any::<u16>(),
-    ) {
+#[test]
+fn any_signed_envelope_verifies_and_any_tamper_fails() {
+    check("any_signed_envelope_verifies_and_any_tamper_fails", CASES, |g| {
+        let payload = payload(g);
+        let action = g.string("abcdefghijklmnopqrstuvwxyz", 1..13);
+        let flip = g.u16();
         let f = fixture();
         let env = Envelope::request(&action, payload);
         let signed = sign_envelope(&env, &f.user, 100, 300);
         let xml = signed.to_xml();
         let parsed = Envelope::parse(&xml).unwrap();
-        prop_assert!(verify_envelope(&parsed, &f.trust, &CrlStore::new(), 200).is_ok());
+        assert!(verify_envelope(&parsed, &f.trust, &CrlStore::new(), 200).is_ok());
 
         // Flip one character of the serialized body text; verification
         // must not succeed with altered content.
@@ -103,31 +113,42 @@ proptest! {
                     if let Ok(s) = String::from_utf8(bytes) {
                         if let Ok(tampered) = Envelope::parse(&s) {
                             if tampered != parsed {
-                                prop_assert!(
-                                    verify_envelope(&tampered, &f.trust, &CrlStore::new(), 200)
-                                        .is_err()
-                                );
+                                assert!(verify_envelope(
+                                    &tampered,
+                                    &f.trust,
+                                    &CrlStore::new(),
+                                    200
+                                )
+                                .is_err());
                             }
                         }
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn encrypt_decrypt_roundtrip_any_payload(payload in payload_strategy(), seed in any::<u64>()) {
+#[test]
+fn encrypt_decrypt_roundtrip_any_payload() {
+    check("encrypt_decrypt_roundtrip_any_payload", CASES, |g| {
+        let payload = payload(g);
+        let seed = g.u64();
         let f = fixture();
         let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
         let env = Envelope::request("op", payload);
         let enc = encrypt_body(&env, f.recipient.public(), &mut rng).unwrap();
         // The ciphertext hides the payload name.
         let dec = decrypt_body(&Envelope::parse(&enc.to_xml()).unwrap(), &f.recipient).unwrap();
-        prop_assert_eq!(dec.body, env.body);
-    }
+        assert_eq!(dec.body, env.body);
+    });
+}
 
-    #[test]
-    fn sign_then_encrypt_composes(payload in payload_strategy(), seed in any::<u64>()) {
+#[test]
+fn sign_then_encrypt_composes() {
+    check("sign_then_encrypt_composes", CASES, |g| {
+        let payload = payload(g);
+        let seed = g.u64();
         let f = fixture();
         let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
         let env = Envelope::request("op", payload);
@@ -135,6 +156,6 @@ proptest! {
         let enc = encrypt_body(&signed, f.recipient.public(), &mut rng).unwrap();
         let wire = Envelope::parse(&enc.to_xml()).unwrap();
         let dec = decrypt_body(&wire, &f.recipient).unwrap();
-        prop_assert!(verify_envelope(&dec, &f.trust, &CrlStore::new(), 200).is_ok());
-    }
+        assert!(verify_envelope(&dec, &f.trust, &CrlStore::new(), 200).is_ok());
+    });
 }

@@ -1,57 +1,60 @@
 //! Property tests: serialize → parse roundtrips over random trees.
 
+use gridsec_util::check::{check, Gen};
 use gridsec_xml::{Element, Node};
-use proptest::prelude::*;
 
-fn name_strategy() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9._-]{0,8}(:[A-Za-z][A-Za-z0-9._-]{0,8})?"
+const CASES: u64 = 128;
+
+const NAME_FIRST: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+const NAME_REST: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789._-";
+
+/// An XML name `[A-Za-z][A-Za-z0-9._-]{0,8}`, optionally `prefix:local`.
+fn name(g: &mut Gen) -> String {
+    let part = |g: &mut Gen| {
+        let mut s = String::new();
+        s.push(g.char_from(NAME_FIRST));
+        s.push_str(&g.string(NAME_REST, 0..9));
+        s
+    };
+    let mut out = part(g);
+    if g.pick(4) == 0 {
+        out.push(':');
+        out.push_str(&part(g));
+    }
+    out
 }
 
-fn text_strategy() -> impl Strategy<Value = String> {
-    // Printable text including characters that need escaping; avoid
-    // whitespace-only strings (dropped as insignificant by the parser).
-    "[ -~]{0,24}".prop_map(|s| {
-        if s.trim().is_empty() {
-            "x".to_string()
-        } else {
-            s.trim().to_string()
+/// Printable text including characters that need escaping; avoid
+/// whitespace-only strings (dropped as insignificant by the parser).
+fn text(g: &mut Gen) -> String {
+    let s = g.printable_string(0..24);
+    if s.trim().is_empty() {
+        "x".to_string()
+    } else {
+        s.trim().to_string()
+    }
+}
+
+fn element(g: &mut Gen, depth: usize) -> Element {
+    let mut el = Element::new(name(g));
+    for _ in 0..g.usize_in(0..4) {
+        el.set_attr(name(g), text(g)); // dedups names
+    }
+    if depth == 0 {
+        if g.bool() {
+            el.push_text(text(g));
         }
-    })
+    } else {
+        for _ in 0..g.usize_in(0..4) {
+            el.push_child(element(g, depth - 1));
+        }
+    }
+    el
 }
 
-fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (
-        name_strategy(),
-        prop::collection::vec((name_strategy(), text_strategy()), 0..4),
-        prop::option::of(text_strategy()),
-    )
-        .prop_map(|(name, attrs, text)| {
-            let mut el = Element::new(name);
-            for (k, v) in attrs {
-                el.set_attr(k, v); // dedups names
-            }
-            if let Some(t) = text {
-                el.push_text(t);
-            }
-            el
-        });
-    leaf.prop_recursive(4, 32, 4, |inner| {
-        (
-            name_strategy(),
-            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
-            prop::collection::vec(inner, 0..4),
-        )
-            .prop_map(|(name, attrs, children)| {
-                let mut el = Element::new(name);
-                for (k, v) in attrs {
-                    el.set_attr(k, v);
-                }
-                for c in children {
-                    el.push_child(c);
-                }
-                el
-            })
-    })
+fn random_element(g: &mut Gen) -> Element {
+    let depth = g.usize_in(0..4);
+    element(g, depth)
 }
 
 /// Merge adjacent text nodes the way a parser would see them.
@@ -77,25 +80,31 @@ fn normalize(el: &Element) -> Element {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn serialize_parse_roundtrip(el in element_strategy()) {
+#[test]
+fn serialize_parse_roundtrip() {
+    check("serialize_parse_roundtrip", CASES, |g| {
+        let el = random_element(g);
         let xml = el.to_xml();
         let parsed = Element::parse(&xml).unwrap();
-        prop_assert_eq!(normalize(&parsed), normalize(&el));
-    }
+        assert_eq!(normalize(&parsed), normalize(&el));
+    });
+}
 
-    #[test]
-    fn canonical_stable_under_reparse(el in element_strategy()) {
+#[test]
+fn canonical_stable_under_reparse() {
+    check("canonical_stable_under_reparse", CASES, |g| {
+        let el = random_element(g);
         let c1 = el.canonical_xml();
         let parsed = Element::parse(&c1).unwrap();
-        prop_assert_eq!(parsed.canonical_xml(), c1);
-    }
+        assert_eq!(parsed.canonical_xml(), c1);
+    });
+}
 
-    #[test]
-    fn parser_never_panics(s in "[ -~<>&\"']{0,200}") {
+#[test]
+fn parser_never_panics() {
+    check("parser_never_panics", CASES, |g| {
+        // Printable ASCII is already heavy in <, >, &, quotes.
+        let s = g.printable_string(0..200);
         let _ = Element::parse(&s);
-    }
+    });
 }

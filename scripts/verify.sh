@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: the workspace must build and test entirely
+# offline, and no manifest may declare a registry (crates.io) dependency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== grep guard: no registry dependencies =="
+# The seven dependencies removed in the hermetic-build change must not return.
+if grep -rE '^(parking_lot|crossbeam|rand|bytes|serde|proptest|criterion)\b' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: banned registry dependency declared above" >&2
+    exit 1
+fi
+# More generally: every dependency entry must be a path or workspace dep.
+# Scan [dependencies]/[dev-dependencies]/[build-dependencies] sections for
+# entries that reference neither `path =` nor `workspace = true`.
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    while IFS= read -r line; do
+        echo "FAIL: non-path dependency in $manifest: $line" >&2
+        bad=1
+    done < <(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) }
+        in_deps && /^[A-Za-z0-9_-]+ *=/ && !/path *=/ && !/workspace *= *true/ { print }
+    ' "$manifest")
+done
+[ "$bad" -eq 0 ] || exit 1
+echo "ok"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "verify.sh: all checks passed"
