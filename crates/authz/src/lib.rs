@@ -24,6 +24,7 @@
 
 pub mod cas;
 pub mod gridmap;
+pub mod net;
 pub mod policy;
 
 /// Errors from authorization components.
@@ -49,6 +50,11 @@ pub enum AuthzError {
     },
     /// Structural decode failure.
     Decode(&'static str),
+    /// The CAS exchange could not cross the network (retry policy
+    /// exhausted, endpoint gone, or a malformed reply).
+    Transport(String),
+    /// The CAS refused to issue an assertion (e.g. not a VO member).
+    Refused(String),
 }
 
 impl core::fmt::Display for AuthzError {
@@ -67,6 +73,8 @@ impl core::fmt::Display for AuthzError {
                 "assertion subject {assertion_subject:?} does not match presenter {presenter:?}"
             ),
             AuthzError::Decode(m) => write!(f, "decode error: {m}"),
+            AuthzError::Transport(m) => write!(f, "transport error: {m}"),
+            AuthzError::Refused(m) => write!(f, "CAS refused: {m}"),
         }
     }
 }

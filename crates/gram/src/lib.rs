@@ -39,6 +39,7 @@
 
 pub mod grim;
 pub mod gt2;
+pub mod remote;
 pub mod requestor;
 pub mod resource;
 pub mod types;
@@ -67,6 +68,9 @@ pub enum GramError {
     Context(String),
     /// Job is in the wrong state for the operation.
     BadState(&'static str),
+    /// The network path to the resource failed (retries exhausted or a
+    /// malformed reply). Remote submissions only.
+    Transport(String),
 }
 
 impl core::fmt::Display for GramError {
@@ -80,6 +84,7 @@ impl core::fmt::Display for GramError {
             GramError::GrimRejected(m) => write!(f, "GRIM credential rejected: {m}"),
             GramError::Context(m) => write!(f, "security context error: {m}"),
             GramError::BadState(m) => write!(f, "bad job state: {m}"),
+            GramError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

@@ -33,12 +33,12 @@ pub struct ActiveJob {
 
 /// A GRAM client holding user proxy credentials.
 pub struct Requestor {
-    credential: Credential,
-    trust: TrustStore,
-    rng: ChaChaRng,
-    request_ttl: u64,
-    delegation_key_bits: usize,
-    delegation_lifetime: u64,
+    pub(crate) credential: Credential,
+    pub(crate) trust: TrustStore,
+    pub(crate) rng: ChaChaRng,
+    pub(crate) request_ttl: u64,
+    pub(crate) delegation_key_bits: usize,
+    pub(crate) delegation_lifetime: u64,
 }
 
 impl Requestor {

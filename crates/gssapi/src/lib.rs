@@ -27,9 +27,11 @@
 
 pub mod context;
 pub mod delegation;
+pub mod net;
 
 pub use context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
 
+use gridsec_testbed::TestbedError;
 use gridsec_tls::TlsError;
 
 /// Errors from GSS operations.
@@ -41,11 +43,20 @@ pub enum GssError {
     BadState(&'static str),
     /// Delegation protocol violation.
     Delegation(&'static str),
+    /// The token exchange could not cross the network (retry policy
+    /// exhausted, endpoint gone, or a malformed acceptor reply).
+    Transport(String),
 }
 
 impl From<TlsError> for GssError {
     fn from(e: TlsError) -> Self {
         GssError::Tls(e)
+    }
+}
+
+impl From<TestbedError> for GssError {
+    fn from(e: TestbedError) -> Self {
+        GssError::Transport(e.to_string())
     }
 }
 
@@ -55,6 +66,7 @@ impl core::fmt::Display for GssError {
             GssError::Tls(e) => write!(f, "context error: {e}"),
             GssError::BadState(m) => write!(f, "bad state: {m}"),
             GssError::Delegation(m) => write!(f, "delegation error: {m}"),
+            GssError::Transport(m) => write!(f, "transport error: {m}"),
         }
     }
 }

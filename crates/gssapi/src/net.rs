@@ -1,0 +1,308 @@
+//! GSS context establishment across the simulated network.
+//!
+//! [`crate::context::establish_in_memory`] drives the token loop with
+//! both sides in one call frame; this module moves the same three
+//! tokens over a [`gridsec_testbed::net::Network`] that may be dropping,
+//! duplicating, and reordering datagrams. Each token exchange rides the
+//! at-most-once RPC layer ([`gridsec_testbed::rpc`]):
+//!
+//! * the client retransmits with exponential backoff, so a lost token
+//!   costs latency, not the context;
+//! * the server's reply cache answers retransmitted or duplicated token
+//!   frames without re-stepping the acceptor, which matters because
+//!   `AcceptorContext::step` is *not* idempotent — feeding token 1 twice
+//!   would corrupt the handshake state.
+//!
+//! Wire format (via [`gridsec_pki::encoding`]): requests are
+//! `op ‖ token` where `op` is `"gss-tok1"` or `"gss-tok3"`; replies are
+//! `status ‖ body` with status `"ok"` or `"err"`.
+
+use crate::context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
+use crate::GssError;
+use gridsec_bignum::prime::EntropySource;
+use gridsec_pki::encoding::{Decoder, Encoder};
+use gridsec_testbed::rpc::RpcClient;
+use gridsec_tls::handshake::TlsConfig;
+use std::collections::HashMap;
+
+/// Op tag for the initiator's first token.
+pub const OP_TOKEN1: &str = "gss-tok1";
+/// Op tag for the initiator's finished token.
+pub const OP_TOKEN3: &str = "gss-tok3";
+
+fn request(op: &str, token: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str(op).put_bytes(token);
+    e.finish()
+}
+
+/// Parse an `op ‖ token` request frame.
+pub fn parse_request(bytes: &[u8]) -> Result<(String, Vec<u8>), GssError> {
+    let mut d = Decoder::new(bytes);
+    let op = d
+        .get_str()
+        .map_err(|_| GssError::Transport("malformed gss request".into()))?;
+    let token = d
+        .get_bytes()
+        .map_err(|_| GssError::Transport("malformed gss request".into()))?;
+    Ok((op, token))
+}
+
+fn reply_ok(body: &[u8]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str("ok").put_bytes(body);
+    e.finish()
+}
+
+fn reply_err(msg: &str) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_str("err").put_bytes(msg.as_bytes());
+    e.finish()
+}
+
+fn parse_reply(bytes: &[u8]) -> Result<Vec<u8>, GssError> {
+    let mut d = Decoder::new(bytes);
+    let status = d
+        .get_str()
+        .map_err(|_| GssError::Transport("malformed gss reply".into()))?;
+    let body = d
+        .get_bytes()
+        .map_err(|_| GssError::Transport("malformed gss reply".into()))?;
+    if status == "ok" {
+        Ok(body)
+    } else {
+        Err(GssError::Transport(format!(
+            "acceptor refused: {}",
+            String::from_utf8_lossy(&body)
+        )))
+    }
+}
+
+/// Establish a GSS context as the initiator, exchanging tokens through
+/// `rpc` (which carries the retry policy and, in single-threaded
+/// scenarios, the pump hook that runs the acceptor's service loop).
+pub fn establish_initiator<E: EntropySource>(
+    rpc: &mut RpcClient,
+    config: TlsConfig,
+    rng: &mut E,
+) -> Result<EstablishedContext, GssError> {
+    let (mut init, token1) = InitiatorContext::new(config, rng);
+    let token2 = parse_reply(&rpc.call(&request(OP_TOKEN1, &token1))?)?;
+    let (token3, context) = match init.step(&token2)? {
+        StepResult::Established { token, context } => (
+            token.ok_or(GssError::BadState("missing finished token"))?,
+            context,
+        ),
+        StepResult::ContinueWith(_) => {
+            return Err(GssError::BadState("initiator should finish on token 2"))
+        }
+    };
+    parse_reply(&rpc.call(&request(OP_TOKEN3, &token3))?)?;
+    Ok(*context)
+}
+
+/// The acceptor side as a pollable service: plug
+/// [`AcceptorService::handle`] into an
+/// [`RpcServer::poll`][gridsec_testbed::rpc::RpcServer::poll] handler.
+/// One in-progress handshake is tracked per calling endpoint name;
+/// a fresh token 1 from the same caller abandons the old attempt
+/// (the client gave up and started over).
+pub struct AcceptorService<E: EntropySource> {
+    config: TlsConfig,
+    rng: E,
+    pending: HashMap<String, AcceptorContext>,
+    established: HashMap<String, EstablishedContext>,
+}
+
+impl<E: EntropySource> AcceptorService<E> {
+    /// Service accepting contexts under `config`, drawing handshake
+    /// entropy from `rng`.
+    pub fn new(config: TlsConfig, rng: E) -> Self {
+        AcceptorService {
+            config,
+            rng,
+            pending: HashMap::new(),
+            established: HashMap::new(),
+        }
+    }
+
+    /// Handle one request frame from caller `from`; returns the reply
+    /// frame. Never panics on malformed input — errors come back as
+    /// `"err"` replies the initiator surfaces as [`GssError::Transport`].
+    pub fn handle(&mut self, from: &str, payload: &[u8]) -> Vec<u8> {
+        let (op, token) = match parse_request(payload) {
+            Ok(x) => x,
+            Err(_) => return reply_err("malformed request"),
+        };
+        match op.as_str() {
+            OP_TOKEN1 => {
+                let mut acceptor = AcceptorContext::new(self.config.clone());
+                match acceptor.step(&mut self.rng, &token) {
+                    Ok(StepResult::ContinueWith(token2)) => {
+                        self.pending.insert(from.to_string(), acceptor);
+                        reply_ok(&token2)
+                    }
+                    Ok(StepResult::Established { .. }) => reply_err("acceptor finished too early"),
+                    Err(e) => reply_err(&e.to_string()),
+                }
+            }
+            OP_TOKEN3 => {
+                let Some(mut acceptor) = self.pending.remove(from) else {
+                    return reply_err("no handshake in progress");
+                };
+                match acceptor.step(&mut self.rng, &token) {
+                    Ok(StepResult::Established { context, .. }) => {
+                        self.established.insert(from.to_string(), *context);
+                        reply_ok(b"")
+                    }
+                    Ok(StepResult::ContinueWith(_)) => reply_err("acceptor did not finish"),
+                    Err(e) => reply_err(&e.to_string()),
+                }
+            }
+            _ => reply_err("unknown gss op"),
+        }
+    }
+
+    /// Take the established context for caller `from`, if the token
+    /// loop completed.
+    pub fn take_established(&mut self, from: &str) -> Option<EstablishedContext> {
+        self.established.remove(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::credential::Credential;
+    use gridsec_pki::name::DistinguishedName;
+    use gridsec_pki::store::TrustStore;
+    use gridsec_testbed::clock::SimClock;
+    use gridsec_testbed::net::{FaultProfile, Network};
+    use gridsec_testbed::rpc::{RpcClient, RpcServer};
+    use gridsec_util::retry::RetryPolicy;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    struct World {
+        rng: ChaChaRng,
+        trust: TrustStore,
+        alice: Credential,
+        service: Credential,
+    }
+
+    fn world() -> World {
+        let mut rng = ChaChaRng::from_seed_bytes(b"gss net tests");
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
+        let service = ca.issue_identity(&mut rng, dn("/O=G/CN=MJS"), 512, 0, 100_000);
+        let mut trust = TrustStore::new();
+        trust.add_root(ca.certificate().clone());
+        World {
+            rng,
+            trust,
+            alice,
+            service,
+        }
+    }
+
+    fn establish_over(net: &Network) -> (EstablishedContext, EstablishedContext) {
+        let mut w = world();
+        let service = Rc::new(RefCell::new(AcceptorService::new(
+            TlsConfig::new(w.service.clone(), w.trust.clone(), 100),
+            ChaChaRng::from_seed_bytes(b"acceptor"),
+        )));
+        let rpc_server = Rc::new(RefCell::new(RpcServer::new(net.register("mjs"))));
+        let mut rpc = RpcClient::new(
+            net.register("alice"),
+            "mjs",
+            RetryPolicy {
+                max_attempts: 8,
+                base_timeout: 16,
+                multiplier: 2,
+                max_timeout: 64,
+            },
+        );
+        let hook_server = rpc_server.clone();
+        let hook_service = service.clone();
+        rpc.set_pump(move || {
+            hook_server
+                .borrow_mut()
+                .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+        });
+        let init_ctx = establish_initiator(
+            &mut rpc,
+            TlsConfig::new(w.alice.clone(), w.trust.clone(), 100),
+            &mut w.rng,
+        )
+        .unwrap();
+        let accept_ctx = service.borrow_mut().take_established("alice").unwrap();
+        (init_ctx, accept_ctx)
+    }
+
+    #[test]
+    fn establishes_over_perfect_network() {
+        let net = Network::new();
+        let (mut ic, mut ac) = establish_over(&net);
+        assert_eq!(ic.peer().base_identity, dn("/O=G/CN=MJS"));
+        assert_eq!(ac.peer().base_identity, dn("/O=G/CN=Alice"));
+        let t = ic.wrap(b"over the wire");
+        assert_eq!(ac.unwrap(&t).unwrap(), b"over the wire");
+    }
+
+    #[test]
+    fn establishes_under_lossy_wan() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock, 0xA11CE, FaultProfile::lossy_wan());
+        let (mut ic, mut ac) = establish_over(&net);
+        let mic = ic.get_mic(b"job description");
+        assert!(ac.verify_mic(b"job description", &mic).is_ok());
+        let stats = net.fault_stats().unwrap();
+        assert!(stats.sent >= 4, "at least two RPC round trips");
+    }
+
+    #[test]
+    fn partition_exhausts_retries_with_transport_error() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock, 1, FaultProfile::default());
+        let mut w = world();
+        let _server_ep = net.register("mjs");
+        let mut rpc = RpcClient::new(net.register("alice"), "mjs", RetryPolicy::default());
+        rpc.set_pump(|| 0);
+        net.partition("alice", "mjs");
+        let result = establish_initiator(
+            &mut rpc,
+            TlsConfig::new(w.alice.clone(), w.trust.clone(), 100),
+            &mut w.rng,
+        );
+        match result {
+            Err(e) => assert!(matches!(e, GssError::Transport(_)), "{e}"),
+            Ok(_) => panic!("establishment should not survive a partition"),
+        }
+    }
+
+    #[test]
+    fn malformed_frames_get_err_replies_not_panics() {
+        let w = world();
+        let mut svc = AcceptorService::new(
+            TlsConfig::new(w.service.clone(), w.trust.clone(), 100),
+            ChaChaRng::from_seed_bytes(b"acceptor"),
+        );
+        // Garbage, unknown op, and token3-without-token1 all answer err.
+        for payload in [
+            b"garbage".to_vec(),
+            request("gss-unknown", b"x"),
+            request(OP_TOKEN3, b"x"),
+        ] {
+            let reply = svc.handle("mallory", &payload);
+            assert!(parse_reply(&reply).is_err());
+        }
+    }
+}

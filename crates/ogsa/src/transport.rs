@@ -4,12 +4,21 @@
 //!   environment (single-threaded benches and tests).
 //! * [`NetworkTransport`] — request/response over the `gridsec-testbed`
 //!   message network; pair with [`serve`] running the environment behind
-//!   an endpoint (multi-host scenarios, GRAM).
+//!   an endpoint (multi-host scenarios, GRAM). Assumes a perfect
+//!   network: one send, one blocking receive.
+//! * [`RetryTransport`] / [`RpcService`] — the fault-tolerant pair:
+//!   requests ride the at-most-once RPC layer
+//!   ([`gridsec_testbed::rpc`]), so lost envelopes are retransmitted
+//!   with exponential backoff and duplicated ones are answered from the
+//!   server's reply cache instead of re-executing a (stateful) OGSA
+//!   operation like `createService`.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use gridsec_testbed::net::{Endpoint, Network};
+use gridsec_testbed::rpc::{RpcCallStats, RpcClient, RpcServer};
+use gridsec_util::retry::RetryPolicy;
 
 use crate::hosting::HostingEnvironment;
 use crate::OgsaError;
@@ -63,6 +72,76 @@ impl Transport for NetworkTransport {
             .call(&self.server, request_xml.into_bytes())
             .map_err(|e| OgsaError::Transport(e.to_string()))?;
         String::from_utf8(reply.payload).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+    }
+}
+
+/// [`NetworkTransport`] hardened for a faulty network: each envelope is
+/// an RPC call with retransmission, exponential backoff, and duplicate
+/// suppression. Pair with [`RpcService`] on the server side.
+pub struct RetryTransport {
+    rpc: RpcClient,
+}
+
+impl RetryTransport {
+    /// Register `client_name` on the network and target the RPC server
+    /// at `server`, retrying per `policy`.
+    pub fn connect(network: &Network, client_name: &str, server: &str, policy: RetryPolicy) -> Self {
+        RetryTransport {
+            rpc: RpcClient::new(network.register(client_name), server, policy),
+        }
+    }
+
+    /// Install the wait-loop pump hook (see
+    /// [`RpcClient::set_pump`]): single-threaded scenarios poll their
+    /// [`RpcService`]s here so server work happens inside the client's
+    /// retry loop, deterministically.
+    pub fn set_pump(&mut self, hook: impl FnMut() -> usize + 'static) {
+        self.rpc.set_pump(hook);
+    }
+
+    /// Retransmission/timeout counters for this transport.
+    pub fn stats(&self) -> RpcCallStats {
+        self.rpc.stats()
+    }
+}
+
+impl Transport for RetryTransport {
+    fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
+        let reply = self
+            .rpc
+            .call(request_xml.as_bytes())
+            .map_err(|e| OgsaError::Transport(e.to_string()))?;
+        String::from_utf8(reply).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+    }
+}
+
+/// A hosting environment served behind an at-most-once RPC endpoint.
+/// Poll it from the client's pump hook (single-threaded scenarios) or a
+/// dedicated loop. The shared `Rc<RefCell<..>>` environment means test
+/// scaffolding can still reach in (advance clocks, inspect state)
+/// between polls.
+pub struct RpcService {
+    server: RpcServer,
+    env: Rc<RefCell<HostingEnvironment>>,
+}
+
+impl RpcService {
+    /// Serve `env` behind `endpoint_name` on `network`.
+    pub fn new(network: &Network, endpoint_name: &str, env: Rc<RefCell<HostingEnvironment>>) -> Self {
+        RpcService {
+            server: RpcServer::new(network.register(endpoint_name)),
+            env,
+        }
+    }
+
+    /// Answer every queued request frame; returns how many were
+    /// answered (cache hits included).
+    pub fn poll(&mut self) -> usize {
+        let env = &self.env;
+        self.server.poll(&mut |_from, body| {
+            let request = String::from_utf8_lossy(body).into_owned();
+            env.borrow_mut().handle_message(&request).into_bytes()
+        })
     }
 }
 

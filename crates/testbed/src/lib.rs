@@ -18,6 +18,10 @@
 //! * [`faults`] — compromise injection: mark a process compromised and
 //!   compute the blast radius (accounts, files, credentials reachable),
 //!   which is how we quantify "no privileged network services".
+//! * [`rpc`] — an at-most-once request/reply layer over [`net`] with
+//!   retransmission and exponential backoff, so the protocol crates'
+//!   client paths survive the seeded drop/duplicate/reorder faults of
+//!   [`net::Network::enable_faults`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@ pub mod clock;
 pub mod faults;
 pub mod net;
 pub mod os;
+pub mod rpc;
 
 /// Errors from testbed operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,8 +47,12 @@ pub enum TestbedError {
     PermissionDenied(&'static str),
     /// Network endpoint not registered.
     NoSuchEndpoint(String),
+    /// Endpoint name already registered (from [`net::Network::try_register`]).
+    EndpointInUse(String),
     /// The peer endpoint hung up.
     Disconnected,
+    /// A receive or RPC call exceeded its deadline (SimClock seconds).
+    Timeout,
 }
 
 impl core::fmt::Display for TestbedError {
@@ -55,7 +64,9 @@ impl core::fmt::Display for TestbedError {
             TestbedError::NoSuchFile(p) => write!(f, "no such file: {p}"),
             TestbedError::PermissionDenied(m) => write!(f, "permission denied: {m}"),
             TestbedError::NoSuchEndpoint(e) => write!(f, "no such endpoint: {e}"),
+            TestbedError::EndpointInUse(e) => write!(f, "endpoint already registered: {e}"),
             TestbedError::Disconnected => write!(f, "peer disconnected"),
+            TestbedError::Timeout => write!(f, "operation timed out"),
         }
     }
 }

@@ -11,15 +11,33 @@
 //!
 //! The accounting counters feed experiment C1 (bytes on the wire for
 //! GT2-TLS vs. GT3-WS-SecureConversation context establishment).
+//!
+//! # Deterministic fault injection
+//!
+//! [`Network::enable_faults`] arms a seed-driven fault layer: every
+//! message is subject to per-link latency, drop, duplication, and
+//! reorder decisions drawn from one [`DetRng`] under a single lock, in
+//! send order, so a given `(seed, profile, send sequence)` always
+//! produces the same [`Network::transcript`]. Latencies are measured on
+//! the shared [`SimClock`]; delayed messages sit in a pending queue
+//! until [`Network::pump`] is called with the clock at or past their
+//! delivery time. [`Endpoint::recv_timeout`] drives the clock forward
+//! itself (pump → try_recv → advance-to-next-event), which is how
+//! client retry loops experience timeouts without wall-clock sleeps.
+//! [`Network::partition`] severs a host pair bidirectionally until
+//! healed. None of this affects a network whose faults were never
+//! enabled: the legacy zero-latency direct-delivery path is unchanged.
 
+use crate::clock::SimClock;
+use crate::TestbedError;
 use gridsec_util::channel::{unbounded, Receiver, Sender};
+use gridsec_util::rng::{DetRng, RngCore};
 use gridsec_util::sync::Mutex;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-use crate::TestbedError;
 
 /// A network-wide traffic accounting snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -58,6 +76,188 @@ pub struct Message {
     pub payload: Vec<u8>,
 }
 
+/// Per-link fault knobs. The [`Default`] profile injects nothing, so an
+/// armed fault layer with default profile behaves like a perfect
+/// network that merely goes through the pending queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub drop: f64,
+    /// Probability in `[0, 1]` that a message is duplicated.
+    pub duplicate: f64,
+    /// Upper bound on extra copies when duplication fires (≥ 1 copy).
+    pub max_extra_copies: u32,
+    /// Minimum per-message latency in SimClock seconds.
+    pub min_latency: u64,
+    /// Maximum per-message latency in SimClock seconds (inclusive).
+    pub max_latency: u64,
+    /// Probability in `[0, 1]` that a message gets extra reorder jitter
+    /// on top of its drawn latency.
+    pub reorder: f64,
+    /// Maximum extra seconds of reorder jitter (inclusive).
+    pub reorder_jitter: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            drop: 0.0,
+            duplicate: 0.0,
+            max_extra_copies: 1,
+            min_latency: 0,
+            max_latency: 0,
+            reorder: 0.0,
+            reorder_jitter: 0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// The acceptance-criteria regime from ISSUE 2: 10% drop, 10%
+    /// duplication with up to 2 extra copies, 1–4s latency, and a 25%
+    /// chance of up to 3s reorder jitter.
+    pub fn lossy_wan() -> Self {
+        FaultProfile {
+            drop: 0.10,
+            duplicate: 0.10,
+            max_extra_copies: 2,
+            min_latency: 1,
+            max_latency: 4,
+            reorder: 0.25,
+            reorder_jitter: 3,
+        }
+    }
+}
+
+/// Counters for what the fault layer did to traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages offered to the fault layer.
+    pub sent: u64,
+    /// Copies actually delivered to a mailbox.
+    pub delivered: u64,
+    /// Messages dropped by the loss draw.
+    pub dropped: u64,
+    /// Extra copies created by the duplication draw.
+    pub duplicated: u64,
+    /// Messages blocked by an active partition.
+    pub blocked: u64,
+}
+
+/// One scheduled delivery in the pending queue. Ordered by
+/// `(deliver_at, seq)`; `seq` is unique per copy, so the heap order is
+/// total and deterministic.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct PendingDelivery {
+    deliver_at: u64,
+    seq: u64,
+    from: String,
+    to: String,
+    payload: Vec<u8>,
+}
+
+struct FaultState {
+    clock: SimClock,
+    rng: DetRng,
+    profile: FaultProfile,
+    link_profiles: HashMap<(String, String), FaultProfile>,
+    partitions: HashSet<(String, String)>,
+    pending: BinaryHeap<Reverse<PendingDelivery>>,
+    seq: u64,
+    transcript: Vec<String>,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn draw_unit(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn draw_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.rng.next_u64() % (hi - lo + 1)
+    }
+
+    fn profile_for(&self, from: &str, to: &str) -> FaultProfile {
+        self.link_profiles
+            .get(&(from.to_string(), to.to_string()))
+            .copied()
+            .unwrap_or(self.profile)
+    }
+
+    fn partitioned(&self, a: &str, b: &str) -> bool {
+        self.partitions.contains(&normalize_pair(a, b))
+    }
+
+    /// One scheduled arrival time: latency draw plus optional reorder
+    /// jitter. Draw order is fixed so transcripts replay exactly.
+    fn draw_arrival(&mut self, now: u64, prof: &FaultProfile) -> u64 {
+        let latency = self.draw_in(prof.min_latency, prof.max_latency);
+        let jitter = if self.draw_unit() < prof.reorder {
+            self.draw_in(0, prof.reorder_jitter)
+        } else {
+            0
+        };
+        now + latency + jitter
+    }
+
+    /// Decide the fate of one sent message and queue its copies.
+    fn inject(&mut self, from: &str, to: &str, payload: Vec<u8>) {
+        self.stats.sent += 1;
+        let now = self.clock.now();
+        let id = self.stats.sent;
+        let len = payload.len();
+        let prof = self.profile_for(from, to);
+
+        if self.partitioned(from, to) {
+            self.stats.blocked += 1;
+            self.transcript
+                .push(format!("[t={now}] #{id} {from}->{to} {len}B partitioned"));
+            return;
+        }
+        if self.draw_unit() < prof.drop {
+            self.stats.dropped += 1;
+            self.transcript
+                .push(format!("[t={now}] #{id} {from}->{to} {len}B drop"));
+            return;
+        }
+        let mut arrivals = vec![self.draw_arrival(now, &prof)];
+        if self.draw_unit() < prof.duplicate {
+            let extra = self.draw_in(1, u64::from(prof.max_extra_copies.max(1))) as u32;
+            self.stats.duplicated += u64::from(extra);
+            for _ in 0..extra {
+                let t = self.draw_arrival(now, &prof);
+                arrivals.push(t);
+            }
+        }
+        let times: Vec<String> = arrivals.iter().map(|t| format!("@{t}")).collect();
+        self.transcript.push(format!(
+            "[t={now}] #{id} {from}->{to} {len}B deliver{}",
+            times.join(",")
+        ));
+        for deliver_at in arrivals {
+            self.seq += 1;
+            self.pending.push(Reverse(PendingDelivery {
+                deliver_at,
+                seq: self.seq,
+                from: from.to_string(),
+                to: to.to_string(),
+                payload: payload.clone(),
+            }));
+        }
+    }
+}
+
+fn normalize_pair(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
 /// A named message network.
 #[derive(Clone, Default)]
 pub struct Network {
@@ -68,6 +268,7 @@ pub struct Network {
 struct NetworkInner {
     endpoints: Mutex<HashMap<String, Sender<Message>>>,
     counters: Counters,
+    faults: Mutex<Option<FaultState>>,
 }
 
 impl Network {
@@ -77,18 +278,36 @@ impl Network {
     }
 
     /// Register an endpoint name, returning its handle. Re-registering a
-    /// name replaces the previous endpoint (the old receiver disconnects).
+    /// name replaces the previous endpoint: the old handle keeps any mail
+    /// already in its mailbox but receives nothing further (its receiver
+    /// reports `Disconnected` once drained). Use [`Network::try_register`]
+    /// to refuse instead of replace.
     pub fn register(&self, name: &str) -> Endpoint {
         let (tx, rx) = unbounded();
-        self.inner
-            .endpoints
-            .lock()
-            .insert(name.to_string(), tx);
+        self.inner.endpoints.lock().insert(name.to_string(), tx);
         Endpoint {
             name: name.to_string(),
             network: self.clone(),
             rx,
         }
+    }
+
+    /// Register an endpoint name, erroring with
+    /// [`TestbedError::EndpointInUse`] if the name is already taken
+    /// (instead of silently replacing it as [`Network::register`] does).
+    pub fn try_register(&self, name: &str) -> Result<Endpoint, TestbedError> {
+        let mut map = self.inner.endpoints.lock();
+        if map.contains_key(name) {
+            return Err(TestbedError::EndpointInUse(name.to_string()));
+        }
+        let (tx, rx) = unbounded();
+        map.insert(name.to_string(), tx);
+        drop(map);
+        Ok(Endpoint {
+            name: name.to_string(),
+            network: self.clone(),
+            rx,
+        })
     }
 
     /// Remove an endpoint (its receiver starts reporting `Disconnected`).
@@ -101,7 +320,159 @@ impl Network {
         self.inner.endpoints.lock().contains_key(name)
     }
 
+    /// Arm the deterministic fault layer. All subsequent sends draw
+    /// their fate (drop/duplicate/latency/reorder) from a [`DetRng`]
+    /// seeded with `seed`; latencies are scheduled on `clock` and
+    /// delivered by [`Network::pump`]. Calling this again resets the
+    /// fault state (fresh RNG, empty queue, empty transcript).
+    pub fn enable_faults(&self, clock: SimClock, seed: u64, profile: FaultProfile) {
+        *self.inner.faults.lock() = Some(FaultState {
+            clock,
+            rng: DetRng::seed_from_u64(seed),
+            profile,
+            link_profiles: HashMap::new(),
+            partitions: HashSet::new(),
+            pending: BinaryHeap::new(),
+            seq: 0,
+            transcript: Vec::new(),
+            stats: FaultStats::default(),
+        });
+    }
+
+    /// `true` iff [`Network::enable_faults`] has armed the fault layer.
+    pub fn faults_enabled(&self) -> bool {
+        self.inner.faults.lock().is_some()
+    }
+
+    /// The clock the fault layer schedules on, if armed.
+    pub fn fault_clock(&self) -> Option<SimClock> {
+        self.inner.faults.lock().as_ref().map(|f| f.clock.clone())
+    }
+
+    /// Override the fault profile for one directed link `from -> to`.
+    pub fn set_link_profile(&self, from: &str, to: &str, profile: FaultProfile) {
+        if let Some(fs) = self.inner.faults.lock().as_mut() {
+            fs.link_profiles
+                .insert((from.to_string(), to.to_string()), profile);
+        }
+    }
+
+    /// Sever the pair `(a, b)` in both directions. Messages sent across
+    /// an active partition are blocked (counted in
+    /// [`FaultStats::blocked`]); copies already in flight still arrive.
+    pub fn partition(&self, a: &str, b: &str) {
+        if let Some(fs) = self.inner.faults.lock().as_mut() {
+            fs.partitions.insert(normalize_pair(a, b));
+        }
+    }
+
+    /// Heal the partition between `a` and `b`, if any.
+    pub fn heal(&self, a: &str, b: &str) {
+        if let Some(fs) = self.inner.faults.lock().as_mut() {
+            fs.partitions.remove(&normalize_pair(a, b));
+        }
+    }
+
+    /// Heal all partitions.
+    pub fn heal_all(&self) {
+        if let Some(fs) = self.inner.faults.lock().as_mut() {
+            fs.partitions.clear();
+        }
+    }
+
+    /// Deliver every pending copy whose scheduled time is at or before
+    /// the fault clock's now. Returns the number of copies delivered.
+    /// A no-op (returning 0) when faults are not armed.
+    pub fn pump(&self) -> usize {
+        let mut delivered = 0;
+        loop {
+            // Pop one due entry under the fault lock, then deliver it
+            // with only the endpoints lock held (fixed faults→endpoints
+            // order; never both across a call boundary).
+            let entry = {
+                let mut guard = self.inner.faults.lock();
+                let fs = match guard.as_mut() {
+                    Some(fs) => fs,
+                    None => return delivered,
+                };
+                let now = fs.clock.now();
+                match fs.pending.peek() {
+                    Some(Reverse(head)) if head.deliver_at <= now => {
+                        let Reverse(e) = fs.pending.pop().expect("peeked");
+                        e
+                    }
+                    _ => return delivered,
+                }
+            };
+            let tx = self.inner.endpoints.lock().get(&entry.to).cloned();
+            let ok = match tx {
+                Some(tx) => {
+                    self.inner.counters.record(entry.payload.len());
+                    tx.send(Message {
+                        from: entry.from.clone(),
+                        payload: entry.payload,
+                    })
+                    .is_ok()
+                }
+                // Destination vanished between send and delivery: the
+                // copy evaporates, like packets to a dead host.
+                None => false,
+            };
+            let mut guard = self.inner.faults.lock();
+            if let Some(fs) = guard.as_mut() {
+                if ok {
+                    fs.stats.delivered += 1;
+                    delivered += 1;
+                } else {
+                    fs.stats.dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Scheduled time of the earliest pending delivery, if any.
+    pub fn next_event_at(&self) -> Option<u64> {
+        self.inner
+            .faults
+            .lock()
+            .as_ref()
+            .and_then(|fs| fs.pending.peek().map(|Reverse(e)| e.deliver_at))
+    }
+
+    /// The fault event transcript so far: one line per send decision,
+    /// in send order. Byte-identical across runs with the same seed,
+    /// profile, and send sequence — the chaos suite's replay check.
+    pub fn transcript(&self) -> Vec<String> {
+        self.inner
+            .faults
+            .lock()
+            .as_ref()
+            .map(|fs| fs.transcript.clone())
+            .unwrap_or_default()
+    }
+
+    /// Fault-layer counters, if armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.inner.faults.lock().as_ref().map(|fs| fs.stats)
+    }
+
     fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
+        {
+            let map = self.inner.endpoints.lock();
+            if !map.contains_key(to) {
+                return Err(TestbedError::NoSuchEndpoint(to.to_string()));
+            }
+        }
+        {
+            let mut guard = self.inner.faults.lock();
+            if let Some(fs) = guard.as_mut() {
+                fs.inject(from, to, payload);
+                drop(guard);
+                // Zero-latency copies may already be due.
+                self.pump();
+                return Ok(());
+            }
+        }
         let tx = {
             let map = self.inner.endpoints.lock();
             map.get(to)
@@ -135,6 +506,11 @@ impl Endpoint {
         &self.name
     }
 
+    /// The network this endpoint is registered on.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
     /// Send `payload` to endpoint `to`.
     pub fn send(&self, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
         self.network.send(&self.name, to, payload)
@@ -150,6 +526,39 @@ impl Endpoint {
         self.rx.try_recv().ok()
     }
 
+    /// Receive with a timeout of `timeout` SimClock seconds.
+    ///
+    /// With the fault layer armed this is the single-threaded event
+    /// loop: pump due deliveries, poll the mailbox, then advance the
+    /// shared clock to the earlier of the next scheduled delivery and
+    /// the deadline; at the deadline it returns
+    /// [`TestbedError::Timeout`]. Without faults there is no simulated
+    /// latency — anything sent is already in the mailbox — so this
+    /// returns immediately (mail or `Timeout`).
+    pub fn recv_timeout(&self, timeout: u64) -> Result<Message, TestbedError> {
+        let clock = match self.network.fault_clock() {
+            Some(c) => c,
+            None => return self.try_recv().ok_or(TestbedError::Timeout),
+        };
+        let deadline = clock.now().saturating_add(timeout);
+        loop {
+            self.network.pump();
+            if let Some(m) = self.try_recv() {
+                return Ok(m);
+            }
+            let now = clock.now();
+            if now >= deadline {
+                return Err(TestbedError::Timeout);
+            }
+            let next = self
+                .network
+                .next_event_at()
+                .map(|t| t.clamp(now + 1, deadline))
+                .unwrap_or(deadline);
+            clock.set(next);
+        }
+    }
+
     /// Send a request and block for the next message (simple RPC idiom for
     /// single-threaded scenarios where the callee answers synchronously).
     pub fn call(&self, to: &str, payload: Vec<u8>) -> Result<Message, TestbedError> {
@@ -158,13 +567,28 @@ impl Endpoint {
     }
 }
 
+/// A chunk on one direction of a stream: payload bytes, or a simulated
+/// connection reset injected by the loss layer.
+enum Chunk {
+    Data(Vec<u8>),
+    Reset,
+}
+
+/// Seeded write-side loss for one stream direction.
+struct StreamFault {
+    rng: DetRng,
+    drop: f64,
+}
+
 /// One direction of a byte stream.
 struct StreamHalf {
-    tx: Sender<Vec<u8>>,
-    rx: Receiver<Vec<u8>>,
+    tx: Sender<Chunk>,
+    rx: Receiver<Chunk>,
     read_buf: Vec<u8>,
     read_pos: usize,
     counters: Arc<Counters>,
+    fault: Option<StreamFault>,
+    dead: bool,
 }
 
 /// A connected, blocking, in-memory byte stream (one side of a pair).
@@ -181,9 +605,31 @@ impl StreamPair {
     /// written on either side.
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> (SimStream, SimStream, StreamStats) {
+        StreamPair::build(None)
+    }
+
+    /// Like [`StreamPair::new`], but each write has probability
+    /// `drop_rate` of being lost. A TCP stream cannot paper over a lost
+    /// segment here (there is no transport-level retransmission in the
+    /// sim), so a loss tears the connection down: the writer sees
+    /// `ConnectionReset` and the reader sees `ConnectionReset` once it
+    /// reaches the tear point. Deterministic per `seed` (each direction
+    /// gets an independent stream derived from it). Retry-capable
+    /// callers dial a fresh pair per attempt.
+    pub fn lossy(seed: u64, drop_rate: f64) -> (SimStream, SimStream, StreamStats) {
+        StreamPair::build(Some((seed, drop_rate)))
+    }
+
+    fn build(fault: Option<(u64, f64)>) -> (SimStream, SimStream, StreamStats) {
         let (a2b_tx, a2b_rx) = unbounded();
         let (b2a_tx, b2a_rx) = unbounded();
         let counters = Arc::new(Counters::default());
+        let mk_fault = |dir: u64| {
+            fault.map(|(seed, drop)| StreamFault {
+                rng: DetRng::seed_from_u64(seed ^ dir),
+                drop,
+            })
+        };
         let a = SimStream {
             half: StreamHalf {
                 tx: a2b_tx,
@@ -191,6 +637,8 @@ impl StreamPair {
                 read_buf: Vec::new(),
                 read_pos: 0,
                 counters: counters.clone(),
+                fault: mk_fault(0x5eed_a2bu64),
+                dead: false,
             },
         };
         let b = SimStream {
@@ -200,6 +648,8 @@ impl StreamPair {
                 read_buf: Vec::new(),
                 read_pos: 0,
                 counters: counters.clone(),
+                fault: mk_fault(0x5eed_b2au64),
+                dead: false,
             },
         };
         (a, b, StreamStats { counters })
@@ -221,11 +671,24 @@ impl StreamStats {
 
 impl Read for SimStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.half.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "connection torn by simulated loss",
+            ));
+        }
         if self.half.read_pos == self.half.read_buf.len() {
             match self.half.rx.recv() {
-                Ok(chunk) => {
+                Ok(Chunk::Data(chunk)) => {
                     self.half.read_buf = chunk;
                     self.half.read_pos = 0;
+                }
+                Ok(Chunk::Reset) => {
+                    self.half.dead = true;
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionReset,
+                        "connection torn by simulated loss",
+                    ));
                 }
                 Err(_) => return Ok(0), // EOF: peer dropped
             }
@@ -240,10 +703,27 @@ impl Read for SimStream {
 
 impl Write for SimStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.half.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "connection torn by simulated loss",
+            ));
+        }
+        if let Some(f) = &mut self.half.fault {
+            let draw = (f.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if draw < f.drop {
+                self.half.dead = true;
+                let _ = self.half.tx.send(Chunk::Reset);
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "write lost; connection torn",
+                ));
+            }
+        }
         self.half.counters.record(buf.len());
         self.half
             .tx
-            .send(buf.to_vec())
+            .send(Chunk::Data(buf.to_vec()))
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
         Ok(buf.len())
     }
@@ -268,6 +748,40 @@ mod tests {
         let m = b.recv().unwrap();
         assert_eq!(m.from, "alice");
         assert_eq!(m.payload, b"hi again");
+    }
+
+    #[test]
+    fn reregister_keeps_old_mail_but_disconnects_handle() {
+        // The documented replace semantics: the old handle drains what it
+        // already had, then reports Disconnected; new mail goes to the
+        // replacement only.
+        let net = Network::new();
+        let a = net.register("alice");
+        let old = net.register("bob");
+        a.send("bob", b"before".to_vec()).unwrap();
+        let new = net.register("bob");
+        a.send("bob", b"after".to_vec()).unwrap();
+        assert_eq!(old.recv().unwrap().payload, b"before");
+        assert_eq!(old.recv(), Err(TestbedError::Disconnected));
+        assert_eq!(new.recv().unwrap().payload, b"after");
+        assert!(new.try_recv().is_none());
+    }
+
+    #[test]
+    fn try_register_refuses_duplicates() {
+        let net = Network::new();
+        let a = net.try_register("alice").unwrap();
+        assert_eq!(
+            net.try_register("alice").err(),
+            Some(TestbedError::EndpointInUse("alice".into()))
+        );
+        // The original endpoint is untouched by the failed attempt.
+        let b = net.register("bob");
+        b.send("alice", b"still here".to_vec()).unwrap();
+        assert_eq!(a.recv().unwrap().payload, b"still here");
+        // After unregister the name is free again.
+        net.unregister("alice");
+        assert!(net.try_register("alice").is_ok());
     }
 
     #[test]
@@ -316,6 +830,121 @@ mod tests {
         a.send("bob", b"x".to_vec()).unwrap();
         assert!(b.try_recv().is_some());
         assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn fault_layer_latency_and_pump() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(
+            clock.clone(),
+            1,
+            FaultProfile {
+                min_latency: 3,
+                max_latency: 3,
+                ..FaultProfile::default()
+            },
+        );
+        let a = net.register("alice");
+        let b = net.register("bob");
+        a.send("bob", b"delayed".to_vec()).unwrap();
+        assert!(b.try_recv().is_none(), "latency holds the message");
+        assert_eq!(net.next_event_at(), Some(3));
+        clock.set(3);
+        assert_eq!(net.pump(), 1);
+        assert_eq!(b.recv().unwrap().payload, b"delayed");
+    }
+
+    #[test]
+    fn recv_timeout_advances_clock_to_delivery() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(
+            clock.clone(),
+            1,
+            FaultProfile {
+                min_latency: 2,
+                max_latency: 2,
+                ..FaultProfile::default()
+            },
+        );
+        let a = net.register("alice");
+        let b = net.register("bob");
+        a.send("bob", b"m".to_vec()).unwrap();
+        let m = b.recv_timeout(10).unwrap();
+        assert_eq!(m.payload, b"m");
+        assert_eq!(clock.now(), 2, "clock advanced exactly to delivery");
+        // Nothing further: timeout fires and the clock lands on the deadline.
+        assert_eq!(b.recv_timeout(5), Err(TestbedError::Timeout));
+        assert_eq!(clock.now(), 7);
+    }
+
+    #[test]
+    fn partition_blocks_until_healed() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock.clone(), 1, FaultProfile::default());
+        let a = net.register("alice");
+        let b = net.register("bob");
+        net.partition("alice", "bob");
+        a.send("bob", b"lost".to_vec()).unwrap();
+        assert_eq!(b.recv_timeout(5), Err(TestbedError::Timeout));
+        net.heal("alice", "bob");
+        a.send("bob", b"through".to_vec()).unwrap();
+        assert_eq!(b.recv_timeout(5).unwrap().payload, b"through");
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.blocked, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn same_seed_same_transcript() {
+        let run = |seed: u64| {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(clock.clone(), seed, FaultProfile::lossy_wan());
+            let a = net.register("alice");
+            let b = net.register("bob");
+            for i in 0..50u32 {
+                a.send("bob", vec![0u8; i as usize % 7 + 1]).unwrap();
+                let _ = b.recv_timeout(2);
+            }
+            (net.transcript(), net.fault_stats().unwrap())
+        };
+        let (t1, s1) = run(0xC11A05);
+        let (t2, s2) = run(0xC11A05);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        assert!(s1.dropped > 0, "lossy_wan at 50 sends should drop some");
+        let (t3, _) = run(0xC11A06);
+        assert_ne!(t1, t3, "different seed, different transcript");
+    }
+
+    #[test]
+    fn duplicates_are_delivered_as_extra_copies() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(
+            clock.clone(),
+            7,
+            FaultProfile {
+                duplicate: 1.0,
+                max_extra_copies: 2,
+                ..FaultProfile::default()
+            },
+        );
+        let a = net.register("alice");
+        let b = net.register("bob");
+        a.send("bob", b"dup".to_vec()).unwrap();
+        net.pump();
+        let mut copies = 0;
+        while b.try_recv().is_some() {
+            copies += 1;
+        }
+        assert!(copies >= 2, "duplication at p=1.0 yields extra copies");
+        let stats = net.fault_stats().unwrap();
+        assert_eq!(stats.delivered, copies);
+        assert_eq!(stats.duplicated, copies - 1);
     }
 
     #[test]
@@ -372,5 +1001,50 @@ mod tests {
         a.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"echo!");
         t.join().unwrap();
+    }
+
+    #[test]
+    fn lossy_stream_eventually_tears_and_is_deterministic() {
+        let run = |seed: u64| {
+            let (mut a, mut b, _) = StreamPair::lossy(seed, 0.2);
+            let mut survived = 0u32;
+            for _ in 0..100 {
+                match a.write_all(b"chunk") {
+                    Ok(()) => survived += 1,
+                    Err(e) => {
+                        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+                        break;
+                    }
+                }
+            }
+            // Reader drains what got through, then sees the reset.
+            let mut drained = 0u32;
+            let mut buf = [0u8; 5];
+            loop {
+                match b.read_exact(&mut buf) {
+                    Ok(()) => drained += 1,
+                    Err(e) => {
+                        assert_eq!(e.kind(), io::ErrorKind::ConnectionReset);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(drained, survived);
+            survived
+        };
+        let s1 = run(42);
+        let s2 = run(42);
+        assert_eq!(s1, s2, "same seed, same tear point");
+        assert!(s1 < 100, "p=0.2 over 100 writes tears the stream");
+    }
+
+    #[test]
+    fn lossy_stream_zero_rate_behaves_like_new() {
+        let (mut a, mut b, stats) = StreamPair::lossy(9, 0.0);
+        a.write_all(b"clean").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"clean");
+        assert_eq!(stats.snapshot().bytes, 5);
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod channel;
 pub mod handshake;
+pub mod retry;
 pub mod stream;
 
 use gridsec_pki::PkiError;

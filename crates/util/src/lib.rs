@@ -17,6 +17,8 @@
 //!   failing-seed reporting, shrink-by-replay).
 //! * [`bench`] — a criterion-shaped micro-benchmark runner emitting
 //!   median/p95 JSON reports (`BENCH_*.json`).
+//! * [`retry`] — the shared exponential-backoff [`retry::RetryPolicy`]
+//!   used by every client path that crosses the simulated network.
 
 #![forbid(unsafe_code)]
 
@@ -24,5 +26,6 @@ pub mod bench;
 pub mod chacha;
 pub mod channel;
 pub mod check;
+pub mod retry;
 pub mod rng;
 pub mod sync;

@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Hermetic-build verification: the workspace must build and test entirely
-# offline, and no manifest may declare a registry (crates.io) dependency.
+# offline, no manifest may declare a registry (crates.io) dependency, and
+# the seeded chaos suite must be deterministic (same seed -> byte-identical
+# event transcript across two fresh processes).
+#
+# Knobs:
+#   GRIDSEC_CHAOS_SEED   seed for the chaos stage (default pinned below)
+#   GRIDSEC_VERIFY_DEEP=1  elevate property-test case counts (GRIDSEC_PT_CASES)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
+    # Deep mode: drive every `check` property through far more cases.
+    export GRIDSEC_PT_CASES="${GRIDSEC_PT_CASES:-2000}"
+    echo "== deep mode: GRIDSEC_PT_CASES=$GRIDSEC_PT_CASES =="
+fi
 
 echo "== grep guard: no registry dependencies =="
 # The seven dependencies removed in the hermetic-build change must not return.
@@ -32,5 +44,23 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
+
+echo "== chaos determinism: same seed, byte-identical transcripts =="
+chaos_seed="${GRIDSEC_CHAOS_SEED:-0xC4A05EED}"
+tdir="$(mktemp -d)"
+trap 'rm -rf "$tdir"' EXIT
+for run in 1 2; do
+    GRIDSEC_CHAOS_SEED="$chaos_seed" \
+    GRIDSEC_CHAOS_TRANSCRIPT="$tdir/transcript.$run" \
+        cargo test -q --offline -p gridsec-integration --test chaos -- \
+        same_seed_reproduces_byte_identical_transcript > /dev/null
+done
+if ! cmp -s "$tdir/transcript.1" "$tdir/transcript.2"; then
+    echo "FAIL: chaos transcripts differ across runs with seed $chaos_seed" >&2
+    diff "$tdir/transcript.1" "$tdir/transcript.2" | head -20 >&2 || true
+    exit 1
+fi
+lines=$(wc -l < "$tdir/transcript.1")
+echo "ok: $lines transcript lines identical across two runs (seed $chaos_seed)"
 
 echo "verify.sh: all checks passed"
