@@ -287,10 +287,8 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"cas tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
-        let cas_cred =
-            ca.issue_identity(&mut rng, dn("/O=G/CN=CAS physics-vo"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let cas_cred = ca.issue_identity(&mut rng, dn("/O=G/CN=CAS physics-vo"), 512, 0, 1_000_000);
         let cas = CasServer::new("physics-vo", cas_cred, 3600);
 
         // VO membership + outsourced policy.
@@ -345,7 +343,13 @@ mod tests {
         // Steps 2-3: present to the resource.
         let d = w
             .gate
-            .authorize_with_cas(&assertion, &dn("/O=G/CN=Jane"), "/detector/run7", "read", 200)
+            .authorize_with_cas(
+                &assertion,
+                &dn("/O=G/CN=Jane"),
+                "/detector/run7",
+                "read",
+                200,
+            )
             .unwrap();
         assert_eq!(d, Decision::Permit);
     }
@@ -357,7 +361,13 @@ mod tests {
         // VO granted read, not write.
         let d = w
             .gate
-            .authorize_with_cas(&assertion, &dn("/O=G/CN=Jane"), "/detector/run7", "write", 200)
+            .authorize_with_cas(
+                &assertion,
+                &dn("/O=G/CN=Jane"),
+                "/detector/run7",
+                "write",
+                200,
+            )
             .unwrap();
         assert_eq!(d, Decision::Deny);
     }
@@ -390,7 +400,10 @@ mod tests {
     #[test]
     fn non_member_gets_no_assertion() {
         let w = world();
-        assert!(w.cas.issue_assertion(&dn("/O=G/CN=Stranger"), 100).is_none());
+        assert!(w
+            .cas
+            .issue_assertion(&dn("/O=G/CN=Stranger"), 100)
+            .is_none());
         assert_eq!(w.cas.member_count(), 2);
     }
 
@@ -400,7 +413,13 @@ mod tests {
         let assertion = w.cas.issue_assertion(&dn("/O=G/CN=Jane"), 100).unwrap();
         let err = w
             .gate
-            .authorize_with_cas(&assertion, &dn("/O=G/CN=Eve"), "/detector/run7", "read", 200)
+            .authorize_with_cas(
+                &assertion,
+                &dn("/O=G/CN=Eve"),
+                "/detector/run7",
+                "read",
+                200,
+            )
             .unwrap_err();
         assert!(matches!(err, AuthzError::SubjectMismatch { .. }));
     }
@@ -411,7 +430,13 @@ mod tests {
         let assertion = w.cas.issue_assertion(&dn("/O=G/CN=Jane"), 100).unwrap();
         let err = w
             .gate
-            .authorize_with_cas(&assertion, &dn("/O=G/CN=Jane"), "/detector/run7", "read", 10_000)
+            .authorize_with_cas(
+                &assertion,
+                &dn("/O=G/CN=Jane"),
+                "/detector/run7",
+                "read",
+                10_000,
+            )
             .unwrap_err();
         assert!(matches!(err, AuthzError::AssertionExpired { .. }));
     }
@@ -444,7 +469,13 @@ mod tests {
         let w = world();
         let err = w
             .gate
-            .authorize_with_cas(&assertion, &dn("/O=G/CN=Jane"), "/detector/run7", "read", 200)
+            .authorize_with_cas(
+                &assertion,
+                &dn("/O=G/CN=Jane"),
+                "/detector/run7",
+                "read",
+                200,
+            )
             .unwrap_err();
         assert_eq!(err, AuthzError::UntrustedAssertion);
     }
@@ -473,7 +504,8 @@ mod tests {
     #[test]
     fn per_user_local_deny_bites_through_cas() {
         let mut w = world();
-        w.cas.enroll(&dn("/O=G/CN=Banned"), vec!["group:analysts".to_string()]);
+        w.cas
+            .enroll(&dn("/O=G/CN=Banned"), vec!["group:analysts".to_string()]);
         let assertion = w.cas.issue_assertion(&dn("/O=G/CN=Banned"), 100).unwrap();
         let d = w
             .gate

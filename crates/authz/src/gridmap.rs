@@ -159,10 +159,10 @@ mod tests {
     #[test]
     fn malformed_lines_rejected() {
         for bad in [
-            "/O=G/CN=x jdoe",          // missing quotes
-            "\"/O=G/CN=x\"",           // missing account
-            "\"/O=G/CN=x jdoe",        // unterminated quote
-            "\"not-a-dn\" jdoe",       // bad DN
+            "/O=G/CN=x jdoe",    // missing quotes
+            "\"/O=G/CN=x\"",     // missing account
+            "\"/O=G/CN=x jdoe",  // unterminated quote
+            "\"not-a-dn\" jdoe", // bad DN
         ] {
             assert!(GridMapFile::parse(bad).is_err(), "{bad:?}");
         }

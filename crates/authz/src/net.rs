@@ -18,6 +18,7 @@ use gridsec_pki::encoding::{Codec, Decoder, Encoder};
 use gridsec_pki::name::DistinguishedName;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::rpc::RpcClient;
+use gridsec_util::trace;
 use std::sync::Arc;
 
 /// Op tag for assertion issuance.
@@ -42,7 +43,8 @@ impl CasService {
 
     /// Handle one request frame; returns the reply frame. Malformed
     /// input and non-members get error replies, never panics.
-    pub fn handle(&mut self, _from: &str, payload: &[u8]) -> Vec<u8> {
+    pub fn handle(&mut self, from: &str, payload: &[u8]) -> Vec<u8> {
+        let _sp = trace::span_with("cas.issue", &format!("from={from}"));
         let mut d = Decoder::new(payload);
         let parsed = d.get_str().and_then(|op| Ok((op, d.get_str()?)));
         let (op, subject) = match parsed {
@@ -56,8 +58,19 @@ impl CasService {
             return reply("err", b"bad subject DN");
         };
         match self.cas.issue_assertion(&user, self.clock.now()) {
-            Some(assertion) => reply("ok", &assertion.to_bytes()),
-            None => reply("none", b"not a VO member"),
+            Some(assertion) => {
+                trace::event("cas.decision", &format!("subject={subject} outcome=issued"));
+                trace::add("cas.assertions_issued", 1);
+                reply("ok", &assertion.to_bytes())
+            }
+            None => {
+                trace::event(
+                    "cas.decision",
+                    &format!("subject={subject} outcome=refused"),
+                );
+                trace::add("cas.refusals", 1);
+                reply("none", b"not a VO member")
+            }
         }
     }
 }
@@ -76,29 +89,41 @@ pub fn fetch_assertion(
     rpc: &mut RpcClient,
     user: &DistinguishedName,
 ) -> Result<CasAssertion, AuthzError> {
-    let mut e = Encoder::new();
-    e.put_str(OP_ISSUE).put_str(&user.to_string());
-    let raw = rpc
-        .call(&e.finish())
-        .map_err(|err| AuthzError::Transport(err.to_string()))?;
-    let mut d = Decoder::new(&raw);
-    let status = d
-        .get_str()
-        .map_err(|_| AuthzError::Decode("malformed cas reply"))?;
-    let body = d
-        .get_bytes()
-        .map_err(|_| AuthzError::Decode("malformed cas reply"))?;
-    match status.as_str() {
-        "ok" => {
-            let mut ad = Decoder::new(&body);
-            let assertion = CasAssertion::decode(&mut ad)
-                .map_err(|_| AuthzError::Decode("bad assertion bytes"))?;
-            Ok(assertion)
+    let mut sp = trace::span_with("cas.fetch", &format!("user={user}"));
+    let result = (|| {
+        let mut e = Encoder::new();
+        e.put_str(OP_ISSUE).put_str(&user.to_string());
+        let raw = rpc
+            .call(&e.finish())
+            .map_err(|err| AuthzError::Transport(err.to_string()))?;
+        let mut d = Decoder::new(&raw);
+        let status = d
+            .get_str()
+            .map_err(|_| AuthzError::Decode("malformed cas reply"))?;
+        let body = d
+            .get_bytes()
+            .map_err(|_| AuthzError::Decode("malformed cas reply"))?;
+        match status.as_str() {
+            "ok" => {
+                let mut ad = Decoder::new(&body);
+                let assertion = CasAssertion::decode(&mut ad)
+                    .map_err(|_| AuthzError::Decode("bad assertion bytes"))?;
+                trace::event(
+                    "cas.assertion.received",
+                    &format!("vo={}", assertion.tbs.vo),
+                );
+                trace::add("cas.assertions_fetched", 1);
+                Ok(assertion)
+            }
+            _ => Err(AuthzError::Refused(
+                String::from_utf8_lossy(&body).into_owned(),
+            )),
         }
-        _ => Err(AuthzError::Refused(
-            String::from_utf8_lossy(&body).into_owned(),
-        )),
+    })();
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
     }
+    result
 }
 
 #[cfg(test)]

@@ -320,8 +320,8 @@ mod tests {
     fn group_tags_match() {
         let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
         p.add(permit("group:physicists", "/detector/*", "read"));
-        let req = Request::new("/O=G/CN=Jane", "/detector/run5", "read")
-            .with_tag("group:physicists");
+        let req =
+            Request::new("/O=G/CN=Jane", "/detector/run5", "read").with_tag("group:physicists");
         assert_eq!(p.evaluate(&req), Decision::Permit);
         let untagged = Request::new("/O=G/CN=Jane", "/detector/run5", "read");
         assert_eq!(p.evaluate(&untagged), Decision::NotApplicable);
@@ -330,7 +330,12 @@ mod tests {
     #[test]
     fn any_subject() {
         let mut p = PolicySet::new(CombiningAlg::DenyOverrides);
-        p.add(Rule::new(SubjectMatch::Any, "/public/*", "read", Effect::Permit));
+        p.add(Rule::new(
+            SubjectMatch::Any,
+            "/public/*",
+            "read",
+            Effect::Permit,
+        ));
         assert_eq!(
             p.evaluate(&Request::new("anyone", "/public/doc", "read")),
             Decision::Permit
@@ -344,8 +349,7 @@ mod tests {
         p.add(permit("group:staff", "/queue/batch", "submit"));
         p.add(deny("/O=G/CN=Jane", "/data/secret", "read"));
         p.add(permit("/O=G/CN=Eve", "/other", "read"));
-        let rights =
-            p.permitted_rights("/O=G/CN=Jane", &["group:staff".to_string()]);
+        let rights = p.permitted_rights("/O=G/CN=Jane", &["group:staff".to_string()]);
         assert_eq!(
             rights,
             vec![

@@ -129,7 +129,11 @@ fn permitted_rights_are_actually_permitted() {
         for (resource, action) in policy.permitted_rights(&subject, &[]) {
             // Construct a concrete request inside the right's patterns.
             let concrete_res = resource.replace('*', "x");
-            let concrete_act = if action == "*" { "read".to_string() } else { action };
+            let concrete_act = if action == "*" {
+                "read".to_string()
+            } else {
+                action
+            };
             let d = policy.evaluate(&Request::new(&subject, &concrete_res, &concrete_act));
             assert_ne!(d, Decision::NotApplicable);
         }

@@ -8,13 +8,13 @@
 //! * **A3 — revocation checking**: chain validation against an empty CRL
 //!   store vs. one carrying a large CRL (the soft-fail default's cost).
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::{bench_world, KEY_BITS};
 use gridsec_crypto::dh::DhGroup;
 use gridsec_crypto::sha256::sha256;
 use gridsec_pki::store::CrlStore;
 use gridsec_pki::validate::{validate_chain, validate_chain_with_crls};
 use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::xmlsig::sign_envelope;
 use gridsec_xml::Element;
@@ -45,16 +45,15 @@ fn a2_xml_share_of_signing(c: &mut Criterion) {
     let w = bench_world(b"a2 xml");
 
     for size in [64usize, 4096, 65536] {
-        let env = Envelope::request(
-            "op",
-            Element::new("data").with_text("x".repeat(size)),
-        );
+        let env = Envelope::request("op", Element::new("data").with_text("x".repeat(size)));
         let env_el = env.to_element();
         // XML-only: canonicalize + hash (what a cheaper binary encoding
         // would mostly eliminate).
-        group.bench_with_input(BenchmarkId::new("c14n_digest_only", size), &env_el, |b, el| {
-            b.iter(|| sha256(el.canonical_xml().as_bytes()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("c14n_digest_only", size),
+            &env_el,
+            |b, el| b.iter(|| sha256(el.canonical_xml().as_bytes())),
+        );
         // Full stateless signing (XML + RSA + chain embedding).
         group.bench_with_input(BenchmarkId::new("full_sign", size), &env, |b, env| {
             b.iter(|| sign_envelope(env, &w.user, 100, 300))
@@ -67,9 +66,13 @@ fn a3_revocation_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("a3_revocation");
     group.sample_size(10);
     let mut w = bench_world(b"a3 crl");
-    let cred = w
-        .ca
-        .issue_identity(&mut w.rng, gridsec_bench::dn("/O=B/CN=V"), KEY_BITS, 0, 1_000_000);
+    let cred = w.ca.issue_identity(
+        &mut w.rng,
+        gridsec_bench::dn("/O=B/CN=V"),
+        KEY_BITS,
+        0,
+        1_000_000,
+    );
 
     group.bench_function("validate_no_crl_store", |b| {
         b.iter(|| validate_chain(cred.chain(), &w.trust, 100).unwrap())
@@ -86,5 +89,10 @@ fn a3_revocation_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, a1_dh_group_size, a2_xml_share_of_signing, a3_revocation_cost);
+criterion_group!(
+    benches,
+    a1_dh_group_size,
+    a2_xml_share_of_signing,
+    a3_revocation_cost
+);
 criterion_main!(benches);

@@ -7,9 +7,9 @@
 //! base64 framing around identical tokens); per-message protection
 //! overhead is similarly XML-dominated.
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridsec_bench::bench_world;
 use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::wssc::{establish, WsscResponder};
 use gridsec_xml::Element;
@@ -23,9 +23,7 @@ fn establishment(c: &mut Criterion) {
     let client_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 10);
     let server_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 10);
     group.bench_function("gt2_tls_tokens", |b| {
-        b.iter(|| {
-            handshake_in_memory(client_cfg.clone(), server_cfg.clone(), &mut w.rng).unwrap()
-        })
+        b.iter(|| handshake_in_memory(client_cfg.clone(), server_cfg.clone(), &mut w.rng).unwrap())
     });
 
     // GT3: the same tokens inside WS-Trust RST/RSTR SOAP envelopes,
@@ -54,8 +52,10 @@ fn establishment(c: &mut Criterion) {
     let ack = responder.handle_rst(&rst2, &mut w.rng).unwrap();
     let gt3_bytes =
         rst1.to_xml().len() + rstr1.to_xml().len() + rst2.to_xml().len() + ack.to_xml().len();
-    println!("\n[c1] bytes on wire: GT2-TLS = {gt2_bytes}, GT3-SOAP = {gt3_bytes} (x{:.2})",
-        gt3_bytes as f64 / gt2_bytes as f64);
+    println!(
+        "\n[c1] bytes on wire: GT2-TLS = {gt2_bytes}, GT3-SOAP = {gt3_bytes} (x{:.2})",
+        gt3_bytes as f64 / gt2_bytes as f64
+    );
 }
 
 fn message_protection(c: &mut Criterion) {

@@ -5,10 +5,10 @@
 //! Expected shape: stateless cheaper at N=1; a crossover at small N
 //! after which the stateful context wins per-interaction.
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::bench_world;
 use gridsec_pki::store::CrlStore;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::wssc::{establish, WsscResponder};
 use gridsec_wsse::xmlsig;

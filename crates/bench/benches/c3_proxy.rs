@@ -3,11 +3,11 @@
 //! and Kerberos cross-realm setup; and validation cost grows only
 //! mildly with delegation-chain depth.
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_bench::{bench_world, dn, KEY_BITS};
 use gridsec_kerberos::Kdc;
 use gridsec_pki::proxy::{issue_proxy, ProxyType};
 use gridsec_pki::validate::validate_chain;
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn issuance(c: &mut Criterion) {
     let mut group = c.benchmark_group("c3_issuance");
@@ -17,13 +17,28 @@ fn issuance(c: &mut Criterion) {
     let mut w = bench_world(b"c3 issuance");
     group.bench_function("proxy_issue_512", |b| {
         b.iter(|| {
-            issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, KEY_BITS, 10, 3600)
-                .unwrap()
+            issue_proxy(
+                &mut w.rng,
+                &w.user,
+                ProxyType::Impersonation,
+                KEY_BITS,
+                10,
+                3600,
+            )
+            .unwrap()
         })
     });
     group.bench_function("proxy_issue_1024", |b| {
         b.iter(|| {
-            issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 1024, 10, 3600).unwrap()
+            issue_proxy(
+                &mut w.rng,
+                &w.user,
+                ProxyType::Impersonation,
+                1024,
+                10,
+                3600,
+            )
+            .unwrap()
         })
     });
 
@@ -33,8 +48,7 @@ fn issuance(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            w.ca
-                .issue_identity(&mut w.rng, dn(&format!("/O=B/CN=u{i}")), KEY_BITS, 0, 3600)
+            w.ca.issue_identity(&mut w.rng, dn(&format!("/O=B/CN=u{i}")), KEY_BITS, 0, 3600)
         })
     });
 

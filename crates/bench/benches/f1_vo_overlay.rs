@@ -7,10 +7,10 @@
 //! alternative needs D(D−1)/2 *coordinated* agreements, which is the
 //! organizational cost the paper argues against.
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_gsi::vo::{create_domain, form_vo, kerberos_bilateral_agreements};
 use gridsec_pki::validate::validate_chain;
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn overlay_formation(c: &mut Criterion) {
     let mut group = c.benchmark_group("f1_overlay_formation");

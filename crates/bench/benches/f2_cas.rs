@@ -6,16 +6,15 @@
 //! policy size (the assertion carries the user's slice); issuance scales
 //! with the number of rules scanned.
 
-use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gridsec_authz::cas::{CasServer, ResourceGate};
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_bench::{bench_world, dn, KEY_BITS};
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn setup_cas(rules: usize) -> (CasServer, ResourceGate) {
     let mut w = bench_world(b"f2 cas");
-    let cas_cred = w
-        .ca
-        .issue_identity(&mut w.rng, dn("/O=B/CN=CAS"), KEY_BITS, 0, u64::MAX / 4);
+    let cas_cred =
+        w.ca.issue_identity(&mut w.rng, dn("/O=B/CN=CAS"), KEY_BITS, 0, u64::MAX / 4);
     let cas = CasServer::new("bench-vo", cas_cred, 100_000);
     cas.enroll(&dn("/O=B/CN=User"), vec!["group:g".to_string()]);
     // VO policy with `rules` entries; the user's group matches a handful.
@@ -62,22 +61,18 @@ fn enforcement(c: &mut Criterion) {
     for rules in [10usize, 1_000] {
         let (cas, gate) = setup_cas(rules);
         let assertion = cas.issue_assertion(&dn("/O=B/CN=User"), 100).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("with_cas_rules", rules),
-            &rules,
-            |b, _| {
-                b.iter(|| {
-                    gate.authorize_with_cas(
-                        &assertion,
-                        &dn("/O=B/CN=User"),
-                        "/data/part0/file",
-                        "read",
-                        200,
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("with_cas_rules", rules), &rules, |b, _| {
+            b.iter(|| {
+                gate.authorize_with_cas(
+                    &assertion,
+                    &dn("/O=B/CN=User"),
+                    "/data/part0/file",
+                    "read",
+                    200,
+                )
+                .unwrap()
+            })
+        });
     }
     // Baseline: a direct (no CAS) local decision.
     let (_cas, gate) = setup_cas(10);

@@ -20,7 +20,6 @@ fn next_seed() -> [u8; 8] {
     SEED.fetch_add(1, Ordering::Relaxed).to_le_bytes()
 }
 
-use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_bench::{bench_world, dn, BenchWorld, KEY_BITS};
 use gridsec_kerberos::Kdc;
@@ -31,6 +30,7 @@ use gridsec_ogsa::transport::InProcessTransport;
 use gridsec_ogsa::OgsaError;
 use gridsec_services::kca::{KcaCredentialSource, KerberosCa};
 use gridsec_testbed::clock::SimClock;
+use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_xml::Element;
 
@@ -103,7 +103,9 @@ fn pipeline(c: &mut Criterion) {
             );
             client.add_source(Box::new(StaticCredential(w.user.clone())));
             let h = client.create_service("echo", Element::new("a")).unwrap();
-            client.invoke(&h, "run", Element::new("p").with_text("x")).unwrap();
+            client
+                .invoke(&h, "run", Element::new("p").with_text("x"))
+                .unwrap();
             client.destroy(&h).unwrap()
         })
     });
@@ -153,7 +155,13 @@ fn kca_conversion_path(c: &mut Criterion) {
 
     let kdc = Kdc::new(&mut w.rng, "SITE.K", 1_000_000);
     kdc.add_principal("alice", "pw");
-    let kca = Arc::new(KerberosCa::new(&mut w.rng, &kdc, KEY_BITS, u64::MAX / 4, 50_000));
+    let kca = Arc::new(KerberosCa::new(
+        &mut w.rng,
+        &kdc,
+        KEY_BITS,
+        u64::MAX / 4,
+        50_000,
+    ));
     let kdc = Arc::new(kdc);
     // The service must trust the KCA.
     let mut trust = w.trust.clone();

@@ -6,7 +6,6 @@
 //! executions and a GRIM key generation); GT2 sits near the warm path in
 //! latency — its problem is privilege, not speed (see c4_report).
 
-use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 use gridsec_authz::gridmap::GridMapFile;
 use gridsec_bench::{bench_world, KEY_BITS};
 use gridsec_gram::gt2::Gt2Gatekeeper;
@@ -15,6 +14,7 @@ use gridsec_gram::types::JobDescription;
 use gridsec_gram::Requestor;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::os::SimOs;
+use gridsec_util::bench::{criterion_group, criterion_main, Criterion};
 
 fn gram_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_gram");
@@ -65,7 +65,11 @@ fn gram_paths(c: &mut Criterion) {
     .unwrap();
     let mut requestor = Requestor::new(w.user.clone(), w.trust.clone(), b"f4 warm");
     requestor
-        .submit_job(&mut resource, &JobDescription::new("/bin/prime"), clock.now())
+        .submit_job(
+            &mut resource,
+            &JobDescription::new("/bin/prime"),
+            clock.now(),
+        )
         .unwrap();
     group.bench_function("warm_submission", |b| {
         b.iter(|| {
@@ -97,8 +101,7 @@ fn gram_paths(c: &mut Criterion) {
                     config.clone(),
                 )
                 .unwrap();
-                let signed =
-                    requestor.signed_request(&JobDescription::new("/bin/x"), clock.now());
+                let signed = requestor.signed_request(&JobDescription::new("/bin/x"), clock.now());
                 (r, signed)
             },
             |(mut r, signed)| r.submit(&signed).unwrap(),

@@ -1,0 +1,49 @@
+//! Deterministic flow-metrics smoke bench: replay the four paper-figure
+//! chaos scenarios from a pinned seed and emit their trace metrics
+//! (handshake latency in simulated seconds, retransmit counts, bytes on
+//! the wire) as `BENCH_flows.json` for `regen_experiments`.
+//!
+//! Unlike the timing benches, every number here comes from the
+//! `SimClock`-driven tracer, so the report is a pure function of the
+//! seed — which is what lets CI run this as a drift gate:
+//! regenerate EXPERIMENTS.md and `git diff --exit-code` it.
+//!
+//! Usage:
+//!
+//! ```text
+//! flow_metrics [--seed 0xC4A05EED]    # reports -> $GRIDSEC_BENCH_DIR (default .)
+//! ```
+
+use gridsec_integration::scenarios::{run_all, ChaosOpts};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut seed: u64 = 0xC4A0_5EED;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                let v = v.trim();
+                seed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16).expect("hex seed")
+                } else {
+                    v.parse().expect("decimal seed")
+                };
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let dir = std::env::var("GRIDSEC_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    let run = run_all(seed, &ChaosOpts::default());
+    let path = run
+        .metrics
+        .write_bench_json("flows", &dir)
+        .expect("write BENCH_flows.json");
+    println!(
+        "flow_metrics: seed=0x{seed:016x} {} metrics -> {path}",
+        run.metrics.counters.len() + run.metrics.hists.len()
+    );
+}

@@ -45,11 +45,14 @@ pub struct LeastPrivilegeData {
 pub fn collect() -> LeastPrivilegeData {
     let mut w: BenchWorld = bench_world(b"c4 least privilege");
     let clock = SimClock::starting_at(100);
-    let gridmap =
-        GridMapFile::parse("\"/O=B/CN=User\" u1\n\"/O=B/CN=User2\" u2\n").unwrap();
-    let user2 = w
-        .ca
-        .issue_identity(&mut w.rng, crate::dn("/O=B/CN=User2"), KEY_BITS, 0, u64::MAX / 4);
+    let gridmap = GridMapFile::parse("\"/O=B/CN=User\" u1\n\"/O=B/CN=User2\" u2\n").unwrap();
+    let user2 = w.ca.issue_identity(
+        &mut w.rng,
+        crate::dn("/O=B/CN=User2"),
+        KEY_BITS,
+        0,
+        u64::MAX / 4,
+    );
 
     // ---- GT3 workload.
     let mut gt3 = GramResource::install(
@@ -113,16 +116,8 @@ pub fn collect() -> LeastPrivilegeData {
     }
 
     LeastPrivilegeData {
-        gt3_privileged_network: gt3
-            .os()
-            .privileged_network_facing("gt3host")
-            .unwrap()
-            .len(),
-        gt2_privileged_network: gt2
-            .os()
-            .privileged_network_facing("gt2host")
-            .unwrap()
-            .len(),
+        gt3_privileged_network: gt3.os().privileged_network_facing("gt3host").unwrap().len(),
+        gt2_privileged_network: gt2.os().privileged_network_facing("gt2host").unwrap().len(),
         rows,
     }
 }

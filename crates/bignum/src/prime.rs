@@ -25,9 +25,9 @@ impl<T: gridsec_util::rng::RngCore> EntropySource for T {
 
 /// Small primes used for fast trial-division rejection before Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Deterministic Miller–Rabin witnesses sufficient for all n < 3.3 * 10^24,
@@ -226,7 +226,10 @@ mod tests {
         let mut r = rng();
         // 2^127 - 1 is a Mersenne prime.
         let m127 = (&BigUint::one() << 127) - &BigUint::one();
-        assert_eq!(is_probably_prime(&m127, 10, &mut r), Primality::ProbablyPrime);
+        assert_eq!(
+            is_probably_prime(&m127, 10, &mut r),
+            Primality::ProbablyPrime
+        );
         // 2^128 - 1 is composite.
         let c = (&BigUint::one() << 128) - &BigUint::one();
         assert_eq!(is_probably_prime(&c, 10, &mut r), Primality::Composite);

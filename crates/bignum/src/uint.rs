@@ -74,7 +74,9 @@ impl BigUint {
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(&hi) => (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - hi.leading_zeros() as usize),
+            Some(&hi) => {
+                (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - hi.leading_zeros() as usize)
+            }
         }
     }
 
@@ -786,8 +788,12 @@ mod tests {
     #[test]
     fn karatsuba_matches_schoolbook() {
         // 40-limb operands exercise the Karatsuba path.
-        let a_limbs: Vec<u64> = (0..40).map(|i| 0x9E3779B97F4A7C15u64.wrapping_mul(i + 1)).collect();
-        let b_limbs: Vec<u64> = (0..40).map(|i| 0xC2B2AE3D27D4EB4Fu64.wrapping_mul(i + 3)).collect();
+        let a_limbs: Vec<u64> = (0..40)
+            .map(|i| 0x9E3779B97F4A7C15u64.wrapping_mul(i + 1))
+            .collect();
+        let b_limbs: Vec<u64> = (0..40)
+            .map(|i| 0xC2B2AE3D27D4EB4Fu64.wrapping_mul(i + 3))
+            .collect();
         let a = BigUint::from_limbs(a_limbs.clone());
         let b = BigUint::from_limbs(b_limbs.clone());
         let kar = a.mul_ref(&b);
@@ -849,15 +855,34 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeef", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::from_hex(s).unwrap();
-            assert_eq!(v.to_hex(), s.trim_start_matches('0').to_lowercase().chars().next().map_or("0".to_string(), |_| s.to_lowercase()));
+            assert_eq!(
+                v.to_hex(),
+                s.trim_start_matches('0')
+                    .to_lowercase()
+                    .chars()
+                    .next()
+                    .map_or("0".to_string(), |_| s.to_lowercase())
+            );
         }
     }
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
             assert_eq!(n(s).to_decimal(), s);
         }
     }

@@ -43,10 +43,9 @@ impl DhGroup {
     /// `gridsec_bignum::prime::generate_safe_prime` and recorded here as a
     /// constant; the unit tests re-verify both `p` and `(p-1)/2`.
     pub fn test_group_256() -> Self {
-        let p = BigUint::from_hex(
-            "a5e579f41b72505da9fce2ccb8c774b1690261ea0a07ccb37921a10d9644c0bf",
-        )
-        .expect("constant");
+        let p =
+            BigUint::from_hex("a5e579f41b72505da9fce2ccb8c774b1690261ea0a07ccb37921a10d9644c0bf")
+                .expect("constant");
         DhGroup {
             p,
             g: BigUint::from(2u64),

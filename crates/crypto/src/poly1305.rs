@@ -237,11 +237,10 @@ mod tests {
     #[test]
     fn rfc8439_vector() {
         // RFC 8439 §2.5.2
-        let key: [u8; 32] = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         assert_eq!(
             hex(&poly1305(&key, msg)),
@@ -284,14 +283,16 @@ mod tests {
     #[test]
     fn wraparound_values() {
         // All-0xff blocks force maximal limb values through reduction.
-        let key: [u8; 32] = unhex(
-            "02000000000000000000000000000000ffffffffffffffffffffffffffffffff",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("02000000000000000000000000000000ffffffffffffffffffffffffffffffff")
+                .try_into()
+                .unwrap();
         let msg = unhex("02000000000000000000000000000000");
         // r = 2, s = 2^128-1, m = 2 → h = (2+2^128)*2 mod p, tag = h + s mod 2^128
         // Known answer from the Poly1305 test suite (nacl test vectors):
-        assert_eq!(hex(&poly1305(&key, &msg)), "03000000000000000000000000000000");
+        assert_eq!(
+            hex(&poly1305(&key, &msg)),
+            "03000000000000000000000000000000"
+        );
     }
 }

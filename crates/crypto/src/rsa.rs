@@ -23,8 +23,8 @@ use gridsec_bignum::BigUint;
 
 /// DER `DigestInfo` prefix for SHA-256 (RFC 8017 §9.2 note 1).
 const SHA256_DIGEST_INFO: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// The public half of an RSA key.
@@ -241,7 +241,9 @@ impl RsaKeyPair {
     pub fn decrypt_pkcs1(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
         let k = self.public.modulus_len();
         if ciphertext.len() != k {
-            return Err(CryptoError::Malformed("ciphertext length != modulus length"));
+            return Err(CryptoError::Malformed(
+                "ciphertext length != modulus length",
+            ));
         }
         let c = BigUint::from_bytes_be(ciphertext);
         if c >= *self.public.modulus() {
@@ -268,7 +270,9 @@ fn emsa_pkcs1_encode(msg: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
     let h = sha256(msg);
     let t_len = SHA256_DIGEST_INFO.len() + h.len();
     if k < t_len + 11 {
-        return Err(CryptoError::InvalidKey("modulus too small for SHA-256 PKCS#1"));
+        return Err(CryptoError::InvalidKey(
+            "modulus too small for SHA-256 PKCS#1",
+        ));
     }
     let mut em = Vec::with_capacity(k);
     em.push(0x00);

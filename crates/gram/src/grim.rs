@@ -111,8 +111,7 @@ mod tests {
     #[test]
     fn grim_credential_chains_to_host_and_embeds_policy() {
         let mut rng = ChaChaRng::from_seed_bytes(b"grim tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let host = ca.issue_host_identity(
             &mut rng,
             dn("/O=G/CN=host compute1"),

@@ -87,7 +87,8 @@ impl Gt2Gatekeeper {
         .map_err(oserr)?;
 
         let gatekeeper_pid = os.spawn_privileged(host, "gatekeeper").map_err(oserr)?;
-        os.mark_network_facing(host, gatekeeper_pid).map_err(oserr)?;
+        os.mark_network_facing(host, gatekeeper_pid)
+            .map_err(oserr)?;
         os.grant_credential(host, gatekeeper_pid, "host credential (in memory)")
             .map_err(oserr)?;
 
@@ -127,10 +128,8 @@ impl Gt2Gatekeeper {
         let now = self.clock.now();
 
         // GT2 TLS mutual authentication (token loop in process).
-        let client_config =
-            TlsConfig::new(client_credential.clone(), self.trust.clone(), now);
-        let server_config =
-            TlsConfig::new(self.host_credential.clone(), self.trust.clone(), now);
+        let client_config = TlsConfig::new(client_credential.clone(), self.trust.clone(), now);
+        let server_config = TlsConfig::new(self.host_credential.clone(), self.trust.clone(), now);
         let (mut initiator, t1) = InitiatorContext::new(client_config, &mut self.rng);
         let mut acceptor = AcceptorContext::new(server_config);
         let t2 = match acceptor
@@ -156,7 +155,9 @@ impl Gt2Gatekeeper {
 
         // Job description over the secured channel.
         let wire = client_ctx.wrap(description.to_element().to_xml().as_bytes());
-        let received = server_ctx.unwrap(&wire).map_err(|e| ctxerr(e.to_string()))?;
+        let received = server_ctx
+            .unwrap(&wire)
+            .map_err(|e| ctxerr(e.to_string()))?;
         let parsed = gridsec_xml::Element::parse(&String::from_utf8_lossy(&received))
             .ok()
             .and_then(|el| JobDescription::from_element(&el))

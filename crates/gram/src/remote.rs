@@ -34,6 +34,7 @@ use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::proxy::ProxyType;
 use gridsec_testbed::rpc::RpcClient;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_util::trace;
 
 use crate::grim::extract_grim_policy;
 use crate::requestor::{ActiveJob, Requestor};
@@ -85,6 +86,7 @@ fn round(
     body: &[u8],
     to_err: impl FnOnce(String) -> GramError,
 ) -> Result<Vec<u8>, GramError> {
+    trace::event("gram.round", &format!("op={op} handle={handle}"));
     let raw = rpc
         .call(&request(op, handle, body))
         .map_err(|e| GramError::Transport(e.to_string()))?;
@@ -125,19 +127,37 @@ pub fn submit_job_remote(
     expected_host: &DistinguishedName,
     now: u64,
 ) -> Result<ActiveJob, GramError> {
-    let signed = requestor.signed_request(description, now);
-    let body = round(rpc, OP_SUBMIT, "", signed.as_bytes(), GramError::RequestRejected)?;
-    let mut d = Decoder::new(&body);
-    let parse = |_: ()| GramError::Transport("malformed submit reply".into());
-    let handle = d.get_str().map_err(|_| parse(()))?;
-    let cold_start = d.get_u8().map_err(|_| parse(()))? != 0;
-    let account = d.get_str().map_err(|_| parse(()))?;
-    connect_and_start_remote(requestor, rpc, &handle, Some(&account), expected_host, now)?;
-    Ok(ActiveJob {
-        handle,
-        cold_start,
-        account,
-    })
+    let mut sp = trace::span_with("gram.submit", &format!("host={expected_host}"));
+    let result: Result<ActiveJob, GramError> = (|| {
+        let signed = requestor.signed_request(description, now);
+        let body = round(
+            rpc,
+            OP_SUBMIT,
+            "",
+            signed.as_bytes(),
+            GramError::RequestRejected,
+        )?;
+        let mut d = Decoder::new(&body);
+        let parse = |_: ()| GramError::Transport("malformed submit reply".into());
+        let handle = d.get_str().map_err(|_| parse(()))?;
+        let cold_start = d.get_u8().map_err(|_| parse(()))? != 0;
+        let account = d.get_str().map_err(|_| parse(()))?;
+        trace::event(
+            "gram.submitted",
+            &format!("handle={handle} cold_start={cold_start} account={account}"),
+        );
+        trace::add("gram.jobs_submitted", 1);
+        connect_and_start_remote(requestor, rpc, &handle, Some(&account), expected_host, now)?;
+        Ok(ActiveJob {
+            handle,
+            cold_start,
+            account,
+        })
+    })();
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
+    }
+    result
 }
 
 /// Remote step 7 (mirrors
@@ -145,6 +165,23 @@ pub fn submit_job_remote(
 /// mutual authentication with the MJS over RPC, GRIM authorization
 /// against `expected_host`, delegation, and the start command.
 pub fn connect_and_start_remote(
+    requestor: &mut Requestor,
+    rpc: &mut RpcClient,
+    handle: &str,
+    expected_account: Option<&str>,
+    expected_host: &DistinguishedName,
+    now: u64,
+) -> Result<(), GramError> {
+    let mut sp = trace::span_with("gram.connect_start", &format!("handle={handle}"));
+    let result =
+        connect_and_start_inner(requestor, rpc, handle, expected_account, expected_host, now);
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
+    }
+    result
+}
+
+fn connect_and_start_inner(
     requestor: &mut Requestor,
     rpc: &mut RpcClient,
     handle: &str,
@@ -160,6 +197,7 @@ pub fn connect_and_start_remote(
     // GRIM proxy we are about to verify was minted at server-side now.
     let now = wall_now(rpc, now);
     let config = TlsConfig::new(requestor.credential.clone(), requestor.trust.clone(), now);
+    let gss_sp = trace::span_with("gram.gss_loop", &format!("handle={handle}"));
     let (mut initiator, token1) = InitiatorContext::new(config, &mut requestor.rng);
     let token2 = round(rpc, OP_TOKEN1, handle, &token1, GramError::Context)?;
     let (token3, mut my_ctx) = match initiator
@@ -172,57 +210,76 @@ pub fn connect_and_start_remote(
         _ => return Err(ctxerr("initiator should finish")),
     };
     round(rpc, OP_TOKEN3, handle, &token3, GramError::Context)?;
+    trace::event("gram.context.established", &format!("handle={handle}"));
+    drop(gss_sp);
 
     // Client-side authorization of the MJS (unchanged from in-process,
     // except the host identity is the one the caller intended).
     let peer = my_ctx.peer().clone();
-    let policy = extract_grim_policy(&peer).ok_or(GramError::GrimRejected(
-        "peer presented no GRIM credential",
-    ))?;
+    let policy = extract_grim_policy(&peer)
+        .ok_or(GramError::GrimRejected("peer presented no GRIM credential"))?;
     if peer.base_identity != *expected_host {
+        trace::event("gram.grim.rejected", "wrong host");
         return Err(GramError::GrimRejected(
             "GRIM credential chains to the wrong host",
         ));
     }
     if &policy.user_identity != requestor.identity() {
+        trace::event("gram.grim.rejected", "wrong user identity");
         return Err(GramError::GrimRejected(
             "GRIM credential embeds a different user identity",
         ));
     }
     if let Some(acct) = expected_account {
         if policy.account != acct {
+            trace::event("gram.grim.rejected", "wrong account");
             return Err(GramError::GrimRejected(
                 "GRIM credential names a different account",
             ));
         }
     }
+    trace::event(
+        "gram.grim.authorized",
+        &format!("account={}", policy.account),
+    );
 
     // Delegation, token for token as in process. The wrapped tokens are
     // sequence-numbered on the GSS channel, so the reply cache (not
     // re-execution) must answer any retransmission — which it does.
-    let d1 = delegation::request_delegation(&mut my_ctx);
-    let d2 = round(rpc, OP_DELEG_REQ, handle, &d1, GramError::Context)?;
-    let d3 = delegation::deliver_proxy(
-        &mut my_ctx,
-        &mut requestor.rng,
-        &requestor.credential,
-        &d2,
-        ProxyType::Impersonation,
-        now,
-        requestor.delegation_lifetime,
-    )
-    .map_err(|e| ctxerr(&e.to_string()))?;
-    round(rpc, OP_DELEG_CHAIN, handle, &d3, GramError::Context)?;
+    let mut deleg_sp = trace::span_with("gram.delegation", &format!("handle={handle}"));
+    let deleg: Result<(), GramError> = (|| {
+        let d1 = delegation::request_delegation(&mut my_ctx);
+        let d2 = round(rpc, OP_DELEG_REQ, handle, &d1, GramError::Context)?;
+        let d3 = delegation::deliver_proxy(
+            &mut my_ctx,
+            &mut requestor.rng,
+            &requestor.credential,
+            &d2,
+            ProxyType::Impersonation,
+            now,
+            requestor.delegation_lifetime,
+        )
+        .map_err(|e| ctxerr(&e.to_string()))?;
+        round(rpc, OP_DELEG_CHAIN, handle, &d3, GramError::Context)?;
+        trace::add("gram.delegations", 1);
+        Ok(())
+    })();
+    if let Err(e) = &deleg {
+        deleg_sp.fail(&e.to_string());
+    }
+    drop(deleg_sp);
+    deleg?;
 
     // Start command over the secured channel.
     let start = my_ctx.wrap(b"start-job");
     round(rpc, OP_START, handle, &start, GramError::Context)?;
+    trace::event("gram.job.started", &format!("handle={handle}"));
     Ok(())
 }
 
 /// Query a job's state over `rpc`.
 pub fn job_state_remote(rpc: &mut RpcClient, handle: &str) -> Result<JobState, GramError> {
-    let body = round(rpc, OP_STATE, handle, &[], |m| GramError::NoSuchJob(m))?;
+    let body = round(rpc, OP_STATE, handle, &[], GramError::NoSuchJob)?;
     match body.as_slice() {
         b"unsubmitted" => Ok(JobState::Unsubmitted),
         b"active" => Ok(JobState::Active),
@@ -282,9 +339,13 @@ impl RemoteGram {
             Ok(x) => x,
             Err(_) => return reply_err("malformed request"),
         };
+        let mut sp = trace::span_with("gram.serve", &format!("op={op} from={from}"));
         match self.dispatch(from, &op, &handle, &body) {
             Ok(reply) => reply,
-            Err(e) => reply_err(&e.to_string()),
+            Err(e) => {
+                sp.fail(&e.to_string());
+                reply_err(&e.to_string())
+            }
         }
     }
 
@@ -354,10 +415,12 @@ impl RemoteGram {
                     .sessions
                     .get_mut(&key)
                     .ok_or(ctxerr("no established session"))?;
-                let ctx = session.ctx.as_mut().ok_or(ctxerr("context not established"))?;
-                let (d2, pending) =
-                    delegation::respond_with_key(ctx, &mut self.rng, body, 512)
-                        .map_err(|e| ctxerr(&e.to_string()))?;
+                let ctx = session
+                    .ctx
+                    .as_mut()
+                    .ok_or(ctxerr("context not established"))?;
+                let (d2, pending) = delegation::respond_with_key(ctx, &mut self.rng, body, 512)
+                    .map_err(|e| ctxerr(&e.to_string()))?;
                 session.pending = Some(pending);
                 Ok(reply_ok(&d2))
             }
@@ -370,7 +433,10 @@ impl RemoteGram {
                     .pending
                     .take()
                     .ok_or(ctxerr("no delegation in progress"))?;
-                let ctx = session.ctx.as_mut().ok_or(ctxerr("context not established"))?;
+                let ctx = session
+                    .ctx
+                    .as_mut()
+                    .ok_or(ctxerr("context not established"))?;
                 let delegated = pending
                     .finish(ctx, body)
                     .map_err(|e| ctxerr(&e.to_string()))?;
@@ -382,7 +448,10 @@ impl RemoteGram {
                     .sessions
                     .get_mut(&key)
                     .ok_or(ctxerr("no established session"))?;
-                let ctx = session.ctx.as_mut().ok_or(ctxerr("context not established"))?;
+                let ctx = session
+                    .ctx
+                    .as_mut()
+                    .ok_or(ctxerr("context not established"))?;
                 let plain = ctx.unwrap(body).map_err(|e| ctxerr(&e.to_string()))?;
                 if plain != b"start-job" {
                     return Err(ctxerr("start command corrupted"));
@@ -518,8 +587,14 @@ mod tests {
         let (job, shared, mut rpc) = submit_over(&net, &w);
         assert!(job.cold_start);
         assert_eq!(job.account, "jdoe");
-        assert_eq!(shared.borrow().job_state(&job.handle).unwrap(), JobState::Active);
-        assert_eq!(job_state_remote(&mut rpc, &job.handle).unwrap(), JobState::Active);
+        assert_eq!(
+            shared.borrow().job_state(&job.handle).unwrap(),
+            JobState::Active
+        );
+        assert_eq!(
+            job_state_remote(&mut rpc, &job.handle).unwrap(),
+            JobState::Active
+        );
     }
 
     #[test]
@@ -528,8 +603,14 @@ mod tests {
         let net = Network::new();
         net.enable_faults(w.clock.clone(), 0x6AA4, FaultProfile::lossy_wan());
         let (job, shared, mut rpc) = submit_over(&net, &w);
-        assert_eq!(shared.borrow().job_state(&job.handle).unwrap(), JobState::Active);
-        assert_eq!(job_state_remote(&mut rpc, &job.handle).unwrap(), JobState::Active);
+        assert_eq!(
+            shared.borrow().job_state(&job.handle).unwrap(),
+            JobState::Active
+        );
+        assert_eq!(
+            job_state_remote(&mut rpc, &job.handle).unwrap(),
+            JobState::Active
+        );
         // The profile actually bit: something was dropped or duplicated,
         // and exactly one LMJFS/MJS chain was started regardless.
         let stats = net.fault_stats().unwrap();
@@ -588,7 +669,10 @@ mod tests {
             w.clock.now(),
         )
         .unwrap();
-        assert_eq!(shared.borrow().job_state(&job.handle).unwrap(), JobState::Active);
+        assert_eq!(
+            shared.borrow().job_state(&job.handle).unwrap(),
+            JobState::Active
+        );
     }
 
     #[test]

@@ -137,9 +137,8 @@ impl Requestor {
         // host credential and containing a Grid identity matching its
         // own."
         let peer = my_ctx.peer().clone();
-        let policy = extract_grim_policy(&peer).ok_or(GramError::GrimRejected(
-            "peer presented no GRIM credential",
-        ))?;
+        let policy = extract_grim_policy(&peer)
+            .ok_or(GramError::GrimRejected("peer presented no GRIM credential"))?;
         // Right host: the GRIM chain must bottom out at the resource's
         // host identity (the client knows which host it contacted).
         if peer.base_identity != *resource.host_identity() {
@@ -197,20 +196,12 @@ impl Requestor {
     }
 
     /// Monitor a job.
-    pub fn job_state(
-        &self,
-        resource: &GramResource,
-        handle: &str,
-    ) -> Result<JobState, GramError> {
+    pub fn job_state(&self, resource: &GramResource, handle: &str) -> Result<JobState, GramError> {
         resource.job_state(handle)
     }
 
     /// Cancel a job we own.
-    pub fn cancel(
-        &mut self,
-        resource: &mut GramResource,
-        handle: &str,
-    ) -> Result<(), GramError> {
+    pub fn cancel(&mut self, resource: &mut GramResource, handle: &str) -> Result<(), GramError> {
         let me = self.identity().clone();
         resource.cancel(handle, &me)
     }

@@ -9,13 +9,13 @@ use gridsec_crypto::rng::ChaChaRng;
 use gridsec_gssapi::context::AcceptorContext;
 use gridsec_pki::credential::Credential;
 use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::store::CrlStore;
 use gridsec_pki::store::TrustStore;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::os::{FileMode, Pid, SimOs, ROOT_UID};
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::xmlsig;
-use gridsec_pki::store::CrlStore;
 
 use crate::grim::issue_grim_credential;
 use crate::types::{JobDescription, JobState};
@@ -148,7 +148,8 @@ impl GramResource {
             b"host credential key material".to_vec(),
         )
         .map_err(oserr)?;
-        os.install_setuid_binary(host, SETUID_STARTER).map_err(oserr)?;
+        os.install_setuid_binary(host, SETUID_STARTER)
+            .map_err(oserr)?;
         os.install_setuid_binary(host, GRIM_BINARY).map_err(oserr)?;
 
         // The two long-running network services, both unprivileged.
@@ -392,11 +393,7 @@ impl GramResource {
             .mjs
             .get(handle)
             .ok_or_else(|| GramError::NoSuchJob(handle.to_string()))?;
-        let config = TlsConfig::new(
-            mjs.credential.clone(),
-            self.trust.clone(),
-            self.clock.now(),
-        );
+        let config = TlsConfig::new(mjs.credential.clone(), self.trust.clone(), self.clock.now());
         Ok(AcceptorContext::new(config))
     }
 

@@ -80,8 +80,15 @@ fn figure4_cold_then_warm_submission() {
     let mut w = world();
     let mut resource = gt3(&w);
     // Sign on with a proxy (single sign-on, step 0).
-    let proxy = issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000)
-        .unwrap();
+    let proxy = issue_proxy(
+        &mut w.rng,
+        &w.jane,
+        ProxyType::Impersonation,
+        512,
+        100,
+        50_000,
+    )
+    .unwrap();
     let mut requestor = Requestor::new(proxy, w.trust.clone(), b"jane requestor");
 
     // First job: cold path (MMJFS → Setuid Starter → GRIM → LMJFS).
@@ -104,7 +111,10 @@ fn figure4_cold_then_warm_submission() {
     // delegated credential.
     let jdoe_uid = resource.os().uid_of("compute1", "jdoe").unwrap();
     let procs = resource.os().processes("compute1").unwrap();
-    let jobs: Vec<_> = procs.iter().filter(|p| p.name.starts_with("job:")).collect();
+    let jobs: Vec<_> = procs
+        .iter()
+        .filter(|p| p.name.starts_with("job:"))
+        .collect();
     assert_eq!(jobs.len(), 2);
     for j in &jobs {
         assert_eq!(j.uid, jdoe_uid);
@@ -146,16 +156,22 @@ fn limited_proxy_may_not_submit_jobs() {
     let mut w = world();
     let mut resource = gt3(&w);
     // GT2 semantics: limited proxies are for data movement, not jobs.
-    let limited =
-        issue_proxy(&mut w.rng, &w.jane, ProxyType::Limited, 512, 100, 50_000).unwrap();
+    let limited = issue_proxy(&mut w.rng, &w.jane, ProxyType::Limited, 512, 100, 50_000).unwrap();
     let mut requestor = Requestor::new(limited, w.trust.clone(), b"jane limited");
     let err = requestor
         .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
         .unwrap_err();
     assert!(matches!(err, GramError::NotAuthorized(_)));
     // A full proxy of the same user is fine.
-    let full =
-        issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000).unwrap();
+    let full = issue_proxy(
+        &mut w.rng,
+        &w.jane,
+        ProxyType::Impersonation,
+        512,
+        100,
+        50_000,
+    )
+    .unwrap();
     let mut requestor = Requestor::new(full, w.trust.clone(), b"jane full");
     assert!(requestor
         .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
@@ -166,9 +182,8 @@ fn limited_proxy_may_not_submit_jobs() {
 fn unmapped_user_rejected_at_mmjfs() {
     let mut w = world();
     let mut resource = gt3(&w);
-    let mallory = w
-        .ca
-        .issue_identity(&mut w.rng, dn("/O=G/CN=Mallory"), 512, 0, 500_000);
+    let mallory =
+        w.ca.issue_identity(&mut w.rng, dn("/O=G/CN=Mallory"), 512, 0, 500_000);
     let mut requestor = Requestor::new(mallory, w.trust.clone(), b"mallory");
     let err = requestor
         .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)
@@ -240,10 +255,7 @@ fn gt3_has_no_privileged_network_services() {
         .unwrap();
 
     // The §5.2 claim, checked directly on the process table.
-    let priv_net = resource
-        .os()
-        .privileged_network_facing("compute1")
-        .unwrap();
+    let priv_net = resource.os().privileged_network_facing("compute1").unwrap();
     assert!(
         priv_net.is_empty(),
         "GT3 must run no privileged network services, found {priv_net:?}"
@@ -326,8 +338,15 @@ fn compromise_blast_radius_gt2_vs_gt3() {
 fn delegated_credential_speaks_for_user() {
     let mut w = world();
     let mut resource = gt3(&w);
-    let proxy = issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 100, 50_000)
-        .unwrap();
+    let proxy = issue_proxy(
+        &mut w.rng,
+        &w.jane,
+        ProxyType::Impersonation,
+        512,
+        100,
+        50_000,
+    )
+    .unwrap();
     let mut requestor = Requestor::new(proxy, w.trust.clone(), b"jane");
     let job = requestor
         .submit_job(&mut resource, &JobDescription::new("/bin/x"), 100)

@@ -109,8 +109,8 @@ impl GridFtpServer {
         now: u64,
     ) -> Result<u64, FtpError> {
         let config = TlsConfig::new(self.credential.clone(), self.trust.clone(), now);
-        let mut secured: SecureStream<S> = server_accept(stream, config, rng)
-            .map_err(|e| FtpError::Channel(e.to_string()))?;
+        let mut secured: SecureStream<S> =
+            server_accept(stream, config, rng).map_err(|e| FtpError::Channel(e.to_string()))?;
 
         // Authorization: data movement allowed for Full and Limited
         // rights; Independent proxies inherit nothing.
@@ -300,8 +300,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"gridftp tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
         let host = ca.issue_host_identity(
             &mut rng,
@@ -314,8 +313,8 @@ mod tests {
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());
         let gridmap = GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
-        let server = GridFtpServer::new(SimOs::new(), "data1", host, trust.clone(), gridmap)
-            .unwrap();
+        let server =
+            GridFtpServer::new(SimOs::new(), "data1", host, trust.clone(), gridmap).unwrap();
         World {
             rng,
             trust,
@@ -326,7 +325,11 @@ mod tests {
 
     /// Run client ops against the server on a stream pair; the server
     /// runs on a second thread.
-    fn with_session<F, R>(w: &mut World, cred: Credential, f: F) -> (Result<R, FtpError>, Result<u64, FtpError>)
+    fn with_session<F, R>(
+        w: &mut World,
+        cred: Credential,
+        f: F,
+    ) -> (Result<R, FtpError>, Result<u64, FtpError>)
     where
         F: FnOnce(&mut GridFtpClient<gridsec_testbed::net::SimStream>) -> Result<R, FtpError>
             + Send,
@@ -391,7 +394,10 @@ mod tests {
             issue_proxy(&mut w.rng, &w.jane, ProxyType::Independent, 512, 50, 10_000).unwrap();
         let (result, served) = with_session(&mut w, independent, |c| c.get("/x"));
         assert!(result.is_err());
-        assert_eq!(served.unwrap_err(), FtpError::RightsRefused("independent proxy"));
+        assert_eq!(
+            served.unwrap_err(),
+            FtpError::RightsRefused("independent proxy")
+        );
     }
 
     #[test]

@@ -111,8 +111,7 @@ mod tests {
 
     fn setup() -> (ChaChaRng, TrustStore, Credential) {
         let mut rng = ChaChaRng::from_seed_bytes(b"sso tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 10_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 10_000_000);
         let user = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 1_000_000);
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());

@@ -46,8 +46,8 @@ pub fn create_domain<E: EntropySource>(
     let ca = CertificateAuthority::create_root(rng, ca_dn, key_bits, 0, validity);
     let users = (0..n_users)
         .map(|i| {
-            let dn = DistinguishedName::parse(&format!("/O={name}/CN=user{i}"))
-                .expect("valid name");
+            let dn =
+                DistinguishedName::parse(&format!("/O={name}/CN=user{i}")).expect("valid name");
             ca.issue_identity(rng, dn, key_bits, 0, validity)
         })
         .collect();
@@ -134,10 +134,7 @@ pub fn form_vo<E: EntropySource>(
     //   1. trusts the other domains' CAs (so overlay members authenticate),
     //   2. outsources a policy slice to the VO (trusts the CAS key and
     //      permits `vo:<name>` in local policy).
-    let snapshot: Vec<_> = domains
-        .iter()
-        .map(|d| d.ca.certificate().clone())
-        .collect();
+    let snapshot: Vec<_> = domains.iter().map(|d| d.ca.certificate().clone()).collect();
     for (i, d) in domains.iter_mut().enumerate() {
         for (j, cert) in snapshot.iter().enumerate() {
             if i != j {

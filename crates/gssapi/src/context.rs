@@ -3,9 +3,7 @@
 use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::validate::ValidatedIdentity;
 use gridsec_tls::channel::SecureChannel;
-use gridsec_tls::handshake::{
-    ClientHandshake, ServerAwaitFinished, ServerHandshake, TlsConfig,
-};
+use gridsec_tls::handshake::{ClientHandshake, ServerAwaitFinished, ServerHandshake, TlsConfig};
 
 use crate::GssError;
 
@@ -190,8 +188,7 @@ mod tests {
 
     pub(crate) fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"gss tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let service = ca.issue_identity(&mut rng, dn("/O=G/CN=MJS"), 512, 0, 100_000);
         let mut trust = TrustStore::new();
@@ -240,10 +237,7 @@ mod tests {
         let mut acceptor = AcceptorContext::new(cfg(&w, &w.service));
         // Feed garbage to move initiator to Done state via error path.
         assert!(init.step(b"junk").is_err());
-        assert!(matches!(
-            init.step(b"junk"),
-            Err(GssError::BadState(_))
-        ));
+        assert!(matches!(init.step(b"junk"), Err(GssError::BadState(_))));
         // Acceptor consumed by garbage as well.
         assert!(acceptor.step(&mut w.rng, b"junk").is_err());
         assert!(matches!(

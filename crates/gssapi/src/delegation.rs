@@ -146,8 +146,7 @@ mod tests {
 
     fn setup() -> Setup {
         let mut rng = ChaChaRng::from_seed_bytes(b"delegation tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let mjs = ca.issue_identity(&mut rng, dn("/O=G/CN=MJS"), 512, 0, 100_000);
         let mut trust = TrustStore::new();
@@ -170,16 +169,8 @@ mod tests {
     fn run_delegation(s: &mut Setup, proxy_type: ProxyType) -> Credential {
         let t1 = request_delegation(&mut s.ic);
         let (t2, pending) = respond_with_key(&mut s.ac, &mut s.rng, &t1, 512).unwrap();
-        let t3 = deliver_proxy(
-            &mut s.ic,
-            &mut s.rng,
-            &s.alice,
-            &t2,
-            proxy_type,
-            100,
-            5000,
-        )
-        .unwrap();
+        let t3 =
+            deliver_proxy(&mut s.ic, &mut s.rng, &s.alice, &t2, proxy_type, 100, 5000).unwrap();
         pending.finish(s.ic_to_ac_ctx_hack(), &t3).unwrap()
     }
 

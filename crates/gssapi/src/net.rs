@@ -23,6 +23,7 @@ use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::encoding::{Decoder, Encoder};
 use gridsec_testbed::rpc::RpcClient;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_util::trace;
 use std::collections::HashMap;
 
 /// Op tag for the initiator's first token.
@@ -86,19 +87,31 @@ pub fn establish_initiator<E: EntropySource>(
     config: TlsConfig,
     rng: &mut E,
 ) -> Result<EstablishedContext, GssError> {
-    let (mut init, token1) = InitiatorContext::new(config, rng);
-    let token2 = parse_reply(&rpc.call(&request(OP_TOKEN1, &token1))?)?;
-    let (token3, context) = match init.step(&token2)? {
-        StepResult::Established { token, context } => (
-            token.ok_or(GssError::BadState("missing finished token"))?,
-            context,
-        ),
-        StepResult::ContinueWith(_) => {
-            return Err(GssError::BadState("initiator should finish on token 2"))
-        }
-    };
-    parse_reply(&rpc.call(&request(OP_TOKEN3, &token3))?)?;
-    Ok(*context)
+    let mut sp = trace::span_with("gss.establish", &format!("server={}", rpc.server()));
+    let result = (|| {
+        let (mut init, token1) = InitiatorContext::new(config, rng);
+        trace::event("gss.token1.send", &format!("len={}", token1.len()));
+        let token2 = parse_reply(&rpc.call(&request(OP_TOKEN1, &token1))?)?;
+        trace::event("gss.token2.recv", &format!("len={}", token2.len()));
+        let (token3, context) = match init.step(&token2)? {
+            StepResult::Established { token, context } => (
+                token.ok_or(GssError::BadState("missing finished token"))?,
+                context,
+            ),
+            StepResult::ContinueWith(_) => {
+                return Err(GssError::BadState("initiator should finish on token 2"))
+            }
+        };
+        trace::event("gss.token3.send", &format!("len={}", token3.len()));
+        parse_reply(&rpc.call(&request(OP_TOKEN3, &token3))?)?;
+        trace::event("gss.established", &format!("peer={}", rpc.server()));
+        trace::add("gss.contexts_established", 1);
+        Ok(*context)
+    })();
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
+    }
+    result
 }
 
 /// The acceptor side as a pollable service: plug
@@ -130,10 +143,12 @@ impl<E: EntropySource> AcceptorService<E> {
     /// frame. Never panics on malformed input — errors come back as
     /// `"err"` replies the initiator surfaces as [`GssError::Transport`].
     pub fn handle(&mut self, from: &str, payload: &[u8]) -> Vec<u8> {
+        let _sp = trace::span_with("gss.accept", &format!("from={from}"));
         let (op, token) = match parse_request(payload) {
             Ok(x) => x,
             Err(_) => return reply_err("malformed request"),
         };
+        trace::event("gss.accept.op", &format!("op={op} from={from}"));
         match op.as_str() {
             OP_TOKEN1 => {
                 let mut acceptor = AcceptorContext::new(self.config.clone());

@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod scenarios;
+
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_pki::ca::CertificateAuthority;
 use gridsec_pki::credential::Credential;

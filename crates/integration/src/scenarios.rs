@@ -1,0 +1,498 @@
+//! The paper-figure chaos scenarios as reusable library functions.
+//!
+//! Each figure builds a fresh [`Network`] with the lossy-WAN fault
+//! profile seeded from the master seed, wires a [`Tracer`] whose clock
+//! is the scenario's `SimClock` (so every span timestamp is simulated
+//! time, fully deterministic per seed), attaches a hash-chained
+//! [`AuditLog`] as the tracer's event sink, and runs the flow through
+//! the retry/RPC stack. The returned [`ScenarioReport`] carries the
+//! network transcript, the trace dump, and the metrics snapshot — all
+//! three byte-identical functions of the seed.
+//!
+//! The chaos test suite (`tests/chaos.rs`) asserts on these; the bench
+//! crate's `flow_metrics` bin replays them to emit `BENCH_flows.json`
+//! for `regen_experiments`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gridsec_authz::cas::{CasServer, ResourceGate};
+use gridsec_authz::net::{fetch_assertion, CasService};
+use gridsec_authz::policy::{CombiningAlg, Decision, Effect, PolicySet, Rule, SubjectMatch};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_gram::remote::{job_state_remote, submit_job_remote, RemoteGram};
+use gridsec_gram::resource::{GramConfig, GramResource};
+use gridsec_gram::types::{JobDescription, JobState};
+use gridsec_gram::Requestor;
+use gridsec_gssapi::net::{establish_initiator, AcceptorService};
+use gridsec_ogsa::client::{OgsaClient, StaticCredential};
+use gridsec_ogsa::hosting::HostingEnvironment;
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::transport::{RetryTransport, RpcService};
+use gridsec_ogsa::OgsaError;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::store::TrustStore;
+use gridsec_services::audit::AuditLog;
+use gridsec_testbed::clock::SimClock;
+use gridsec_testbed::net::{FaultProfile, FaultStats, Network};
+use gridsec_testbed::rpc::{RpcClient, RpcServer};
+use gridsec_tls::handshake::TlsConfig;
+use gridsec_util::retry::RetryPolicy;
+use gridsec_util::trace::{self, MetricsSnapshot, Tracer};
+use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
+use gridsec_xml::Element;
+
+use crate::{basic_world, dn};
+
+/// Options a chaos harness can vary per run.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosOpts {
+    /// Partition every client/server link before the flow runs, forcing
+    /// retry-budget exhaustion (the flight recorder's trigger).
+    pub partition_all: bool,
+    /// Write flight-recorder dumps here (the tracer's flight path).
+    pub flight_path: Option<String>,
+}
+
+/// Everything one scenario produced, all deterministic per seed.
+pub struct ScenarioReport {
+    /// Network transcript lines, prefixed with the figure tag.
+    pub lines: Vec<String>,
+    /// Fault-layer counters.
+    pub stats: FaultStats,
+    /// The trace ring + metrics, rendered (`Tracer::dump` + render).
+    pub trace: String,
+    /// The metrics snapshot (for `BENCH_*.json` emission).
+    pub metrics: MetricsSnapshot,
+    /// Records mirrored into the audit hash chain.
+    pub audit_records: usize,
+    /// Whether the flow completed (false under `partition_all`).
+    pub completed: bool,
+}
+
+/// The retry policy all chaos clients use: ample attempts, timeout
+/// windows comfortably above the profile's worst-case latency so an
+/// attempt only fails on an actual drop or partition.
+pub fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 8,
+        base_timeout: 16,
+        multiplier: 2,
+        max_timeout: 64,
+    }
+}
+
+/// Per-scenario observability rig: tracer on the scenario clock, audit
+/// log as the event sink, optional flight path.
+struct Rig {
+    tracer: Tracer,
+    audit: AuditLog,
+}
+
+fn rig(clock: &SimClock, opts: &ChaosOpts) -> Rig {
+    let tracer = Tracer::new();
+    let c = clock.clone();
+    tracer.set_clock(move || c.now());
+    if let Some(path) = &opts.flight_path {
+        tracer.set_flight_path(path.clone());
+    }
+    let audit = AuditLog::new();
+    audit.attach(&tracer);
+    Rig { tracer, audit }
+}
+
+fn report(tag: &str, net: &Network, r: Rig, completed: bool) -> ScenarioReport {
+    assert!(
+        r.audit.verify().is_ok(),
+        "{tag}: audit hash chain must verify"
+    );
+    ScenarioReport {
+        lines: net
+            .transcript()
+            .into_iter()
+            .map(|l| format!("{tag} {l}"))
+            .collect(),
+        stats: net.fault_stats().expect("faults were enabled"),
+        trace: format!("{}{}", r.tracer.dump(), r.tracer.metrics().render()),
+        metrics: r.tracer.metrics(),
+        audit_records: r.audit.len(),
+        completed,
+    }
+}
+
+/// Figure 1: GSS-API context establishment (the VO sign-on handshake)
+/// across the lossy network, then a secured message both ways.
+pub fn figure1_gss(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let net = Network::new();
+    let clock = SimClock::starting_at(100);
+    net.enable_faults(clock.clone(), seed ^ 0xF161, FaultProfile::lossy_wan());
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure1_gss");
+
+    let mut w = basic_world(b"chaos fig1");
+    let initiator_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 100);
+    let acceptor_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 100);
+    let acceptor_rng = ChaChaRng::from_seed_bytes(b"chaos fig1 acceptor");
+
+    let service = Rc::new(RefCell::new(AcceptorService::new(
+        acceptor_cfg,
+        acceptor_rng,
+    )));
+    let server = Rc::new(RefCell::new(RpcServer::new(net.register("service"))));
+    let mut rpc = RpcClient::new(net.register("user"), "service", policy());
+    let hook_server = server.clone();
+    let hook_service = service.clone();
+    rpc.set_pump(move || {
+        hook_server
+            .borrow_mut()
+            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+    });
+
+    if opts.partition_all {
+        net.partition("user", "service");
+        let err = establish_initiator(&mut rpc, initiator_cfg, &mut w.rng);
+        assert!(err.is_err(), "partition must fail establishment");
+        return report("fig1", &net, r, false);
+    }
+
+    let mut user_ctx = establish_initiator(&mut rpc, initiator_cfg, &mut w.rng)
+        .expect("figure 1 must establish under lossy WAN");
+    let mut service_ctx = service
+        .borrow_mut()
+        .take_established("user")
+        .expect("acceptor side established");
+
+    // The contexts are live: protect one message in each direction.
+    let sealed = user_ctx.wrap(b"vo sign-on complete");
+    assert_eq!(
+        service_ctx.unwrap(&sealed).expect("unwrap at service"),
+        b"vo sign-on complete"
+    );
+    let back = service_ctx.wrap(b"welcome");
+    assert_eq!(user_ctx.unwrap(&back).expect("unwrap at user"), b"welcome");
+    assert_eq!(service_ctx.peer().base_identity, dn("/O=G/CN=User"));
+
+    report("fig1", &net, r, true)
+}
+
+/// Figure 2: CAS-mediated authorization — fetch a signed capability
+/// assertion over the lossy network, then present it to a resource
+/// gate that intersects VO rights with local policy.
+pub fn figure2_cas(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let net = Network::new();
+    let clock = SimClock::starting_at(100);
+    net.enable_faults(clock.clone(), seed ^ 0xF162, FaultProfile::lossy_wan());
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure2_cas");
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig2");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=VO/CN=CA"), 512, 0, 1_000_000);
+    let cas_cred = ca.issue_identity(&mut rng, dn("/O=VO/CN=CAS"), 512, 0, 500_000);
+    let cas = Arc::new(CasServer::new("physics-vo", cas_cred, 3600));
+    let alice = dn("/O=G/CN=Alice");
+    cas.enroll(&alice, vec!["group:analysts".into()]);
+    cas.add_rule(Rule::new(
+        SubjectMatch::Exact("group:analysts".to_string()),
+        "dataset/*",
+        "read",
+        Effect::Permit,
+    ));
+
+    let service = Rc::new(RefCell::new(CasService::new(cas.clone(), clock.clone())));
+    let server = Rc::new(RefCell::new(RpcServer::new(net.register("cas"))));
+    let mut rpc = RpcClient::new(net.register("alice"), "cas", policy());
+    let hook_server = server.clone();
+    let hook_service = service.clone();
+    rpc.set_pump(move || {
+        hook_server
+            .borrow_mut()
+            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+    });
+
+    if opts.partition_all {
+        net.partition("alice", "cas");
+        assert!(fetch_assertion(&mut rpc, &alice).is_err());
+        return report("fig2", &net, r, false);
+    }
+
+    let assertion = fetch_assertion(&mut rpc, &alice).expect("figure 2 must fetch under lossy WAN");
+
+    let mut local = PolicySet::new(CombiningAlg::DenyOverrides);
+    local.add(Rule::new(
+        SubjectMatch::Exact("vo:physics-vo".to_string()),
+        "dataset/*",
+        "read",
+        Effect::Permit,
+    ));
+    let mut gate = ResourceGate::new(local);
+    gate.trust_cas("physics-vo", cas.public_key().clone());
+    let decision = gate
+        .authorize_with_cas(&assertion, &alice, "dataset/run7", "read", clock.now())
+        .expect("assertion accepted");
+    assert_eq!(decision, Decision::Permit);
+    trace::event(
+        "gate.decision",
+        "resource=dataset/run7 action=read outcome=permit",
+    );
+
+    report("fig2", &net, r, true)
+}
+
+/// Echo service for the Figure 3 hosting environment.
+struct EchoService;
+
+impl GridService for EchoService {
+    fn service_type(&self) -> &str {
+        "echo"
+    }
+    fn invoke(
+        &mut self,
+        ctx: &RequestContext,
+        operation: &str,
+        payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        match operation {
+            "echo" => Ok(Element::new("echo:Reply")
+                .with_attr("caller", ctx.caller.base_identity.to_string())
+                .with_text(payload.text_content())),
+            other => Err(OgsaError::Application(format!("unknown op {other}"))),
+        }
+    }
+    fn service_data(&self, name: &str) -> Option<Element> {
+        (name == "serviceType").then(|| Element::new("sde").with_text("echo"))
+    }
+}
+
+/// Figure 3: the secured OGSA pipeline — policy fetch, secure
+/// conversation, createService, invoke, destroy — every envelope an
+/// at-most-once RPC over the lossy network. A duplicated
+/// `createService` answered from the reply cache must not create a
+/// second instance.
+pub fn figure3_ogsa(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let net = Network::new();
+    let clock = SimClock::starting_at(100);
+    net.enable_faults(clock.clone(), seed ^ 0xF163, FaultProfile::lossy_wan());
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure3_ogsa");
+
+    let w = basic_world(b"chaos fig3");
+    let published = SecurityPolicy {
+        service: "echo".to_string(),
+        alternatives: vec![PolicyAlternative {
+            mechanism: "gsi-secure-conversation".to_string(),
+            token_types: vec!["x509-chain".to_string()],
+            trust_roots: vec![],
+            protection: Protection::Sign,
+        }],
+    };
+    let mut authz = PolicySet::new(CombiningAlg::DenyOverrides);
+    authz.add(Rule::new(
+        SubjectMatch::Exact("/O=G/CN=User".to_string()),
+        "factory:echo",
+        "create",
+        Effect::Permit,
+    ));
+    authz.add(Rule::new(
+        SubjectMatch::Exact("/O=G/CN=User".to_string()),
+        "service:echo",
+        "*",
+        Effect::Permit,
+    ));
+    let mut env = HostingEnvironment::new(
+        "echo-host",
+        w.service.clone(),
+        w.trust.clone(),
+        clock.clone(),
+        published,
+        authz,
+    );
+    env.registry
+        .register_factory("echo", Box::new(|_ctx, _args| Ok(Box::new(EchoService))));
+    let env = Rc::new(RefCell::new(env));
+
+    let service = Rc::new(RefCell::new(RpcService::new(
+        &net,
+        "echo-host",
+        env.clone(),
+    )));
+    let mut transport = RetryTransport::connect(&net, "user", "echo-host", policy());
+    let hook = service.clone();
+    transport.set_pump(move || hook.borrow_mut().poll());
+    let mut client = OgsaClient::new(transport, w.trust.clone(), clock, b"chaos fig3 client");
+    client.add_source(Box::new(StaticCredential(w.user.clone())));
+
+    if opts.partition_all {
+        net.partition("user", "echo-host");
+        assert!(client.create_service("echo", Element::new("args")).is_err());
+        return report("fig3", &net, r, false);
+    }
+
+    let handle = client
+        .create_service("echo", Element::new("args"))
+        .expect("figure 3 createService under lossy WAN");
+    let reply = client
+        .invoke(&handle, "echo", Element::new("m").with_text("hello grid"))
+        .expect("figure 3 invoke under lossy WAN");
+    assert_eq!(reply.text_content(), "hello grid");
+    assert_eq!(reply.attr("caller"), Some("/O=G/CN=User"));
+    // Exactly one instance exists despite any duplicated createService.
+    assert_eq!(env.borrow().registry.instance_count(), 1);
+    client.destroy(&handle).expect("figure 3 destroy");
+    assert_eq!(env.borrow().registry.instance_count(), 0);
+
+    report("fig3", &net, r, true)
+}
+
+/// Figure 4: the GT3 GRAM chain — signed submission through MMJFS /
+/// Setuid Starter / GRIM / LMJFS, then step-7 mutual authentication,
+/// GRIM authorization, delegation, and job start, every leg retried
+/// over the lossy network. Exactly one LMJFS cold start may happen no
+/// matter how many times the submission frame is duplicated.
+pub fn figure4_gram(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let net = Network::new();
+    let clock = SimClock::starting_at(100);
+    net.enable_faults(clock.clone(), seed ^ 0xF164, FaultProfile::lossy_wan());
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure4_gram");
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig4");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+    let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
+    let host_cred = ca.issue_host_identity(
+        &mut rng,
+        dn("/O=G/CN=host compute1"),
+        vec!["compute1".into()],
+        512,
+        0,
+        500_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let gridmap = gridsec_authz::gridmap::GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
+    let resource = GramResource::install(
+        gridsec_testbed::os::SimOs::new(),
+        clock.clone(),
+        "compute1",
+        trust.clone(),
+        host_cred,
+        &gridmap,
+        GramConfig::default(),
+    )
+    .unwrap();
+    let shared = Rc::new(RefCell::new(resource));
+
+    let service = Rc::new(RefCell::new(RemoteGram::new(shared.clone(), b"chaos mjs")));
+    let server = Rc::new(RefCell::new(RpcServer::new(net.register("mjs-host"))));
+    let mut rpc = RpcClient::new(net.register("jane"), "mjs-host", policy());
+    let hook_server = server.clone();
+    let hook_service = service.clone();
+    rpc.set_pump(move || {
+        hook_server
+            .borrow_mut()
+            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+    });
+
+    let mut jane = Requestor::new(jane, trust, b"chaos jane");
+
+    if opts.partition_all {
+        net.partition("jane", "mjs-host");
+        let err = submit_job_remote(
+            &mut jane,
+            &mut rpc,
+            &JobDescription::new("/bin/sim"),
+            &dn("/O=G/CN=host compute1"),
+            clock.now(),
+        );
+        assert!(err.is_err(), "partition must fail submission");
+        return report("fig4", &net, r, false);
+    }
+
+    let job = submit_job_remote(
+        &mut jane,
+        &mut rpc,
+        &JobDescription::new("/bin/sim"),
+        &dn("/O=G/CN=host compute1"),
+        clock.now(),
+    )
+    .expect("figure 4 must submit under lossy WAN");
+    assert!(job.cold_start);
+    assert_eq!(job.account, "jdoe");
+    assert_eq!(
+        job_state_remote(&mut rpc, &job.handle).expect("state query"),
+        JobState::Active
+    );
+    // The reply cache absorbed duplicated submissions: one cold start.
+    assert_eq!(shared.borrow().stats.cold_starts, 1);
+
+    report("fig4", &net, r, true)
+}
+
+/// The combined outcome of running all four figures from one seed.
+pub struct ChaosRun {
+    /// Combined tagged network transcript plus a totals line.
+    pub transcript: String,
+    /// Summed fault counters.
+    pub stats: FaultStats,
+    /// Concatenated per-figure trace dumps (spans, events, metrics),
+    /// byte-identical per seed.
+    pub trace: String,
+    /// Per-figure metrics, name-prefixed (`fig1.` … `fig4.`) and merged.
+    pub metrics: MetricsSnapshot,
+    /// Total audit records mirrored across all figures.
+    pub audit_records: usize,
+}
+
+/// Run all four figures from one master seed. Honors
+/// `GRIDSEC_FLIGHT_DUMP` (a path prefix; each figure appends its tag)
+/// unless `opts.flight_path` is already set.
+pub fn run_all(seed: u64, opts: &ChaosOpts) -> ChaosRun {
+    let mut transcript = format!("chaos transcript seed=0x{seed:016x}\n");
+    let mut trace_out = String::new();
+    let mut stats = FaultStats::default();
+    let mut metrics = MetricsSnapshot::default();
+    let mut audit_records = 0usize;
+    let flight_prefix = std::env::var("GRIDSEC_FLIGHT_DUMP").ok();
+    type Figure = fn(u64, &ChaosOpts) -> ScenarioReport;
+    let figures: [(&str, Figure); 4] = [
+        ("fig1", figure1_gss),
+        ("fig2", figure2_cas),
+        ("fig3", figure3_ogsa),
+        ("fig4", figure4_gram),
+    ];
+    for (tag, run) in figures {
+        let mut o = opts.clone();
+        if o.flight_path.is_none() {
+            o.flight_path = flight_prefix.as_ref().map(|p| format!("{p}.{tag}"));
+        }
+        let rep = run(seed, &o);
+        for line in &rep.lines {
+            transcript.push_str(line);
+            transcript.push('\n');
+        }
+        trace_out.push_str(&format!("=== {tag} trace ===\n"));
+        trace_out.push_str(&rep.trace);
+        stats.sent += rep.stats.sent;
+        stats.delivered += rep.stats.delivered;
+        stats.dropped += rep.stats.dropped;
+        stats.duplicated += rep.stats.duplicated;
+        stats.blocked += rep.stats.blocked;
+        metrics.merge(&rep.metrics.prefixed(tag));
+        audit_records += rep.audit_records;
+    }
+    transcript.push_str(&format!(
+        "totals sent={} delivered={} dropped={} duplicated={} blocked={}\n",
+        stats.sent, stats.delivered, stats.dropped, stats.duplicated, stats.blocked
+    ));
+    ChaosRun {
+        transcript,
+        stats,
+        trace: trace_out,
+        metrics,
+        audit_records,
+    }
+}

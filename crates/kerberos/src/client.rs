@@ -221,7 +221,9 @@ mod tests {
     fn expired_ticket_rejected_by_service() {
         let mut f = flow();
         let (ticket, session_key) = get_service_ticket(&mut f, 100);
-        let auth = f.client.make_authenticator(&mut f.rng, &session_key, 100_000);
+        let auth = f
+            .client
+            .make_authenticator(&mut f.rng, &session_key, 100_000);
         assert!(matches!(
             f.verifier.accept(&ticket, &auth, 100_000),
             Err(KrbError::Expired { .. })

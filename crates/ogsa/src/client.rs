@@ -261,7 +261,11 @@ impl<T: Transport> OgsaClient<T> {
     // ------------------------------------------------------------------
 
     /// `createService` on a factory type; returns the new handle.
-    pub fn create_service(&mut self, service_type: &str, args: Element) -> Result<String, OgsaError> {
+    pub fn create_service(
+        &mut self,
+        service_type: &str,
+        args: Element,
+    ) -> Result<String, OgsaError> {
         let payload = Element::new("ogsa:CreateService")
             .with_attr("type", service_type)
             .with_child(Element::new("ogsa:Args").with_child(args));
@@ -291,11 +295,7 @@ impl<T: Transport> OgsaClient<T> {
     }
 
     /// Query a service data element.
-    pub fn query_service_data(
-        &mut self,
-        handle: &str,
-        name: &str,
-    ) -> Result<Element, OgsaError> {
+    pub fn query_service_data(&mut self, handle: &str, name: &str) -> Result<Element, OgsaError> {
         let body = Element::new("ogsa:Query")
             .with_attr("handle", handle)
             .with_attr("name", name);

@@ -120,31 +120,27 @@ pub fn run_router(
         let Ok(msg) = endpoint.recv() else { break };
         let xml = String::from_utf8_lossy(&msg.payload).into_owned();
         let reply = match firewall.inspect(&xml) {
-            Verdict::Deny(reason) => {
-                crate::hosting::fault_envelope(&OgsaError::Transport(format!(
-                    "dropped by firewall: {reason}"
-                )))
-                .to_xml()
-            }
+            Verdict::Deny(reason) => crate::hosting::fault_envelope(&OgsaError::Transport(
+                format!("dropped by firewall: {reason}"),
+            ))
+            .to_xml(),
             Verdict::Allow(_) => {
                 // Route to the next hop and relay its reply.
                 match Envelope::parse(&xml) {
                     Ok(mut env) => match routing::advance(&mut env) {
                         Ok(Some(next)) => match endpoint.call(&next, env.to_xml().into_bytes()) {
                             Ok(reply) => String::from_utf8_lossy(&reply.payload).into_owned(),
-                            Err(e) => crate::hosting::fault_envelope(&OgsaError::Transport(
-                                e.to_string(),
-                            ))
-                            .to_xml(),
+                            Err(e) => {
+                                crate::hosting::fault_envelope(&OgsaError::Transport(e.to_string()))
+                                    .to_xml()
+                            }
                         },
                         _ => crate::hosting::fault_envelope(&OgsaError::Malformed(
                             "router received unrouted message",
                         ))
                         .to_xml(),
                     },
-                    Err(e) => {
-                        crate::hosting::fault_envelope(&OgsaError::Wsse(e)).to_xml()
-                    }
+                    Err(e) => crate::hosting::fault_envelope(&OgsaError::Wsse(e)).to_xml(),
                 }
             }
         };

@@ -196,7 +196,11 @@ impl HostingEnvironment {
                 let ty = payload
                     .attr("type")
                     .ok_or(OgsaError::Malformed("CreateService needs type"))?;
-                (format!("factory:{ty}"), "create".to_string(), format!("createService {ty}"))
+                (
+                    format!("factory:{ty}"),
+                    "create".to_string(),
+                    format!("createService {ty}"),
+                )
             }
             "invoke" => {
                 let handle = payload
@@ -209,7 +213,11 @@ impl HostingEnvironment {
                     .registry
                     .service_type_of(handle)
                     .ok_or_else(|| OgsaError::NoSuchService(handle.to_string()))?;
-                (format!("service:{ty}"), op.to_string(), format!("invoke {handle} {op}"))
+                (
+                    format!("service:{ty}"),
+                    op.to_string(),
+                    format!("invoke {handle} {op}"),
+                )
             }
             "queryServiceData" => {
                 let handle = payload
@@ -219,7 +227,11 @@ impl HostingEnvironment {
                     .registry
                     .service_type_of(handle)
                     .ok_or_else(|| OgsaError::NoSuchService(handle.to_string()))?;
-                (format!("service:{ty}"), "query".to_string(), format!("query {handle}"))
+                (
+                    format!("service:{ty}"),
+                    "query".to_string(),
+                    format!("query {handle}"),
+                )
             }
             "destroy" => {
                 let handle = payload
@@ -229,7 +241,11 @@ impl HostingEnvironment {
                     .registry
                     .service_type_of(handle)
                     .ok_or_else(|| OgsaError::NoSuchService(handle.to_string()))?;
-                (format!("service:{ty}"), "destroy".to_string(), format!("destroy {handle}"))
+                (
+                    format!("service:{ty}"),
+                    "destroy".to_string(),
+                    format!("destroy {handle}"),
+                )
             }
             _ => return Err(OgsaError::Malformed("unknown action")),
         };
@@ -295,7 +311,10 @@ impl HostingEnvironment {
             "destroy" => {
                 let handle = payload.attr("handle").unwrap();
                 self.registry.destroy(handle)?;
-                Ok(Envelope::request("destroyResponse", Element::new("ogsa:Ok")))
+                Ok(Envelope::request(
+                    "destroyResponse",
+                    Element::new("ogsa:Ok"),
+                ))
             }
             _ => unreachable!("filtered above"),
         };

@@ -263,10 +263,15 @@ mod tests {
     fn distinct_instances_have_distinct_state() {
         let mut reg = registry_with_counter();
         let ctx = test_ctx();
-        let h1 = reg.create("counter", &ctx, &Element::new("a").with_text("0")).unwrap();
-        let h2 = reg.create("counter", &ctx, &Element::new("a").with_text("100")).unwrap();
+        let h1 = reg
+            .create("counter", &ctx, &Element::new("a").with_text("0"))
+            .unwrap();
+        let h2 = reg
+            .create("counter", &ctx, &Element::new("a").with_text("100"))
+            .unwrap();
         assert_ne!(h1, h2);
-        reg.invoke(&h1, &ctx, "add", &Element::new("a").with_text("1")).unwrap();
+        reg.invoke(&h1, &ctx, "add", &Element::new("a").with_text("1"))
+            .unwrap();
         let v2 = reg.invoke(&h2, &ctx, "get", &Element::new("a")).unwrap();
         assert_eq!(v2.text_content(), "100");
     }
@@ -275,7 +280,9 @@ mod tests {
     fn service_data_query() {
         let mut reg = registry_with_counter();
         let ctx = test_ctx();
-        let h = reg.create("counter", &ctx, &Element::new("a").with_text("7")).unwrap();
+        let h = reg
+            .create("counter", &ctx, &Element::new("a").with_text("7"))
+            .unwrap();
         let sde = reg.query(&h, "currentValue").unwrap().unwrap();
         assert_eq!(sde.text_content(), "7");
         assert!(reg.query(&h, "nonexistent").unwrap().is_none());

@@ -19,6 +19,7 @@ use std::rc::Rc;
 use gridsec_testbed::net::{Endpoint, Network};
 use gridsec_testbed::rpc::{RpcCallStats, RpcClient, RpcServer};
 use gridsec_util::retry::RetryPolicy;
+use gridsec_util::trace;
 
 use crate::hosting::HostingEnvironment;
 use crate::OgsaError;
@@ -85,7 +86,12 @@ pub struct RetryTransport {
 impl RetryTransport {
     /// Register `client_name` on the network and target the RPC server
     /// at `server`, retrying per `policy`.
-    pub fn connect(network: &Network, client_name: &str, server: &str, policy: RetryPolicy) -> Self {
+    pub fn connect(
+        network: &Network,
+        client_name: &str,
+        server: &str,
+        policy: RetryPolicy,
+    ) -> Self {
         RetryTransport {
             rpc: RpcClient::new(network.register(client_name), server, policy),
         }
@@ -107,11 +113,19 @@ impl RetryTransport {
 
 impl Transport for RetryTransport {
     fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
-        let reply = self
+        let mut sp = trace::span_with("ogsa.envelope", &format!("bytes={}", request_xml.len()));
+        trace::add("ogsa.envelopes", 1);
+        let result = self
             .rpc
             .call(request_xml.as_bytes())
-            .map_err(|e| OgsaError::Transport(e.to_string()))?;
-        String::from_utf8(reply).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+            .map_err(|e| OgsaError::Transport(e.to_string()))
+            .and_then(|reply| {
+                String::from_utf8(reply).map_err(|_| OgsaError::Transport("non-UTF8".into()))
+            });
+        if let Err(e) = &result {
+            sp.fail(&e.to_string());
+        }
+        result
     }
 }
 
@@ -127,7 +141,11 @@ pub struct RpcService {
 
 impl RpcService {
     /// Serve `env` behind `endpoint_name` on `network`.
-    pub fn new(network: &Network, endpoint_name: &str, env: Rc<RefCell<HostingEnvironment>>) -> Self {
+    pub fn new(
+        network: &Network,
+        endpoint_name: &str,
+        env: Rc<RefCell<HostingEnvironment>>,
+    ) -> Self {
         RpcService {
             server: RpcServer::new(network.register(endpoint_name)),
             env,
@@ -138,7 +156,8 @@ impl RpcService {
     /// answered (cache hits included).
     pub fn poll(&mut self) -> usize {
         let env = &self.env;
-        self.server.poll(&mut |_from, body| {
+        self.server.poll(&mut |from, body| {
+            let _sp = trace::span_with("ogsa.dispatch", &format!("from={from}"));
             let request = String::from_utf8_lossy(body).into_owned();
             env.borrow_mut().handle_message(&request).into_bytes()
         })

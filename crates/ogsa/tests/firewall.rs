@@ -9,9 +9,7 @@ use std::rc::Rc;
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
-use gridsec_ogsa::firewall::{
-    run_router, Firewall, FirewalledTransport, RoutedTransport, Verdict,
-};
+use gridsec_ogsa::firewall::{run_router, Firewall, FirewalledTransport, RoutedTransport, Verdict};
 use gridsec_ogsa::hosting::HostingEnvironment;
 use gridsec_ogsa::service::{GridService, RequestContext};
 use gridsec_ogsa::transport::InProcessTransport;
@@ -127,8 +125,7 @@ fn firewalled_client_still_completes_secured_flows() {
     // bootstrap, a token exchange, or secured.
     for mechanism in ["gsi-secure-conversation", "xml-signature"] {
         let env = Rc::new(RefCell::new(env_for(&w, mechanism)));
-        let transport =
-            FirewalledTransport::new(InProcessTransport::new(env), Firewall::new());
+        let transport = FirewalledTransport::new(InProcessTransport::new(env), Firewall::new());
         let mut client = OgsaClient::new(
             transport,
             w.trust.clone(),
@@ -155,9 +152,8 @@ fn ws_routing_through_firewalled_intermediary() {
 
     // The perimeter router (handles exactly the client's 3 requests).
     let net_for_router = network.clone();
-    let router_thread = std::thread::spawn(move || {
-        run_router(&net_for_router, "perimeter", Firewall::new(), 3)
-    });
+    let router_thread =
+        std::thread::spawn(move || run_router(&net_for_router, "perimeter", Firewall::new(), 3));
 
     // Wait for both endpoints to come up (threads race registration).
     while !(network.is_registered("perimeter") && network.is_registered("inner-host")) {
@@ -188,22 +184,16 @@ fn ws_routing_through_firewalled_intermediary() {
 fn router_drops_unsecured_messages() {
     let network = Network::new();
     let router_net = network.clone();
-    let router = std::thread::spawn(move || {
-        run_router(&router_net, "perimeter", Firewall::new(), 1)
-    });
+    let router =
+        std::thread::spawn(move || run_router(&router_net, "perimeter", Firewall::new(), 1));
     while !network.is_registered("perimeter") {
         std::thread::yield_now();
     }
     let client = network.register("attacker");
     let naked = gridsec_wsse::soap::Envelope::request("invoke", Element::new("x"));
     let mut env = naked;
-    gridsec_wsse::routing::set_path(
-        &mut env,
-        &RoutingPath::through(&[], "inner-host"),
-    );
-    let reply = client
-        .call("perimeter", env.to_xml().into_bytes())
-        .unwrap();
+    gridsec_wsse::routing::set_path(&mut env, &RoutingPath::through(&[], "inner-host"));
+    let reply = client.call("perimeter", env.to_xml().into_bytes()).unwrap();
     let text = String::from_utf8_lossy(&reply.payload).into_owned();
     assert!(text.contains("fault"));
     assert!(text.contains("firewall"));

@@ -142,9 +142,7 @@ fn full_flow(mechanisms: &[&str]) {
     let mut client = make_client(&w, env, &w.alice);
 
     // Create, invoke, query, destroy — the whole lifecycle, secured.
-    let handle = client
-        .create_service("echo", Element::new("args"))
-        .unwrap();
+    let handle = client.create_service("echo", Element::new("args")).unwrap();
     let reply = client
         .invoke(&handle, "echo", Element::new("m").with_text("hello grid"))
         .unwrap();

@@ -108,7 +108,11 @@ fn build_env(
     (Rc::new(RefCell::new(env)), trust, user)
 }
 
-fn build(clock: &SimClock, mechanism: &str, user_lifetime: u64) -> (
+fn build(
+    clock: &SimClock,
+    mechanism: &str,
+    user_lifetime: u64,
+) -> (
     Rc<RefCell<HostingEnvironment>>,
     OgsaClient<InProcessTransport>,
 ) {
@@ -214,7 +218,9 @@ fn timeout_expiry_mid_handshake_recovers_after_heal() {
     client.add_source(Box::new(StaticCredential(user)));
 
     let before = clock.now();
-    let err = client.create_service("null", Element::new("a")).unwrap_err();
+    let err = client
+        .create_service("null", Element::new("a"))
+        .unwrap_err();
     assert!(matches!(err, OgsaError::Transport(_)), "{err:?}");
     assert!(cut.get(), "the partition must have landed mid-handshake");
     // The failing leg burned the whole retry schedule on the SimClock:
@@ -241,7 +247,9 @@ fn clock_skew_beyond_ttl_rejects_requests() {
     let server_clock = SimClock::starting_at(10_000);
     let client_clock = SimClock::starting_at(100);
     let (_env, mut client) = build_skewed(&server_clock, &client_clock, "xml-signature", 1_000_000);
-    let err = client.create_service("null", Element::new("a")).unwrap_err();
+    let err = client
+        .create_service("null", Element::new("a"))
+        .unwrap_err();
     assert!(
         matches!(err, OgsaError::Application(_) | OgsaError::Wsse(_)),
         "{err:?}"

@@ -6,9 +6,7 @@
 //! is an issuing identity; consumers decide trust by adding the CA
 //! certificate to their own [`crate::store::TrustStore`].
 
-use crate::cert::{
-    key_usage, BasicConstraints, Certificate, Extensions, TbsCertificate, Validity,
-};
+use crate::cert::{key_usage, BasicConstraints, Certificate, Extensions, TbsCertificate, Validity};
 use crate::credential::Credential;
 use crate::encoding::{Codec, Decoder, Encoder};
 use crate::name::DistinguishedName;
@@ -81,7 +79,8 @@ impl CertificateAuthority {
             proxy_cert_info: None,
             subject_alt_names: vec![],
         };
-        let certificate = parent.issue_certificate(name, key.public().clone(), validity, extensions);
+        let certificate =
+            parent.issue_certificate(name, key.public().clone(), validity, extensions);
         CertificateAuthority {
             certificate,
             key,

@@ -75,9 +75,7 @@ fn check_issuer(issuer_cert: &Certificate, now: u64) -> Result<(), PkiError> {
     }
     if let Some(info) = &issuer_cert.tbs.extensions.proxy_cert_info {
         if info.path_len_constraint == Some(0) {
-            return Err(PkiError::InvalidProxy(
-                "issuer proxy path length exhausted",
-            ));
+            return Err(PkiError::InvalidProxy("issuer proxy path length exhausted"));
         }
     }
     Ok(())
@@ -210,8 +208,7 @@ mod tests {
 
     fn setup() -> (ChaChaRng, CertificateAuthority, Credential) {
         let mut rng = ChaChaRng::from_seed_bytes(b"proxy tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let user = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 100_000);
         (rng, ca, user)
     }
@@ -232,8 +229,7 @@ mod tests {
     #[test]
     fn proxy_lifetime_clamped_to_issuer() {
         let (mut rng, _ca, user) = setup();
-        let p = issue_proxy(&mut rng, &user, ProxyType::Impersonation, 512, 10, u64::MAX)
-            .unwrap();
+        let p = issue_proxy(&mut rng, &user, ProxyType::Impersonation, 512, 10, u64::MAX).unwrap();
         assert_eq!(
             p.certificate().tbs.validity.not_after,
             user.certificate().tbs.validity.not_after

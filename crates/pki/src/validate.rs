@@ -193,7 +193,12 @@ pub fn validate_chain_with_crls(
                 }
                 ca_budget = ca_budget.map(|b| b - 1);
             }
-            if let Some(own) = cert.tbs.extensions.basic_constraints.and_then(|b| b.path_len) {
+            if let Some(own) = cert
+                .tbs
+                .extensions
+                .basic_constraints
+                .and_then(|b| b.path_len)
+            {
                 ca_budget = Some(ca_budget.map_or(own, |b| b.min(own)));
             }
         } else {
@@ -242,8 +247,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"validate tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let user = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 100_000);
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());
@@ -278,8 +282,7 @@ mod tests {
     #[test]
     fn proxy_chain_validates() {
         let mut w = world();
-        let p1 = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000)
-            .unwrap();
+        let p1 = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000).unwrap();
         let p2 = issue_proxy(&mut w.rng, &p1, ProxyType::Impersonation, 512, 20, 500).unwrap();
         let id = validate_chain(p2.chain(), &w.trust, 100).unwrap();
         assert_eq!(id.base_identity, dn("/O=G/CN=Jane"));
@@ -330,8 +333,7 @@ mod tests {
     #[test]
     fn revocation_cuts_off_proxies_too() {
         let mut w = world();
-        let p = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000)
-            .unwrap();
+        let p = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000).unwrap();
         let serial = w.user.certificate().tbs.serial;
         let crl = w.ca.issue_crl(vec![serial], 100, 10_000);
         let mut crls = CrlStore::new();
@@ -352,8 +354,7 @@ mod tests {
     #[test]
     fn independent_proxy_dominates() {
         let mut w = world();
-        let ind = issue_proxy(&mut w.rng, &w.user, ProxyType::Independent, 512, 10, 1000)
-            .unwrap();
+        let ind = issue_proxy(&mut w.rng, &w.user, ProxyType::Independent, 512, 10, 1000).unwrap();
         let id = validate_chain(ind.chain(), &w.trust, 100).unwrap();
         assert_eq!(id.rights, EffectiveRights::Independent);
     }
@@ -414,14 +415,16 @@ mod tests {
         assert!(validate_chain(p2.chain(), &w.trust, 100).is_ok());
         let p3 = issue_proxy(&mut w.rng, &p2, ProxyType::Impersonation, 512, 30, 200).unwrap();
         let err = validate_chain(p3.chain(), &w.trust, 100).unwrap_err();
-        assert!(matches!(err, PkiError::InvalidProxy("proxy path length exceeded")));
+        assert!(matches!(
+            err,
+            PkiError::InvalidProxy("proxy path length exceeded")
+        ));
     }
 
     #[test]
     fn forged_proxy_signature_rejected() {
         let mut w = world();
-        let p = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000)
-            .unwrap();
+        let p = issue_proxy(&mut w.rng, &w.user, ProxyType::Impersonation, 512, 10, 1000).unwrap();
         let mut chain = p.chain().to_vec();
         // Tamper with the proxy subject (e.g. to claim another identity).
         chain[0].tbs.subject = dn("/O=G/CN=Eve/CN=1");
@@ -435,11 +438,9 @@ mod tests {
     fn proxy_forged_by_other_user_rejected() {
         let mut w = world();
         // Eve issues a "proxy" whose subject claims to extend Jane's name.
-        let eve = w
-            .ca
-            .issue_identity(&mut w.rng, dn("/O=G/CN=Eve"), 512, 0, 100_000);
-        let fake = issue_proxy(&mut w.rng, &eve, ProxyType::Impersonation, 512, 10, 100)
-            .unwrap();
+        let eve =
+            w.ca.issue_identity(&mut w.rng, dn("/O=G/CN=Eve"), 512, 0, 100_000);
+        let fake = issue_proxy(&mut w.rng, &eve, ProxyType::Impersonation, 512, 10, 100).unwrap();
         let mut chain = fake.chain().to_vec();
         // Graft Eve's proxy onto Jane's chain.
         chain[1] = w.user.certificate().clone();
@@ -492,7 +493,10 @@ mod tests {
             root.certificate().clone(),
         ];
         let err = validate_chain(&chain, &trust, 100).unwrap_err();
-        assert!(matches!(err, PkiError::InvalidChain("CA path length exceeded")));
+        assert!(matches!(
+            err,
+            PkiError::InvalidChain("CA path length exceeded")
+        ));
 
         // One level is fine.
         let user1 = inter1.issue_identity(&mut rng, dn("/O=G/CN=V"), 512, 0, 100_000);
@@ -514,7 +518,10 @@ mod tests {
             w.ca.certificate().clone(),
         ];
         let err = validate_chain(&chain, &w.trust, 100).unwrap_err();
-        assert!(matches!(err, PkiError::InvalidChain(_) | PkiError::BadSignature));
+        assert!(matches!(
+            err,
+            PkiError::InvalidChain(_) | PkiError::BadSignature
+        ));
     }
 
     #[test]

@@ -101,6 +101,30 @@ impl AuditLog {
         let log = self.clone();
         Box::new(move |event| log.append(event))
     }
+
+    /// A [`gridsec_util::trace::TraceSink`] mirroring every trace event
+    /// into this hash chain: the span name becomes the caller, the
+    /// event name the operation, and the detail the outcome. Install it
+    /// with [`gridsec_util::trace::Tracer::set_sink`] so the flows'
+    /// structured events land in the tamper-evident log — the paper's
+    /// audit service fed by live flow data.
+    pub fn trace_sink(&self) -> gridsec_util::trace::TraceSink {
+        let log = self.clone();
+        Box::new(move |r: gridsec_util::trace::SinkRecord| {
+            log.append(AuditEvent {
+                now: r.t,
+                caller: r.span,
+                operation: r.name,
+                outcome: r.detail,
+            });
+        })
+    }
+
+    /// Attach this log to `tracer`: every span event the tracer records
+    /// is chained here.
+    pub fn attach(&self, tracer: &gridsec_util::trace::Tracer) {
+        tracer.set_sink(self.trace_sink());
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +193,29 @@ mod tests {
     #[test]
     fn empty_log_verifies() {
         assert!(AuditLog::new().verify().is_ok());
+    }
+
+    #[test]
+    fn trace_events_chain_into_the_log() {
+        use gridsec_util::trace;
+        let log = AuditLog::new();
+        let tracer = trace::Tracer::new();
+        log.attach(&tracer);
+        let _g = trace::install(&tracer);
+        {
+            let _sp = trace::span("cas.issue");
+            trace::event("cas.decision", "subject=/O=G/CN=Alice outcome=issued");
+        }
+        trace::event("orphan", "no span open");
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].event.caller, "cas.issue");
+        assert_eq!(records[0].event.operation, "cas.decision");
+        assert_eq!(
+            records[0].event.outcome,
+            "subject=/O=G/CN=Alice outcome=issued"
+        );
+        assert_eq!(records[1].event.caller, "");
+        assert!(log.verify().is_ok());
     }
 }

@@ -115,7 +115,13 @@ mod tests {
         AuthorizationService::new(p)
     }
 
-    fn decide(svc: &mut AuthorizationService, c: &RequestContext, s: &str, r: &str, a: &str) -> String {
+    fn decide(
+        svc: &mut AuthorizationService,
+        c: &RequestContext,
+        s: &str,
+        r: &str,
+        a: &str,
+    ) -> String {
         svc.invoke(
             c,
             "decide",
@@ -132,7 +138,10 @@ mod tests {
     fn decisions() {
         let mut svc = service();
         let c = ctx();
-        assert_eq!(decide(&mut svc, &c, "/O=G/CN=Jane", "queue:batch", "submit"), "permit");
+        assert_eq!(
+            decide(&mut svc, &c, "/O=G/CN=Jane", "queue:batch", "submit"),
+            "permit"
+        );
         assert_eq!(
             decide(&mut svc, &c, "/O=G/CN=Jane", "queue:batch", "cancel"),
             "not-applicable"

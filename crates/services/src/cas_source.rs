@@ -100,9 +100,7 @@ pub fn extract_assertions(identity: &ValidatedIdentity) -> Vec<CasAssertion> {
 mod tests {
     use super::*;
     use gridsec_authz::cas::ResourceGate;
-    use gridsec_authz::policy::{
-        CombiningAlg, Decision, Effect, PolicySet, Rule, SubjectMatch,
-    };
+    use gridsec_authz::policy::{CombiningAlg, Decision, Effect, PolicySet, Rule, SubjectMatch};
     use gridsec_pki::ca::CertificateAuthority;
     use gridsec_pki::name::DistinguishedName;
     use gridsec_pki::store::TrustStore;
@@ -120,8 +118,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"cas source tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
         let cas_cred = ca.issue_identity(&mut rng, dn("/O=G/CN=CAS"), 512, 0, 500_000);
         let cas = CasServer::new("physics-vo", cas_cred, 3600);
@@ -140,8 +137,7 @@ mod tests {
     #[test]
     fn vo_credential_carries_assertion_through_validation() {
         let w = world();
-        let mut source =
-            CasCredentialSource::new(&w.cas, w.jane.clone(), 512, 3600, b"jane rng");
+        let mut source = CasCredentialSource::new(&w.cas, w.jane.clone(), 512, 3600, b"jane rng");
         let vo_cred = source.obtain(100).unwrap();
         assert_eq!(vo_cred.proxy_depth(), 1);
 
@@ -160,8 +156,7 @@ mod tests {
     #[test]
     fn recovered_assertion_drives_resource_gate() {
         let w = world();
-        let mut source =
-            CasCredentialSource::new(&w.cas, w.jane.clone(), 512, 3600, b"jane rng");
+        let mut source = CasCredentialSource::new(&w.cas, w.jane.clone(), 512, 3600, b"jane rng");
         let vo_cred = source.obtain(100).unwrap();
         let id = validate_chain(vo_cred.chain(), &w.trust, 200).unwrap();
         let assertion = &extract_assertions(&id)[0];

@@ -87,8 +87,7 @@ mod tests {
         RequestContext,
     ) {
         let mut rng = ChaChaRng::from_seed_bytes(b"credproc tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());
         let svc = CredentialProcessingService::new(trust.clone(), CrlStore::new());
@@ -119,8 +118,7 @@ mod tests {
     #[test]
     fn reports_invalid_for_untrusted_chain() {
         let (mut rng, _ca, _trust, mut svc, ctx) = setup();
-        let rogue =
-            CertificateAuthority::create_root(&mut rng, dn("/O=Evil/CN=CA"), 512, 0, 1000);
+        let rogue = CertificateAuthority::create_root(&mut rng, dn("/O=Evil/CN=CA"), 512, 0, 1000);
         let fake = rogue.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 1000);
         let token = encode_chain(fake.chain());
         let result = svc

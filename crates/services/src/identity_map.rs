@@ -28,13 +28,16 @@ impl IdentityMap {
     /// Register a bidirectional mapping.
     pub fn add(&mut self, dn: &DistinguishedName, principal: &str, realm: &str) {
         let qualified = format!("{principal}@{realm}");
-        self.dn_to_principal.insert(dn.to_string(), qualified.clone());
+        self.dn_to_principal
+            .insert(dn.to_string(), qualified.clone());
         self.principal_to_dn.insert(qualified, dn.to_string());
     }
 
     /// X.509 → Kerberos (`user@REALM`).
     pub fn to_principal(&self, dn: &DistinguishedName) -> Option<&str> {
-        self.dn_to_principal.get(&dn.to_string()).map(|s| s.as_str())
+        self.dn_to_principal
+            .get(&dn.to_string())
+            .map(|s| s.as_str())
     }
 
     /// Kerberos → X.509.
@@ -155,7 +158,11 @@ mod tests {
         };
 
         let r = svc
-            .invoke(&ctx, "toPrincipal", &Element::new("q").with_text("/O=G/CN=Jane"))
+            .invoke(
+                &ctx,
+                "toPrincipal",
+                &Element::new("q").with_text("/O=G/CN=Jane"),
+            )
             .unwrap();
         assert_eq!(r.text_content(), "jdoe@SITE.A");
 
@@ -165,7 +172,11 @@ mod tests {
         assert_eq!(r.text_content(), "/O=G/CN=Jane");
 
         let r = svc
-            .invoke(&ctx, "toPrincipal", &Element::new("q").with_text("/O=G/CN=Ghost"))
+            .invoke(
+                &ctx,
+                "toPrincipal",
+                &Element::new("q").with_text("/O=G/CN=Ghost"),
+            )
             .unwrap();
         assert_eq!(r.name, "idmap:NoMapping");
 

@@ -177,7 +177,12 @@ mod tests {
         }
     }
 
-    fn register(svc: &mut IndexService, ctx: &RequestContext, name: &str, ep: &str) -> Result<Element, OgsaError> {
+    fn register(
+        svc: &mut IndexService,
+        ctx: &RequestContext,
+        name: &str,
+        ep: &str,
+    ) -> Result<Element, OgsaError> {
         svc.invoke(
             ctx,
             "register",
@@ -197,7 +202,11 @@ mod tests {
         assert_eq!(svc.len(), 2);
 
         let found = svc
-            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "gram.compute1"))
+            .invoke(
+                &jane,
+                "lookup",
+                &Element::new("q").with_attr("name", "gram.compute1"),
+            )
             .unwrap();
         assert_eq!(found.attr("endpoint"), Some("net:compute1"));
         assert_eq!(found.attr("owner"), Some("/O=G/CN=Jane"));
@@ -206,13 +215,14 @@ mod tests {
         let all = svc.invoke(&jane, "list", &Element::new("q")).unwrap();
         assert_eq!(all.child_elements().count(), 2);
 
-        svc.invoke(&jane, "unregister", &Element::new("q").with_attr("name", "ftp.data1"))
-            .unwrap();
+        svc.invoke(
+            &jane,
+            "unregister",
+            &Element::new("q").with_attr("name", "ftp.data1"),
+        )
+        .unwrap();
         assert_eq!(svc.len(), 1);
-        assert_eq!(
-            svc.service_data("entryCount").unwrap().text_content(),
-            "1"
-        );
+        assert_eq!(svc.service_data("entryCount").unwrap().text_content(), "1");
     }
 
     #[test]
@@ -220,7 +230,11 @@ mod tests {
         let mut svc = IndexService::new();
         let jane = ctx_for("/O=G/CN=Jane", b"idx jane");
         let r = svc
-            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "ghost"))
+            .invoke(
+                &jane,
+                "lookup",
+                &Element::new("q").with_attr("name", "ghost"),
+            )
             .unwrap();
         assert_eq!(r.name, "mds:NotFound");
     }
@@ -236,13 +250,21 @@ mod tests {
         assert!(matches!(err, OgsaError::NotAuthorized { .. }));
         // ...nor unregister it.
         let err = svc
-            .invoke(&eve, "unregister", &Element::new("q").with_attr("name", "gram.compute1"))
+            .invoke(
+                &eve,
+                "unregister",
+                &Element::new("q").with_attr("name", "gram.compute1"),
+            )
             .unwrap_err();
         assert!(matches!(err, OgsaError::NotAuthorized { .. }));
         // Jane can update her own entry.
         register(&mut svc, &jane, "gram.compute1", "net:moved").unwrap();
         let found = svc
-            .invoke(&jane, "lookup", &Element::new("q").with_attr("name", "gram.compute1"))
+            .invoke(
+                &jane,
+                "lookup",
+                &Element::new("q").with_attr("name", "gram.compute1"),
+            )
             .unwrap();
         assert_eq!(found.attr("endpoint"), Some("net:moved"));
     }

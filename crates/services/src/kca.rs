@@ -214,14 +214,24 @@ mod tests {
         let kdc = Kdc::new(&mut rng, "SITE.A", 36_000);
         kdc.add_principal("alice", "pw");
         let kca = KerberosCa::new(&mut rng, &kdc, 512, 1_000_000, 43_200);
-        World { rng, kdc: Arc::new(kdc), kca: Arc::new(kca) }
+        World {
+            rng,
+            kdc: Arc::new(kdc),
+            kca: Arc::new(kca),
+        }
     }
 
     #[test]
     fn kerberos_user_becomes_grid_identity() {
         let w = world();
-        let mut source =
-            KcaCredentialSource::new(w.kdc.clone(), w.kca.clone(), "alice", "pw", 512, b"alice rng");
+        let mut source = KcaCredentialSource::new(
+            w.kdc.clone(),
+            w.kca.clone(),
+            "alice",
+            "pw",
+            512,
+            b"alice rng",
+        );
         let cred = source.obtain(100).unwrap();
         assert_eq!(cred.subject().to_string(), "/O=KCA SITE.A/CN=alice");
 
@@ -236,8 +246,14 @@ mod tests {
     #[test]
     fn issued_certs_are_short_lived() {
         let w = world();
-        let mut source =
-            KcaCredentialSource::new(w.kdc.clone(), w.kca.clone(), "alice", "pw", 512, b"alice rng");
+        let mut source = KcaCredentialSource::new(
+            w.kdc.clone(),
+            w.kca.clone(),
+            "alice",
+            "pw",
+            512,
+            b"alice rng",
+        );
         let cred = source.obtain(100).unwrap();
         let v = cred.certificate().tbs.validity;
         assert_eq!(v.not_before, 100);
@@ -247,8 +263,14 @@ mod tests {
     #[test]
     fn wrong_password_fails_conversion() {
         let w = world();
-        let mut source =
-            KcaCredentialSource::new(w.kdc.clone(), w.kca.clone(), "alice", "WRONG", 512, b"alice rng");
+        let mut source = KcaCredentialSource::new(
+            w.kdc.clone(),
+            w.kca.clone(),
+            "alice",
+            "WRONG",
+            512,
+            b"alice rng",
+        );
         assert!(matches!(source.obtain(100), Err(OgsaError::Application(_))));
     }
 
@@ -285,7 +307,8 @@ mod tests {
     #[test]
     fn token_type_is_kerberos() {
         let w = world();
-        let source = KcaCredentialSource::new(w.kdc.clone(), w.kca.clone(), "alice", "pw", 512, b"rng");
+        let source =
+            KcaCredentialSource::new(w.kdc.clone(), w.kca.clone(), "alice", "pw", 512, b"rng");
         assert_eq!(source.token_type(), "kerberos-ticket");
     }
 }

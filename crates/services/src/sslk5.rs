@@ -102,8 +102,7 @@ mod tests {
         let mut rng = ChaChaRng::from_seed_bytes(b"sslk5 tests");
         let kdc = Kdc::new(&mut rng, "SITE.B", 36_000);
         kdc.add_principal("jdoe", "site-password");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());
@@ -122,16 +121,8 @@ mod tests {
     #[test]
     fn gsi_user_obtains_usable_tgt() {
         let mut w = world();
-        let login = sslk5_login(
-            &mut w.rng,
-            &w.kdc,
-            &w.jane,
-            &w.trust,
-            jane_map,
-            100,
-            10_000,
-        )
-        .unwrap();
+        let login =
+            sslk5_login(&mut w.rng, &w.kdc, &w.jane, &w.trust, jane_map, 100, 10_000).unwrap();
         assert_eq!(login.principal, "jdoe");
 
         // The TGT works for a normal TGS exchange.
@@ -149,18 +140,17 @@ mod tests {
     #[test]
     fn proxy_credential_works_via_base_identity() {
         let mut w = world();
-        let proxy = issue_proxy(&mut w.rng, &w.jane, ProxyType::Impersonation, 512, 50, 10_000)
-            .unwrap();
-        let login = sslk5_login(
+        let proxy = issue_proxy(
             &mut w.rng,
-            &w.kdc,
-            &proxy,
-            &w.trust,
-            jane_map,
-            100,
+            &w.jane,
+            ProxyType::Impersonation,
+            512,
+            50,
             10_000,
         )
         .unwrap();
+        let login =
+            sslk5_login(&mut w.rng, &w.kdc, &proxy, &w.trust, jane_map, 100, 10_000).unwrap();
         assert_eq!(login.principal, "jdoe");
     }
 
@@ -179,16 +169,8 @@ mod tests {
     #[test]
     fn unmapped_identity_rejected() {
         let mut w = world();
-        let err = sslk5_login(
-            &mut w.rng,
-            &w.kdc,
-            &w.jane,
-            &w.trust,
-            |_| None,
-            100,
-            1000,
-        )
-        .unwrap_err();
+        let err =
+            sslk5_login(&mut w.rng, &w.kdc, &w.jane, &w.trust, |_| None, 100, 1000).unwrap_err();
         assert!(matches!(err, KrbError::NoMapping(_)));
     }
 

@@ -125,8 +125,14 @@ mod tests {
         os.add_host("h");
         let alice = os.add_account("h", "alice").unwrap();
         let bob = os.add_account("h", "bob").unwrap();
-        os.write_file("h", "/home/alice/proxy", alice, FileMode::private(), vec![1])
-            .unwrap();
+        os.write_file(
+            "h",
+            "/home/alice/proxy",
+            alice,
+            FileMode::private(),
+            vec![1],
+        )
+        .unwrap();
         os.write_file("h", "/home/bob/proxy", bob, FileMode::private(), vec![2])
             .unwrap();
         os.write_file(
@@ -171,7 +177,9 @@ mod tests {
         assert!(report
             .files_readable
             .contains(&"/home/alice/proxy".to_string()));
-        assert!(!report.files_readable.contains(&"/home/bob/proxy".to_string()));
+        assert!(!report
+            .files_readable
+            .contains(&"/home/bob/proxy".to_string()));
         assert!(!report.files_readable.contains(&"/etc/hostkey".to_string()));
         assert_eq!(
             report.credentials_exposed,
@@ -194,7 +202,12 @@ mod tests {
             "h",
             "/tmp/scratch",
             crate::os::ROOT_UID,
-            FileMode(FileMode::WORLD_READ | FileMode::WORLD_WRITE | FileMode::OWNER_READ | FileMode::OWNER_WRITE),
+            FileMode(
+                FileMode::WORLD_READ
+                    | FileMode::WORLD_WRITE
+                    | FileMode::OWNER_READ
+                    | FileMode::OWNER_WRITE,
+            ),
             vec![],
         )
         .unwrap();

@@ -637,7 +637,7 @@ impl StreamPair {
                 read_buf: Vec::new(),
                 read_pos: 0,
                 counters: counters.clone(),
-                fault: mk_fault(0x5eed_a2bu64),
+                fault: mk_fault(0x05ee_da2b_u64),
                 dead: false,
             },
         };
@@ -648,7 +648,7 @@ impl StreamPair {
                 read_buf: Vec::new(),
                 read_pos: 0,
                 counters: counters.clone(),
-                fault: mk_fault(0x5eed_b2au64),
+                fault: mk_fault(0x05ee_db2a_u64),
                 dead: false,
             },
         };

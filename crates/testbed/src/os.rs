@@ -418,8 +418,11 @@ impl SimOs {
     /// All files on a host (path, file) — used by fault injection.
     pub fn files(&self, host: &str) -> Result<Vec<(String, SimFile)>, TestbedError> {
         self.with_host(host, |h| {
-            let mut v: Vec<(String, SimFile)> =
-                h.files.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            let mut v: Vec<(String, SimFile)> = h
+                .files
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
             v.sort_by(|a, b| a.0.cmp(&b.0));
             Ok(v)
         })
@@ -486,7 +489,9 @@ mod tests {
         )
         .unwrap();
         // Owner reads.
-        assert!(os.read_file("compute1", "/home/alice/.proxy", alice).is_ok());
+        assert!(os
+            .read_file("compute1", "/home/alice/.proxy", alice)
+            .is_ok());
         // Other user denied.
         assert!(matches!(
             os.read_file("compute1", "/home/alice/.proxy", bob),
@@ -526,7 +531,8 @@ mod tests {
         let os = os_with_host();
         os.add_account("compute1", "factory").unwrap();
         os.add_account("compute1", "alice").unwrap();
-        os.install_setuid_binary("compute1", "setuid-starter").unwrap();
+        os.install_setuid_binary("compute1", "setuid-starter")
+            .unwrap();
         // Unprivileged MMJFS invokes the setuid starter...
         let mmjfs = os.spawn("compute1", "MMJFS", "factory").unwrap();
         let starter = os

@@ -23,6 +23,7 @@
 use crate::net::{Endpoint, Network};
 use crate::TestbedError;
 use gridsec_util::retry::RetryPolicy;
+use gridsec_util::trace;
 use std::collections::HashMap;
 
 const REQ_MAGIC: &[u8; 4] = b"GRQ1";
@@ -145,22 +146,46 @@ impl RpcClient {
         let id = self.next_id;
         self.next_id += 1;
         let frame = encode_request(id, request);
+        let mut sp = trace::span_with("rpc.call", &format!("server={} id={id}", self.server));
+        trace::add("rpc.calls", 1);
+        trace::add("rpc.bytes_sent", frame.len() as u64);
         let mut last_err = TestbedError::Timeout;
         let schedule: Vec<(u32, u64)> = self.policy.schedule().collect();
         for (attempt, timeout) in schedule {
             if attempt > 0 {
                 self.stats.retransmissions += 1;
+                trace::add("rpc.retransmissions", 1);
+                trace::add("rpc.bytes_sent", frame.len() as u64);
+                trace::event(
+                    "rpc.retransmit",
+                    &format!("id={id} attempt={attempt} timeout={timeout}"),
+                );
             }
             self.endpoint.send(&self.server, frame.clone())?;
             match self.wait_reply(id, timeout) {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => {
+                    trace::add("rpc.bytes_received", 12 + reply.len() as u64);
+                    return Ok(reply);
+                }
                 Err(TestbedError::Timeout) => {
                     self.stats.timeouts += 1;
+                    trace::add("rpc.timeouts", 1);
                     last_err = TestbedError::Timeout;
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    sp.fail("send");
+                    return Err(e);
+                }
             }
         }
+        // Retry budget exhausted: ship the recent trace ring so the
+        // failure is diagnosable without rerunning the scenario.
+        sp.fail("retry budget exhausted");
+        trace::event("rpc.exhausted", &format!("id={id} server={}", self.server));
+        trace::flight_dump(&format!(
+            "rpc retry budget exhausted (server={} id={id})",
+            self.server
+        ));
         Err(last_err)
     }
 
@@ -398,10 +423,7 @@ mod tests {
         let t0 = clock.now();
         assert_eq!(client.call(b"void"), Err(TestbedError::Timeout));
         // The clock advanced by exactly the policy's worst case.
-        assert_eq!(
-            clock.now() - t0,
-            RetryPolicy::default().worst_case_total()
-        );
+        assert_eq!(clock.now() - t0, RetryPolicy::default().worst_case_total());
         assert_eq!(
             client.stats().timeouts,
             u64::from(RetryPolicy::default().max_attempts)

@@ -129,7 +129,10 @@ impl SecureChannel {
         let mut data = seq.to_be_bytes().to_vec();
         data.extend_from_slice(msg);
         let mut out = seq.to_be_bytes().to_vec();
-        out.extend_from_slice(&gridsec_crypto::hmac::hmac_sha256(&self.write_mic_key, &data));
+        out.extend_from_slice(&gridsec_crypto::hmac::hmac_sha256(
+            &self.write_mic_key,
+            &data,
+        ));
         out
     }
 

@@ -366,14 +366,15 @@ impl ServerHandshake {
         EntropySource::fill_bytes(&mut local_rng, &mut server_random);
         let dh = DhKeyPair::generate(&mut local_rng, &self.config.group);
         let shared = dh.agree(&ch.dh_public).ok_or(TlsError::BadDhShare)?;
-        let ks = KeySchedule::derive(&shared, &ch.client_random, &server_random, client_hello_token);
-
-        let payload = server_signature_payload(
+        let ks = KeySchedule::derive(
+            &shared,
             &ch.client_random,
             &server_random,
-            &ch.dh_public,
-            &dh.public,
+            client_hello_token,
         );
+
+        let payload =
+            server_signature_payload(&ch.client_random, &server_random, &ch.dh_public, &dh.public);
         let sh = ServerHello {
             server_random,
             dh_public: dh.public.clone(),
@@ -446,8 +447,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"tls handshake tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let server = ca.issue_host_identity(
             &mut rng,
@@ -475,12 +475,8 @@ mod tests {
     #[test]
     fn mutual_handshake_succeeds() {
         let mut w = world();
-        let (mut cch, mut sch) = handshake_in_memory(
-            cfg(&w, &w.alice),
-            cfg(&w, &w.server),
-            &mut w.rng,
-        )
-        .unwrap();
+        let (mut cch, mut sch) =
+            handshake_in_memory(cfg(&w, &w.alice), cfg(&w, &w.server), &mut w.rng).unwrap();
         // Peer identities are as expected.
         assert_eq!(cch.peer.base_identity, dn("/O=G/CN=host fs1"));
         assert_eq!(sch.peer.base_identity, dn("/O=G/CN=Alice"));
@@ -494,11 +490,16 @@ mod tests {
     #[test]
     fn proxy_credential_authenticates_as_base_identity() {
         let mut w = world();
-        let proxy =
-            issue_proxy(&mut w.rng, &w.alice, ProxyType::Impersonation, 512, 50, 10_000)
-                .unwrap();
-        let (_c, s) = handshake_in_memory(cfg(&w, &proxy), cfg(&w, &w.server), &mut w.rng)
-            .unwrap();
+        let proxy = issue_proxy(
+            &mut w.rng,
+            &w.alice,
+            ProxyType::Impersonation,
+            512,
+            50,
+            10_000,
+        )
+        .unwrap();
+        let (_c, s) = handshake_in_memory(cfg(&w, &proxy), cfg(&w, &w.server), &mut w.rng).unwrap();
         assert_eq!(s.peer.base_identity, dn("/O=G/CN=Alice"));
         assert_eq!(s.peer.proxy_depth, 1);
         assert_eq!(s.peer.rights, EffectiveRights::Full);
@@ -507,47 +508,35 @@ mod tests {
     #[test]
     fn untrusted_client_rejected() {
         let mut w = world();
-        let rogue_ca = CertificateAuthority::create_root(
-            &mut w.rng,
-            dn("/O=Evil/CN=CA"),
-            512,
-            0,
-            1_000_000,
-        );
+        let rogue_ca =
+            CertificateAuthority::create_root(&mut w.rng, dn("/O=Evil/CN=CA"), 512, 0, 1_000_000);
         let mallory = rogue_ca.issue_identity(&mut w.rng, dn("/O=Evil/CN=M"), 512, 0, 100_000);
-        let err = handshake_in_memory(cfg(&w, &mallory), cfg(&w, &w.server), &mut w.rng)
-            .unwrap_err();
+        let err =
+            handshake_in_memory(cfg(&w, &mallory), cfg(&w, &w.server), &mut w.rng).unwrap_err();
         assert!(matches!(err, TlsError::Pki(PkiError::UntrustedRoot)));
     }
 
     #[test]
     fn untrusted_server_rejected_by_client() {
         let mut w = world();
-        let rogue_ca = CertificateAuthority::create_root(
-            &mut w.rng,
-            dn("/O=Evil/CN=CA"),
-            512,
-            0,
-            1_000_000,
-        );
+        let rogue_ca =
+            CertificateAuthority::create_root(&mut w.rng, dn("/O=Evil/CN=CA"), 512, 0, 1_000_000);
         let fake_server =
             rogue_ca.issue_identity(&mut w.rng, dn("/O=G/CN=host fs1"), 512, 0, 100_000);
         // Server trusts the real CA (so the client passes), but the client
         // must reject the rogue server chain.
-        let err = handshake_in_memory(cfg(&w, &w.alice), cfg(&w, &fake_server), &mut w.rng)
-            .unwrap_err();
+        let err =
+            handshake_in_memory(cfg(&w, &w.alice), cfg(&w, &fake_server), &mut w.rng).unwrap_err();
         assert!(matches!(err, TlsError::Pki(PkiError::UntrustedRoot)));
     }
 
     #[test]
     fn expired_credential_rejected() {
         let mut w = world();
-        let short = w
-            .ca
-            .issue_identity(&mut w.rng, dn("/O=G/CN=Short"), 512, 0, 50);
+        let short =
+            w.ca.issue_identity(&mut w.rng, dn("/O=G/CN=Short"), 512, 0, 50);
         // now=100 > 50.
-        let err = handshake_in_memory(cfg(&w, &short), cfg(&w, &w.server), &mut w.rng)
-            .unwrap_err();
+        let err = handshake_in_memory(cfg(&w, &short), cfg(&w, &w.server), &mut w.rng).unwrap_err();
         assert!(matches!(err, TlsError::Pki(PkiError::Expired { .. })));
     }
 
@@ -603,7 +592,9 @@ mod tests {
         // Without Alice's DH private key the attacker cannot produce the
         // matching Finished MAC; any guess fails.
         assert_eq!(
-            await2.step(&ClientFinished { mac: [0u8; 32] }.to_bytes()).unwrap_err(),
+            await2
+                .step(&ClientFinished { mac: [0u8; 32] }.to_bytes())
+                .unwrap_err(),
             TlsError::BadFinished
         );
     }

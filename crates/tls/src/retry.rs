@@ -20,6 +20,7 @@ use crate::stream::{client_connect, SecureStream};
 use crate::TlsError;
 use gridsec_bignum::prime::EntropySource;
 use gridsec_util::retry::RetryPolicy;
+use gridsec_util::trace;
 use std::io::{Read, Write};
 
 /// Outcome statistics for a retried connect.
@@ -59,23 +60,38 @@ where
     E: EntropySource,
     D: FnMut(u32) -> Result<S, TlsError>,
 {
+    let mut sp = trace::span("tls.connect");
     let mut stats = ConnectStats::default();
     let mut last = TlsError::Io("no attempts made".into());
     for (attempt, wait) in policy.schedule() {
         if attempt > 0 {
+            trace::add("tls.redials", 1);
+            trace::event("tls.redial", &format!("attempt={attempt} wait={wait}"));
             on_backoff(attempt, wait);
         }
         stats.attempts += 1;
         let result = dial(attempt).and_then(|stream| client_connect(stream, config.clone(), rng));
         match result {
-            Ok(stream) => return Ok((stream, stats)),
+            Ok(stream) => {
+                trace::event("tls.handshake.ok", &format!("attempts={}", stats.attempts));
+                trace::add("tls.handshakes", 1);
+                return Ok((stream, stats));
+            }
             Err(e) if is_transient(&e) => {
                 stats.transport_failures += 1;
+                trace::event("tls.transport.torn", &format!("attempt={attempt}"));
                 last = e;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                // Security verdicts abort without retry; record why.
+                sp.fail(&e.to_string());
+                trace::event("tls.security.abort", &e.to_string());
+                return Err(e);
+            }
         }
     }
+    sp.fail("retry budget exhausted");
+    trace::flight_dump("tls redial budget exhausted");
     Err(last)
 }
 

@@ -107,8 +107,7 @@ mod tests {
 
     fn configs() -> (TlsConfig, TlsConfig) {
         let mut rng = ChaChaRng::from_seed_bytes(b"tls stream tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let server = ca.issue_identity(&mut rng, dn("/O=G/CN=Srv"), 512, 0, 100_000);
         let mut trust = TrustStore::new();

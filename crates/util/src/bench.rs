@@ -348,11 +348,7 @@ mod tests {
                 })
             });
             g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
-                b.iter_batched(
-                    || vec![0u8; n as usize],
-                    |v| v.len(),
-                    BatchSize::SmallInput,
-                )
+                b.iter_batched(|| vec![0u8; n as usize], |v| v.len(), BatchSize::SmallInput)
             });
             g.finish();
         }

@@ -31,12 +31,8 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[i * 4],
-            key[i * 4 + 1],
-            key[i * 4 + 2],
-            key[i * 4 + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -119,11 +115,10 @@ mod tests {
     #[test]
     fn rfc8439_block_function_vector() {
         // RFC 8439 §2.3.2
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000090000004a00000000").try_into().unwrap();
         let ks = block(&key, 1, &nonce);
         assert_eq!(
@@ -136,11 +131,10 @@ mod tests {
     #[test]
     fn rfc8439_encryption_vector() {
         // RFC 8439 §2.4.2
-        let key: [u8; 32] = unhex(
-            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("000000000000004a00000000").try_into().unwrap();
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let ct = apply(&key, &nonce, 1, plaintext);

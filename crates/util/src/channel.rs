@@ -45,7 +45,9 @@ impl<T> Clone for Sender<T> {
 impl<T> Sender<T> {
     /// Queue `value`; fails iff the receiver was dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        self.0
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
     }
 }
 

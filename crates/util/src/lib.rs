@@ -19,6 +19,8 @@
 //!   median/p95 JSON reports (`BENCH_*.json`).
 //! * [`retry`] — the shared exponential-backoff [`retry::RetryPolicy`]
 //!   used by every client path that crosses the simulated network.
+//! * [`trace`] — deterministic structured tracing/metrics with a bounded
+//!   flight recorder; every security flow emits nested spans through it.
 
 #![forbid(unsafe_code)]
 
@@ -29,3 +31,4 @@ pub mod check;
 pub mod retry;
 pub mod rng;
 pub mod sync;
+pub mod trace;

@@ -90,8 +90,11 @@ fn channel_multi_producer_interleaving_loses_nothing() {
         // the global interleaving is scheduler-dependent.
         assert_eq!(got.len(), producers * per_producer);
         for p in 0..producers {
-            let from_p: Vec<usize> =
-                got.iter().filter(|(q, _)| *q == p).map(|&(_, i)| i).collect();
+            let from_p: Vec<usize> = got
+                .iter()
+                .filter(|(q, _)| *q == p)
+                .map(|&(_, i)| i)
+                .collect();
             assert_eq!(from_p, (0..per_producer).collect::<Vec<_>>());
         }
     });

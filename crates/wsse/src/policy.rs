@@ -77,9 +77,7 @@ impl SecurityPolicy {
         for alt in &self.alternatives {
             let mut all = Element::new("wsp:All")
                 .with_child(Element::new("sp:Mechanism").with_text(alt.mechanism.clone()))
-                .with_child(
-                    Element::new("sp:Protection").with_text(alt.protection.as_str()),
-                );
+                .with_child(Element::new("sp:Protection").with_text(alt.protection.as_str()));
             for t in &alt.token_types {
                 all.push_child(Element::new("sp:TokenType").with_text(t.clone()));
             }
@@ -115,8 +113,14 @@ impl SecurityPolicy {
             )?;
             alternatives.push(PolicyAlternative {
                 mechanism,
-                token_types: all.find_all("sp:TokenType").map(|t| t.text_content()).collect(),
-                trust_roots: all.find_all("sp:TrustRoot").map(|t| t.text_content()).collect(),
+                token_types: all
+                    .find_all("sp:TokenType")
+                    .map(|t| t.text_content())
+                    .collect(),
+                trust_roots: all
+                    .find_all("sp:TrustRoot")
+                    .map(|t| t.text_content())
+                    .collect(),
                 protection,
             });
         }
@@ -234,7 +238,12 @@ mod tests {
         let client = SecurityPolicy {
             service: "client".to_string(),
             alternatives: vec![
-                alt("xml-signature", &["x509-chain"], &["/O=G/CN=CA"], Protection::Sign),
+                alt(
+                    "xml-signature",
+                    &["x509-chain"],
+                    &["/O=G/CN=CA"],
+                    Protection::Sign,
+                ),
                 alt(
                     "gsi-secure-conversation",
                     &["x509-chain"],

@@ -45,8 +45,8 @@ impl RoutingPath {
     }
 
     fn to_element(&self) -> Element {
-        let mut el = Element::new(PATH_HEADER)
-            .with_child(Element::new("wsr:to").with_text(self.to.clone()));
+        let mut el =
+            Element::new(PATH_HEADER).with_child(Element::new("wsr:to").with_text(self.to.clone()));
         let mut fwd = Element::new("wsr:fwd");
         for v in &self.via {
             fwd.push_child(Element::new("wsr:via").with_text(v.clone()));

@@ -225,7 +225,12 @@ mod tests {
         let parsed = Envelope::parse(&env.to_xml()).unwrap();
         assert!(parsed.is_secured());
         assert_eq!(
-            parsed.security_header().unwrap().find("t").unwrap().text_content(),
+            parsed
+                .security_header()
+                .unwrap()
+                .find("t")
+                .unwrap()
+                .text_content(),
             "tok"
         );
     }

@@ -30,9 +30,8 @@ pub const RST_ACTION: &str = "wst:RequestSecurityToken";
 pub const SECURED_ACTION_PREFIX: &str = "wsc:Secured/";
 
 fn rst_envelope(kind: &str, ctx_id: Option<&str>, token: Option<&[u8]>) -> Envelope {
-    let mut req = Element::new(kind).with_child(
-        Element::new("wst:TokenType").with_text("wsc:SecurityContextToken"),
-    );
+    let mut req = Element::new(kind)
+        .with_child(Element::new("wst:TokenType").with_text("wsc:SecurityContextToken"));
     if let Some(id) = ctx_id {
         req.push_child(Element::new("wsc:Identifier").with_text(id));
     }
@@ -43,9 +42,7 @@ fn rst_envelope(kind: &str, ctx_id: Option<&str>, token: Option<&[u8]>) -> Envel
 }
 
 fn parse_rst(env: &Envelope) -> Result<(Option<String>, Option<Vec<u8>>), WsseError> {
-    let req = env
-        .payload()
-        .ok_or(WsseError::Missing("RST payload"))?;
+    let req = env.payload().ok_or(WsseError::Missing("RST payload"))?;
     let ctx_id = req.find("wsc:Identifier").map(|e| e.text_content());
     let token = match req.find("wst:BinaryExchange") {
         Some(e) => Some(b64::decode(&e.text_content()).ok_or(WsseError::Base64)?),
@@ -89,11 +86,7 @@ impl WsscInitiator {
                 token: Some(finished),
                 context,
             } => Ok((
-                rst_envelope(
-                    "wst:RequestSecurityToken",
-                    Some(&ctx_id),
-                    Some(&finished),
-                ),
+                rst_envelope("wst:RequestSecurityToken", Some(&ctx_id), Some(&finished)),
                 WsscSession {
                     ctx_id,
                     context: *context,
@@ -177,7 +170,8 @@ impl WsscResponder {
                     .map_err(|_| WsseError::Context("handshake failed"))?
                 {
                     StepResult::ContinueWith(out) => {
-                        self.contexts.insert(id.clone(), ServerCtx::Pending(acceptor));
+                        self.contexts
+                            .insert(id.clone(), ServerCtx::Pending(acceptor));
                         Ok(rst_envelope(
                             "wst:RequestSecurityTokenResponse",
                             Some(&id),
@@ -214,7 +208,8 @@ impl WsscResponder {
                         ))
                     }
                     StepResult::ContinueWith(out) => {
-                        self.contexts.insert(id.clone(), ServerCtx::Pending(acceptor));
+                        self.contexts
+                            .insert(id.clone(), ServerCtx::Pending(acceptor));
                         Ok(rst_envelope(
                             "wst:RequestSecurityTokenResponse",
                             Some(&id),
@@ -296,9 +291,7 @@ fn protect_with(ctx: &mut EstablishedContext, ctx_id: &str, env: &Envelope) -> E
         Element::new("wsc:SecurityContextToken")
             .with_child(Element::new("wsc:Identifier").with_text(ctx_id)),
     );
-    out.body = vec![
-        Element::new("wsc:EncryptedMessage").with_text(b64::encode(&sealed)),
-    ];
+    out.body = vec![Element::new("wsc:EncryptedMessage").with_text(b64::encode(&sealed))];
     out
 }
 
@@ -321,9 +314,7 @@ fn unprotect_with(
         .ok_or(WsseError::Missing("wsc:EncryptedMessage"))?
         .text_content();
     let sealed = b64::decode(&sealed_b64).ok_or(WsseError::Base64)?;
-    let plain = ctx
-        .unwrap(&sealed)
-        .map_err(|_| WsseError::Decrypt)?;
+    let plain = ctx.unwrap(&sealed).map_err(|_| WsseError::Decrypt)?;
     let text = String::from_utf8(plain).map_err(|_| WsseError::Decrypt)?;
     let wrapper = Element::parse(&format!("<w>{text}</w>"))?;
     let mut inner = Envelope::new();
@@ -374,8 +365,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"wssc tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let service = ca.issue_identity(&mut rng, dn("/O=G/CN=MMJFS"), 512, 0, 100_000);
         let mut trust = TrustStore::new();
@@ -467,7 +457,11 @@ mod tests {
         let protected = session.protect(&Envelope::request("a", Element::new("x")));
         let mut xml = protected.to_xml();
         let pos = xml.find("EncryptedMessage>").unwrap() + 20;
-        let replacement = if xml.as_bytes()[pos] == b'A' { "B" } else { "A" };
+        let replacement = if xml.as_bytes()[pos] == b'A' {
+            "B"
+        } else {
+            "A"
+        };
         xml.replace_range(pos..pos + 1, replacement);
         let parsed = Envelope::parse(&xml).unwrap();
         let err = responder.unprotect(&parsed).unwrap_err();
@@ -477,13 +471,8 @@ mod tests {
     #[test]
     fn untrusted_client_rejected_at_rst() {
         let mut w = world();
-        let rogue = CertificateAuthority::create_root(
-            &mut w.rng,
-            dn("/O=Evil/CN=CA"),
-            512,
-            0,
-            1_000_000,
-        );
+        let rogue =
+            CertificateAuthority::create_root(&mut w.rng, dn("/O=Evil/CN=CA"), 512, 0, 1_000_000);
         let mallory = rogue.issue_identity(&mut w.rng, dn("/O=Evil/CN=M"), 512, 0, 100_000);
         let mut responder = WsscResponder::new(cfg(&w, &w.service));
         match establish(cfg(&w, &mallory), &mut responder, &mut w.rng) {
@@ -512,10 +501,8 @@ mod tests {
         // Deterministic RNG → identical tokens from identical state.
         let mut rng1 = ChaChaRng::from_seed_bytes(b"token compare");
         let mut rng2 = ChaChaRng::from_seed_bytes(b"token compare");
-        let (_init1, gt2_token) = gridsec_gssapi::context::InitiatorContext::new(
-            cfg(&w, &w.alice),
-            &mut rng1,
-        );
+        let (_init1, gt2_token) =
+            gridsec_gssapi::context::InitiatorContext::new(cfg(&w, &w.alice), &mut rng1);
         let (_init2, rst) = WsscInitiator::begin(cfg(&w, &w.alice), &mut rng2);
         let embedded = rst
             .payload()

@@ -89,8 +89,8 @@ pub fn decrypt_body(env: &Envelope, key: &RsaKeyPair) -> Result<Envelope, WsseEr
     let nonce: [u8; 12] = nonce_bytes.try_into().map_err(|_| WsseError::Decrypt)?;
     let sealed = b64::decode(&cipher).ok_or(WsseError::Base64)?;
 
-    let plain = aead::open(&cek, &nonce, b"xmlenc-body", &sealed)
-        .map_err(|_| WsseError::Decrypt)?;
+    let plain =
+        aead::open(&cek, &nonce, b"xmlenc-body", &sealed).map_err(|_| WsseError::Decrypt)?;
     let text = String::from_utf8(plain).map_err(|_| WsseError::Decrypt)?;
 
     // The plaintext is a concatenation of elements; wrap to parse.
@@ -161,7 +161,11 @@ mod tests {
         let mut xml = enc.to_xml();
         // Flip a character inside the CipherValue text.
         let pos = xml.find("CipherValue>").unwrap() + 20;
-        let replacement = if xml.as_bytes()[pos] == b'A' { "B" } else { "A" };
+        let replacement = if xml.as_bytes()[pos] == b'A' {
+            "B"
+        } else {
+            "A"
+        };
         xml.replace_range(pos..pos + 1, replacement);
         let parsed = Envelope::parse(&xml).unwrap();
         assert!(decrypt_body(&parsed, &key).is_err());

@@ -40,9 +40,7 @@ pub fn encode_chain(chain: &[Certificate]) -> String {
 pub fn decode_chain(text: &str) -> Result<Vec<Certificate>, WsseError> {
     let bytes = b64::decode(text).ok_or(WsseError::Base64)?;
     let mut dec = Decoder::new(&bytes);
-    let chain = dec
-        .get_seq(Certificate::decode)
-        .map_err(WsseError::Pki)?;
+    let chain = dec.get_seq(Certificate::decode).map_err(WsseError::Pki)?;
     dec.expect_exhausted().map_err(WsseError::Pki)?;
     Ok(chain)
 }
@@ -53,12 +51,7 @@ fn digest_of(el: &Element) -> String {
 
 /// Sign an envelope with `credential`, covering the Body and a fresh
 /// Timestamp (valid `[now, now + ttl]`). Returns the secured envelope.
-pub fn sign_envelope(
-    env: &Envelope,
-    credential: &Credential,
-    now: u64,
-    ttl: u64,
-) -> Envelope {
+pub fn sign_envelope(env: &Envelope, credential: &Credential, now: u64, ttl: u64) -> Envelope {
     let mut out = env.clone();
 
     // Timestamp element (referenced by the signature).
@@ -94,9 +87,7 @@ pub fn sign_envelope(
 
     let signature = Element::new("ds:Signature")
         .with_child(signed_info)
-        .with_child(
-            Element::new("ds:SignatureValue").with_text(b64::encode(&signature_value)),
-        )
+        .with_child(Element::new("ds:SignatureValue").with_text(b64::encode(&signature_value)))
         .with_child(
             Element::new("ds:KeyInfo").with_child(
                 Element::new("wsse:BinarySecurityToken")
@@ -114,9 +105,7 @@ pub fn sign_envelope(
 fn reference(uri: &str, digest: &str) -> Element {
     Element::new("ds:Reference")
         .with_attr("URI", uri)
-        .with_child(
-            Element::new("ds:DigestMethod").with_attr("Algorithm", "urn:gridsec:sha256"),
-        )
+        .with_child(Element::new("ds:DigestMethod").with_attr("Algorithm", "urn:gridsec:sha256"))
         .with_child(Element::new("ds:DigestValue").with_text(digest))
 }
 
@@ -190,7 +179,9 @@ pub fn verify_envelope(
         }
     }
     if !saw_body || !saw_timestamp {
-        return Err(WsseError::Missing("signature must cover Body and Timestamp"));
+        return Err(WsseError::Missing(
+            "signature must cover Body and Timestamp",
+        ));
     }
 
     // Freshness.
@@ -227,8 +218,7 @@ mod tests {
 
     fn world() -> World {
         let mut rng = ChaChaRng::from_seed_bytes(b"xmlsig tests");
-        let ca =
-            CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
         let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let mut trust = TrustStore::new();
         trust.add_root(ca.certificate().clone());
@@ -261,7 +251,12 @@ mod tests {
         assert_eq!(verified.timestamp.expires, 400);
         // Payload intact.
         assert_eq!(
-            parsed.payload().unwrap().find("Executable").unwrap().text_content(),
+            parsed
+                .payload()
+                .unwrap()
+                .find("Executable")
+                .unwrap()
+                .text_content(),
             "/bin/sim"
         );
     }
@@ -269,9 +264,15 @@ mod tests {
     #[test]
     fn proxy_signed_message_verifies_to_base_identity() {
         let mut w = world();
-        let proxy =
-            issue_proxy(&mut w.rng, &w.alice, ProxyType::Impersonation, 512, 50, 10_000)
-                .unwrap();
+        let proxy = issue_proxy(
+            &mut w.rng,
+            &w.alice,
+            ProxyType::Impersonation,
+            512,
+            50,
+            10_000,
+        )
+        .unwrap();
         let signed = sign_envelope(&job_envelope(), &proxy, 100, 300);
         let verified = verify_envelope(
             &Envelope::parse(&signed.to_xml()).unwrap(),
@@ -329,13 +330,8 @@ mod tests {
     #[test]
     fn untrusted_signer_rejected() {
         let mut w = world();
-        let rogue = CertificateAuthority::create_root(
-            &mut w.rng,
-            dn("/O=Evil/CN=CA"),
-            512,
-            0,
-            1_000_000,
-        );
+        let rogue =
+            CertificateAuthority::create_root(&mut w.rng, dn("/O=Evil/CN=CA"), 512, 0, 1_000_000);
         let mallory = rogue.issue_identity(&mut w.rng, dn("/O=G/CN=Alice"), 512, 0, 100_000);
         let signed = sign_envelope(&job_envelope(), &mallory, 100, 300);
         let parsed = Envelope::parse(&signed.to_xml()).unwrap();

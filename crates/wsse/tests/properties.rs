@@ -76,7 +76,10 @@ fn b64_roundtrip() {
 #[test]
 fn b64_rejects_or_roundtrips_arbitrary_text() {
     check("b64_rejects_or_roundtrips_arbitrary_text", CASES, |g| {
-        let s = g.string("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/= \n", 0..64);
+        let s = g.string(
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/= \n",
+            0..64,
+        );
         // decode never panics; when it succeeds, re-encoding the decoded
         // bytes and re-decoding yields the same bytes (canonicalization).
         if let Some(bytes) = b64::decode(&s) {
@@ -87,46 +90,50 @@ fn b64_rejects_or_roundtrips_arbitrary_text() {
 
 #[test]
 fn any_signed_envelope_verifies_and_any_tamper_fails() {
-    check("any_signed_envelope_verifies_and_any_tamper_fails", CASES, |g| {
-        let payload = payload(g);
-        let action = g.string("abcdefghijklmnopqrstuvwxyz", 1..13);
-        let flip = g.u16();
-        let f = fixture();
-        let env = Envelope::request(&action, payload);
-        let signed = sign_envelope(&env, &f.user, 100, 300);
-        let xml = signed.to_xml();
-        let parsed = Envelope::parse(&xml).unwrap();
-        assert!(verify_envelope(&parsed, &f.trust, &CrlStore::new(), 200).is_ok());
+    check(
+        "any_signed_envelope_verifies_and_any_tamper_fails",
+        CASES,
+        |g| {
+            let payload = payload(g);
+            let action = g.string("abcdefghijklmnopqrstuvwxyz", 1..13);
+            let flip = g.u16();
+            let f = fixture();
+            let env = Envelope::request(&action, payload);
+            let signed = sign_envelope(&env, &f.user, 100, 300);
+            let xml = signed.to_xml();
+            let parsed = Envelope::parse(&xml).unwrap();
+            assert!(verify_envelope(&parsed, &f.trust, &CrlStore::new(), 200).is_ok());
 
-        // Flip one character of the serialized body text; verification
-        // must not succeed with altered content.
-        if let Some(start) = xml.find("<soap:Body") {
-            let end = xml.find("</soap:Body>").unwrap_or(xml.len());
-            if end > start + 20 {
-                let idx = start + 12 + (flip as usize % (end - start - 12));
-                let mut bytes = xml.clone().into_bytes();
-                let orig = bytes[idx];
-                // Substitute with a different alphanumeric to keep XML valid.
-                let repl = if orig == b'a' { b'b' } else { b'a' };
-                if orig != repl && orig.is_ascii_alphanumeric() {
-                    bytes[idx] = repl;
-                    if let Ok(s) = String::from_utf8(bytes) {
-                        if let Ok(tampered) = Envelope::parse(&s) {
-                            if tampered != parsed {
-                                assert!(verify_envelope(
-                                    &tampered,
-                                    &f.trust,
-                                    &CrlStore::new(),
-                                    200
-                                )
-                                .is_err());
+            // Flip one character of the serialized body text; verification
+            // must not succeed with altered content.
+            if let Some(start) = xml.find("<soap:Body") {
+                let end = xml.find("</soap:Body>").unwrap_or(xml.len());
+                if end > start + 20 {
+                    let idx = start + 12 + (flip as usize % (end - start - 12));
+                    let mut bytes = xml.clone().into_bytes();
+                    let orig = bytes[idx];
+                    // Substitute with a different alphanumeric to keep XML valid.
+                    let repl = if orig == b'a' { b'b' } else { b'a' };
+                    if orig != repl && orig.is_ascii_alphanumeric() {
+                        bytes[idx] = repl;
+                        if let Ok(s) = String::from_utf8(bytes) {
+                            if let Ok(tampered) = Envelope::parse(&s) {
+                                if tampered != parsed {
+                                    assert!(verify_envelope(
+                                        &tampered,
+                                        &f.trust,
+                                        &CrlStore::new(),
+                                        200
+                                    )
+                                    .is_err());
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 #[test]

@@ -331,17 +331,16 @@ mod tests {
 
     #[test]
     fn find_by_attr_recurses() {
-        let el = Element::new("a").with_child(
-            Element::new("b").with_child(Element::new("c").with_attr("Id", "target")),
-        );
+        let el = Element::new("a")
+            .with_child(Element::new("b").with_child(Element::new("c").with_attr("Id", "target")));
         assert_eq!(el.find_by_attr("Id", "target").unwrap().name, "c");
         assert!(el.find_by_attr("Id", "other").is_none());
     }
 
     #[test]
     fn find_descendant_works() {
-        let el = Element::new("a")
-            .with_child(Element::new("b").with_child(Element::new("deep:target")));
+        let el =
+            Element::new("a").with_child(Element::new("b").with_child(Element::new("deep:target")));
         assert_eq!(el.find_descendant("target").unwrap().name, "deep:target");
     }
 

@@ -18,7 +18,11 @@ pub struct XmlError {
 
 impl core::fmt::Display for XmlError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -70,10 +74,7 @@ impl<'a> Parser<'a> {
     fn skip_prolog(&mut self) -> Result<(), XmlError> {
         self.skip_ws();
         if self.starts_with("<?xml") {
-            match self.input[self.pos..]
-                .windows(2)
-                .position(|w| w == b"?>")
-            {
+            match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
                 Some(rel) => self.pos += rel + 2,
                 None => return Err(self.err("unterminated XML declaration")),
             }
@@ -238,9 +239,10 @@ impl<'a> Parser<'a> {
                     // significant for our protocols; keep them only when
                     // the element has no element children yet mixed text.
                     if (!text.trim().is_empty() || el.children.is_empty())
-                        && !text.trim().is_empty() {
-                            el.children.push(Node::Text(text));
-                        }
+                        && !text.trim().is_empty()
+                    {
+                        el.children.push(Node::Text(text));
+                    }
                 }
                 None => return Err(self.err("unexpected end of input in element content")),
             }

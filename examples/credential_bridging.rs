@@ -35,8 +35,9 @@ impl GridService for DataService {
         _payload: &Element,
     ) -> Result<Element, OgsaError> {
         match operation {
-            "whoami" => Ok(Element::new("data:Identity")
-                .with_text(ctx.caller.base_identity.to_string())),
+            "whoami" => {
+                Ok(Element::new("data:Identity").with_text(ctx.caller.base_identity.to_string()))
+            }
             other => Err(OgsaError::Application(format!("unknown op {other}"))),
         }
     }
@@ -80,7 +81,13 @@ fn main() {
     // Direction 1 (KCA): Kerberos user -> GSI credential -> Grid service.
     // ------------------------------------------------------------------
     let mut alice_source = KcaCredentialSource::new(
-        kdc.clone(), kca.clone(), "alice", "alice-password", 512, b"alice rng");
+        kdc.clone(),
+        kca.clone(),
+        "alice",
+        "alice-password",
+        512,
+        b"alice rng",
+    );
     let gsi_cred = alice_source.obtain(clock.now()).expect("KCA conversion");
     println!(
         "KCA: kerberos principal alice@SITE.A -> grid identity {}",
@@ -144,7 +151,10 @@ fn main() {
     let who = client
         .invoke(&handle, "whoami", Element::new("q"))
         .expect("invoke");
-    println!("Grid service authenticated the caller as: {}", who.text_content());
+    println!(
+        "Grid service authenticated the caller as: {}",
+        who.text_content()
+    );
 
     // ------------------------------------------------------------------
     // Direction 2 (SSLK5/PKINIT): PKI user -> Kerberos TGT -> service.
@@ -183,7 +193,14 @@ fn main() {
     let krb_client = KrbClient::from_password("bob", "SITE.A", "unused-password");
     let auth = krb_client.make_authenticator(&mut rng, &login.session_key, clock.now());
     let st = kdc
-        .tgs_exchange(&mut rng, &login.tgt, &auth, "host/fileserver", clock.now(), 1000)
+        .tgs_exchange(
+            &mut rng,
+            &login.tgt,
+            &auth,
+            "host/fileserver",
+            clock.now(),
+            1000,
+        )
         .expect("TGS");
     let st_part = krb_client
         .open_service_reply(&login.session_key, &st)

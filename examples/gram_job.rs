@@ -74,17 +74,29 @@ fn main() {
     println!(
         "job 1: handle={} path={} account={}",
         job1.handle,
-        if job1.cold_start { "COLD (MMJFS→SetuidStarter→GRIM→LMJFS)" } else { "WARM" },
+        if job1.cold_start {
+            "COLD (MMJFS→SetuidStarter→GRIM→LMJFS)"
+        } else {
+            "WARM"
+        },
         job1.account
     );
 
     let job2 = requestor
-        .submit_job(&mut resource, &JobDescription::new("/bin/postprocess"), clock.now())
+        .submit_job(
+            &mut resource,
+            &JobDescription::new("/bin/postprocess"),
+            clock.now(),
+        )
         .expect("job 2");
     println!(
         "job 2: handle={} path={}",
         job2.handle,
-        if job2.cold_start { "COLD" } else { "WARM (resident LMJFS)" }
+        if job2.cold_start {
+            "COLD"
+        } else {
+            "WARM (resident LMJFS)"
+        }
     );
 
     // Process table: who runs as what?
@@ -121,24 +133,43 @@ fn main() {
     )
     .expect("install GT2");
     gatekeeper
-        .submit(session.credential(), &JobDescription::new("/bin/legacy-sim"))
+        .submit(
+            session.credential(),
+            &JobDescription::new("/bin/legacy-sim"),
+        )
         .expect("GT2 job");
-    let gt2_priv = gatekeeper.os().privileged_network_facing("compute2").unwrap();
+    let gt2_priv = gatekeeper
+        .os()
+        .privileged_network_facing("compute2")
+        .unwrap();
     println!(
         "GT2 privileged network-facing services: {} ({})",
         gt2_priv.len(),
-        gt2_priv.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(", ")
+        gt2_priv
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // Fault injection: compromise each architecture's network service.
     let gt3_blast = compromise(resource.os(), "compute1", resource.mmjfs_pid()).unwrap();
     let gt2_blast = compromise(gatekeeper.os(), "compute2", gatekeeper.gatekeeper_pid()).unwrap();
-    println!("\ncompromise of GT3 MMJFS:      blast radius {:>3} (full host: {})",
-        gt3_blast.blast_radius(), gt3_blast.full_host_compromise);
-    println!("compromise of GT2 gatekeeper: blast radius {:>3} (full host: {})",
-        gt2_blast.blast_radius(), gt2_blast.full_host_compromise);
+    println!(
+        "\ncompromise of GT3 MMJFS:      blast radius {:>3} (full host: {})",
+        gt3_blast.blast_radius(),
+        gt3_blast.full_host_compromise
+    );
+    println!(
+        "compromise of GT2 gatekeeper: blast radius {:>3} (full host: {})",
+        gt2_blast.blast_radius(),
+        gt2_blast.full_host_compromise
+    );
 
     // Tidy up job 1.
     requestor.cancel(&mut resource, &job1.handle).unwrap();
-    println!("\njob 1 state after cancel: {:?}", resource.job_state(&job1.handle).unwrap());
+    println!(
+        "\njob 1 state after cancel: {:?}",
+        resource.job_state(&job1.handle).unwrap()
+    );
 }

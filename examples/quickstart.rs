@@ -101,7 +101,10 @@ fn main() {
     );
     let sealed = client_chan.seal(b"protected payload");
     assert_eq!(server_chan.open(&sealed).unwrap(), b"protected payload");
-    println!("GT2 channel: {} byte protected message delivered", sealed.len());
+    println!(
+        "GT2 channel: {} byte protected message delivered",
+        sealed.len()
+    );
 
     // ------------------------------------------------------------------
     // 4. GT3 style: the full OGSA pipeline against a hosted service.
@@ -136,8 +139,10 @@ fn main() {
         published,
         authz,
     );
-    env.registry
-        .register_factory("greeter", Box::new(|_ctx, _args| Ok(Box::new(GreeterService))));
+    env.registry.register_factory(
+        "greeter",
+        Box::new(|_ctx, _args| Ok(Box::new(GreeterService))),
+    );
     let env = Rc::new(RefCell::new(env));
 
     let mut client = OgsaClient::new(
@@ -152,7 +157,11 @@ fn main() {
         .create_service("greeter", Element::new("args"))
         .expect("createService");
     let reply = client
-        .invoke(&handle, "greet", Element::new("m").with_text("hi from the quickstart"))
+        .invoke(
+            &handle,
+            "greet",
+            Element::new("m").with_text("hi from the quickstart"),
+        )
         .expect("invoke");
     println!("GT3 service replied: {}", reply.text_content());
     println!(

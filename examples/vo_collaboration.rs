@@ -27,7 +27,11 @@ fn main() {
     println!(
         "before VO: uchicago validates {}? {}",
         anl_user.subject(),
-        if pre.is_ok() { "yes" } else { "no (no trust path)" }
+        if pre.is_ok() {
+            "yes"
+        } else {
+            "no (no trust path)"
+        }
     );
 
     // Form the VO (Figure 1's policy overlay).

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Hermetic-build verification: the workspace must build and test entirely
-# offline, no manifest may declare a registry (crates.io) dependency, and
-# the seeded chaos suite must be deterministic (same seed -> byte-identical
-# event transcript across two fresh processes).
+# offline, no manifest may declare a registry (crates.io) dependency,
+# formatting and clippy must be clean, every example must run, the seeded
+# chaos suite must be deterministic (same seed -> byte-identical event
+# transcript AND trace dump across two fresh processes), and the
+# committed EXPERIMENTS.md flow-metrics tables must match what the
+# pinned seed regenerates (drift gate).
 #
 # Knobs:
 #   GRIDSEC_CHAOS_SEED   seed for the chaos stage (default pinned below)
@@ -39,28 +42,62 @@ done
 [ "$bad" -eq 0 ] || exit 1
 echo "ok"
 
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline
+
+echo "== cargo clippy --offline -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
-echo "== chaos determinism: same seed, byte-identical transcripts =="
+echo "== examples smoke: every example must run clean =="
+for example in quickstart credential_bridging gram_job vo_collaboration; do
+    echo "-- example $example"
+    cargo run -q --offline --release -p gridsec-gsi --example "$example" > /dev/null
+done
+echo "ok"
+
+echo "== chaos determinism: same seed, byte-identical transcripts + traces =="
 chaos_seed="${GRIDSEC_CHAOS_SEED:-0xC4A05EED}"
 tdir="$(mktemp -d)"
 trap 'rm -rf "$tdir"' EXIT
 for run in 1 2; do
     GRIDSEC_CHAOS_SEED="$chaos_seed" \
     GRIDSEC_CHAOS_TRANSCRIPT="$tdir/transcript.$run" \
+    GRIDSEC_CHAOS_TRACE="$tdir/trace.$run" \
         cargo test -q --offline -p gridsec-integration --test chaos -- \
-        same_seed_reproduces_byte_identical_transcript > /dev/null
+        same_seed_reproduces_byte_identical > /dev/null
 done
 if ! cmp -s "$tdir/transcript.1" "$tdir/transcript.2"; then
     echo "FAIL: chaos transcripts differ across runs with seed $chaos_seed" >&2
     diff "$tdir/transcript.1" "$tdir/transcript.2" | head -20 >&2 || true
     exit 1
 fi
+if ! cmp -s "$tdir/trace.1" "$tdir/trace.2"; then
+    echo "FAIL: chaos trace dumps differ across runs with seed $chaos_seed" >&2
+    diff "$tdir/trace.1" "$tdir/trace.2" | head -20 >&2 || true
+    exit 1
+fi
 lines=$(wc -l < "$tdir/transcript.1")
-echo "ok: $lines transcript lines identical across two runs (seed $chaos_seed)"
+tlines=$(wc -l < "$tdir/trace.1")
+echo "ok: $lines transcript + $tlines trace lines identical across two runs (seed $chaos_seed)"
+
+echo "== bench smoke: flow metrics drift gate on EXPERIMENTS.md =="
+# Replay the chaos flows from the pinned seed, regenerate the
+# flow-metrics tables, and require the committed EXPERIMENTS.md to
+# already match — deterministic metrics mean any diff is real drift.
+rm -rf target/bench-smoke
+GRIDSEC_REGEN_SKIP_BENCH=1 GRIDSEC_BENCH_DIR=target/bench-smoke \
+    scripts/regen_experiments.sh > /dev/null
+if ! git diff --exit-code -- EXPERIMENTS.md; then
+    echo "FAIL: EXPERIMENTS.md flow metrics drifted from the pinned seed;" >&2
+    echo "      run scripts/regen_experiments.sh and commit the result" >&2
+    exit 1
+fi
+echo "ok: EXPERIMENTS.md matches regenerated flow metrics"
 
 echo "verify.sh: all checks passed"

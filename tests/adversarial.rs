@@ -40,8 +40,8 @@ fn replayed_signed_request_rejected_after_expiry() {
 #[test]
 fn stolen_proxy_cert_without_key_is_useless() {
     let mut w = basic_world(b"adv stolen proxy");
-    let session = sso::grid_proxy_init(&mut w.rng, &w.user, sso::ProxyOptions::default(), 0)
-        .unwrap();
+    let session =
+        sso::grid_proxy_init(&mut w.rng, &w.user, sso::ProxyOptions::default(), 0).unwrap();
     // The attacker has the chain (public) and their own key.
     let attacker_key = gridsec_crypto::rsa::RsaKeyPair::generate(&mut w.rng, 512);
     // Assembling a Credential with a mismatched key is rejected outright.
@@ -59,9 +59,8 @@ fn stolen_proxy_cert_without_key_is_useless() {
 #[test]
 fn identity_grafting_rejected() {
     let mut w = basic_world(b"adv grafting");
-    let eve = w
-        .ca
-        .issue_identity(&mut w.rng, dn("/O=G/CN=Eve"), 512, 0, 1_000_000);
+    let eve =
+        w.ca.issue_identity(&mut w.rng, dn("/O=G/CN=Eve"), 512, 0, 1_000_000);
     // Eve issues a proxy... then doctors its subject to extend User's DN.
     let proxy = issue_proxy(&mut w.rng, &eve, ProxyType::Impersonation, 512, 10, 1000).unwrap();
     let mut chain = proxy.chain().to_vec();
@@ -78,8 +77,8 @@ fn identity_grafting_rejected() {
 #[test]
 fn revocation_cascades_to_all_derived_credentials() {
     let mut w = basic_world(b"adv revocation");
-    let session = sso::grid_proxy_init(&mut w.rng, &w.user, sso::ProxyOptions::default(), 0)
-        .unwrap();
+    let session =
+        sso::grid_proxy_init(&mut w.rng, &w.user, sso::ProxyOptions::default(), 0).unwrap();
     let deep = issue_proxy(
         &mut w.rng,
         session.credential(),
@@ -131,8 +130,7 @@ fn mjs_hijack_by_other_mapped_user_fails() {
     );
     let mut trust = TrustStore::new();
     trust.add_root(ca.certificate().clone());
-    let gridmap =
-        GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n\"/O=G/CN=Eve\" eve\n").unwrap();
+    let gridmap = GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n\"/O=G/CN=Eve\" eve\n").unwrap();
     let mut resource = GramResource::install(
         SimOs::new(),
         clock.clone(),
@@ -162,8 +160,15 @@ fn mjs_hijack_by_other_mapped_user_fails() {
     // refuses to start the job for her: she presents her own delegated
     // credential, but she does not own the MJS.
     let eve2 = ca.issue_identity(&mut rng, dn("/O=G/CN=Eve"), 512, 0, 1000);
-    let eve_delegated =
-        issue_proxy(&mut rng, &eve2, ProxyType::Impersonation, 512, clock.now(), 500).unwrap();
+    let eve_delegated = issue_proxy(
+        &mut rng,
+        &eve2,
+        ProxyType::Impersonation,
+        512,
+        clock.now(),
+        500,
+    )
+    .unwrap();
     let err = resource
         .mjs_start_job(&outcome.mjs_handle, &dn("/O=G/CN=Eve"), eve_delegated)
         .unwrap_err();

@@ -1,8 +1,11 @@
 //! Seeded chaos suite: every paper flow (Figures 1–4) must complete
 //! under a lossy WAN profile — 10% drop, 10% duplication (≤ 2 extra
 //! copies), reordering — because the retry/backoff layers absorb the
-//! faults. Every fault decision is drawn from one `DetRng`, so the
-//! whole run is a pure function of the seed:
+//! faults. The scenarios themselves live in
+//! [`gridsec_integration::scenarios`]; every fault decision is drawn
+//! from one `DetRng` and every trace timestamp from the scenario's
+//! `SimClock`, so transcript AND trace dump are pure functions of the
+//! seed:
 //!
 //! * `GRIDSEC_CHAOS_SEED` — override the seed (decimal or `0x`-hex).
 //!   A failing CI seed replays locally, byte for byte.
@@ -10,39 +13,15 @@
 //!   to this path; `scripts/verify.sh` runs the suite twice and
 //!   `cmp`s the two files to prove determinism from outside the
 //!   process.
+//! * `GRIDSEC_CHAOS_TRACE` — same, for the combined trace dump.
+//! * `GRIDSEC_FLIGHT_DUMP` — path prefix for automatic flight-recorder
+//!   dumps (each figure appends its tag).
 //!
 //! Each figure gets a fresh network seeded from the master seed, so
 //! scenarios stay independent (a new flow cannot shift an earlier
 //! one's fault schedule) while remaining reproducible together.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
-
-use gridsec_authz::cas::{CasServer, ResourceGate};
-use gridsec_authz::net::{fetch_assertion, CasService};
-use gridsec_authz::policy::{CombiningAlg, Decision, Effect, PolicySet, Rule, SubjectMatch};
-use gridsec_crypto::rng::ChaChaRng;
-use gridsec_gram::remote::{job_state_remote, submit_job_remote, RemoteGram};
-use gridsec_gram::resource::{GramConfig, GramResource};
-use gridsec_gram::types::{JobDescription, JobState};
-use gridsec_gram::Requestor;
-use gridsec_gssapi::net::{establish_initiator, AcceptorService};
-use gridsec_integration::{basic_world, dn};
-use gridsec_ogsa::client::{OgsaClient, StaticCredential};
-use gridsec_ogsa::hosting::HostingEnvironment;
-use gridsec_ogsa::service::{GridService, RequestContext};
-use gridsec_ogsa::transport::{RetryTransport, RpcService};
-use gridsec_ogsa::OgsaError;
-use gridsec_pki::ca::CertificateAuthority;
-use gridsec_pki::store::TrustStore;
-use gridsec_testbed::clock::SimClock;
-use gridsec_testbed::net::{FaultProfile, FaultStats, Network};
-use gridsec_testbed::rpc::{RpcClient, RpcServer};
-use gridsec_tls::handshake::TlsConfig;
-use gridsec_util::retry::RetryPolicy;
-use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
-use gridsec_xml::Element;
+use gridsec_integration::scenarios::{figure1_gss, run_all, ChaosOpts};
 
 /// Default master seed; override with `GRIDSEC_CHAOS_SEED`.
 const DEFAULT_SEED: u64 = 0xC4A0_5EED;
@@ -62,346 +41,114 @@ fn chaos_seed() -> u64 {
     }
 }
 
-/// The retry policy all chaos clients use: ample attempts, timeout
-/// windows comfortably above the profile's worst-case latency so an
-/// attempt only fails on an actual drop or partition.
-fn policy() -> RetryPolicy {
-    RetryPolicy {
-        max_attempts: 8,
-        base_timeout: 16,
-        multiplier: 2,
-        max_timeout: 64,
-    }
-}
-
-/// One scenario's contribution to the run: its transcript lines
-/// (prefixed with the figure tag) and its fault counters.
-struct ScenarioLog {
-    lines: Vec<String>,
-    stats: FaultStats,
-}
-
-fn drain(tag: &str, net: &Network) -> ScenarioLog {
-    ScenarioLog {
-        lines: net
-            .transcript()
-            .into_iter()
-            .map(|l| format!("{tag} {l}"))
-            .collect(),
-        stats: net.fault_stats().expect("faults were enabled"),
-    }
-}
-
-/// Figure 1: GSS-API context establishment (the VO sign-on handshake)
-/// across the lossy network, then a secured message both ways.
-fn figure1_gss(seed: u64) -> ScenarioLog {
-    let net = Network::new();
-    let clock = SimClock::starting_at(100);
-    net.enable_faults(clock, seed ^ 0xF16_1, FaultProfile::lossy_wan());
-
-    let mut w = basic_world(b"chaos fig1");
-    let initiator_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 100);
-    let acceptor_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 100);
-    let acceptor_rng = ChaChaRng::from_seed_bytes(b"chaos fig1 acceptor");
-
-    let service = Rc::new(RefCell::new(AcceptorService::new(acceptor_cfg, acceptor_rng)));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("service"))));
-    let mut rpc = RpcClient::new(net.register("user"), "service", policy());
-    let hook_server = server.clone();
-    let hook_service = service.clone();
-    rpc.set_pump(move || {
-        hook_server
-            .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
-    });
-
-    let mut user_ctx = establish_initiator(&mut rpc, initiator_cfg, &mut w.rng)
-        .expect("figure 1 must establish under lossy WAN");
-    let mut service_ctx = service
-        .borrow_mut()
-        .take_established("user")
-        .expect("acceptor side established");
-
-    // The contexts are live: protect one message in each direction.
-    let sealed = user_ctx.wrap(b"vo sign-on complete");
-    assert_eq!(
-        service_ctx.unwrap(&sealed).expect("unwrap at service"),
-        b"vo sign-on complete"
-    );
-    let back = service_ctx.wrap(b"welcome");
-    assert_eq!(user_ctx.unwrap(&back).expect("unwrap at user"), b"welcome");
-    assert_eq!(service_ctx.peer().base_identity, dn("/O=G/CN=User"));
-
-    drain("fig1", &net)
-}
-
-/// Figure 2: CAS-mediated authorization — fetch a signed capability
-/// assertion over the lossy network, then present it to a resource
-/// gate that intersects VO rights with local policy.
-fn figure2_cas(seed: u64) -> ScenarioLog {
-    let net = Network::new();
-    let clock = SimClock::starting_at(100);
-    net.enable_faults(clock.clone(), seed ^ 0xF16_2, FaultProfile::lossy_wan());
-
-    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig2");
-    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=VO/CN=CA"), 512, 0, 1_000_000);
-    let cas_cred = ca.issue_identity(&mut rng, dn("/O=VO/CN=CAS"), 512, 0, 500_000);
-    let cas = Arc::new(CasServer::new("physics-vo", cas_cred, 3600));
-    let alice = dn("/O=G/CN=Alice");
-    cas.enroll(&alice, vec!["group:analysts".into()]);
-    cas.add_rule(Rule::new(
-        SubjectMatch::Exact("group:analysts".to_string()),
-        "dataset/*",
-        "read",
-        Effect::Permit,
-    ));
-
-    let service = Rc::new(RefCell::new(CasService::new(cas.clone(), clock.clone())));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("cas"))));
-    let mut rpc = RpcClient::new(net.register("alice"), "cas", policy());
-    let hook_server = server.clone();
-    let hook_service = service.clone();
-    rpc.set_pump(move || {
-        hook_server
-            .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
-    });
-
-    let assertion =
-        fetch_assertion(&mut rpc, &alice).expect("figure 2 must fetch under lossy WAN");
-
-    let mut local = PolicySet::new(CombiningAlg::DenyOverrides);
-    local.add(Rule::new(
-        SubjectMatch::Exact("vo:physics-vo".to_string()),
-        "dataset/*",
-        "read",
-        Effect::Permit,
-    ));
-    let mut gate = ResourceGate::new(local);
-    gate.trust_cas("physics-vo", cas.public_key().clone());
-    let decision = gate
-        .authorize_with_cas(&assertion, &alice, "dataset/run7", "read", clock.now())
-        .expect("assertion accepted");
-    assert_eq!(decision, Decision::Permit);
-
-    drain("fig2", &net)
-}
-
-/// Echo service for the Figure 3 hosting environment.
-struct EchoService;
-
-impl GridService for EchoService {
-    fn service_type(&self) -> &str {
-        "echo"
-    }
-    fn invoke(
-        &mut self,
-        ctx: &RequestContext,
-        operation: &str,
-        payload: &Element,
-    ) -> Result<Element, OgsaError> {
-        match operation {
-            "echo" => Ok(Element::new("echo:Reply")
-                .with_attr("caller", ctx.caller.base_identity.to_string())
-                .with_text(payload.text_content())),
-            other => Err(OgsaError::Application(format!("unknown op {other}"))),
-        }
-    }
-    fn service_data(&self, name: &str) -> Option<Element> {
-        (name == "serviceType").then(|| Element::new("sde").with_text("echo"))
-    }
-}
-
-/// Figure 3: the secured OGSA pipeline — policy fetch, secure
-/// conversation, createService, invoke, destroy — every envelope an
-/// at-most-once RPC over the lossy network. A duplicated
-/// `createService` answered from the reply cache must not create a
-/// second instance.
-fn figure3_ogsa(seed: u64) -> ScenarioLog {
-    let net = Network::new();
-    let clock = SimClock::starting_at(100);
-    net.enable_faults(clock.clone(), seed ^ 0xF16_3, FaultProfile::lossy_wan());
-
-    let w = basic_world(b"chaos fig3");
-    let published = SecurityPolicy {
-        service: "echo".to_string(),
-        alternatives: vec![PolicyAlternative {
-            mechanism: "gsi-secure-conversation".to_string(),
-            token_types: vec!["x509-chain".to_string()],
-            trust_roots: vec![],
-            protection: Protection::Sign,
-        }],
-    };
-    let mut authz = PolicySet::new(CombiningAlg::DenyOverrides);
-    authz.add(Rule::new(
-        SubjectMatch::Exact("/O=G/CN=User".to_string()),
-        "factory:echo",
-        "create",
-        Effect::Permit,
-    ));
-    authz.add(Rule::new(
-        SubjectMatch::Exact("/O=G/CN=User".to_string()),
-        "service:echo",
-        "*",
-        Effect::Permit,
-    ));
-    let mut env = HostingEnvironment::new(
-        "echo-host",
-        w.service.clone(),
-        w.trust.clone(),
-        clock.clone(),
-        published,
-        authz,
-    );
-    env.registry
-        .register_factory("echo", Box::new(|_ctx, _args| Ok(Box::new(EchoService))));
-    let env = Rc::new(RefCell::new(env));
-
-    let service = Rc::new(RefCell::new(RpcService::new(&net, "echo-host", env.clone())));
-    let mut transport = RetryTransport::connect(&net, "user", "echo-host", policy());
-    let hook = service.clone();
-    transport.set_pump(move || hook.borrow_mut().poll());
-    let mut client = OgsaClient::new(transport, w.trust.clone(), clock, b"chaos fig3 client");
-    client.add_source(Box::new(StaticCredential(w.user.clone())));
-
-    let handle = client
-        .create_service("echo", Element::new("args"))
-        .expect("figure 3 createService under lossy WAN");
-    let reply = client
-        .invoke(&handle, "echo", Element::new("m").with_text("hello grid"))
-        .expect("figure 3 invoke under lossy WAN");
-    assert_eq!(reply.text_content(), "hello grid");
-    assert_eq!(reply.attr("caller"), Some("/O=G/CN=User"));
-    // Exactly one instance exists despite any duplicated createService.
-    assert_eq!(env.borrow().registry.instance_count(), 1);
-    client.destroy(&handle).expect("figure 3 destroy");
-    assert_eq!(env.borrow().registry.instance_count(), 0);
-
-    drain("fig3", &net)
-}
-
-/// Figure 4: the GT3 GRAM chain — signed submission through MMJFS /
-/// Setuid Starter / GRIM / LMJFS, then step-7 mutual authentication,
-/// GRIM authorization, delegation, and job start, every leg retried
-/// over the lossy network. Exactly one LMJFS cold start may happen no
-/// matter how many times the submission frame is duplicated.
-fn figure4_gram(seed: u64) -> ScenarioLog {
-    let net = Network::new();
-    let clock = SimClock::starting_at(100);
-    net.enable_faults(clock.clone(), seed ^ 0xF16_4, FaultProfile::lossy_wan());
-
-    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig4");
-    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
-    let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
-    let host_cred = ca.issue_host_identity(
-        &mut rng,
-        dn("/O=G/CN=host compute1"),
-        vec!["compute1".into()],
-        512,
-        0,
-        500_000,
-    );
-    let mut trust = TrustStore::new();
-    trust.add_root(ca.certificate().clone());
-    let gridmap = gridsec_authz::gridmap::GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
-    let resource = GramResource::install(
-        gridsec_testbed::os::SimOs::new(),
-        clock.clone(),
-        "compute1",
-        trust.clone(),
-        host_cred,
-        &gridmap,
-        GramConfig::default(),
-    )
-    .unwrap();
-    let shared = Rc::new(RefCell::new(resource));
-
-    let service = Rc::new(RefCell::new(RemoteGram::new(shared.clone(), b"chaos mjs")));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("mjs-host"))));
-    let mut rpc = RpcClient::new(net.register("jane"), "mjs-host", policy());
-    let hook_server = server.clone();
-    let hook_service = service.clone();
-    rpc.set_pump(move || {
-        hook_server
-            .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
-    });
-
-    let mut jane = Requestor::new(jane, trust, b"chaos jane");
-    let job = submit_job_remote(
-        &mut jane,
-        &mut rpc,
-        &JobDescription::new("/bin/sim"),
-        &dn("/O=G/CN=host compute1"),
-        clock.now(),
-    )
-    .expect("figure 4 must submit under lossy WAN");
-    assert!(job.cold_start);
-    assert_eq!(job.account, "jdoe");
-    assert_eq!(
-        job_state_remote(&mut rpc, &job.handle).expect("state query"),
-        JobState::Active
-    );
-    // The reply cache absorbed duplicated submissions: one cold start.
-    assert_eq!(shared.borrow().stats.cold_starts, 1);
-
-    drain("fig4", &net)
-}
-
-/// Run all four figures from one master seed; returns the combined
-/// transcript and the summed fault counters.
-fn run_all(seed: u64) -> (String, FaultStats) {
-    let mut out = format!("chaos transcript seed=0x{seed:016x}\n");
-    let mut total = FaultStats::default();
-    for log in [
-        figure1_gss(seed),
-        figure2_cas(seed),
-        figure3_ogsa(seed),
-        figure4_gram(seed),
-    ] {
-        for line in &log.lines {
-            out.push_str(line);
-            out.push('\n');
-        }
-        total.sent += log.stats.sent;
-        total.delivered += log.stats.delivered;
-        total.dropped += log.stats.dropped;
-        total.duplicated += log.stats.duplicated;
-        total.blocked += log.stats.blocked;
-    }
-    out.push_str(&format!(
-        "totals sent={} delivered={} dropped={} duplicated={} blocked={}\n",
-        total.sent, total.delivered, total.dropped, total.duplicated, total.blocked
-    ));
-    (out, total)
-}
-
 #[test]
 fn figure_flows_complete_under_lossy_wan() {
-    let (_, total) = run_all(chaos_seed());
+    let run = run_all(chaos_seed(), &ChaosOpts::default());
     // The profile must actually have bitten — otherwise this suite
     // proves nothing about the retry layers.
+    let total = run.stats;
     assert!(total.dropped > 0, "no drops at all: {total:?}");
     assert!(total.duplicated > 0, "no duplicates at all: {total:?}");
     assert!(total.delivered > total.dropped);
+    // Every figure mirrored span events into its audit hash chain
+    // (verified inside each scenario).
+    assert!(run.audit_records > 0, "audit chain must record flow events");
 }
 
 #[test]
 fn same_seed_reproduces_byte_identical_transcript() {
     let seed = chaos_seed();
-    let (t1, s1) = run_all(seed);
-    let (t2, s2) = run_all(seed);
-    assert_eq!(s1, s2);
-    assert_eq!(t1, t2, "same seed must replay the same event schedule");
+    let r1 = run_all(seed, &ChaosOpts::default());
+    let r2 = run_all(seed, &ChaosOpts::default());
+    assert_eq!(r1.stats, r2.stats);
+    assert_eq!(
+        r1.transcript, r2.transcript,
+        "same seed must replay the same event schedule"
+    );
     if let Ok(path) = std::env::var("GRIDSEC_CHAOS_TRANSCRIPT") {
-        std::fs::write(&path, &t1).expect("write chaos transcript");
+        std::fs::write(&path, &r1.transcript).expect("write chaos transcript");
+    }
+}
+
+#[test]
+fn same_seed_reproduces_byte_identical_trace_dump() {
+    let seed = chaos_seed();
+    let r1 = run_all(seed, &ChaosOpts::default());
+    let r2 = run_all(seed, &ChaosOpts::default());
+    assert_eq!(
+        r1.trace, r2.trace,
+        "same seed must replay the same spans, events, and metrics"
+    );
+    // The dump carries real flow structure: nested spans from all four
+    // figures, timestamps from the simulated clock.
+    for needle in [
+        "gss.establish",
+        "cas.fetch",
+        "ogsa.envelope",
+        "gram.submit",
+        "gram.delegation",
+        "rpc.call",
+        "[t=",
+        "parent=#",
+    ] {
+        assert!(r1.trace.contains(needle), "trace dump missing {needle}");
+    }
+    if let Ok(path) = std::env::var("GRIDSEC_CHAOS_TRACE") {
+        std::fs::write(&path, &r1.trace).expect("write chaos trace dump");
     }
 }
 
 #[test]
 fn different_seed_draws_a_different_schedule() {
     let seed = chaos_seed();
-    let (t1, _) = run_all(seed);
-    let (t2, _) = run_all(seed ^ 0x5EED_0000_0000_5EED);
-    assert_ne!(t1, t2, "seed must actually drive the fault schedule");
+    let r1 = run_all(seed, &ChaosOpts::default());
+    let r2 = run_all(seed ^ 0x5EED_0000_0000_5EED, &ChaosOpts::default());
+    assert_ne!(
+        r1.transcript, r2.transcript,
+        "seed must actually drive the fault schedule"
+    );
+}
+
+#[test]
+fn flow_metrics_accumulate_per_figure() {
+    let run = run_all(chaos_seed(), &ChaosOpts::default());
+    let m = &run.metrics;
+    // Counters from every figure's flow, name-prefixed by run_all.
+    assert!(m.counters["fig1.gss.contexts_established"] >= 1);
+    assert!(m.counters["fig2.cas.assertions_fetched"] >= 1);
+    assert!(m.counters["fig3.ogsa.envelopes"] >= 1);
+    assert!(m.counters["fig4.gram.jobs_submitted"] >= 1);
+    // Latency histograms auto-recorded from span durations.
+    assert!(m.hists["fig1.span.gss.establish.secs"].count >= 1);
+    assert!(m.hists["fig4.span.gram.connect_start.secs"].count >= 1);
+    // RPC traffic accounting exists for every figure.
+    for fig in ["fig1", "fig2", "fig3", "fig4"] {
+        assert!(m.counters[&format!("{fig}.rpc.calls")] >= 1, "{fig}");
+        assert!(m.counters[&format!("{fig}.rpc.bytes_sent")] > 0, "{fig}");
+    }
+}
+
+#[test]
+fn forced_failure_dumps_the_flight_recorder() {
+    let dir = std::env::temp_dir().join(format!("gridsec-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir flight dir");
+    let path = dir.join("flight.fig1").to_string_lossy().into_owned();
+    let opts = ChaosOpts {
+        partition_all: true,
+        flight_path: Some(path.clone()),
+    };
+    let rep = figure1_gss(chaos_seed(), &opts);
+    assert!(!rep.completed);
+    let dump = std::fs::read_to_string(&path)
+        .expect("retry exhaustion must write the flight recorder dump");
+    assert!(
+        dump.contains("flight recorder dump: rpc retry budget exhausted"),
+        "{dump}"
+    );
+    // The ring holds the doomed flow's recent history: the span that
+    // was open and the retransmission events that preceded exhaustion.
+    assert!(dump.contains("gss.establish"), "{dump}");
+    assert!(dump.contains("rpc.retransmit"), "{dump}");
+    assert!(dump.contains("counter rpc.timeouts"), "{dump}");
+    std::fs::remove_dir_all(&dir).ok();
 }

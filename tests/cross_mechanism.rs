@@ -65,7 +65,11 @@ fn kerberos_user_runs_grid_job_via_kca() {
     // Submit a job with the converted credential.
     let mut requestor = Requestor::new(gsi_cred, trust, b"alice requestor");
     let job = requestor
-        .submit_job(&mut resource, &JobDescription::new("/bin/reco"), clock.now())
+        .submit_job(
+            &mut resource,
+            &JobDescription::new("/bin/reco"),
+            clock.now(),
+        )
         .expect("kerberos-rooted job submission");
     assert_eq!(job.account, "alice_grid");
     assert_eq!(resource.job_state(&job.handle).unwrap(), JobState::Active);
@@ -123,8 +127,7 @@ fn kca_conversion_failure_modes() {
     let kdc = Arc::new(kdc);
 
     // Wrong password.
-    let mut bad_pw =
-        KcaCredentialSource::new(kdc.clone(), kca.clone(), "alice", "nope", 512, b"x");
+    let mut bad_pw = KcaCredentialSource::new(kdc.clone(), kca.clone(), "alice", "nope", 512, b"x");
     assert!(bad_pw.obtain(100).is_err());
 
     // Unknown principal.

@@ -69,7 +69,11 @@ fn cross_domain_job_submission_via_vo() {
     let mut requestor = Requestor::new(session.credential().clone(), requestor_trust, b"a0");
 
     let job = requestor
-        .submit_job(&mut resource, &JobDescription::new("/bin/hpc-sim"), clock.now())
+        .submit_job(
+            &mut resource,
+            &JobDescription::new("/bin/hpc-sim"),
+            clock.now(),
+        )
         .expect("cross-domain submission");
     assert!(job.cold_start);
     assert_eq!(job.account, "grid_a0");
@@ -217,11 +221,7 @@ fn gt2_and_gt3_share_token_formats() {
 
     // GT3 path.
     let mut rng_a = gridsec_crypto::rng::ChaChaRng::from_seed_bytes(b"tok");
-    let mut responder = WsscResponder::new(TlsConfig::new(
-        w.service.clone(),
-        w.trust.clone(),
-        10,
-    ));
+    let mut responder = WsscResponder::new(TlsConfig::new(w.service.clone(), w.trust.clone(), 10));
     let mut session = establish(
         TlsConfig::new(w.user.clone(), w.trust.clone(), 10),
         &mut responder,
