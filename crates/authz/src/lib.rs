@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cas;
+pub mod durable;
 pub mod gridmap;
 pub mod net;
 pub mod policy;

@@ -129,30 +129,16 @@ pub fn submit_job_remote(
 ) -> Result<ActiveJob, GramError> {
     let mut sp = trace::span_with("gram.submit", &format!("host={expected_host}"));
     let result: Result<ActiveJob, GramError> = (|| {
-        let signed = requestor.signed_request(description, now);
-        let body = round(
+        let job = submit_only(requestor, rpc, description, now)?;
+        connect_and_start_remote(
+            requestor,
             rpc,
-            OP_SUBMIT,
-            "",
-            signed.as_bytes(),
-            GramError::RequestRejected,
+            &job.handle,
+            Some(&job.account),
+            expected_host,
+            now,
         )?;
-        let mut d = Decoder::new(&body);
-        let parse = |_: ()| GramError::Transport("malformed submit reply".into());
-        let handle = d.get_str().map_err(|_| parse(()))?;
-        let cold_start = d.get_u8().map_err(|_| parse(()))? != 0;
-        let account = d.get_str().map_err(|_| parse(()))?;
-        trace::event(
-            "gram.submitted",
-            &format!("handle={handle} cold_start={cold_start} account={account}"),
-        );
-        trace::add("gram.jobs_submitted", 1);
-        connect_and_start_remote(requestor, rpc, &handle, Some(&account), expected_host, now)?;
-        Ok(ActiveJob {
-            handle,
-            cold_start,
-            account,
-        })
+        Ok(job)
     })();
     if let Err(e) = &result {
         sp.fail(&e.to_string());
@@ -275,6 +261,103 @@ fn connect_and_start_inner(
     round(rpc, OP_START, handle, &start, GramError::Context)?;
     trace::event("gram.job.started", &format!("handle={handle}"));
     Ok(())
+}
+
+/// Remote steps 1–7 with crash resilience: like [`submit_job_remote`],
+/// but survives the service dying and restarting mid-chain.
+///
+/// The submission leg is safe to retry: the at-most-once RPC layer
+/// absorbs retransmits, and a durable server
+/// ([`DurableGram`][crate::durable::DurableGram]) answers a
+/// re-executed submission from its journal. The step-7 leg holds
+/// in-memory session state the server loses in a crash — a
+/// [`Context`][GramError::Context] or
+/// [`Transport`][GramError::Transport] failure there is answered by
+/// re-running the whole handshake against the job the journal
+/// preserved; the server's journaled start record keeps the job from
+/// spawning twice.
+pub fn submit_job_resilient(
+    requestor: &mut Requestor,
+    rpc: &mut RpcClient,
+    description: &JobDescription,
+    expected_host: &DistinguishedName,
+    now: u64,
+    max_attempts: u64,
+) -> Result<ActiveJob, GramError> {
+    let mut sp = trace::span_with("gram.submit_resilient", &format!("host={expected_host}"));
+    let result: Result<ActiveJob, GramError> = (|| {
+        let recoverable =
+            |e: &GramError| matches!(e, GramError::Context(_) | GramError::Transport(_));
+        let mut attempt = 0u64;
+        // Land the submission.
+        let job = loop {
+            attempt += 1;
+            match submit_only(requestor, rpc, description, now) {
+                Ok(job) => break job,
+                Err(e) if recoverable(&e) && attempt < max_attempts => {
+                    trace::event("gram.reestablish", &format!("leg=submit cause={e}"));
+                    trace::add("gram.reestablishes", 1);
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        // Drive step 7, re-establishing the security context from
+        // scratch whenever the service's session state evaporates.
+        loop {
+            attempt += 1;
+            match connect_and_start_remote(
+                requestor,
+                rpc,
+                &job.handle,
+                Some(&job.account),
+                expected_host,
+                now,
+            ) {
+                Ok(()) => return Ok(job),
+                Err(e) if recoverable(&e) && attempt < max_attempts => {
+                    trace::event("gram.reestablish", &format!("leg=start cause={e}"));
+                    trace::add("gram.reestablishes", 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    })();
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
+    }
+    result
+}
+
+/// Steps 1–6 only: deliver the signed request, decode the MJS handle.
+fn submit_only(
+    requestor: &mut Requestor,
+    rpc: &mut RpcClient,
+    description: &JobDescription,
+    now: u64,
+) -> Result<ActiveJob, GramError> {
+    let signed = requestor.signed_request(description, now);
+    let body = round(
+        rpc,
+        OP_SUBMIT,
+        "",
+        signed.as_bytes(),
+        GramError::RequestRejected,
+    )?;
+    let mut d = Decoder::new(&body);
+    let parse = |_: ()| GramError::Transport("malformed submit reply".into());
+    let handle = d.get_str().map_err(|_| parse(()))?;
+    let cold_start = d.get_u8().map_err(|_| parse(()))? != 0;
+    let account = d.get_str().map_err(|_| parse(()))?;
+    trace::event(
+        "gram.submitted",
+        &format!("handle={handle} cold_start={cold_start} account={account}"),
+    );
+    trace::add("gram.jobs_submitted", 1);
+    Ok(ActiveJob {
+        handle,
+        cold_start,
+        account,
+    })
 }
 
 /// Query a job's state over `rpc`.

@@ -511,4 +511,53 @@ impl GramResource {
         v.sort();
         v
     }
+
+    /// Pid of the job process an MJS started, if any.
+    pub fn job_pid(&self, handle: &str) -> Result<Option<Pid>, GramError> {
+        self.mjs
+            .get(handle)
+            .map(|m| m.job_pid)
+            .ok_or_else(|| GramError::NoSuchJob(handle.to_string()))
+    }
+
+    /// Crash the MMJFS/MJS service process: every in-memory MJS instance
+    /// is lost. LMJFS processes (separate processes in separate
+    /// accounts), already-started job processes, and all on-disk state
+    /// survive — exactly the blast radius of one service dying in the
+    /// GT3 architecture. Counters are external accounting and persist.
+    pub fn crash_mmjfs(&mut self) {
+        self.mjs.clear();
+    }
+
+    /// Recovery: rebuild one MJS from a journal record. The GRIM
+    /// credential is not serializable (private key material never
+    /// leaves the process that holds it) — it is re-borrowed from the
+    /// surviving LMJFS for `account`, which also re-establishes the
+    /// owner binding the original submit enforced.
+    pub fn restore_mjs(
+        &mut self,
+        handle: &str,
+        account: &str,
+        description: JobDescription,
+        state: JobState,
+        job_pid: Option<Pid>,
+        mjs_id: u64,
+    ) -> Result<(), GramError> {
+        let lmjfs = self.lmjfs.get(account).ok_or_else(|| {
+            GramError::Os(format!("no resident LMJFS for {account} during recovery"))
+        })?;
+        self.mjs.insert(
+            handle.to_string(),
+            MjsInstance {
+                account: account.to_string(),
+                owner: lmjfs.user_identity.clone(),
+                credential: lmjfs.credential.clone(),
+                description,
+                state,
+                job_pid,
+            },
+        );
+        self.next_mjs_id = self.next_mjs_id.max(mjs_id);
+        Ok(())
+    }
 }

@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod resume;
+
 use std::io::{Read, Write};
 
 use gridsec_authz::gridmap::GridMapFile;
@@ -28,7 +30,7 @@ use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::credential::Credential;
 use gridsec_pki::store::TrustStore;
 use gridsec_pki::validate::EffectiveRights;
-use gridsec_testbed::os::{FileMode, SimOs};
+use gridsec_testbed::os::{FileMode, SimOs, Uid};
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_tls::stream::{client_connect, server_accept, SecureStream};
 
@@ -100,14 +102,15 @@ impl GridFtpServer {
         })
     }
 
-    /// Serve one session on an accepted raw stream: handshake, then
-    /// commands until `QUIT` or EOF. Returns the number of transfers.
-    pub fn serve_session<S: Read + Write, E: EntropySource>(
+    /// Handshake + authorization prologue shared by the classic and
+    /// resumable session loops: accept the secure channel, enforce the
+    /// rights split, map the identity, and send the greeting.
+    fn accept_and_map<S: Read + Write, E: EntropySource>(
         &mut self,
         stream: S,
         rng: &mut E,
         now: u64,
-    ) -> Result<u64, FtpError> {
+    ) -> Result<(SecureStream<S>, Uid), FtpError> {
         let config = TlsConfig::new(self.credential.clone(), self.trust.clone(), now);
         let mut secured: SecureStream<S> =
             server_accept(stream, config, rng).map_err(|e| FtpError::Channel(e.to_string()))?;
@@ -134,7 +137,18 @@ impl GridFtpServer {
         secured
             .send(format!("OK mapped to {account}").as_bytes())
             .map_err(|e| FtpError::Channel(e.to_string()))?;
+        Ok((secured, uid))
+    }
 
+    /// Serve one session on an accepted raw stream: handshake, then
+    /// commands until `QUIT` or EOF. Returns the number of transfers.
+    pub fn serve_session<S: Read + Write, E: EntropySource>(
+        &mut self,
+        stream: S,
+        rng: &mut E,
+        now: u64,
+    ) -> Result<u64, FtpError> {
+        let (mut secured, uid) = self.accept_and_map(stream, rng, now)?;
         let mut session_transfers = 0u64;
         // Commands until QUIT or peer close.
         while let Ok(cmd) = secured.recv() {

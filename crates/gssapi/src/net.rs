@@ -114,6 +114,33 @@ pub fn establish_initiator<E: EntropySource>(
     result
 }
 
+/// Establish a GSS context as the initiator, surviving acceptor
+/// crashes: a [`GssError::Transport`] failure (retry budget exhausted
+/// while the peer was down, or a reborn acceptor refusing a token it
+/// has no session for) is answered by restarting the whole token loop.
+/// Contexts are re-establishable by construction — the paper's §4
+/// argument for stateless security services — so nothing is lost but
+/// the handshake latency.
+pub fn establish_initiator_resilient<E: EntropySource>(
+    rpc: &mut RpcClient,
+    config: TlsConfig,
+    rng: &mut E,
+    max_attempts: u64,
+) -> Result<EstablishedContext, GssError> {
+    let mut attempt = 0u64;
+    loop {
+        attempt += 1;
+        match establish_initiator(rpc, config.clone(), rng) {
+            Ok(ctx) => return Ok(ctx),
+            Err(GssError::Transport(cause)) if attempt < max_attempts => {
+                trace::event("gss.reestablish", &format!("cause={cause}"));
+                trace::add("gss.reestablishes", 1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// The acceptor side as a pollable service: plug
 /// [`AcceptorService::handle`] into an
 /// [`RpcServer::poll`][gridsec_testbed::rpc::RpcServer::poll] handler.
@@ -182,6 +209,74 @@ impl<E: EntropySource> AcceptorService<E> {
     /// loop completed.
     pub fn take_established(&mut self, from: &str) -> Option<EstablishedContext> {
         self.established.remove(from)
+    }
+}
+
+/// An [`AcceptorService`] as a crash-recoverable application for
+/// [`CrashableServer`][gridsec_testbed::faults::CrashableServer].
+///
+/// Security contexts are deliberately *not* journaled: they are
+/// ephemeral by design (paper §4 — contexts can always be
+/// re-established from credentials), and replaying half a handshake
+/// would be both pointless and unsound. A crash loses every pending and
+/// established context; initiators recover via
+/// [`establish_initiator_resilient`]. Serve it with
+/// `persist_replies = false` so a reborn acceptor re-executes token
+/// exchanges instead of replaying token frames whose session died.
+///
+/// Kill point: `gss.accept.exec` — before a token exchange executes.
+pub struct CrashableAcceptor {
+    config: TlsConfig,
+    seed: Vec<u8>,
+    generation: u64,
+    plan: gridsec_testbed::faults::CrashPlan,
+    service: AcceptorService<gridsec_crypto::rng::ChaChaRng>,
+}
+
+impl CrashableAcceptor {
+    /// Accept under `config`; `seed` (mixed with a per-incarnation
+    /// generation counter) seeds handshake entropy deterministically.
+    pub fn new(config: TlsConfig, seed: &[u8], plan: gridsec_testbed::faults::CrashPlan) -> Self {
+        let service = AcceptorService::new(
+            config.clone(),
+            gridsec_crypto::rng::ChaChaRng::from_seed_bytes(seed),
+        );
+        CrashableAcceptor {
+            config,
+            seed: seed.to_vec(),
+            generation: 0,
+            plan,
+            service,
+        }
+    }
+
+    /// The live acceptor service (for `take_established`).
+    pub fn service(&mut self) -> &mut AcceptorService<gridsec_crypto::rng::ChaChaRng> {
+        &mut self.service
+    }
+}
+
+impl gridsec_testbed::faults::CrashRecover for CrashableAcceptor {
+    fn handle(&mut self, from: &str, _id: u64, body: &[u8]) -> Vec<u8> {
+        if self.plan.fires("gss.accept.exec") {
+            return Vec::new();
+        }
+        self.service.handle(from, body)
+    }
+
+    fn crash(&mut self) {
+        self.generation += 1;
+        let mut seed = self.seed.clone();
+        seed.extend_from_slice(&self.generation.to_be_bytes());
+        self.service = AcceptorService::new(
+            self.config.clone(),
+            gridsec_crypto::rng::ChaChaRng::from_seed_bytes(&seed),
+        );
+    }
+
+    fn recover(&mut self) {
+        // Nothing durable to replay: contexts are re-established, not
+        // recovered.
     }
 }
 
@@ -301,6 +396,70 @@ mod tests {
             Err(e) => assert!(matches!(e, GssError::Transport(_)), "{e}"),
             Ok(_) => panic!("establishment should not survive a partition"),
         }
+    }
+
+    #[test]
+    fn acceptor_crash_mid_handshake_reestablishes() {
+        use gridsec_testbed::faults::{CrashPlan, CrashableServer, Journal};
+        use gridsec_testbed::os::{SimOs, ROOT_UID};
+
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock, 0x6551, FaultProfile::default());
+        let mut w = world();
+        // Kill the acceptor on its second exchange: token 1 succeeds,
+        // the process dies before token 3 executes.
+        let plan = CrashPlan::manual(3);
+        plan.arm("gss.accept.exec", 2);
+        let os = SimOs::new();
+        os.add_host("mjs-host");
+        let journal = Journal::open(os, "mjs-host", "/var/gss/journal.wal", ROOT_UID);
+        let acceptor = Rc::new(RefCell::new(CrashableAcceptor::new(
+            TlsConfig::new(w.service.clone(), w.trust.clone(), 100),
+            b"crashable acceptor",
+            plan.clone(),
+        )));
+        let server = Rc::new(RefCell::new(CrashableServer::new(
+            net.register("mjs"),
+            "gss",
+            plan.clone(),
+            journal,
+            false,
+        )));
+        let mut rpc = RpcClient::new(
+            net.register("alice"),
+            "mjs",
+            RetryPolicy {
+                max_attempts: 8,
+                base_timeout: 16,
+                multiplier: 2,
+                max_timeout: 64,
+            },
+        );
+        let hook_server = server.clone();
+        let hook_acceptor = acceptor.clone();
+        rpc.set_pump(move || {
+            hook_server
+                .borrow_mut()
+                .poll(&mut *hook_acceptor.borrow_mut())
+        });
+        let mut ic = establish_initiator_resilient(
+            &mut rpc,
+            TlsConfig::new(w.alice.clone(), w.trust.clone(), 100),
+            &mut w.rng,
+            8,
+        )
+        .unwrap();
+        assert_eq!(plan.crashes(), 1, "the armed kill fired");
+        assert_eq!(server.borrow().restarts(), 1, "the service was reborn");
+        // The re-established context is fully functional end to end.
+        let mut ac = acceptor
+            .borrow_mut()
+            .service()
+            .take_established("alice")
+            .unwrap();
+        let t = ic.wrap(b"survived a crash");
+        assert_eq!(ac.unwrap(&t).unwrap(), b"survived a crash");
     }
 
     #[test]

@@ -17,15 +17,22 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use gridsec_authz::cas::{CasServer, ResourceGate};
-use gridsec_authz::net::{fetch_assertion, CasService};
+use gridsec_authz::cas::ResourceGate;
+use gridsec_authz::durable::DurableCas;
+use gridsec_authz::net::fetch_assertion;
 use gridsec_authz::policy::{CombiningAlg, Decision, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_crypto::rng::ChaChaRng;
-use gridsec_gram::remote::{job_state_remote, submit_job_remote, RemoteGram};
+use gridsec_crypto::sha256::sha256;
+use gridsec_gram::durable::DurableGram;
+use gridsec_gram::remote::{job_state_remote, submit_job_resilient};
 use gridsec_gram::resource::{GramConfig, GramResource};
 use gridsec_gram::types::{JobDescription, JobState};
 use gridsec_gram::Requestor;
-use gridsec_gssapi::net::{establish_initiator, AcceptorService};
+use gridsec_gridftp::resume::{resumable_get, resumable_put};
+use gridsec_gridftp::GridFtpServer;
+use gridsec_gsi::sso;
+use gridsec_gsi::vo::{create_domain, form_vo};
+use gridsec_gssapi::net::{establish_initiator_resilient, CrashableAcceptor};
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
 use gridsec_ogsa::hosting::HostingEnvironment;
 use gridsec_ogsa::service::{GridService, RequestContext};
@@ -35,13 +42,17 @@ use gridsec_pki::ca::CertificateAuthority;
 use gridsec_pki::store::TrustStore;
 use gridsec_services::audit::AuditLog;
 use gridsec_testbed::clock::SimClock;
-use gridsec_testbed::net::{FaultProfile, FaultStats, Network};
-use gridsec_testbed::rpc::{RpcClient, RpcServer};
+use gridsec_testbed::faults::{CrashPlan, CrashableServer, Journal};
+use gridsec_testbed::net::{FaultProfile, FaultStats, Network, SimStream, StreamPair};
+use gridsec_testbed::os::{FileMode, SimOs, ROOT_UID};
+use gridsec_testbed::rpc::RpcClient;
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_util::retry::RetryPolicy;
 use gridsec_util::trace::{self, MetricsSnapshot, Tracer};
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_xml::Element;
+
+use std::sync::Mutex;
 
 use crate::{basic_world, dn};
 
@@ -53,11 +64,20 @@ pub struct ChaosOpts {
     pub partition_all: bool,
     /// Write flight-recorder dumps here (the tracer's flight path).
     pub flight_path: Option<String>,
+    /// Enable seeded process crashes: every service runs under a
+    /// [`CrashPlan`] that kills it at injection points mid-request, up
+    /// to a per-figure cap, with recovery from the write-ahead journal.
+    pub crashes: bool,
+    /// Explicitly armed kill points (`(point, nth-hit)`); point names
+    /// are figure-specific (`cas.issue.journaled`, `gram.start.exec`,
+    /// `xfer.put.chunk`, …) so arming one targets one figure.
+    pub armed_crashes: Vec<(String, u64)>,
 }
 
 /// Everything one scenario produced, all deterministic per seed.
 pub struct ScenarioReport {
-    /// Network transcript lines, prefixed with the figure tag.
+    /// Network transcript lines, prefixed with the figure tag — crash
+    /// and restart events from the [`CrashPlan`] transcript included.
     pub lines: Vec<String>,
     /// Fault-layer counters.
     pub stats: FaultStats,
@@ -69,6 +89,28 @@ pub struct ScenarioReport {
     pub audit_records: usize,
     /// Whether the flow completed (false under `partition_all`).
     pub completed: bool,
+    /// Process kills delivered by the figure's crash plan.
+    pub crashes: u64,
+    /// Service restarts (journal recoveries) completed.
+    pub restarts: u64,
+}
+
+/// Build the figure's crash plan from the options: seeded when
+/// `opts.crashes` (salted so each figure draws an independent
+/// schedule), manual when only armed points were requested, disabled
+/// otherwise. Armed points apply in every mode.
+fn crash_plan(opts: &ChaosOpts, seed: u64, salt: u64, probability: f64, max: u64) -> CrashPlan {
+    let plan = if opts.crashes {
+        CrashPlan::seeded(seed ^ salt, probability, max, 3)
+    } else if !opts.armed_crashes.is_empty() {
+        CrashPlan::manual(3)
+    } else {
+        CrashPlan::disabled()
+    };
+    for (point, nth) in &opts.armed_crashes {
+        plan.arm(point, *nth);
+    }
+    plan
 }
 
 /// The retry policy all chaos clients use: ample attempts, timeout
@@ -102,31 +144,40 @@ fn rig(clock: &SimClock, opts: &ChaosOpts) -> Rig {
     Rig { tracer, audit }
 }
 
-fn report(tag: &str, net: &Network, r: Rig, completed: bool) -> ScenarioReport {
+fn report(tag: &str, net: &Network, r: Rig, completed: bool, plan: &CrashPlan) -> ScenarioReport {
     assert!(
         r.audit.verify().is_ok(),
         "{tag}: audit hash chain must verify"
     );
+    let mut lines: Vec<String> = net
+        .transcript()
+        .into_iter()
+        .map(|l| format!("{tag} {l}"))
+        .collect();
+    lines.extend(plan.transcript().into_iter().map(|l| format!("{tag} {l}")));
     ScenarioReport {
-        lines: net
-            .transcript()
-            .into_iter()
-            .map(|l| format!("{tag} {l}"))
-            .collect(),
+        lines,
         stats: net.fault_stats().expect("faults were enabled"),
         trace: format!("{}{}", r.tracer.dump(), r.tracer.metrics().render()),
         metrics: r.tracer.metrics(),
         audit_records: r.audit.len(),
         completed,
+        crashes: plan.crashes(),
+        restarts: plan.restarts(),
     }
 }
 
 /// Figure 1: GSS-API context establishment (the VO sign-on handshake)
-/// across the lossy network, then a secured message both ways.
+/// across the lossy network, then a secured message both ways. The
+/// acceptor runs under a [`CrashableServer`]: security contexts are
+/// deliberately *not* journaled — re-establishment through the retry
+/// machinery is the recovery path — so a kill at `gss.accept.exec`
+/// forces the initiator to restart the handshake from scratch.
 pub fn figure1_gss(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     let net = Network::new();
     let clock = SimClock::starting_at(100);
     net.enable_faults(clock.clone(), seed ^ 0xF161, FaultProfile::lossy_wan());
+    let plan = crash_plan(opts, seed, 0xC4A1, 0.04, 2);
     let r = rig(&clock, opts);
     let _guard = trace::install(&r.tracer);
     let _dump = trace::dump_on_panic(&r.tracer, "figure1_gss");
@@ -134,33 +185,45 @@ pub fn figure1_gss(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     let mut w = basic_world(b"chaos fig1");
     let initiator_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 100);
     let acceptor_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 100);
-    let acceptor_rng = ChaChaRng::from_seed_bytes(b"chaos fig1 acceptor");
 
-    let service = Rc::new(RefCell::new(AcceptorService::new(
+    let os = SimOs::new();
+    os.add_host("service");
+    let journal = Journal::open(os, "service", "/var/gss/journal.wal", ROOT_UID);
+    let service = Rc::new(RefCell::new(CrashableAcceptor::new(
         acceptor_cfg,
-        acceptor_rng,
+        b"chaos fig1 acceptor",
+        plan.clone(),
     )));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("service"))));
+    // persist_replies = false: an ephemeral handshake reply must not be
+    // replayed into a post-restart acceptor that lost the session.
+    let server = Rc::new(RefCell::new(CrashableServer::new(
+        net.register("service"),
+        "gss",
+        plan.clone(),
+        journal,
+        false,
+    )));
     let mut rpc = RpcClient::new(net.register("user"), "service", policy());
     let hook_server = server.clone();
     let hook_service = service.clone();
     rpc.set_pump(move || {
         hook_server
             .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+            .poll(&mut *hook_service.borrow_mut())
     });
 
     if opts.partition_all {
         net.partition("user", "service");
-        let err = establish_initiator(&mut rpc, initiator_cfg, &mut w.rng);
+        let err = establish_initiator_resilient(&mut rpc, initiator_cfg, &mut w.rng, 1);
         assert!(err.is_err(), "partition must fail establishment");
-        return report("fig1", &net, r, false);
+        return report("fig1", &net, r, false, &plan);
     }
 
-    let mut user_ctx = establish_initiator(&mut rpc, initiator_cfg, &mut w.rng)
-        .expect("figure 1 must establish under lossy WAN");
+    let mut user_ctx = establish_initiator_resilient(&mut rpc, initiator_cfg, &mut w.rng, 6)
+        .expect("figure 1 must establish under lossy WAN + crashes");
     let mut service_ctx = service
         .borrow_mut()
+        .service()
         .take_established("user")
         .expect("acceptor side established");
 
@@ -174,7 +237,7 @@ pub fn figure1_gss(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     assert_eq!(user_ctx.unwrap(&back).expect("unwrap at user"), b"welcome");
     assert_eq!(service_ctx.peer().base_identity, dn("/O=G/CN=User"));
 
-    report("fig1", &net, r, true)
+    report("fig1", &net, r, true, &plan)
 }
 
 /// Figure 2: CAS-mediated authorization — fetch a signed capability
@@ -191,34 +254,64 @@ pub fn figure2_cas(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig2");
     let ca = CertificateAuthority::create_root(&mut rng, dn("/O=VO/CN=CA"), 512, 0, 1_000_000);
     let cas_cred = ca.issue_identity(&mut rng, dn("/O=VO/CN=CAS"), 512, 0, 500_000);
-    let cas = Arc::new(CasServer::new("physics-vo", cas_cred, 3600));
     let alice = dn("/O=G/CN=Alice");
-    cas.enroll(&alice, vec!["group:analysts".into()]);
-    cas.add_rule(Rule::new(
+
+    // The CAS policy DB and issued-assertion log live in a write-ahead
+    // journal on the simulated OS; a kill at `cas.issue.*` throws the
+    // in-memory server away and recovery replays the journal.
+    let plan = crash_plan(opts, seed, 0xC4A2, 0.08, 2);
+    let os = SimOs::new();
+    os.add_host("cas");
+    let journal = Journal::open(os, "cas", "/var/cas/journal.wal", ROOT_UID);
+    let durable = Rc::new(RefCell::new(DurableCas::new(
+        "physics-vo",
+        cas_cred,
+        3600,
+        clock.clone(),
+        plan.clone(),
+        journal.clone(),
+    )));
+    durable
+        .borrow()
+        .enroll(&alice, vec!["group:analysts".into()]);
+    durable.borrow().add_rule(
         SubjectMatch::Exact("group:analysts".to_string()),
         "dataset/*",
         "read",
         Effect::Permit,
-    ));
+    );
 
-    let service = Rc::new(RefCell::new(CasService::new(cas.clone(), clock.clone())));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("cas"))));
+    let server = Rc::new(RefCell::new(CrashableServer::new(
+        net.register("cas"),
+        "cas",
+        plan.clone(),
+        journal,
+        true,
+    )));
     let mut rpc = RpcClient::new(net.register("alice"), "cas", policy());
     let hook_server = server.clone();
-    let hook_service = service.clone();
+    let hook_service = durable.clone();
     rpc.set_pump(move || {
         hook_server
             .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+            .poll(&mut *hook_service.borrow_mut())
     });
 
     if opts.partition_all {
         net.partition("alice", "cas");
         assert!(fetch_assertion(&mut rpc, &alice).is_err());
-        return report("fig2", &net, r, false);
+        return report("fig2", &net, r, false, &plan);
     }
 
-    let assertion = fetch_assertion(&mut rpc, &alice).expect("figure 2 must fetch under lossy WAN");
+    let assertion =
+        fetch_assertion(&mut rpc, &alice).expect("figure 2 must fetch under lossy WAN + crashes");
+    // At-most-once across restarts: duplicated frames and post-crash
+    // retransmits collapsed onto one journaled issuance.
+    assert_eq!(
+        durable.borrow().issued_count(),
+        1,
+        "exactly one assertion issued"
+    );
 
     let mut local = PolicySet::new(CombiningAlg::DenyOverrides);
     local.add(Rule::new(
@@ -228,7 +321,7 @@ pub fn figure2_cas(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         Effect::Permit,
     ));
     let mut gate = ResourceGate::new(local);
-    gate.trust_cas("physics-vo", cas.public_key().clone());
+    gate.trust_cas("physics-vo", durable.borrow().cas().public_key().clone());
     let decision = gate
         .authorize_with_cas(&assertion, &alice, "dataset/run7", "read", clock.now())
         .expect("assertion accepted");
@@ -238,7 +331,7 @@ pub fn figure2_cas(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         "resource=dataset/run7 action=read outcome=permit",
     );
 
-    report("fig2", &net, r, true)
+    report("fig2", &net, r, true, &plan)
 }
 
 /// Echo service for the Figure 3 hosting environment.
@@ -328,7 +421,7 @@ pub fn figure3_ogsa(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     if opts.partition_all {
         net.partition("user", "echo-host");
         assert!(client.create_service("echo", Element::new("args")).is_err());
-        return report("fig3", &net, r, false);
+        return report("fig3", &net, r, false, &CrashPlan::disabled());
     }
 
     let handle = client
@@ -344,7 +437,7 @@ pub fn figure3_ogsa(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     client.destroy(&handle).expect("figure 3 destroy");
     assert_eq!(env.borrow().registry.instance_count(), 0);
 
-    report("fig3", &net, r, true)
+    report("fig3", &net, r, true, &CrashPlan::disabled())
 }
 
 /// Figure 4: the GT3 GRAM chain — signed submission through MMJFS /
@@ -374,8 +467,9 @@ pub fn figure4_gram(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     let mut trust = TrustStore::new();
     trust.add_root(ca.certificate().clone());
     let gridmap = gridsec_authz::gridmap::GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
+    let os = SimOs::new();
     let resource = GramResource::install(
-        gridsec_testbed::os::SimOs::new(),
+        os.clone(),
         clock.clone(),
         "compute1",
         trust.clone(),
@@ -386,53 +480,390 @@ pub fn figure4_gram(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     .unwrap();
     let shared = Rc::new(RefCell::new(resource));
 
-    let service = Rc::new(RefCell::new(RemoteGram::new(shared.clone(), b"chaos mjs")));
-    let server = Rc::new(RefCell::new(RpcServer::new(net.register("mjs-host"))));
+    // The MMJFS job table is journaled: a kill at `gram.submit.*` /
+    // `gram.start.*` / `gram.session.exec` loses the in-memory MJS
+    // layer, and recovery rebuilds it from the journal against the
+    // surviving LMJFS processes.
+    let plan = crash_plan(opts, seed, 0xC4A4, 0.05, 2);
+    let journal = Journal::open(os.clone(), "compute1", "/var/gram/journal.wal", ROOT_UID);
+    let durable = Rc::new(RefCell::new(DurableGram::new(
+        shared.clone(),
+        b"chaos mjs",
+        plan.clone(),
+        journal.clone(),
+    )));
+    let server = Rc::new(RefCell::new(CrashableServer::new(
+        net.register("mjs-host"),
+        "gram",
+        plan.clone(),
+        journal,
+        true,
+    )));
     let mut rpc = RpcClient::new(net.register("jane"), "mjs-host", policy());
     let hook_server = server.clone();
-    let hook_service = service.clone();
+    let hook_service = durable.clone();
     rpc.set_pump(move || {
         hook_server
             .borrow_mut()
-            .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+            .poll(&mut *hook_service.borrow_mut())
     });
 
     let mut jane = Requestor::new(jane, trust, b"chaos jane");
 
     if opts.partition_all {
         net.partition("jane", "mjs-host");
-        let err = submit_job_remote(
+        let err = submit_job_resilient(
             &mut jane,
             &mut rpc,
             &JobDescription::new("/bin/sim"),
             &dn("/O=G/CN=host compute1"),
             clock.now(),
+            1,
         );
         assert!(err.is_err(), "partition must fail submission");
-        return report("fig4", &net, r, false);
+        return report("fig4", &net, r, false, &plan);
     }
 
-    let job = submit_job_remote(
+    let job = submit_job_resilient(
         &mut jane,
         &mut rpc,
         &JobDescription::new("/bin/sim"),
         &dn("/O=G/CN=host compute1"),
         clock.now(),
+        6,
     )
-    .expect("figure 4 must submit under lossy WAN");
-    assert!(job.cold_start);
+    .expect("figure 4 must submit under lossy WAN + crashes");
     assert_eq!(job.account, "jdoe");
     assert_eq!(
         job_state_remote(&mut rpc, &job.handle).expect("state query"),
         JobState::Active
     );
-    // The reply cache absorbed duplicated submissions: one cold start.
+    // The journal-backed reply cache absorbed duplicated and
+    // re-executed submissions across restarts: one cold start, one
+    // job process — no duplicate side effects.
     assert_eq!(shared.borrow().stats.cold_starts, 1);
+    let jobs = os
+        .processes("compute1")
+        .unwrap()
+        .into_iter()
+        .filter(|p| p.alive && p.name.starts_with("job:"))
+        .count();
+    assert_eq!(jobs, 1, "exactly one job process spawned");
 
-    report("fig4", &net, r, true)
+    report("fig4", &net, r, true, &plan)
 }
 
-/// The combined outcome of running all four figures from one seed.
+/// Figure 5 (the paper's third GT2 service family, §3): resumable
+/// GridFTP data movement. A GET and a PUT of the same 4 KiB payload run
+/// over [`StreamPair::lossy`] connections that tear deterministically;
+/// the server can additionally be killed at `xfer.get.chunk` /
+/// `xfer.put.chunk` mid-transfer. Restart markers (the client buffer
+/// for GET, the durable `.part` staging file for PUT) resume every torn
+/// session, and both directions finish with SHA-256 digests verified
+/// end to end. Under `partition_all` the drop rate is 1.0: the connect
+/// budget exhausts and the flight recorder dumps.
+pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let clock = SimClock::starting_at(100);
+    let plan = crash_plan(opts, seed, 0xC4A5, 0.10, 2);
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure5_xfer");
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig5");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+    let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
+    let host_cred = ca.issue_host_identity(
+        &mut rng,
+        dn("/O=G/CN=host data1"),
+        vec!["data1".into()],
+        512,
+        0,
+        500_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let gridmap = gridsec_authz::gridmap::GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
+    let server = Arc::new(Mutex::new(
+        GridFtpServer::new(SimOs::new(), "data1", host_cred, trust.clone(), gridmap).unwrap(),
+    ));
+
+    // Deterministic 4 KiB payload, seeded into the mapped account.
+    let data: Vec<u8> = (0..4096usize).map(|i| (i * 31 % 251) as u8).collect();
+    let uid = {
+        let s = server.lock().unwrap();
+        let uid = s.os().uid_of("data1", "jdoe").unwrap();
+        s.os()
+            .write_file(
+                "data1",
+                "/home/jdoe/results.dat",
+                uid,
+                FileMode::private(),
+                data.clone(),
+            )
+            .unwrap();
+        uid
+    };
+
+    // One detached server session per dial; the session mutex
+    // serializes them, and tears propagate symmetrically (a torn write
+    // resets the peer), so the shared crash plan draws stay
+    // deterministic. Threads are joined before reporting.
+    let handles: Rc<RefCell<Vec<std::thread::JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+    let drop_rate = if opts.partition_all { 1.0 } else { 0.10 };
+    let mk_dial = |label: u64| {
+        let server = Arc::clone(&server);
+        let plan = plan.clone();
+        let handles = handles.clone();
+        let mut n = 0u64;
+        move |_attempt: u32| {
+            n += 1;
+            let stream_seed = (seed ^ 0xF165)
+                .wrapping_add(label.wrapping_mul(1_000_003))
+                .wrapping_add(n);
+            let (a, b, _) = StreamPair::lossy(stream_seed, drop_rate);
+            let server = Arc::clone(&server);
+            let plan = plan.clone();
+            let h = std::thread::spawn(move || {
+                let mut rng = ChaChaRng::from_seed_bytes(&stream_seed.to_be_bytes());
+                let _ = server
+                    .lock()
+                    .unwrap()
+                    .serve_resumable(b, &mut rng, 100, &plan);
+            });
+            handles.borrow_mut().push(h);
+            Ok::<SimStream, gridsec_tls::TlsError>(a)
+        }
+    };
+    let config = TlsConfig::new(jane, trust, 100);
+    let mut client_rng = ChaChaRng::from_seed_bytes(b"chaos fig5 client");
+    let join_all = |handles: &Rc<RefCell<Vec<std::thread::JoinHandle<()>>>>| {
+        for h in handles.borrow_mut().drain(..) {
+            let _ = h.join();
+        }
+    };
+    let finish = |r: Rig, completed: bool, lines: Vec<String>, stats: FaultStats| {
+        assert!(r.audit.verify().is_ok(), "fig5: audit hash chain verifies");
+        let mut lines = lines;
+        lines.extend(plan.transcript().into_iter().map(|l| format!("fig5 {l}")));
+        ScenarioReport {
+            lines,
+            stats,
+            trace: format!("{}{}", r.tracer.dump(), r.tracer.metrics().render()),
+            metrics: r.tracer.metrics(),
+            audit_records: r.audit.len(),
+            completed,
+            crashes: plan.crashes(),
+            restarts: plan.restarts(),
+        }
+    };
+
+    if opts.partition_all {
+        let res = resumable_get(
+            &config,
+            &mut client_rng,
+            policy(),
+            mk_dial(1),
+            "/home/jdoe/results.dat",
+            3,
+        );
+        assert!(res.is_err(), "total loss must exhaust the resume budget");
+        join_all(&handles);
+        let stats = FaultStats {
+            blocked: 1,
+            ..FaultStats::default()
+        };
+        return finish(r, false, vec!["fig5 xfer blocked".to_string()], stats);
+    }
+
+    let got = resumable_get(
+        &config,
+        &mut client_rng,
+        policy(),
+        mk_dial(1),
+        "/home/jdoe/results.dat",
+        64,
+    )
+    .expect("figure 5 GET must complete under lossy streams + crashes");
+    assert_eq!(got.bytes, data, "GET bytes hash-equal");
+
+    let put = resumable_put(
+        &config,
+        &mut client_rng,
+        policy(),
+        mk_dial(2),
+        "/home/jdoe/upload.dat",
+        &data,
+        64,
+    )
+    .expect("figure 5 PUT must complete under lossy streams + crashes");
+    join_all(&handles);
+
+    {
+        let s = server.lock().unwrap();
+        let stored = s
+            .os()
+            .read_file("data1", "/home/jdoe/upload.dat", uid)
+            .unwrap();
+        assert_eq!(stored, data, "PUT bytes hash-equal, none lost or doubled");
+        assert_eq!(
+            s.os()
+                .file_len("data1", "/home/jdoe/upload.dat.part")
+                .unwrap(),
+            None,
+            "staging file promoted and removed"
+        );
+        assert!(s.transfers >= 2, "both directions completed");
+    }
+    let digest: String = sha256(&data).iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(got.sha256, digest);
+    assert_eq!(put.sha256, digest);
+
+    let tears = (got.resumes + put.resumes) as u64;
+    let sessions = (got.sessions + put.sessions) as u64;
+    let lines = vec![
+        format!(
+            "fig5 xfer get bytes={} sessions={} resumes={} sha={}",
+            got.bytes.len(),
+            got.sessions,
+            got.resumes,
+            got.sha256
+        ),
+        format!(
+            "fig5 xfer put bytes={} sessions={} resumes={} sha={}",
+            data.len(),
+            put.sessions,
+            put.resumes,
+            put.sha256
+        ),
+    ];
+    let stats = FaultStats {
+        sent: sessions,
+        delivered: sessions - tears,
+        dropped: tears,
+        ..FaultStats::default()
+    };
+    finish(r, true, lines, stats)
+}
+
+/// The end-to-end multi-domain world (`tests/end_to_end.rs`) wired
+/// through the fault layer instead of in-process calls: two domains
+/// form a VO, then a siteA user submits a job to siteB's GRAM resource
+/// over the lossy WAN with the MMJFS under a crash plan. Completion
+/// proves the trust overlay *and* the recovery machinery compose.
+pub fn cross_domain_vo(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    let net = Network::new();
+    let clock = SimClock::starting_at(1_000);
+    net.enable_faults(clock.clone(), seed ^ 0xE2E0, FaultProfile::lossy_wan());
+    let plan = crash_plan(opts, seed, 0xC4AE, 0.05, 2);
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "cross_domain_vo");
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"e2e vo gram");
+    let mut domains = vec![
+        create_domain(&mut rng, "siteA", 2, 512, 10_000_000),
+        create_domain(&mut rng, "siteB", 2, 512, 10_000_000),
+    ];
+    let _vo = form_vo(&mut rng, "compute-vo", &mut domains, 512, 10_000_000);
+
+    let host_cred = domains[1].ca.issue_host_identity(
+        &mut rng,
+        dn("/O=siteB/CN=host cluster1"),
+        vec!["cluster1.siteB".to_string()],
+        512,
+        0,
+        10_000_000,
+    );
+    let gridmap =
+        gridsec_authz::gridmap::GridMapFile::parse("\"/O=siteA/CN=user0\" grid_a0\n").unwrap();
+    let os = SimOs::new();
+    let resource = GramResource::install(
+        os.clone(),
+        clock.clone(),
+        "cluster1",
+        domains[1].resource_trust.clone(),
+        host_cred,
+        &gridmap,
+        GramConfig::default(),
+    )
+    .unwrap();
+    let shared = Rc::new(RefCell::new(resource));
+    let journal = Journal::open(os.clone(), "cluster1", "/var/gram/journal.wal", ROOT_UID);
+    let durable = Rc::new(RefCell::new(DurableGram::new(
+        shared.clone(),
+        b"e2e mjs",
+        plan.clone(),
+        journal.clone(),
+    )));
+    let server = Rc::new(RefCell::new(CrashableServer::new(
+        net.register("cluster1"),
+        "gram",
+        plan.clone(),
+        journal,
+        true,
+    )));
+    let mut rpc = RpcClient::new(net.register("user0"), "cluster1", policy());
+    let hook_server = server.clone();
+    let hook_service = durable.clone();
+    rpc.set_pump(move || {
+        hook_server
+            .borrow_mut()
+            .poll(&mut *hook_service.borrow_mut())
+    });
+
+    // The siteA user signs on; trusting siteB's CA for the GRIM check
+    // is their own unilateral act.
+    let user = domains[0].users[0].clone();
+    let session =
+        sso::grid_proxy_init(&mut rng, &user, sso::ProxyOptions::default(), clock.now()).unwrap();
+    let mut requestor_trust = domains[0].resource_trust.clone();
+    requestor_trust.add_root(domains[1].ca.certificate().clone());
+    let mut requestor = Requestor::new(session.credential().clone(), requestor_trust, b"a0");
+
+    if opts.partition_all {
+        net.partition("user0", "cluster1");
+        let err = submit_job_resilient(
+            &mut requestor,
+            &mut rpc,
+            &JobDescription::new("/bin/hpc-sim"),
+            &dn("/O=siteB/CN=host cluster1"),
+            clock.now(),
+            1,
+        );
+        assert!(err.is_err(), "partition must fail submission");
+        return report("e2e", &net, r, false, &plan);
+    }
+
+    let job = submit_job_resilient(
+        &mut requestor,
+        &mut rpc,
+        &JobDescription::new("/bin/hpc-sim"),
+        &dn("/O=siteB/CN=host cluster1"),
+        clock.now(),
+        6,
+    )
+    .expect("cross-domain submission under lossy WAN + crashes");
+    assert_eq!(job.account, "grid_a0");
+    assert_eq!(
+        job_state_remote(&mut rpc, &job.handle).expect("state query"),
+        JobState::Active
+    );
+    // No duplicate side effects across any crash schedule.
+    assert_eq!(shared.borrow().stats.cold_starts, 1);
+    let jobs = os
+        .processes("cluster1")
+        .unwrap()
+        .into_iter()
+        .filter(|p| p.alive && p.name.starts_with("job:"))
+        .count();
+    assert_eq!(jobs, 1, "exactly one job process spawned");
+    // Least privilege held throughout the crash schedule.
+    assert!(os.privileged_network_facing("cluster1").unwrap().is_empty());
+
+    report("e2e", &net, r, true, &plan)
+}
+
+/// The combined outcome of running all five figures from one seed.
 pub struct ChaosRun {
     /// Combined tagged network transcript plus a totals line.
     pub transcript: String,
@@ -441,13 +872,18 @@ pub struct ChaosRun {
     /// Concatenated per-figure trace dumps (spans, events, metrics),
     /// byte-identical per seed.
     pub trace: String,
-    /// Per-figure metrics, name-prefixed (`fig1.` … `fig4.`) and merged.
+    /// Per-figure metrics, name-prefixed (`fig1.` … `fig5.`) and merged.
     pub metrics: MetricsSnapshot,
     /// Total audit records mirrored across all figures.
     pub audit_records: usize,
+    /// Total service crashes injected across all figures.
+    pub crashes: u64,
+    /// Total service restarts (always equals `crashes` once a run
+    /// completes — every killed service recovered).
+    pub restarts: u64,
 }
 
-/// Run all four figures from one master seed. Honors
+/// Run all five figures from one master seed. Honors
 /// `GRIDSEC_FLIGHT_DUMP` (a path prefix; each figure appends its tag)
 /// unless `opts.flight_path` is already set.
 pub fn run_all(seed: u64, opts: &ChaosOpts) -> ChaosRun {
@@ -456,13 +892,16 @@ pub fn run_all(seed: u64, opts: &ChaosOpts) -> ChaosRun {
     let mut stats = FaultStats::default();
     let mut metrics = MetricsSnapshot::default();
     let mut audit_records = 0usize;
+    let mut crashes = 0u64;
+    let mut restarts = 0u64;
     let flight_prefix = std::env::var("GRIDSEC_FLIGHT_DUMP").ok();
     type Figure = fn(u64, &ChaosOpts) -> ScenarioReport;
-    let figures: [(&str, Figure); 4] = [
+    let figures: [(&str, Figure); 5] = [
         ("fig1", figure1_gss),
         ("fig2", figure2_cas),
         ("fig3", figure3_ogsa),
         ("fig4", figure4_gram),
+        ("fig5", figure5_xfer),
     ];
     for (tag, run) in figures {
         let mut o = opts.clone();
@@ -483,10 +922,18 @@ pub fn run_all(seed: u64, opts: &ChaosOpts) -> ChaosRun {
         stats.blocked += rep.stats.blocked;
         metrics.merge(&rep.metrics.prefixed(tag));
         audit_records += rep.audit_records;
+        crashes += rep.crashes;
+        restarts += rep.restarts;
     }
     transcript.push_str(&format!(
-        "totals sent={} delivered={} dropped={} duplicated={} blocked={}\n",
-        stats.sent, stats.delivered, stats.dropped, stats.duplicated, stats.blocked
+        "totals sent={} delivered={} dropped={} duplicated={} blocked={} crashes={} restarts={}\n",
+        stats.sent,
+        stats.delivered,
+        stats.dropped,
+        stats.duplicated,
+        stats.blocked,
+        crashes,
+        restarts
     ));
     ChaosRun {
         transcript,
@@ -494,5 +941,7 @@ pub fn run_all(seed: u64, opts: &ChaosOpts) -> ChaosRun {
         trace: trace_out,
         metrics,
         audit_records,
+        crashes,
+        restarts,
     }
 }

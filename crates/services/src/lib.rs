@@ -31,6 +31,7 @@ pub mod authz_service;
 pub mod cas_source;
 pub mod credproc;
 pub mod identity_map;
+pub mod idmap_rpc;
 pub mod index;
 pub mod kca;
 pub mod sslk5;

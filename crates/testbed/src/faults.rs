@@ -1,14 +1,49 @@
-//! Compromise injection and blast-radius analysis.
+//! Process fault injection: compromise analysis and crash/restart.
 //!
-//! The paper argues (§5.2) that GT3 improves security because network
-//! services hold no privilege: "GT3 removes all privileges from these
-//! services, significantly reducing the impact of compromises". This
-//! module makes that claim measurable: [`compromise`] marks a process as
-//! attacker-controlled and computes everything the attacker now reaches
-//! under the simulated OS's access rules.
+//! Two fault families live here:
+//!
+//! * **Compromise** — the paper argues (§5.2) that GT3 improves security
+//!   because network services hold no privilege: "GT3 removes all
+//!   privileges from these services, significantly reducing the impact
+//!   of compromises". [`compromise`] makes that claim measurable by
+//!   marking a process attacker-controlled and computing everything the
+//!   attacker now reaches under the simulated OS's access rules.
+//!
+//! * **Crash/restart** — the GT3 decomposition argument cuts the other
+//!   way too: because security state is either *stateless* (signed
+//!   messages, re-establishable GSS contexts) or *durable* (policy
+//!   databases, job tables), any individual service process can die
+//!   mid-request and come back without taking down the trust fabric.
+//!   [`CrashPlan`] is a seeded schedule of kill points; [`Journal`] is a
+//!   write-ahead log persisted in [`SimOs`]; [`CrashableServer`] hosts
+//!   an RPC service that can be killed at any [`CrashPlan::fires`]
+//!   point and restarted, rebuilding its at-most-once reply cache from
+//!   the journal so retransmitted requests stay idempotent across the
+//!   restart.
+//!
+//! The crash contract, in one paragraph: a service calls
+//! `plan.fires("point")` at each injection point and **returns
+//! immediately** (any reply value) when it fires — code after a fired
+//! point models instructions the dead process never executed. The
+//! supervisor ([`CrashableServer::poll`]) then discards the reply,
+//! drops the in-memory state via [`CrashRecover::crash`], and marks the
+//! process down until `restart_delay` sim-seconds pass. Durable effects
+//! a handler wants to survive must be appended to the journal *before*
+//! the next crash point (write-ahead); on restart,
+//! [`CrashRecover::recover`] folds the journal back into fresh state.
+//! The window where an application record is durable but the reply
+//! record is not is closed by application-level dedup: re-execution
+//! finds its own `(caller, call-id)` record and returns the journaled
+//! outcome instead of re-applying the side effect.
 
-use crate::os::{Pid, SimOs, ROOT_UID};
+use crate::net::Endpoint;
+use crate::os::{FileMode, Pid, SimOs, Uid, ROOT_UID};
+use crate::rpc::{decode_request, encode_reply};
 use crate::TestbedError;
+use gridsec_util::rng::{DetRng, RngCore};
+use gridsec_util::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What an attacker controls after compromising one process.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -111,6 +146,446 @@ pub fn compromise(os: &SimOs, host: &str, pid: Pid) -> Result<CompromiseReport, 
         files_writable,
         credentials_exposed: creds,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restart fault layer
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PlanState {
+    rng: Option<DetRng>,
+    probability: f64,
+    /// Explicitly armed kills: point → 1-based hit counts that fire.
+    armed: HashMap<String, Vec<u64>>,
+    /// Times each point has been reached.
+    hits: HashMap<String, u64>,
+    /// Latched by `fires`; consumed by the supervisor.
+    pending: Option<String>,
+    /// Crashes still allowed (budget).
+    remaining: u64,
+    restart_delay: u64,
+    crashes: u64,
+    restarts: u64,
+    transcript: Vec<String>,
+}
+
+/// A seeded, deterministic schedule of process kills.
+///
+/// Services consult the plan at named injection points; the plan decides
+/// — from explicit arming or a seeded probability draw — whether the
+/// process dies *at that instruction*. The decision sequence is a pure
+/// function of the seed and the (deterministic) order of `fires` calls,
+/// so combined network + crash chaos replays byte-identically.
+///
+/// Cloning shares the schedule (it is one process's fate, possibly
+/// consulted from several code paths).
+#[derive(Clone)]
+pub struct CrashPlan {
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl CrashPlan {
+    /// A plan that never fires (the no-chaos configuration).
+    pub fn disabled() -> Self {
+        CrashPlan {
+            state: Arc::new(Mutex::new(PlanState::default())),
+        }
+    }
+
+    /// A seeded plan: every unarmed hit of any point draws from the
+    /// seeded RNG and fires with `probability`, up to `max_crashes`
+    /// total kills. `restart_delay` is how long (sim-seconds) the
+    /// process stays down after each kill.
+    pub fn seeded(seed: u64, probability: f64, max_crashes: u64, restart_delay: u64) -> Self {
+        CrashPlan {
+            state: Arc::new(Mutex::new(PlanState {
+                rng: Some(DetRng::seed_from_u64(seed)),
+                probability,
+                remaining: max_crashes,
+                restart_delay,
+                ..PlanState::default()
+            })),
+        }
+    }
+
+    /// A plan that fires only at explicitly [`arm`](Self::arm)ed points.
+    pub fn manual(restart_delay: u64) -> Self {
+        CrashPlan {
+            state: Arc::new(Mutex::new(PlanState {
+                remaining: u64::MAX,
+                restart_delay,
+                ..PlanState::default()
+            })),
+        }
+    }
+
+    /// Arm a kill at the `nth` (1-based) hit of `point`.
+    pub fn arm(&self, point: &str, nth: u64) {
+        self.state
+            .lock()
+            .armed
+            .entry(point.to_string())
+            .or_default()
+            .push(nth);
+    }
+
+    /// Consult the plan at an injection point. Returns `true` if the
+    /// process dies here — the caller must return immediately (with any
+    /// dummy reply); everything after a fired point is code the dead
+    /// process never ran. Once latched, every further point in the same
+    /// request also reports `true`.
+    pub fn fires(&self, point: &str) -> bool {
+        let mut s = self.state.lock();
+        if s.pending.is_some() {
+            return true;
+        }
+        let hit = {
+            let h = s.hits.entry(point.to_string()).or_insert(0);
+            *h += 1;
+            *h
+        };
+        if s.remaining == 0 {
+            return false;
+        }
+        let armed = s.armed.get(point).is_some_and(|v| v.contains(&hit));
+        let p = s.probability;
+        let random = !armed
+            && p > 0.0
+            && s.rng.as_mut().is_some_and(|rng| {
+                let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                draw < p
+            });
+        if armed || random {
+            s.remaining -= 1;
+            s.pending = Some(point.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the latched kill, if any: returns the point that fired.
+    /// Called by the supervisor after the handler returns.
+    pub fn take_pending(&self) -> Option<String> {
+        self.state.lock().pending.take()
+    }
+
+    /// Downtime after each kill, in sim-seconds.
+    pub fn restart_delay(&self) -> u64 {
+        self.state.lock().restart_delay
+    }
+
+    /// Total kills delivered so far.
+    pub fn crashes(&self) -> u64 {
+        self.state.lock().crashes
+    }
+
+    /// Total restarts completed so far.
+    pub fn restarts(&self) -> u64 {
+        self.state.lock().restarts
+    }
+
+    /// Deterministic event log (`crash …` / `restart …` lines).
+    pub fn transcript(&self) -> Vec<String> {
+        self.state.lock().transcript.clone()
+    }
+
+    fn note_crash(&self, service: &str, point: &str, t: u64) {
+        let mut s = self.state.lock();
+        s.crashes += 1;
+        s.transcript
+            .push(format!("[t={t}] crash svc={service} point={point}"));
+    }
+
+    /// Record a kill taken *inline* by a service with no
+    /// [`CrashableServer`] supervisor (a streaming GridFTP session dies
+    /// with its connection rather than with a mailbox process):
+    /// consumes the latched point, appends the transcript line, and
+    /// returns the point that fired. `None` if nothing was latched.
+    pub fn confirm_kill(&self, service: &str, t: u64) -> Option<String> {
+        let point = self.take_pending()?;
+        self.note_crash(service, &point, t);
+        Some(point)
+    }
+
+    /// Record the restart that follows an inline kill: for a service
+    /// with no [`CrashableServer`] supervisor, the next session that
+    /// serves from durable state *is* the restarted process. No-op
+    /// (returns `false`) unless a kill is still unacknowledged, so
+    /// callers can invoke it unconditionally at session start.
+    pub fn confirm_restart(&self, service: &str, t: u64, replayed: usize) -> bool {
+        {
+            let s = self.state.lock();
+            if s.restarts >= s.crashes {
+                return false;
+            }
+        }
+        self.note_restart(service, t, replayed);
+        true
+    }
+
+    fn note_restart(&self, service: &str, t: u64, replayed: usize) {
+        let mut s = self.state.lock();
+        s.restarts += 1;
+        s.transcript
+            .push(format!("[t={t}] restart svc={service} replayed={replayed}"));
+    }
+}
+
+/// A write-ahead journal persisted as a [`SimOs`] file.
+///
+/// The handle is cheap to clone and represents the *file*, not any
+/// process: it survives crashes, and a fresh handle opened on the same
+/// path sees the same records. Record framing is
+/// `[u8 tag-len][tag][u32 body-len BE][body]`, repeated; a torn tail
+/// (crash mid-append, not possible in this simulation but defended
+/// against anyway) is ignored by the parser.
+#[derive(Clone)]
+pub struct Journal {
+    os: SimOs,
+    host: String,
+    path: String,
+    euid: Uid,
+}
+
+impl Journal {
+    /// Open (or lazily create) the journal at `path` on `host`, owned
+    /// by `euid`. The file is private to that uid.
+    pub fn open(os: SimOs, host: &str, path: &str, euid: Uid) -> Self {
+        Journal {
+            os,
+            host: host.to_string(),
+            path: path.to_string(),
+            euid,
+        }
+    }
+
+    /// Append one record durably. Must be called *before* the side
+    /// effect's reply leaves the process (write-ahead discipline).
+    pub fn append(&self, tag: &str, body: &[u8]) -> Result<(), TestbedError> {
+        assert!(tag.len() <= u8::MAX as usize, "journal tag too long");
+        let mut rec = Vec::with_capacity(5 + tag.len() + body.len());
+        rec.push(tag.len() as u8);
+        rec.extend_from_slice(tag.as_bytes());
+        rec.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        rec.extend_from_slice(body);
+        self.os
+            .append_file(&self.host, &self.path, self.euid, FileMode::private(), &rec)
+    }
+
+    /// All records, in append order. A missing file is an empty journal.
+    pub fn records(&self) -> Vec<(String, Vec<u8>)> {
+        let bytes = match self.os.read_file(&self.host, &self.path, self.euid) {
+            Ok(b) => b,
+            Err(_) => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let Some(&tag_len) = bytes.get(i) else { break };
+            let tag_end = i + 1 + tag_len as usize;
+            if bytes.len() < tag_end + 4 {
+                break;
+            }
+            let tag = String::from_utf8_lossy(&bytes[i + 1..tag_end]).into_owned();
+            let body_len =
+                u32::from_be_bytes(bytes[tag_end..tag_end + 4].try_into().unwrap()) as usize;
+            let body_end = tag_end + 4 + body_len;
+            if bytes.len() < body_end {
+                break;
+            }
+            out.push((tag, bytes[tag_end + 4..body_end].to_vec()));
+            i = body_end;
+        }
+        out
+    }
+
+    /// Number of complete records.
+    pub fn len(&self) -> usize {
+        self.records().len()
+    }
+
+    /// `true` if no record has ever been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What a crash-hostable application must provide: request handling
+/// plus the two lifecycle edges of a process death.
+pub trait CrashRecover {
+    /// Handle one *fresh* request (retransmissions of already-answered
+    /// requests never reach this). `id` is the RPC call id — combined
+    /// with `from` it keys application-level dedup records.
+    fn handle(&mut self, from: &str, id: u64, body: &[u8]) -> Vec<u8>;
+    /// The process died: drop all volatile (in-memory) state.
+    fn crash(&mut self) {}
+    /// The process restarted: rebuild state from the journal.
+    fn recover(&mut self) {}
+}
+
+const RPC_REPLY_TAG: &str = "rpc";
+
+fn encode_rpc_record(from: &str, id: u64, reply: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + from.len() + reply.len());
+    out.extend_from_slice(&(from.len() as u32).to_be_bytes());
+    out.extend_from_slice(from.as_bytes());
+    out.extend_from_slice(&id.to_be_bytes());
+    out.extend_from_slice(reply);
+    out
+}
+
+fn decode_rpc_record(body: &[u8]) -> Option<(String, u64, Vec<u8>)> {
+    if body.len() < 4 {
+        return None;
+    }
+    let from_len = u32::from_be_bytes(body[..4].try_into().unwrap()) as usize;
+    if body.len() < 4 + from_len + 8 {
+        return None;
+    }
+    let from = String::from_utf8_lossy(&body[4..4 + from_len]).into_owned();
+    let id = u64::from_be_bytes(body[4 + from_len..4 + from_len + 8].try_into().unwrap());
+    Some((from, id, body[4 + from_len + 8..].to_vec()))
+}
+
+/// An at-most-once RPC server that can be killed and restarted.
+///
+/// Like [`crate::rpc::RpcServer`], but the process behind it is mortal:
+/// when the application latches a [`CrashPlan`] kill mid-request, the
+/// supervisor discards the in-flight reply, drops volatile state
+/// ([`CrashRecover::crash`]), and marks the process down for
+/// `restart_delay` sim-seconds. While down, the endpoint stays
+/// registered (the host is up; the port is just dead) and arriving mail
+/// evaporates — clients see silence and retransmit. On restart the
+/// reply cache is rebuilt from the journal's `rpc` records (when
+/// `persist_replies` is on) and [`CrashRecover::recover`] rebuilds the
+/// application state, so a retransmission of an already-executed
+/// request is answered from the journal, never re-executed.
+pub struct CrashableServer {
+    name: String,
+    endpoint: Endpoint,
+    plan: CrashPlan,
+    journal: Journal,
+    persist_replies: bool,
+    seen: HashMap<(String, u64), Vec<u8>>,
+    down_until: Option<u64>,
+    restarts: u64,
+}
+
+impl CrashableServer {
+    /// Host a service on `endpoint` under `plan`, journaling into
+    /// `journal`. `persist_replies: false` skips reply journaling for
+    /// services whose replies are worthless after a restart (e.g. GSS
+    /// handshake tokens — the context they belong to died with the
+    /// process; re-execution of a fresh token 1 is the *better*
+    /// recovery).
+    pub fn new(
+        endpoint: Endpoint,
+        name: &str,
+        plan: CrashPlan,
+        journal: Journal,
+        persist_replies: bool,
+    ) -> Self {
+        CrashableServer {
+            name: name.to_string(),
+            endpoint,
+            plan,
+            journal,
+            persist_replies,
+            seen: HashMap::new(),
+            down_until: None,
+            restarts: 0,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.endpoint.network().fault_clock().map_or(0, |c| c.now())
+    }
+
+    /// `true` while the process is dead and mail is evaporating.
+    pub fn is_down(&self) -> bool {
+        self.down_until.is_some()
+    }
+
+    /// Restarts completed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Distinct requests currently answerable from the reply cache.
+    pub fn executed(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// The shared crash schedule.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// Drain the mailbox once, driving `app`. Returns the number of
+    /// frames answered (cache hits included). While down, arriving mail
+    /// is discarded and 0 is returned; once sim time passes the restart
+    /// deadline, the process comes back up first.
+    pub fn poll(&mut self, app: &mut dyn CrashRecover) -> usize {
+        if let Some(until) = self.down_until {
+            if self.now() < until {
+                while self.endpoint.try_recv().is_some() {}
+                return 0;
+            }
+            // Restart: reply cache from the journal, app state via the
+            // application's own replay.
+            self.seen.clear();
+            if self.persist_replies {
+                for (tag, body) in self.journal.records() {
+                    if tag == RPC_REPLY_TAG {
+                        if let Some((from, id, reply)) = decode_rpc_record(&body) {
+                            self.seen.insert((from, id), reply);
+                        }
+                    }
+                }
+            }
+            app.recover();
+            self.restarts += 1;
+            self.plan
+                .note_restart(&self.name, self.now(), self.seen.len());
+            self.down_until = None;
+        }
+        let mut handled = 0;
+        while let Some(m) = self.endpoint.try_recv() {
+            let Some((id, body)) = decode_request(&m.payload) else {
+                continue;
+            };
+            let key = (m.from.clone(), id);
+            if let Some(cached) = self.seen.get(&key) {
+                let _ = self.endpoint.send(&m.from, encode_reply(id, cached));
+                handled += 1;
+                continue;
+            }
+            let reply = app.handle(&m.from, id, body);
+            if let Some(point) = self.plan.take_pending() {
+                // The process died mid-request: no reply, nothing
+                // cached; volatile state is gone and unread mail
+                // evaporates with the mailbox.
+                let t = self.now();
+                self.plan.note_crash(&self.name, &point, t);
+                app.crash();
+                self.down_until = Some(t + self.plan.restart_delay());
+                while self.endpoint.try_recv().is_some() {}
+                return handled;
+            }
+            if self.persist_replies {
+                // Write-ahead: the reply is durable before it is sent.
+                let _ = self
+                    .journal
+                    .append(RPC_REPLY_TAG, &encode_rpc_record(&m.from, id, &reply));
+            }
+            self.seen.insert(key, reply.clone());
+            let _ = self.endpoint.send(&m.from, encode_reply(id, &reply));
+            handled += 1;
+        }
+        handled
+    }
 }
 
 #[cfg(test)]
@@ -219,5 +694,235 @@ mod tests {
     fn unknown_pid_errors() {
         let (os, _, _) = gt2_host();
         assert!(compromise(&os, "h", 999_999).is_err());
+    }
+
+    // -- crash/restart layer ------------------------------------------------
+
+    use crate::clock::SimClock;
+    use crate::net::{FaultProfile, Network};
+    use crate::rpc::RpcClient;
+    use gridsec_util::retry::RetryPolicy;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn journal_on(os: &SimOs) -> Journal {
+        os.add_host("jh");
+        Journal::open(os.clone(), "jh", "/var/journal/test.wal", ROOT_UID)
+    }
+
+    #[test]
+    fn journal_survives_handle_loss_and_ignores_torn_tail() {
+        let os = SimOs::new();
+        let j = journal_on(&os);
+        j.append("a", b"one").unwrap();
+        j.append("bb", b"two").unwrap();
+        drop(j);
+        // A fresh handle on the same path sees the same records: the
+        // journal is the file, not the process.
+        let j2 = Journal::open(os.clone(), "jh", "/var/journal/test.wal", ROOT_UID);
+        assert_eq!(
+            j2.records(),
+            vec![
+                ("a".to_string(), b"one".to_vec()),
+                ("bb".to_string(), b"two".to_vec())
+            ]
+        );
+        // A torn tail (half an append) parses as if absent.
+        os.append_file(
+            "jh",
+            "/var/journal/test.wal",
+            ROOT_UID,
+            FileMode::private(),
+            &[3, b'c'],
+        )
+        .unwrap();
+        assert_eq!(j2.len(), 2);
+    }
+
+    #[test]
+    fn crash_plan_is_deterministic_per_seed() {
+        let decisions = |seed: u64| -> Vec<bool> {
+            let plan = CrashPlan::seeded(seed, 0.3, 1_000, 2);
+            (0..64)
+                .map(|_| {
+                    let fired = plan.fires("p");
+                    plan.take_pending();
+                    fired
+                })
+                .collect()
+        };
+        assert_eq!(decisions(7), decisions(7));
+        assert_ne!(decisions(7), decisions(8));
+        assert!(decisions(7).iter().any(|&b| b), "0.3 over 64 draws fires");
+    }
+
+    #[test]
+    fn crash_plan_latches_until_taken_and_respects_budget() {
+        let plan = CrashPlan::manual(2);
+        plan.arm("a", 2);
+        assert!(!plan.fires("a"), "first hit not armed");
+        assert!(plan.fires("a"), "second hit armed");
+        // Latched: every further point reports the process dying.
+        assert!(plan.fires("b"));
+        assert_eq!(plan.take_pending().as_deref(), Some("a"));
+        assert!(!plan.fires("a"), "hit 3 not armed");
+
+        let capped = CrashPlan::seeded(1, 1.0, 1, 2);
+        assert!(capped.fires("x"));
+        capped.take_pending();
+        assert!(!capped.fires("x"), "budget of one crash is spent");
+    }
+
+    /// A durable counter service: `incr` is the side effect; the journal
+    /// carries a dedup record per (caller, id) written *before* the
+    /// reply, so a crash in any window leaves at most one increment.
+    struct CountingApp {
+        plan: CrashPlan,
+        journal: Journal,
+        count: u64,
+    }
+
+    impl CrashRecover for CountingApp {
+        fn handle(&mut self, from: &str, id: u64, _body: &[u8]) -> Vec<u8> {
+            if self.plan.fires("app.exec") {
+                return Vec::new();
+            }
+            let key = format!("{from}:{id}");
+            if self
+                .journal
+                .records()
+                .iter()
+                .any(|(t, b)| t == "incr" && b == key.as_bytes())
+            {
+                // Re-execution after a crash that lost the reply record:
+                // the side effect already happened.
+                return b"ok".to_vec();
+            }
+            self.count += 1;
+            self.journal.append("incr", key.as_bytes()).unwrap();
+            if self.plan.fires("app.journaled") {
+                return Vec::new();
+            }
+            b"ok".to_vec()
+        }
+        fn crash(&mut self) {
+            self.count = 0;
+        }
+        fn recover(&mut self) {
+            self.count = self
+                .journal
+                .records()
+                .iter()
+                .filter(|(t, _)| t == "incr")
+                .count() as u64;
+        }
+    }
+
+    fn crash_rig(
+        plan: CrashPlan,
+    ) -> (
+        RpcClient,
+        Rc<RefCell<CrashableServer>>,
+        Rc<RefCell<CountingApp>>,
+        SimOs,
+    ) {
+        let os = SimOs::new();
+        os.add_host("svc-host");
+        let journal = Journal::open(os.clone(), "svc-host", "/var/journal/count.wal", ROOT_UID);
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock, 0xC0DE, FaultProfile::default());
+        let server = Rc::new(RefCell::new(CrashableServer::new(
+            net.register("svc"),
+            "svc",
+            plan.clone(),
+            journal.clone(),
+            true,
+        )));
+        let app = Rc::new(RefCell::new(CountingApp {
+            plan,
+            journal,
+            count: 0,
+        }));
+        let mut client = RpcClient::new(
+            net.register("client"),
+            "svc",
+            RetryPolicy {
+                max_attempts: 8,
+                base_timeout: 16,
+                multiplier: 2,
+                max_timeout: 64,
+            },
+        );
+        let hook_server = server.clone();
+        let hook_app = app.clone();
+        client.set_pump(move || hook_server.borrow_mut().poll(&mut *hook_app.borrow_mut()));
+        (client, server, app, os)
+    }
+
+    #[test]
+    fn crash_before_side_effect_retries_to_exactly_one() {
+        let plan = CrashPlan::manual(2);
+        plan.arm("app.exec", 1);
+        let (mut client, server, app, _os) = crash_rig(plan.clone());
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        assert_eq!(app.borrow().count, 1, "one increment despite the kill");
+        assert_eq!(server.borrow().restarts(), 1);
+        assert_eq!(plan.crashes(), 1);
+        assert!(plan.transcript()[0].contains("crash svc=svc point=app.exec"));
+    }
+
+    #[test]
+    fn crash_after_journal_before_reply_does_not_duplicate() {
+        let plan = CrashPlan::manual(2);
+        plan.arm("app.journaled", 1);
+        let (mut client, _server, app, _os) = crash_rig(plan);
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        // The side effect was journaled, the reply was lost; the
+        // retransmission re-executed the handler, which found its own
+        // dedup record. Exactly one increment.
+        assert_eq!(app.borrow().count, 1);
+        assert_eq!(
+            app.borrow()
+                .journal
+                .records()
+                .iter()
+                .filter(|(t, _)| t == "incr")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn reply_cache_rebuilds_from_journal_across_restart() {
+        let plan = CrashPlan::manual(2);
+        let (mut client, server, app, _os) = crash_rig(plan.clone());
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        assert_eq!(app.borrow().count, 2);
+        // Kill on the *third* call, then observe the restart rebuilt
+        // the two completed replies from the journal.
+        plan.arm("app.exec", 3);
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        assert_eq!(app.borrow().count, 3);
+        assert_eq!(server.borrow().restarts(), 1);
+        assert!(
+            server.borrow().executed() >= 3,
+            "rebuilt replies + new one, got {}",
+            server.borrow().executed()
+        );
+    }
+
+    #[test]
+    fn mail_evaporates_while_down_and_client_survives() {
+        let plan = CrashPlan::manual(40);
+        plan.arm("app.exec", 1);
+        let (mut client, server, app, _os) = crash_rig(plan);
+        // Long downtime: several retransmissions evaporate before the
+        // restart, then the call still completes within the budget.
+        assert_eq!(client.call(b"incr").unwrap(), b"ok");
+        assert_eq!(app.borrow().count, 1);
+        assert_eq!(server.borrow().restarts(), 1);
+        assert!(client.stats().retransmissions >= 1);
     }
 }

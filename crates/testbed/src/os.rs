@@ -198,6 +198,63 @@ impl SimOs {
         })
     }
 
+    /// Append to a file as effective uid `euid`. Creates the file (owned
+    /// by `euid`, with `mode`) if it does not exist; otherwise enforces
+    /// write permission and extends the existing contents. This is the
+    /// durability primitive write-ahead journals build on: appends
+    /// survive process crashes because the file lives in the OS, not in
+    /// any service's memory.
+    pub fn append_file(
+        &self,
+        host: &str,
+        path: &str,
+        euid: Uid,
+        mode: FileMode,
+        data: &[u8],
+    ) -> Result<(), TestbedError> {
+        self.with_host(host, |h| match h.files.get_mut(path) {
+            Some(f) => {
+                if !f.mode.writable_by(euid, f.owner) {
+                    return Err(TestbedError::PermissionDenied("file not writable"));
+                }
+                f.data.extend_from_slice(data);
+                Ok(())
+            }
+            None => {
+                h.files.insert(
+                    path.to_string(),
+                    SimFile {
+                        owner: euid,
+                        mode,
+                        data: data.to_vec(),
+                    },
+                );
+                Ok(())
+            }
+        })
+    }
+
+    /// Remove a file as effective uid `euid` (write permission required).
+    pub fn remove_file(&self, host: &str, path: &str, euid: Uid) -> Result<(), TestbedError> {
+        self.with_host(host, |h| {
+            let f = h
+                .files
+                .get(path)
+                .ok_or_else(|| TestbedError::NoSuchFile(path.to_string()))?;
+            if !f.mode.writable_by(euid, f.owner) {
+                return Err(TestbedError::PermissionDenied("file not writable"));
+            }
+            h.files.remove(path);
+            Ok(())
+        })
+    }
+
+    /// Length of a file, or `None` if it does not exist (a `stat`-style
+    /// probe; no permission check, matching real directory semantics).
+    pub fn file_len(&self, host: &str, path: &str) -> Result<Option<usize>, TestbedError> {
+        self.with_host(host, |h| Ok(h.files.get(path).map(|f| f.data.len())))
+    }
+
     /// Read a file as effective uid `euid`, enforcing permissions.
     pub fn read_file(&self, host: &str, path: &str, euid: Uid) -> Result<Vec<u8>, TestbedError> {
         self.with_host(host, |h| {

@@ -1,0 +1,167 @@
+//! Property tests for write-ahead journal replay (`testbed::faults`).
+//!
+//! The recovery contract the crash layer relies on, stated as
+//! properties over random journals:
+//!
+//! * **Roundtrip** — every appended `(tag, body)` record comes back
+//!   verbatim, in order, through any handle on the same file.
+//! * **Idempotent recovery** — folding the journal into a state is a
+//!   pure function of the records: recovering twice (or from a fresh
+//!   handle, as a restarted process does) yields the identical state.
+//! * **Prefix consistency** — a crash can leave any prefix of the
+//!   journal as the durable truth. Replaying a prefix and then the
+//!   remaining suffix must land in exactly the state the full journal
+//!   yields, and nothing a prefix asserts (an rpc reply record, a
+//!   key's presence at that point) is contradicted by the full log.
+
+use std::collections::HashMap;
+
+use gridsec_testbed::faults::Journal;
+use gridsec_testbed::os::{SimOs, ROOT_UID};
+use gridsec_util::check::{check, Gen};
+
+fn fresh_journal() -> (SimOs, Journal) {
+    let os = SimOs::new();
+    os.add_host("h");
+    let j = Journal::open(os.clone(), "h", "/var/journal/props.wal", ROOT_UID);
+    (os, j)
+}
+
+/// Random record stream: `set` and `del` ops over a small key space
+/// (small so overwrites and deletes actually collide), plus opaque
+/// `blob` records the fold ignores.
+fn random_records(g: &mut Gen) -> Vec<(String, Vec<u8>)> {
+    g.vec(0..40, |g| match g.pick(3) {
+        0 => {
+            let key = format!("k{}", g.u8_in(0..8));
+            let val = g.bytes(0..12);
+            let mut body = vec![key.len() as u8];
+            body.extend_from_slice(key.as_bytes());
+            body.extend_from_slice(&val);
+            ("set".to_string(), body)
+        }
+        1 => {
+            let key = format!("k{}", g.u8_in(0..8));
+            let mut body = vec![key.len() as u8];
+            body.extend_from_slice(key.as_bytes());
+            ("del".to_string(), body)
+        }
+        _ => ("blob".to_string(), g.bytes(0..20)),
+    })
+}
+
+/// The recovery fold: a key-value state, applied record by record.
+fn fold(
+    mut state: HashMap<String, Vec<u8>>,
+    records: &[(String, Vec<u8>)],
+) -> HashMap<String, Vec<u8>> {
+    for (tag, body) in records {
+        let Some(&klen) = body.first() else { continue };
+        let klen = klen as usize;
+        if body.len() < 1 + klen {
+            continue;
+        }
+        let key = String::from_utf8_lossy(&body[1..1 + klen]).into_owned();
+        match tag.as_str() {
+            "set" => {
+                state.insert(key, body[1 + klen..].to_vec());
+            }
+            "del" => {
+                state.remove(&key);
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+#[test]
+fn journal_roundtrips_random_records() {
+    check("journal_roundtrips_random_records", 100, |g| {
+        let (_os, j) = fresh_journal();
+        let records: Vec<(String, Vec<u8>)> =
+            g.vec(0..25, |g| (g.string("abcdefgh", 1..6), g.bytes(0..30)));
+        for (tag, body) in &records {
+            j.append(tag, body).unwrap();
+        }
+        assert_eq!(j.records(), records);
+        assert_eq!(j.len(), records.len());
+    });
+}
+
+#[test]
+fn recovery_is_idempotent_and_handle_independent() {
+    check("recovery_is_idempotent_and_handle_independent", 100, |g| {
+        let (os, j) = fresh_journal();
+        for (tag, body) in random_records(g) {
+            j.append(&tag, &body).unwrap();
+        }
+        let once = fold(HashMap::new(), &j.records());
+        let twice = fold(HashMap::new(), &j.records());
+        assert_eq!(once, twice, "recovery must be a pure fold");
+        // A restarted process opens its own handle on the same file.
+        let j2 = Journal::open(os, "h", "/var/journal/props.wal", ROOT_UID);
+        assert_eq!(fold(HashMap::new(), &j2.records()), once);
+        // Replaying on top of an already-recovered state (a recovery
+        // interrupted and rerun) converges to the same state: every
+        // record's effect is either absolute (set/del) or ignored.
+        assert_eq!(fold(once.clone(), &j.records()), once);
+    });
+}
+
+#[test]
+fn prefix_plus_suffix_equals_full_journal() {
+    check("prefix_plus_suffix_equals_full_journal", 100, |g| {
+        let (_os, j) = fresh_journal();
+        for (tag, body) in random_records(g) {
+            j.append(&tag, &body).unwrap();
+        }
+        let records = j.records();
+        let full = fold(HashMap::new(), &records);
+        let cut = g.usize_in(0..records.len() + 1);
+        let prefix_state = fold(HashMap::new(), &records[..cut]);
+        // Crash after `cut` records, recover, then the remaining
+        // appends arrive: exactly the full-journal state.
+        assert_eq!(fold(prefix_state, &records[cut..]), full);
+    });
+}
+
+#[test]
+fn prefix_never_contradicts_full_journal_for_append_only_records() {
+    // Reply-cache semantics: rpc reply records are append-only and
+    // keyed by (caller, id); once a prefix contains one, the full
+    // journal must contain the identical record. Model: unique keys,
+    // random payloads, no overwrites (as `CrashableServer` writes them).
+    check(
+        "prefix_never_contradicts_full_journal_for_append_only_records",
+        100,
+        |g| {
+            let (_os, j) = fresh_journal();
+            let n = g.usize_in(0..30);
+            for id in 0..n as u64 {
+                let mut body = id.to_be_bytes().to_vec();
+                body.extend_from_slice(&g.bytes(0..16));
+                j.append("rpc", &body).unwrap();
+            }
+            let records = j.records();
+            let cache = |recs: &[(String, Vec<u8>)]| -> HashMap<u64, Vec<u8>> {
+                recs.iter()
+                    .filter(|(t, _)| t == "rpc")
+                    .map(|(_, b)| {
+                        let id = u64::from_be_bytes(b[..8].try_into().unwrap());
+                        (id, b[8..].to_vec())
+                    })
+                    .collect()
+            };
+            let full = cache(&records);
+            let cut = g.usize_in(0..records.len() + 1);
+            for (id, reply) in cache(&records[..cut]) {
+                assert_eq!(
+                    full.get(&id),
+                    Some(&reply),
+                    "a reply visible in a prefix must survive, unchanged, in the full journal"
+                );
+            }
+        },
+    );
+}

@@ -3,13 +3,17 @@
 # offline, no manifest may declare a registry (crates.io) dependency,
 # formatting and clippy must be clean, every example must run, the seeded
 # chaos suite must be deterministic (same seed -> byte-identical event
-# transcript AND trace dump across two fresh processes), and the
+# transcript AND trace dump across two fresh processes) — both the
+# network-faults-only profile and the combined crash/restart profile
+# (seeded process kills + write-ahead-journal recovery) — and the
 # committed EXPERIMENTS.md flow-metrics tables must match what the
 # pinned seed regenerates (drift gate).
 #
 # Knobs:
-#   GRIDSEC_CHAOS_SEED   seed for the chaos stage (default pinned below)
-#   GRIDSEC_VERIFY_DEEP=1  elevate property-test case counts (GRIDSEC_PT_CASES)
+#   GRIDSEC_CHAOS_SEED   seed for the chaos stages (default pinned below)
+#   GRIDSEC_VERIFY_DEEP=1  elevate property-test case counts
+#                          (GRIDSEC_PT_CASES) and sweep a crash-schedule
+#                          seed matrix
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -85,6 +89,50 @@ fi
 lines=$(wc -l < "$tdir/transcript.1")
 tlines=$(wc -l < "$tdir/trace.1")
 echo "ok: $lines transcript + $tlines trace lines identical across two runs (seed $chaos_seed)"
+
+echo "== crash-chaos determinism: seeded kills, byte-identical across two processes =="
+# Same two-process gate, with every service additionally running under a
+# seeded CrashPlan (kills at injection points mid-request + journal
+# recovery). The transcript now carries crash/restart events; both it
+# and the trace dump must still be pure functions of the seed.
+for run in 1 2; do
+    GRIDSEC_CHAOS_SEED="$chaos_seed" \
+    GRIDSEC_CRASH_TRANSCRIPT="$tdir/crash-transcript.$run" \
+    GRIDSEC_CRASH_TRACE="$tdir/crash-trace.$run" \
+        cargo test -q --offline -p gridsec-integration --test chaos -- \
+        crash_chaos_same_seed_is_byte_identical > /dev/null
+done
+if ! cmp -s "$tdir/crash-transcript.1" "$tdir/crash-transcript.2"; then
+    echo "FAIL: crash-chaos transcripts differ across runs with seed $chaos_seed" >&2
+    diff "$tdir/crash-transcript.1" "$tdir/crash-transcript.2" | head -20 >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tdir/crash-trace.1" "$tdir/crash-trace.2"; then
+    echo "FAIL: crash-chaos trace dumps differ across runs with seed $chaos_seed" >&2
+    diff "$tdir/crash-trace.1" "$tdir/crash-trace.2" | head -20 >&2 || true
+    exit 1
+fi
+if ! grep -q "crash svc=" "$tdir/crash-transcript.1"; then
+    echo "FAIL: crash stage drew no crashes — the gate is vacuous" >&2
+    exit 1
+fi
+clines=$(wc -l < "$tdir/crash-transcript.1")
+echo "ok: $clines crash-transcript lines identical across two runs (seed $chaos_seed)"
+
+if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
+    echo "== deep: crash-schedule seed matrix =="
+    # Sweep a fixed matrix of crash seeds: each must complete every flow
+    # (recovery works wherever the kills land) and replay byte-identically
+    # within the process (asserted by the test itself, twice per seed).
+    for s in 0xC4A05EED 0x1 0xDEADBEEF 0xA5A5A5A5 0x7777777777777777; do
+        echo "-- crash seed $s"
+        GRIDSEC_CHAOS_SEED="$s" \
+            cargo test -q --offline -p gridsec-integration --test chaos -- \
+            all_flows_complete_under_combined_crash_and_loss \
+            crash_chaos_same_seed_is_byte_identical > /dev/null
+    done
+    echo "ok: crash seed matrix complete"
+fi
 
 echo "== bench smoke: flow metrics drift gate on EXPERIMENTS.md =="
 # Replay the chaos flows from the pinned seed, regenerate the

@@ -5,12 +5,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use gridsec_authz::gridmap::GridMapFile;
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
-use gridsec_gram::resource::{GramConfig, GramResource};
-use gridsec_gram::{JobDescription, JobState, Requestor};
 use gridsec_gsi::sso;
-use gridsec_gsi::vo::{create_domain, form_vo};
+use gridsec_integration::scenarios::{cross_domain_vo, ChaosOpts};
 use gridsec_integration::{basic_world, dn};
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
 use gridsec_ogsa::hosting::HostingEnvironment;
@@ -18,73 +15,49 @@ use gridsec_ogsa::transport::InProcessTransport;
 use gridsec_pki::validate::validate_chain;
 use gridsec_services::audit::AuditLog;
 use gridsec_testbed::clock::SimClock;
-use gridsec_testbed::os::SimOs;
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_xml::Element;
 
 /// The headline scenario: a user from domain A, signed on with a proxy,
 /// submits a job to a GRAM resource in domain B — possible only because
-/// the VO overlay created the trust path.
+/// the VO overlay created the trust path. The whole world now runs over
+/// the fault layer ([`gridsec_integration::scenarios::cross_domain_vo`]):
+/// a lossy WAN between the domains and the MMJFS under an armed crash
+/// plan, so the headline claim holds under failure, not just in the
+/// sunny case. Internal asserts cover the account mapping, job state,
+/// exactly-one job process, and least privilege.
 #[test]
 fn cross_domain_job_submission_via_vo() {
-    let mut rng = gridsec_crypto::rng::ChaChaRng::from_seed_bytes(b"e2e vo gram");
-    let clock = SimClock::starting_at(1_000);
+    let opts = ChaosOpts {
+        // Kill the MMJFS after the job-start record is journaled but
+        // before the reply leaves — the nastiest window for duplicate
+        // job starts.
+        armed_crashes: vec![("gram.start.journaled".to_string(), 1)],
+        ..ChaosOpts::default()
+    };
+    let rep = cross_domain_vo(0xE2E_5EED, &opts);
+    assert!(rep.completed);
+    assert_eq!(rep.crashes, 1, "the armed kill must fire");
+    assert_eq!(rep.restarts, 1, "and the MMJFS must come back");
+    assert!(rep.stats.dropped > 0, "the WAN chaos must have bitten");
+    assert!(rep
+        .lines
+        .iter()
+        .any(|l| l.contains("crash svc=gram point=gram.start.journaled")));
+}
 
-    let mut domains = vec![
-        create_domain(&mut rng, "siteA", 2, 512, 10_000_000),
-        create_domain(&mut rng, "siteB", 2, 512, 10_000_000),
-    ];
-    let _vo = form_vo(&mut rng, "compute-vo", &mut domains, 512, 10_000_000);
-
-    // Domain B hosts a GRAM resource; its trust store now (post-VO)
-    // includes siteA's CA. Its grid-mapfile maps the siteA user.
-    let host_cred = domains[1].ca.issue_host_identity(
-        &mut rng,
-        dn("/O=siteB/CN=host cluster1"),
-        vec!["cluster1.siteB".to_string()],
-        512,
-        0,
-        10_000_000,
-    );
-    let gridmap = GridMapFile::parse("\"/O=siteA/CN=user0\" grid_a0\n").unwrap();
-    let mut resource = GramResource::install(
-        SimOs::new(),
-        clock.clone(),
-        "cluster1",
-        domains[1].resource_trust.clone(),
-        host_cred,
-        &gridmap,
-        GramConfig::default(),
-    )
-    .unwrap();
-
-    // The siteA user signs on and submits.
-    let user = domains[0].users[0].clone();
-    let session =
-        sso::grid_proxy_init(&mut rng, &user, sso::ProxyOptions::default(), clock.now()).unwrap();
-    // The requestor must trust siteB's CA to accept the MJS's GRIM
-    // credential — their own unilateral act.
-    let mut requestor_trust = domains[0].resource_trust.clone();
-    requestor_trust.add_root(domains[1].ca.certificate().clone());
-    let mut requestor = Requestor::new(session.credential().clone(), requestor_trust, b"a0");
-
-    let job = requestor
-        .submit_job(
-            &mut resource,
-            &JobDescription::new("/bin/hpc-sim"),
-            clock.now(),
-        )
-        .expect("cross-domain submission");
-    assert!(job.cold_start);
-    assert_eq!(job.account, "grid_a0");
-    assert_eq!(resource.job_state(&job.handle).unwrap(), JobState::Active);
-
-    // Least privilege held throughout.
-    assert!(resource
-        .os()
-        .privileged_network_facing("cluster1")
-        .unwrap()
-        .is_empty());
+/// The same scenario under a *seeded* crash schedule rather than an
+/// armed one: kills land wherever the draw says, and the flow must
+/// still complete exactly-once.
+#[test]
+fn cross_domain_submission_survives_seeded_crashes() {
+    let opts = ChaosOpts {
+        crashes: true,
+        ..ChaosOpts::default()
+    };
+    let rep = cross_domain_vo(0xE2E_5EED, &opts);
+    assert!(rep.completed);
+    assert_eq!(rep.restarts, rep.crashes);
 }
 
 /// The OGSA pipeline with an audit service capturing every decision in a
