@@ -9,6 +9,7 @@
 
 use gridsec_bench::bench_world;
 use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+use gridsec_tls::session::{resume_client, ClientSession, ServerSessionCache};
 use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::wssc::{establish, WsscResponder};
@@ -32,6 +33,25 @@ fn establishment(c: &mut Criterion) {
         b.iter(|| {
             let mut responder = WsscResponder::new(server_cfg.clone());
             establish(client_cfg.clone(), &mut responder, &mut w.rng).unwrap()
+        })
+    });
+
+    // Resumed: the abbreviated handshake from a banked session — no
+    // certificate validation, RSA, or DH on either side, only symmetric
+    // HKDF/HMAC work. The ratio against gt2_tls_tokens is the session
+    // cache's amortization claim; perf_guard gates on it.
+    let (chan, _server_chan) =
+        handshake_in_memory(client_cfg.clone(), server_cfg.clone(), &mut w.rng).unwrap();
+    let session = ClientSession::from_channel(&chan).expect("handshake mints resumption state");
+    let mut sessions = ServerSessionCache::new(8, 1_000_000);
+    sessions.store(&chan);
+    group.bench_function("gt2_tls_resumed", |b| {
+        b.iter(|| {
+            let (resume, t1) = resume_client(session.clone(), 10, 1_000, &mut w.rng);
+            let (t2, wait) = sessions.accept(&t1, 10, &mut w.rng).unwrap();
+            let (t3, client_chan) = resume.step(&t2).unwrap();
+            let server_chan = wait.step(&t3).unwrap();
+            (client_chan, server_chan)
         })
     });
     group.finish();

@@ -1,0 +1,56 @@
+//! Kernel benchmark: the Montgomery-form modexp dispatched by
+//! [`gridsec_bignum::modular::mod_pow`] against the classic 4-bit-window
+//! reference it replaced, on RSA-sign-shaped operands (full-width
+//! exponent, odd modulus) plus the short-exponent verify shape.
+//!
+//! `perf_guard` re-times the 512-bit sign shape with `Instant` and fails
+//! CI if Montgomery ever regresses below classic; this bench records the
+//! same comparison (and the 1024-bit point) in `BENCH_k1_modexp.json`
+//! for EXPERIMENTS.md.
+
+use gridsec_bignum::modular::{mod_pow, mod_pow_classic};
+use gridsec_bignum::prime::random_bits;
+use gridsec_bignum::BigUint;
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// RSA-sign-shaped operands: odd modulus, full-width base and exponent.
+fn sign_shape(rng: &mut ChaChaRng, bits: usize) -> (BigUint, BigUint, BigUint) {
+    let mut modulus = random_bits(rng, bits);
+    if modulus.is_even() {
+        modulus = modulus + BigUint::from(1u64);
+    }
+    let base = &random_bits(rng, bits) % &modulus;
+    let exp = random_bits(rng, bits);
+    (base, exp, modulus)
+}
+
+fn modexp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("k1_modexp");
+    group.sample_size(10);
+    let mut rng = ChaChaRng::from_seed_bytes(b"k1 modexp");
+
+    for bits in [512usize, 1024] {
+        let (base, exp, modulus) = sign_shape(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::new("montgomery_sign", bits), &(), |b, ()| {
+            b.iter(|| mod_pow(&base, &exp, &modulus))
+        });
+        group.bench_with_input(BenchmarkId::new("classic_sign", bits), &(), |b, ()| {
+            b.iter(|| mod_pow_classic(&base, &exp, &modulus))
+        });
+    }
+
+    // RSA verify: e = 65537 — the short-exponent fast path.
+    let (base, _, modulus) = sign_shape(&mut rng, 512);
+    let e = BigUint::from(65_537u64);
+    group.bench_function("montgomery_verify_e65537/512", |b| {
+        b.iter(|| mod_pow(&base, &e, &modulus))
+    });
+    group.bench_function("classic_verify_e65537/512", |b| {
+        b.iter(|| mod_pow_classic(&base, &e, &modulus))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, modexp);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! CI bench-smoke guard: asserts the two amortization claims this stack
+//! depends on, offline and in seconds, exiting nonzero on regression.
+//!
+//! 1. **Kernel**: Montgomery-form `mod_pow` beats the classic 4-bit
+//!    window reference on 512-bit RSA-sign-shaped operands.
+//! 2. **Session resumption**: the abbreviated handshake beats the full
+//!    asymmetric handshake.
+//!
+//! Both comparisons use median-of-N wall times on identical inputs, with
+//! a safety factor so scheduler noise cannot flake CI: a real win is
+//! several-fold, so requiring only `faster < slower` leaves margin.
+
+use std::time::Instant;
+
+use gridsec_bench::bench_world;
+use gridsec_bignum::modular::{mod_pow, mod_pow_classic};
+use gridsec_bignum::prime::random_bits;
+use gridsec_bignum::BigUint;
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_tls::handshake::{handshake_in_memory, TlsConfig};
+use gridsec_tls::session::{resume_client, ClientSession, ServerSessionCache};
+
+/// Median wall time in nanoseconds of `rounds` runs of `f`.
+fn median_ns(rounds: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut failures = 0u32;
+
+    // --- Claim 1: Montgomery beats classic on 512-bit sign shapes. ---
+    let mut rng = ChaChaRng::from_seed_bytes(b"perf guard modexp");
+    let mut modulus = random_bits(&mut rng, 512);
+    if modulus.is_even() {
+        modulus = modulus + BigUint::from(1u64);
+    }
+    let base = &random_bits(&mut rng, 512) % &modulus;
+    let exp = random_bits(&mut rng, 512);
+    assert_eq!(
+        mod_pow(&base, &exp, &modulus),
+        mod_pow_classic(&base, &exp, &modulus),
+        "kernels disagree — correctness before speed"
+    );
+    let mont = median_ns(15, || {
+        std::hint::black_box(mod_pow(&base, &exp, &modulus));
+    });
+    let classic = median_ns(15, || {
+        std::hint::black_box(mod_pow_classic(&base, &exp, &modulus));
+    });
+    println!(
+        "[perf_guard] modexp 512-bit sign: montgomery {mont}ns vs classic {classic}ns (x{:.2})",
+        classic as f64 / mont as f64
+    );
+    if mont >= classic {
+        eprintln!("[perf_guard] FAIL: Montgomery modexp no faster than classic");
+        failures += 1;
+    }
+
+    // --- Claim 2: resumed handshake beats the full handshake. ---
+    let mut w = bench_world(b"perf guard resume");
+    let client_cfg = TlsConfig::new(w.user.clone(), w.trust.clone(), 10);
+    let server_cfg = TlsConfig::new(w.service.clone(), w.trust.clone(), 10);
+    let (chan, _) =
+        handshake_in_memory(client_cfg.clone(), server_cfg.clone(), &mut w.rng).unwrap();
+    let session = ClientSession::from_channel(&chan).expect("resumption state");
+    let mut sessions = ServerSessionCache::new(8, 1_000_000);
+    sessions.store(&chan);
+
+    let full = median_ns(9, || {
+        std::hint::black_box(
+            handshake_in_memory(client_cfg.clone(), server_cfg.clone(), &mut w.rng).unwrap(),
+        );
+    });
+    let resumed = median_ns(9, || {
+        let (resume, t1) = resume_client(session.clone(), 10, 1_000, &mut w.rng);
+        let (t2, wait) = sessions.accept(&t1, 10, &mut w.rng).unwrap();
+        let (t3, client_chan) = resume.step(&t2).unwrap();
+        let server_chan = wait.step(&t3).unwrap();
+        std::hint::black_box((client_chan, server_chan));
+    });
+    println!(
+        "[perf_guard] handshake: resumed {resumed}ns vs full {full}ns (x{:.2})",
+        full as f64 / resumed as f64
+    );
+    if resumed >= full {
+        eprintln!("[perf_guard] FAIL: resumed handshake no faster than full");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("[perf_guard] {failures} perf claim(s) regressed");
+        std::process::exit(1);
+    }
+    println!("[perf_guard] all perf claims hold");
+}

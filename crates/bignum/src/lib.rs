@@ -10,8 +10,12 @@
 //!   limbs, with the full complement of arithmetic, bit, and comparison
 //!   operations (Knuth Algorithm D division, Karatsuba multiplication above
 //!   a threshold).
-//! * [`modular`] — modular exponentiation (4-bit fixed-window square and
-//!   multiply) and modular inverse (extended Euclid).
+//! * [`modular`] — modular exponentiation and modular inverse (extended
+//!   Euclid). Odd moduli dispatch to the Montgomery kernel; even moduli
+//!   use the classic 4-bit-window division-per-step kernel.
+//! * [`montgomery`] — Montgomery-form (CIOS) modular multiplication and
+//!   sliding-window exponentiation for odd moduli: the hot kernel under
+//!   every RSA sign/verify and DH agreement in the workspace.
 //! * [`prime`] — Miller–Rabin probabilistic primality testing with a small
 //!   prime sieve front end, and random prime generation suitable for RSA
 //!   and DH parameter creation.
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod modular;
+pub mod montgomery;
 pub mod prime;
 mod uint;
 

@@ -3,12 +3,45 @@
 //! These routines back RSA key generation/signing and finite-field
 //! Diffie–Hellman in `gridsec-crypto`.
 
+use crate::montgomery::Montgomery;
 use crate::BigUint;
 
-/// `base^exp mod modulus` using 4-bit fixed-window exponentiation.
+/// `base^exp mod modulus`.
+///
+/// Odd moduli (every RSA and DH modulus in this workspace) take the
+/// Montgomery CIOS kernel in [`crate::montgomery`]: one conversion in
+/// and out, division-free multiplies in between, and an exponent scan
+/// sized to the exponent. Even moduli fall back to the classic
+/// division-per-step window kernel, [`mod_pow_classic`]. Both produce
+/// identical results.
 ///
 /// Panics if `modulus` is zero. `x mod 1` is zero for all `x`.
 pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "mod_pow with zero modulus");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    if exp.is_zero() {
+        return BigUint::one();
+    }
+    match Montgomery::new(modulus) {
+        Some(ctx) => ctx.pow(base, exp),
+        None => mod_pow_classic(base, exp, modulus),
+    }
+}
+
+/// `base^exp mod modulus` using 4-bit fixed-window exponentiation with
+/// a long division after every square and multiply.
+///
+/// This is the pre-Montgomery kernel, kept as the differential-testing
+/// reference, the even-modulus fallback, and the baseline the perf
+/// guard in `scripts/verify.sh` measures the CIOS kernel against. The
+/// power table is sized to the largest window the exponent actually
+/// uses, so short exponents (3, 65537) no longer precompute all 16
+/// entries.
+///
+/// Panics if `modulus` is zero. `x mod 1` is zero for all `x`.
+pub fn mod_pow_classic(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
     assert!(!modulus.is_zero(), "mod_pow with zero modulus");
     if modulus.is_one() {
         return BigUint::zero();
@@ -21,29 +54,37 @@ pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
         return BigUint::zero();
     }
 
-    // Precompute base^0..base^15.
-    let mut table = Vec::with_capacity(16);
-    table.push(BigUint::one());
-    table.push(base.clone());
-    for i in 2..16 {
-        let prev: &BigUint = &table[i - 1];
-        table.push(prev.mul_ref(&base).rem_ref(modulus));
+    // Split the exponent into 4-bit windows, least significant first.
+    let windows = exp.bit_len().div_ceil(4);
+    let mut nibbles = vec![0usize; windows];
+    for (w, nibble) in nibbles.iter_mut().enumerate() {
+        for b in 0..4 {
+            if exp.bit(w * 4 + b) {
+                *nibble |= 1 << b;
+            }
+        }
     }
 
-    let bits = exp.bit_len();
-    // Process the exponent in 4-bit windows, most significant first.
-    let windows = bits.div_ceil(4);
+    // Precompute base^0..base^max_nibble — no further: an exponent like
+    // 65537 (windows 1,0,0,0,1) only ever multiplies by base^1.
+    let max_nibble = nibbles.iter().copied().max().unwrap_or(0);
+    let mut table = Vec::with_capacity(max_nibble + 1);
+    table.push(BigUint::one());
+    for i in 1..=max_nibble {
+        let prev: &BigUint = table.last().expect("table starts non-empty");
+        table.push(if i == 1 {
+            base.clone()
+        } else {
+            prev.mul_ref(&base).rem_ref(modulus)
+        });
+    }
+
+    // Process the windows most significant first.
     let mut acc = BigUint::one();
-    for w in (0..windows).rev() {
+    for &nibble in nibbles.iter().rev() {
         if !acc.is_one() {
             for _ in 0..4 {
                 acc = acc.square().rem_ref(modulus);
-            }
-        }
-        let mut nibble = 0usize;
-        for b in 0..4 {
-            if exp.bit(w * 4 + b) {
-                nibble |= 1 << b;
             }
         }
         if nibble != 0 {
@@ -200,5 +241,31 @@ mod tests {
     #[should_panic(expected = "zero modulus")]
     fn mod_pow_zero_modulus_panics() {
         mod_pow(&n("2"), &n("2"), &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero modulus")]
+    fn mod_pow_classic_zero_modulus_panics() {
+        mod_pow_classic(&n("2"), &n("2"), &BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_even_modulus_falls_back() {
+        // 7^5 = 16807; even moduli take the classic kernel.
+        assert_eq!(mod_pow(&n("7"), &n("5"), &n("1000")), n("807"));
+        assert_eq!(mod_pow_classic(&n("7"), &n("5"), &n("1000")), n("807"));
+    }
+
+    #[test]
+    fn classic_handles_short_exponents_with_small_table() {
+        // e = 3 and e = 65537: the RSA verify exponents that used to
+        // precompute all 16 table entries.
+        let m = n("1000000007");
+        // 12345^3 = 1881365963625 ≡ 365950458 (mod 1000000007)
+        assert_eq!(mod_pow_classic(&n("12345"), &n("3"), &m), n("365950458"));
+        assert_eq!(
+            mod_pow_classic(&n("12345"), &n("65537"), &m),
+            mod_pow(&n("12345"), &n("65537"), &m)
+        );
     }
 }

@@ -1,0 +1,260 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! [`Montgomery`] precomputes everything `base^exp mod n` needs so the
+//! hot loop is pure word-level CIOS multiplication — no division after
+//! every square/multiply, unlike [`crate::modular::mod_pow_classic`].
+//! One conversion into Montgomery form on entry and one out on exit
+//! amortize across the whole exponentiation.
+//!
+//! The exponent scan is a sliding window sized to the exponent: short
+//! exponents (anything fitting in a `u64`, e.g. the RSA verify
+//! exponents 3 and 65537) take a plain square-and-multiply path with no
+//! table at all, while full-width RSA/DH exponents use an odd-powers
+//! table of at most 2^(w-1) entries.
+
+use crate::BigUint;
+
+/// Precomputed Montgomery context for a fixed odd modulus `n > 1`.
+///
+/// With `k` limbs and `R = 2^(64k)`, the context stores `-n^-1 mod 2^64`
+/// and `R^2 mod n`; a CIOS multiply maps `(aR, bR) -> abR mod n` without
+/// any long division.
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Modulus limbs, little endian, length `k` (no trailing zeros).
+    n: Vec<u64>,
+    /// `-n[0]^-1 mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n`, padded to `k` limbs; multiplying by it converts into
+    /// Montgomery form.
+    rr: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Build a context, or `None` when the modulus is even or `<= 1`
+    /// (Montgomery reduction needs `gcd(n, 2^64) = 1`).
+    pub fn new(modulus: &BigUint) -> Option<Montgomery> {
+        if modulus.is_zero() || modulus.is_one() || modulus.is_even() {
+            return None;
+        }
+        let n: Vec<u64> = modulus.limbs().to_vec();
+        let k = n.len();
+        // Newton–Hensel lifting: each step doubles the number of correct
+        // low bits of n[0]^-1 mod 2^64; n[0] is odd so n[0] itself is
+        // correct to 3 bits and six doublings exceed 64.
+        let mut inv: u64 = n[0];
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let rr_big = (&BigUint::one() << (128 * k)).rem_ref(modulus);
+        let mut rr = rr_big.limbs().to_vec();
+        rr.resize(k, 0);
+        Some(Montgomery {
+            modulus: modulus.clone(),
+            n,
+            n0inv: inv.wrapping_neg(),
+            rr,
+        })
+    }
+
+    /// `base^exp mod n` with the same semantics as
+    /// [`crate::modular::mod_pow`] for this modulus.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one(); // n > 1, so 1 mod n = 1
+        }
+        let base = base.rem_ref(&self.modulus);
+        if base.is_zero() {
+            return BigUint::zero();
+        }
+        let mut bm = base.limbs().to_vec();
+        bm.resize(self.n.len(), 0);
+        let bm = self.mul(&bm, &self.rr); // into Montgomery form
+        let acc = match exp.to_u64() {
+            // Short-exponent fast path: plain square-and-multiply, no
+            // table. Covers the RSA verify exponents (3, 65537).
+            Some(e) => self.pow_u64(&bm, e),
+            None => self.pow_window(&bm, exp),
+        };
+        // Out of Montgomery form: multiply by literal 1.
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mul(&acc, &one))
+    }
+
+    /// Left-to-right binary exponentiation for `e >= 1` fitting a word.
+    fn pow_u64(&self, bm: &[u64], e: u64) -> Vec<u64> {
+        let mut acc = bm.to_vec();
+        for i in (0..63 - e.leading_zeros() as usize).rev() {
+            acc = self.mul(&acc, &acc);
+            if (e >> i) & 1 == 1 {
+                acc = self.mul(&acc, bm);
+            }
+        }
+        acc
+    }
+
+    /// Sliding-window exponentiation with an odd-powers table sized to
+    /// the exponent's bit length.
+    fn pow_window(&self, bm: &[u64], exp: &BigUint) -> Vec<u64> {
+        let bits = exp.bit_len();
+        let w = match bits {
+            0..=96 => 3,
+            97..=384 => 4,
+            _ => 5,
+        };
+        // table[t] = base^(2t+1) in Montgomery form.
+        let bsq = self.mul(bm, bm);
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(bm.to_vec());
+        for t in 1..(1 << (w - 1)) {
+            let prev: &Vec<u64> = &table[t - 1];
+            table.push(self.mul(prev, &bsq));
+        }
+
+        let mut acc: Option<Vec<u64>> = None;
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                let a = acc.expect("window scan starts on a set bit");
+                acc = Some(self.mul(&a, &a));
+                i -= 1;
+                continue;
+            }
+            // Greedily take the longest window ending on a set bit.
+            let mut j = (i - w as isize + 1).max(0);
+            while !exp.bit(j as usize) {
+                j += 1;
+            }
+            let mut val = 0usize;
+            for b in (j..=i).rev() {
+                val = (val << 1) | exp.bit(b as usize) as usize;
+            }
+            let width = (i - j + 1) as usize;
+            acc = Some(match acc {
+                None => table[val >> 1].clone(),
+                Some(mut a) => {
+                    for _ in 0..width {
+                        a = self.mul(&a, &a);
+                    }
+                    self.mul(&a, &table[val >> 1])
+                }
+            });
+            i = j - 1;
+        }
+        acc.expect("exponent is non-zero")
+    }
+
+    /// CIOS Montgomery multiply: `(aR, bR) -> abR mod n`.
+    ///
+    /// Both inputs are `k` limbs and `< n`; the interleaved reduction
+    /// keeps the accumulator under `2n`, so a single conditional
+    /// subtraction at the end suffices.
+    fn mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        let mut t = vec![0u64; k + 2];
+        for &bi in b {
+            // t += a * bi
+            let mut carry = 0u64;
+            for j in 0..k {
+                let v = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry as u128;
+                t[j] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = t[k] as u128 + carry as u128;
+            t[k] = v as u64;
+            t[k + 1] = (v >> 64) as u64;
+
+            // t = (t + m*n) / 2^64 with m chosen so t becomes divisible.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let v = t[0] as u128 + (m as u128) * (self.n[0] as u128);
+            let mut carry = (v >> 64) as u64;
+            for j in 1..k {
+                let v = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry as u128;
+                t[j - 1] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = t[k] as u128 + carry as u128;
+            t[k - 1] = v as u64;
+            t[k] = t[k + 1] + ((v >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        let mut out = t[..k].to_vec();
+        if t[k] != 0 || ge(&out, &self.n) {
+            sub_in_place(&mut out, &self.n);
+        }
+        out
+    }
+}
+
+/// `a >= b` on equal-length little-endian limb slices.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` on equal-length little-endian limb slices; `a >= b` holds.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 | b2) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular::mod_pow_classic;
+
+    fn n(s: &str) -> BigUint {
+        BigUint::from_decimal(s).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&BigUint::one()).is_none());
+        assert!(Montgomery::new(&n("65536")).is_none());
+        assert!(Montgomery::new(&n("65537")).is_some());
+    }
+
+    #[test]
+    fn agrees_with_classic_on_fixed_cases() {
+        let m = n("1000000007");
+        let ctx = Montgomery::new(&m).unwrap();
+        for (b, e) in [("2", "10"), ("3", "1000000006"), ("999999999", "12345")] {
+            assert_eq!(
+                ctx.pow(&n(b), &n(e)),
+                mod_pow_classic(&n(b), &n(e), &m),
+                "b={b} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_classic_on_wide_operands() {
+        let m = (&BigUint::one() << 127) - &BigUint::one();
+        let ctx = Montgomery::new(&m).unwrap();
+        let base = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        // Exponent wider than 64 bits drives the sliding-window path.
+        let exp = BigUint::from_hex("ffeeddccbbaa99887766554433221100ff").unwrap();
+        assert_eq!(ctx.pow(&base, &exp), mod_pow_classic(&base, &exp, &m));
+    }
+
+    #[test]
+    fn edge_cases_match_mod_pow_semantics() {
+        let m = n("97");
+        let ctx = Montgomery::new(&m).unwrap();
+        assert_eq!(ctx.pow(&n("5"), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::zero(), &n("5")), BigUint::zero());
+        assert_eq!(ctx.pow(&n("97"), &n("5")), BigUint::zero());
+        assert_eq!(ctx.pow(&n("98"), &n("1")), BigUint::one());
+    }
+}

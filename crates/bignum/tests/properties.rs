@@ -1,6 +1,7 @@
 //! Property-based tests for `BigUint` arithmetic invariants.
 
-use gridsec_bignum::modular::{mod_inv, mod_mul, mod_pow};
+use gridsec_bignum::modular::{mod_inv, mod_mul, mod_pow, mod_pow_classic};
+use gridsec_bignum::montgomery::Montgomery;
 use gridsec_bignum::BigUint;
 use gridsec_util::check::{check, Gen};
 
@@ -147,6 +148,62 @@ fn mod_inv_is_inverse() {
             let inv = mod_inv(&a, &p).unwrap();
             assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
         }
+    });
+}
+
+#[test]
+fn montgomery_mod_pow_agrees_with_classic_window() {
+    check(
+        "montgomery_mod_pow_agrees_with_classic_window",
+        CASES,
+        |g| {
+            let base = biguint(g);
+            // Mix short (fast-path) and wide (sliding-window) exponents.
+            let exp = if g.bool() {
+                BigUint::from(g.u64())
+            } else {
+                BigUint::from_bytes_be(&g.bytes(8..24))
+            };
+            // Half the cases force an odd modulus (Montgomery dispatch),
+            // half force an even one (classic fallback); both must agree
+            // with the division-per-step reference kernel.
+            let mut m = biguint_nonzero(g);
+            let odd = g.bool();
+            if odd != m.is_odd() {
+                m = m.add_ref(&BigUint::one());
+            }
+            if m.is_zero() || m.is_one() {
+                m = BigUint::from(if odd { 3u64 } else { 2u64 });
+            }
+            assert_eq!(
+                mod_pow(&base, &exp, &m),
+                mod_pow_classic(&base, &exp, &m),
+                "base={base} exp={exp} m={m}"
+            );
+        },
+    );
+}
+
+#[test]
+fn montgomery_mod_pow_edge_cases() {
+    check("montgomery_mod_pow_edge_cases", CASES, |g| {
+        let mut m = biguint_nonzero(g);
+        if m.is_even() {
+            m = m.add_ref(&BigUint::one());
+        }
+        if m.is_one() {
+            m = BigUint::from(3u64);
+        }
+        let ctx = Montgomery::new(&m).expect("odd modulus > 1");
+        let base = biguint(g);
+        // exp = 0 -> 1; exp = 1 -> base mod m; base = 0 -> 0; base = 1 -> 1.
+        assert_eq!(ctx.pow(&base, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&base, &BigUint::one()), base.rem_ref(&m));
+        assert_eq!(
+            ctx.pow(&BigUint::zero(), &biguint_nonzero(g)),
+            BigUint::zero()
+        );
+        assert_eq!(ctx.pow(&BigUint::one(), &biguint(g)), BigUint::one());
     });
 }
 

@@ -27,6 +27,18 @@ pub struct EstablishedContext {
 }
 
 impl EstablishedContext {
+    /// Wrap a completed TLS channel (e.g. one produced by the
+    /// abbreviated resumption handshake in [`gridsec_tls::session`]).
+    pub fn from_channel(channel: SecureChannel) -> Self {
+        EstablishedContext { channel }
+    }
+
+    /// The underlying channel — read-only, for harvesting resumption
+    /// state into a session cache.
+    pub fn channel(&self) -> &SecureChannel {
+        &self.channel
+    }
+
     /// The authenticated peer.
     pub fn peer(&self) -> &ValidatedIdentity {
         &self.channel.peer

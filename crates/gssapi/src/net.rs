@@ -14,8 +14,12 @@
 //!   would corrupt the handshake state.
 //!
 //! Wire format (via [`gridsec_pki::encoding`]): requests are
-//! `op ‖ token` where `op` is `"gss-tok1"` or `"gss-tok3"`; replies are
-//! `status ‖ body` with status `"ok"` or `"err"`.
+//! `op ‖ token` where `op` is `"gss-tok1"`/`"gss-tok3"` for the full
+//! handshake or `"gss-res1"`/`"gss-res3"` for the abbreviated
+//! resumption handshake ([`gridsec_tls::session`]); replies are
+//! `status ‖ body` with status `"ok"` or `"err"`. An `err` reply to a
+//! resume op is how the acceptor signals "no resumable session" — the
+//! initiator falls back to the full token loop.
 
 use crate::context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
 use crate::GssError;
@@ -23,6 +27,10 @@ use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::encoding::{Decoder, Encoder};
 use gridsec_testbed::rpc::RpcClient;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_tls::session::{
+    resume_client, ClientSession, ClientSessionCache, ServerResumeAwait, ServerSessionCache,
+    DEFAULT_SESSION_CAPACITY,
+};
 use gridsec_util::trace;
 use std::collections::HashMap;
 
@@ -30,6 +38,10 @@ use std::collections::HashMap;
 pub const OP_TOKEN1: &str = "gss-tok1";
 /// Op tag for the initiator's finished token.
 pub const OP_TOKEN3: &str = "gss-tok3";
+/// Op tag for the resumption hello token.
+pub const OP_RESUME1: &str = "gss-res1";
+/// Op tag for the resumption finished token.
+pub const OP_RESUME3: &str = "gss-res3";
 
 fn request(op: &str, token: &[u8]) -> Vec<u8> {
     let mut e = Encoder::new();
@@ -114,6 +126,72 @@ pub fn establish_initiator<E: EntropySource>(
     result
 }
 
+/// Establish a GSS context by resuming a cached session: two RPC
+/// round trips carrying only symmetric-crypto tokens — no certificate
+/// validation, RSA, or Diffie–Hellman on either side.
+///
+/// Fails with [`GssError::Transport`] when the acceptor no longer
+/// knows the ticket (cache eviction, expiry, or a crash-reborn
+/// acceptor); the caller falls back to the full handshake.
+pub fn establish_initiator_resumed<E: EntropySource>(
+    rpc: &mut RpcClient,
+    session: ClientSession,
+    now: u64,
+    lifetime: u64,
+    rng: &mut E,
+) -> Result<EstablishedContext, GssError> {
+    let mut sp = trace::span_with("gss.resume", &format!("server={}", rpc.server()));
+    let result: Result<EstablishedContext, GssError> = (|| {
+        let (resume, token1) = resume_client(session, now, lifetime, rng);
+        trace::event("gss.resume1.send", &format!("len={}", token1.len()));
+        let token2 = parse_reply(&rpc.call(&request(OP_RESUME1, &token1))?)?;
+        trace::event("gss.resume2.recv", &format!("len={}", token2.len()));
+        let (token3, channel) = resume.step(&token2)?;
+        trace::event("gss.resume3.send", &format!("len={}", token3.len()));
+        parse_reply(&rpc.call(&request(OP_RESUME3, &token3))?)?;
+        trace::event("gss.resumed", &format!("peer={}", rpc.server()));
+        trace::add("gss.contexts_resumed", 1);
+        Ok(EstablishedContext::from_channel(channel))
+    })();
+    if let Err(e) = &result {
+        sp.fail(&e.to_string());
+    }
+    result
+}
+
+/// Establish a GSS context through a client-side session cache:
+/// resume when a live session for this server exists, fall back to
+/// [`establish_initiator_resilient`] when it does not or when the
+/// acceptor refuses the ticket. Either way the resulting session is
+/// (re)stored, so the *next* establishment to this server is the
+/// cheap one.
+pub fn establish_initiator_cached<E: EntropySource>(
+    rpc: &mut RpcClient,
+    config: TlsConfig,
+    rng: &mut E,
+    cache: &mut ClientSessionCache,
+    max_attempts: u64,
+) -> Result<EstablishedContext, GssError> {
+    let server = rpc.server().to_string();
+    if let Some(session) = cache.lookup(&server, config.now) {
+        match establish_initiator_resumed(rpc, session, config.now, config.session_lifetime, rng) {
+            Ok(ctx) => {
+                cache.store(&server, ctx.channel());
+                return Ok(ctx);
+            }
+            Err(GssError::Transport(cause)) => {
+                trace::event("gss.resume.fallback", &format!("cause={cause}"));
+                trace::add("gss.resume_fallbacks", 1);
+                cache.invalidate(&server);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let ctx = establish_initiator_resilient(rpc, config, rng, max_attempts)?;
+    cache.store(&server, ctx.channel());
+    Ok(ctx)
+}
+
 /// Establish a GSS context as the initiator, surviving acceptor
 /// crashes: a [`GssError::Transport`] failure (retry budget exhausted
 /// while the peer was down, or a reborn acceptor refusing a token it
@@ -151,6 +229,8 @@ pub struct AcceptorService<E: EntropySource> {
     config: TlsConfig,
     rng: E,
     pending: HashMap<String, AcceptorContext>,
+    pending_resume: HashMap<String, ServerResumeAwait>,
+    sessions: ServerSessionCache,
     established: HashMap<String, EstablishedContext>,
 }
 
@@ -158,12 +238,21 @@ impl<E: EntropySource> AcceptorService<E> {
     /// Service accepting contexts under `config`, drawing handshake
     /// entropy from `rng`.
     pub fn new(config: TlsConfig, rng: E) -> Self {
+        let sessions = ServerSessionCache::new(DEFAULT_SESSION_CAPACITY, config.session_lifetime);
         AcceptorService {
             config,
             rng,
             pending: HashMap::new(),
+            pending_resume: HashMap::new(),
+            sessions,
             established: HashMap::new(),
         }
+    }
+
+    /// The server-side session cache (hit/miss counters for tests and
+    /// metrics).
+    pub fn sessions(&self) -> &ServerSessionCache {
+        &self.sessions
     }
 
     /// Handle one request frame from caller `from`; returns the reply
@@ -194,10 +283,34 @@ impl<E: EntropySource> AcceptorService<E> {
                 };
                 match acceptor.step(&mut self.rng, &token) {
                     Ok(StepResult::Established { context, .. }) => {
+                        self.sessions.store(context.channel());
                         self.established.insert(from.to_string(), *context);
                         reply_ok(b"")
                     }
                     Ok(StepResult::ContinueWith(_)) => reply_err("acceptor did not finish"),
+                    Err(e) => reply_err(&e.to_string()),
+                }
+            }
+            OP_RESUME1 => match self.sessions.accept(&token, self.config.now, &mut self.rng) {
+                Ok((token2, await_finished)) => {
+                    self.pending_resume.insert(from.to_string(), await_finished);
+                    reply_ok(&token2)
+                }
+                Err(e) => reply_err(&e.to_string()),
+            },
+            OP_RESUME3 => {
+                let Some(await_finished) = self.pending_resume.remove(from) else {
+                    return reply_err("no resumption in progress");
+                };
+                match await_finished.step(&token) {
+                    Ok(channel) => {
+                        // Rotate: the resumed context mints a fresh ticket.
+                        self.sessions.store(&channel);
+                        trace::add("gss.accept.resumed", 1);
+                        self.established
+                            .insert(from.to_string(), EstablishedContext::from_channel(channel));
+                        reply_ok(b"")
+                    }
                     Err(e) => reply_err(&e.to_string()),
                 }
             }
@@ -219,7 +332,10 @@ impl<E: EntropySource> AcceptorService<E> {
 /// ephemeral by design (paper §4 — contexts can always be
 /// re-established from credentials), and replaying half a handshake
 /// would be both pointless and unsound. A crash loses every pending and
-/// established context; initiators recover via
+/// established context *and the session cache* — a reborn acceptor
+/// refuses resumption tickets, which is exactly the signal
+/// [`establish_initiator_cached`] turns into a full-handshake
+/// fallback. Initiators recover via
 /// [`establish_initiator_resilient`]. Serve it with
 /// `persist_replies = false` so a reborn acceptor re-executes token
 /// exchanges instead of replaying token frames whose session died.
@@ -258,6 +374,17 @@ impl CrashableAcceptor {
 
 impl gridsec_testbed::faults::CrashRecover for CrashableAcceptor {
     fn handle(&mut self, from: &str, _id: u64, body: &[u8]) -> Vec<u8> {
+        // A dedicated injection point for the abbreviated handshake, so
+        // chaos harnesses can arm a kill *mid-resume* specifically: the
+        // reborn acceptor has lost its session cache, which forces the
+        // initiator down the full-handshake fallback path.
+        let resume_op = matches!(
+            parse_request(body),
+            Ok((op, _)) if op == OP_RESUME1 || op == OP_RESUME3
+        );
+        if resume_op && self.plan.fires("gss.accept.resume") {
+            return Vec::new();
+        }
         if self.plan.fires("gss.accept.exec") {
             return Vec::new();
         }
@@ -460,6 +587,109 @@ mod tests {
             .unwrap();
         let t = ic.wrap(b"survived a crash");
         assert_eq!(ac.unwrap(&t).unwrap(), b"survived a crash");
+    }
+
+    /// Shared rig: one acceptor service behind an RPC pump, plus a
+    /// client-side session cache.
+    fn cached_rig(
+        net: &Network,
+    ) -> (
+        World,
+        Rc<RefCell<AcceptorService<ChaChaRng>>>,
+        RpcClient,
+        ClientSessionCache,
+    ) {
+        let w = world();
+        let service = Rc::new(RefCell::new(AcceptorService::new(
+            TlsConfig::new(w.service.clone(), w.trust.clone(), 100),
+            ChaChaRng::from_seed_bytes(b"acceptor"),
+        )));
+        let rpc_server = Rc::new(RefCell::new(RpcServer::new(net.register("mjs"))));
+        let mut rpc = RpcClient::new(
+            net.register("alice"),
+            "mjs",
+            RetryPolicy {
+                max_attempts: 8,
+                base_timeout: 16,
+                multiplier: 2,
+                max_timeout: 64,
+            },
+        );
+        let hook_server = rpc_server.clone();
+        let hook_service = service.clone();
+        rpc.set_pump(move || {
+            hook_server
+                .borrow_mut()
+                .poll(&mut |from, body| hook_service.borrow_mut().handle(from, body))
+        });
+        (w, service, rpc, ClientSessionCache::new(4))
+    }
+
+    #[test]
+    fn second_establishment_resumes_via_session_cache() {
+        let net = Network::new();
+        let (mut w, service, mut rpc, mut cache) = cached_rig(&net);
+        let cfg = TlsConfig::new(w.alice.clone(), w.trust.clone(), 100);
+
+        // First establishment: full handshake, session stored both sides.
+        let _ctx1 =
+            establish_initiator_cached(&mut rpc, cfg.clone(), &mut w.rng, &mut cache, 4).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(service.borrow().sessions().hits(), 0);
+
+        // Second establishment: abbreviated handshake.
+        let mut ctx2 =
+            establish_initiator_cached(&mut rpc, cfg, &mut w.rng, &mut cache, 4).unwrap();
+        assert_eq!(service.borrow().sessions().hits(), 1);
+        assert_eq!(ctx2.peer().base_identity, dn("/O=G/CN=MJS"));
+
+        // The resumed context protects traffic end to end.
+        let mut ac = service.borrow_mut().take_established("alice").unwrap();
+        assert_eq!(ac.peer().base_identity, dn("/O=G/CN=Alice"));
+        let t = ctx2.wrap(b"resumed traffic");
+        assert_eq!(ac.unwrap(&t).unwrap(), b"resumed traffic");
+    }
+
+    #[test]
+    fn unknown_ticket_falls_back_to_full_handshake() {
+        let net = Network::new();
+        let (mut w, service, mut rpc, mut cache) = cached_rig(&net);
+        let cfg = TlsConfig::new(w.alice.clone(), w.trust.clone(), 100);
+        let _ctx1 =
+            establish_initiator_cached(&mut rpc, cfg.clone(), &mut w.rng, &mut cache, 4).unwrap();
+
+        // Wipe the server-side cache, simulating a reborn acceptor.
+        *service.borrow_mut() = AcceptorService::new(
+            TlsConfig::new(w.service.clone(), w.trust.clone(), 100),
+            ChaChaRng::from_seed_bytes(b"acceptor gen2"),
+        );
+
+        // The stale ticket is refused; the fallback full handshake wins.
+        let mut ctx2 =
+            establish_initiator_cached(&mut rpc, cfg, &mut w.rng, &mut cache, 4).unwrap();
+        assert_eq!(service.borrow().sessions().misses(), 1);
+        assert_eq!(service.borrow().sessions().hits(), 0);
+        let mut ac = service.borrow_mut().take_established("alice").unwrap();
+        let t = ctx2.wrap(b"after fallback");
+        assert_eq!(ac.unwrap(&t).unwrap(), b"after fallback");
+        // The fallback re-stored a fresh session for next time.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn resumption_survives_lossy_wan() {
+        let net = Network::new();
+        let clock = SimClock::new();
+        net.enable_faults(clock, 0x5E55, FaultProfile::lossy_wan());
+        let (mut w, service, mut rpc, mut cache) = cached_rig(&net);
+        let cfg = TlsConfig::new(w.alice.clone(), w.trust.clone(), 100);
+        let _ctx1 =
+            establish_initiator_cached(&mut rpc, cfg.clone(), &mut w.rng, &mut cache, 4).unwrap();
+        let mut ctx2 =
+            establish_initiator_cached(&mut rpc, cfg, &mut w.rng, &mut cache, 4).unwrap();
+        let mut ac = service.borrow_mut().take_established("alice").unwrap();
+        let mic = ctx2.get_mic(b"over a lossy link");
+        assert!(ac.verify_mic(b"over a lossy link", &mic).is_ok());
     }
 
     #[test]

@@ -32,7 +32,9 @@ use gridsec_gridftp::resume::{resumable_get, resumable_put};
 use gridsec_gridftp::GridFtpServer;
 use gridsec_gsi::sso;
 use gridsec_gsi::vo::{create_domain, form_vo};
-use gridsec_gssapi::net::{establish_initiator_resilient, CrashableAcceptor};
+use gridsec_gssapi::net::{
+    establish_initiator_cached, establish_initiator_resilient, CrashableAcceptor,
+};
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
 use gridsec_ogsa::hosting::HostingEnvironment;
 use gridsec_ogsa::service::{GridService, RequestContext};
@@ -47,6 +49,7 @@ use gridsec_testbed::net::{FaultProfile, FaultStats, Network, SimStream, StreamP
 use gridsec_testbed::os::{FileMode, SimOs, ROOT_UID};
 use gridsec_testbed::rpc::RpcClient;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_tls::session::{ClientSessionCache, DEFAULT_SESSION_CAPACITY};
 use gridsec_util::retry::RetryPolicy;
 use gridsec_util::trace::{self, MetricsSnapshot, Tracer};
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
@@ -236,6 +239,33 @@ pub fn figure1_gss(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     let back = service_ctx.wrap(b"welcome");
     assert_eq!(user_ctx.unwrap(&back).expect("unwrap at user"), b"welcome");
     assert_eq!(service_ctx.peer().base_identity, dn("/O=G/CN=User"));
+
+    // Repeat sign-on through the session cache: normally the abbreviated
+    // resumption exchange (no RSA/DH), but any chaos on the resume path —
+    // a lost ticket after a kill, an armed `gss.accept.resume` crash —
+    // makes it fall back to the full handshake transparently. Either way
+    // the second context must come up and carry traffic.
+    let mut cache = ClientSessionCache::new(DEFAULT_SESSION_CAPACITY);
+    cache.store("service", user_ctx.channel());
+    let initiator_cfg2 = TlsConfig::new(w.user.clone(), w.trust.clone(), 100);
+    let mut user_ctx2 =
+        establish_initiator_cached(&mut rpc, initiator_cfg2, &mut w.rng, &mut cache, 6)
+            .expect("figure 1 repeat establishment under lossy WAN + crashes");
+    let mut service_ctx2 = service
+        .borrow_mut()
+        .service()
+        .take_established("user")
+        .expect("acceptor side re-established");
+    let sealed2 = user_ctx2.wrap(b"second session");
+    assert_eq!(
+        service_ctx2.unwrap(&sealed2).expect("unwrap at service"),
+        b"second session"
+    );
+    let back2 = service_ctx2.wrap(b"welcome back");
+    assert_eq!(
+        user_ctx2.unwrap(&back2).expect("unwrap at user"),
+        b"welcome back"
+    );
 
     report("fig1", &net, r, true, &plan)
 }

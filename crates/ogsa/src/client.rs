@@ -24,9 +24,12 @@ use gridsec_pki::credential::Credential;
 use gridsec_pki::store::{CrlStore, TrustStore};
 use gridsec_testbed::clock::SimClock;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_tls::session::{
+    ClientSession, ClientSessionCache, DEFAULT_SESSION_CAPACITY, DEFAULT_SESSION_LIFETIME,
+};
 use gridsec_wsse::policy::{self, PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_wsse::soap::Envelope;
-use gridsec_wsse::wssc::{WsscInitiator, WsscSession};
+use gridsec_wsse::wssc::{WsscInitiator, WsscResumeInitiator, WsscSession};
 use gridsec_wsse::xmlsig;
 use gridsec_xml::Element;
 
@@ -71,13 +74,17 @@ pub struct OgsaClient<T: Transport> {
     rng: ChaChaRng,
     sources: Vec<Box<dyn CredentialSource>>,
     session: Option<WsscSession>,
+    session_cache: ClientSessionCache,
     server_policy: Option<SecurityPolicy>,
     chosen: Option<PolicyAlternative>,
     message_ttl: u64,
     /// Count of policy fetches (experiment instrumentation).
     pub policy_fetches: u64,
-    /// Count of context establishments (experiment instrumentation).
+    /// Count of full context establishments (experiment instrumentation).
     pub contexts_established: u64,
+    /// Count of contexts re-established via session resumption,
+    /// skipping the asymmetric exchange entirely.
+    pub contexts_resumed: u64,
 }
 
 impl<T: Transport> OgsaClient<T> {
@@ -91,11 +98,13 @@ impl<T: Transport> OgsaClient<T> {
             rng: ChaChaRng::from_seed_bytes(rng_seed),
             sources: Vec::new(),
             session: None,
+            session_cache: ClientSessionCache::new(DEFAULT_SESSION_CAPACITY),
             server_policy: None,
             chosen: None,
             message_ttl: 300,
             policy_fetches: 0,
             contexts_established: 0,
+            contexts_resumed: 0,
         }
     }
 
@@ -196,9 +205,59 @@ impl<T: Transport> OgsaClient<T> {
         }
     }
 
+    /// The session-cache key for this client's single target service.
+    fn cache_key(&self) -> String {
+        self.server_policy
+            .as_ref()
+            .map(|p| p.service.clone())
+            .unwrap_or_else(|| "service".to_string())
+    }
+
+    /// Try the abbreviated resumption exchange from a cached session.
+    /// Any failure (unknown/expired ticket, restarted service) just
+    /// reports `false`; the caller falls back to the full handshake.
+    fn try_resume(&mut self, cached: ClientSession) -> Result<bool, OgsaError> {
+        let (initiator, rst1) = WsscResumeInitiator::begin(
+            cached,
+            self.clock.now(),
+            DEFAULT_SESSION_LIFETIME,
+            &mut self.rng,
+        );
+        let rstr1 = Envelope::parse(&self.transport.call(rst1.to_xml())?)?;
+        if parse_fault(&rstr1).is_some() {
+            // Service refused the ticket (e.g. it restarted and lost its
+            // cache). Not an error — fall back to the full exchange.
+            return Ok(false);
+        }
+        let (rst2, session) = match initiator.finish(&rstr1) {
+            Ok(pair) => pair,
+            Err(_) => return Ok(false),
+        };
+        let ack = Envelope::parse(&self.transport.call(rst2.to_xml())?)?;
+        if parse_fault(&ack).is_some() {
+            return Ok(false);
+        }
+        // Each resumption rotates the ticket; bank the fresh one.
+        self.session_cache
+            .store(&self.cache_key(), session.channel());
+        self.session = Some(session);
+        self.contexts_resumed += 1;
+        Ok(true)
+    }
+
     fn ensure_session(&mut self, alt: &PolicyAlternative) -> Result<(), OgsaError> {
         if self.session.is_some() {
             return Ok(());
+        }
+        if let Some(cached) = self
+            .session_cache
+            .lookup(&self.cache_key(), self.clock.now())
+        {
+            if self.try_resume(cached)? {
+                return Ok(());
+            }
+            // The ticket was refused; drop it so we do not retry it.
+            self.session_cache.invalidate(&self.cache_key());
         }
         let credential = self.credential_for(alt)?;
         let config = TlsConfig::new(credential, self.trust.clone(), self.clock.now())
@@ -213,6 +272,8 @@ impl<T: Transport> OgsaClient<T> {
         if let Some((code, msg)) = parse_fault(&ack) {
             return Err(OgsaError::Application(format!("{code}: {msg}")));
         }
+        self.session_cache
+            .store(&self.cache_key(), session.channel());
         self.session = Some(session);
         self.contexts_established += 1;
         Ok(())
@@ -313,9 +374,18 @@ impl<T: Transport> OgsaClient<T> {
         Ok(())
     }
 
-    /// Drop the cached conversation (forces re-establishment).
+    /// Drop the active conversation. The resumption ticket stays in the
+    /// session cache, so the next invocation re-establishes via the
+    /// abbreviated exchange instead of a full handshake.
     pub fn reset_session(&mut self) {
         self.session = None;
+    }
+
+    /// Drop the active conversation *and* its resumption ticket (forces
+    /// a full handshake on the next invocation).
+    pub fn forget_session(&mut self) {
+        self.session = None;
+        self.session_cache.invalidate(&self.cache_key());
     }
 
     /// Drop cached policy + negotiation (forces re-discovery).

@@ -202,6 +202,55 @@ fn stateful_context_is_reused_across_calls() {
 }
 
 #[test]
+fn dropped_context_resumes_without_full_handshake() {
+    let w = world();
+    let env = Rc::new(RefCell::new(make_env(&w, &["gsi-secure-conversation"])));
+    let mut client = make_client(&w, env, &w.alice);
+    let handle = client.create_service("echo", Element::new("args")).unwrap();
+    assert_eq!(client.contexts_established, 1);
+
+    // Losing the conversation (e.g. an idle timeout) keeps the ticket:
+    // the next call runs the abbreviated exchange, not a full handshake.
+    client.reset_session();
+    client
+        .invoke(&handle, "echo", Element::new("m").with_text("again"))
+        .unwrap();
+    assert_eq!(client.contexts_established, 1);
+    assert_eq!(client.contexts_resumed, 1);
+
+    // Resumption rotates the ticket, so it works repeatedly.
+    client.reset_session();
+    client
+        .invoke(&handle, "echo", Element::new("m").with_text("thrice"))
+        .unwrap();
+    assert_eq!(client.contexts_established, 1);
+    assert_eq!(client.contexts_resumed, 2);
+}
+
+#[test]
+fn restarted_service_forces_full_handshake_fallback() {
+    let w = world();
+    let env = Rc::new(RefCell::new(make_env(&w, &["gsi-secure-conversation"])));
+    let mut client = make_client(&w, env.clone(), &w.alice);
+    let handle = client.create_service("echo", Element::new("args")).unwrap();
+    assert_eq!(client.contexts_established, 1);
+
+    // Restart the hosting environment: its session cache (and the service
+    // instance) are gone, so the client's ticket is refused and it falls
+    // back to the full exchange transparently.
+    let _ = handle;
+    *env.borrow_mut() = make_env(&w, &["gsi-secure-conversation"]);
+    client.reset_session();
+    let handle2 = client.create_service("echo", Element::new("args")).unwrap();
+    let reply = client
+        .invoke(&handle2, "echo", Element::new("m").with_text("back"))
+        .unwrap();
+    assert_eq!(reply.text_content(), "back");
+    assert_eq!(client.contexts_established, 2);
+    assert_eq!(client.contexts_resumed, 0);
+}
+
+#[test]
 fn unauthorized_caller_denied_but_authenticated() {
     let w = world();
     let env = Rc::new(RefCell::new(make_env(&w, &["xml-signature"])));

@@ -10,9 +10,14 @@ use crate::name::DistinguishedName;
 use std::collections::HashMap;
 
 /// A set of trusted root CA certificates.
+///
+/// Every mutation bumps a generation counter so validation caches keyed
+/// on it ([`crate::validate::CachedValidator`]) invalidate when the
+/// anchor set changes.
 #[derive(Clone, Default, Debug)]
 pub struct TrustStore {
     roots: Vec<Certificate>,
+    generation: u64,
 }
 
 impl TrustStore {
@@ -30,7 +35,13 @@ impl TrustStore {
         );
         if !self.contains(&cert) {
             self.roots.push(cert);
+            self.generation += 1;
         }
+    }
+
+    /// Monotonic edit counter: changes whenever the anchor set does.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// All trusted roots.
@@ -67,6 +78,7 @@ impl TrustStore {
 #[derive(Clone, Default, Debug)]
 pub struct CrlStore {
     crls: HashMap<String, Crl>,
+    generation: u64,
 }
 
 impl CrlStore {
@@ -83,7 +95,13 @@ impl CrlStore {
             return false;
         }
         self.crls.insert(crl.tbs.issuer.to_string(), crl);
+        self.generation += 1;
         true
+    }
+
+    /// Monotonic edit counter: changes whenever revocation state does.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Check revocation: `true` iff a current CRL from `issuer` lists

@@ -17,12 +17,21 @@
 //! The output [`ValidatedIdentity`] carries the *base identity* (the
 //! end-entity subject), which is what grid-mapfiles, CAS policies, and
 //! the "same user's proxies trust each other" rule key on.
+//!
+//! [`CachedValidator`] memoizes successful walks keyed on the chain
+//! digest and the trust/CRL store generations, so services that see the
+//! same chain repeatedly (per-message XML signatures, repeated context
+//! establishment) pay the RSA verification cost once per chain rather
+//! than once per use. Negative results are never cached.
+
+use std::collections::{HashMap, VecDeque};
 
 use crate::cert::{key_usage, Certificate, ProxyPolicy};
 use crate::name::DistinguishedName;
 use crate::store::{CrlStore, TrustStore};
 use crate::PkiError;
 use gridsec_crypto::rsa::RsaPublicKey;
+use gridsec_crypto::sha256::sha256;
 
 /// The rights the validated chain conveys relative to its base identity.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -223,6 +232,159 @@ pub fn validate_chain_with_crls(
         rights,
         restrictions,
     })
+}
+
+// ----------------------------------------------------------------------
+// Memoized validation
+// ----------------------------------------------------------------------
+
+struct CachedEntry {
+    identity: ValidatedIdentity,
+    /// Intersection of the validity windows of every certificate the
+    /// walk touched (chain plus external anchor). Outside it, the
+    /// cached result may no longer hold, so the walk is redone.
+    not_before: u64,
+    not_after: u64,
+}
+
+/// Memoized chain validation.
+///
+/// Entries are keyed on a digest of the chain's certificate
+/// fingerprints and are only valid for the trust-store / CRL-store
+/// generations they were computed under: any store mutation bumps its
+/// generation, which clears the cache on the next call. Hits are
+/// additionally gated on the intersected validity window of the chain,
+/// so expiry is honoured without a revalidation walk. Only *successful*
+/// validations are cached — a rejected chain is re-examined every time,
+/// so an attacker cannot pin a negative (or have a transient failure
+/// outlive its cause).
+///
+/// Eviction is FIFO over a bounded capacity, so cache behaviour is a
+/// pure function of the call sequence — two identical runs hit, miss,
+/// and evict identically (the determinism contract of the simulation
+/// harness).
+pub struct CachedValidator {
+    capacity: usize,
+    trust_generation: u64,
+    crl_generation: u64,
+    entries: HashMap<[u8; 32], CachedEntry>,
+    order: VecDeque<[u8; 32]>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CachedValidator {
+    /// Validator memoizing at most `capacity` chains (`capacity > 0`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "validator cache capacity must be positive");
+        CachedValidator {
+            capacity,
+            trust_generation: 0,
+            crl_generation: 0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Digest identifying a chain: SHA-256 over the concatenated
+    /// certificate fingerprints, leaf first.
+    pub fn chain_digest(chain: &[Certificate]) -> [u8; 32] {
+        let mut data = Vec::with_capacity(32 * chain.len());
+        for cert in chain {
+            data.extend_from_slice(&cert.fingerprint());
+        }
+        sha256(&data)
+    }
+
+    /// Validate `chain` against `trust` and `crls` at `now`, reusing a
+    /// memoized result when one is applicable. Semantically identical
+    /// to [`validate_chain_with_crls`].
+    pub fn validate(
+        &mut self,
+        chain: &[Certificate],
+        trust: &TrustStore,
+        crls: &CrlStore,
+        now: u64,
+    ) -> Result<ValidatedIdentity, PkiError> {
+        if trust.generation() != self.trust_generation || crls.generation() != self.crl_generation {
+            // A store changed underneath us: every cached result is
+            // suspect (a new CRL may revoke, a removed anchor may
+            // untrust), so drop them all.
+            self.entries.clear();
+            self.order.clear();
+            self.trust_generation = trust.generation();
+            self.crl_generation = crls.generation();
+        }
+
+        let key = Self::chain_digest(chain);
+        if let Some(entry) = self.entries.get(&key) {
+            if entry.not_before <= now && now <= entry.not_after {
+                self.hits += 1;
+                return Ok(entry.identity.clone());
+            }
+            // Outside the cached window: the stale entry is dropped and
+            // the real walk below reports the precise error (or caches
+            // a fresh window).
+            self.entries.remove(&key);
+            self.order.retain(|k| k != &key);
+        }
+        self.misses += 1;
+
+        let identity = validate_chain_with_crls(chain, trust, crls, now)?;
+
+        // Intersect validity windows over everything the walk checked.
+        let mut not_before = 0u64;
+        let mut not_after = u64::MAX;
+        for cert in chain {
+            not_before = not_before.max(cert.tbs.validity.not_before);
+            not_after = not_after.min(cert.tbs.validity.not_after);
+        }
+        let top = chain.last().expect("validated chain is non-empty");
+        if !trust.contains(top) {
+            if let Some(root) = trust.find_by_subject(top.issuer()) {
+                not_before = not_before.max(root.tbs.validity.not_before);
+                not_after = not_after.min(root.tbs.validity.not_after);
+            }
+        }
+
+        if self.entries.len() == self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            CachedEntry {
+                identity: identity.clone(),
+                not_before,
+                not_after,
+            },
+        );
+        self.order.push_back(key);
+        Ok(identity)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (full walks) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of memoized chains.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -540,6 +702,88 @@ mod tests {
             validate_chain(&[], &w.trust, 100).unwrap_err(),
             PkiError::InvalidChain(_)
         ));
+    }
+
+    #[test]
+    fn cached_validator_hits_after_first_walk() {
+        let w = world();
+        let mut v = CachedValidator::new(8);
+        let crls = CrlStore::new();
+        let id1 = v.validate(w.user.chain(), &w.trust, &crls, 500).unwrap();
+        let id2 = v.validate(w.user.chain(), &w.trust, &crls, 600).unwrap();
+        assert_eq!(id1.base_identity, id2.base_identity);
+        assert_eq!((v.hits(), v.misses()), (1, 1));
+    }
+
+    #[test]
+    fn cached_validator_sees_new_revocation() {
+        let w = world();
+        let mut v = CachedValidator::new(8);
+        let mut crls = CrlStore::new();
+        assert!(v.validate(w.user.chain(), &w.trust, &crls, 500).is_ok());
+        // Revoke the user: the CRL-store generation bump must invalidate
+        // the cached positive result.
+        let serial = w.user.certificate().tbs.serial;
+        assert!(crls.add(
+            w.ca.issue_crl(vec![serial], 100, 10_000),
+            w.ca.certificate()
+        ));
+        assert_eq!(
+            v.validate(w.user.chain(), &w.trust, &crls, 500)
+                .unwrap_err(),
+            PkiError::Revoked { serial }
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn cached_validator_never_caches_negatives() {
+        let w = world();
+        let mut v = CachedValidator::new(8);
+        let empty = TrustStore::new();
+        let crls = CrlStore::new();
+        for _ in 0..3 {
+            assert_eq!(
+                v.validate(w.user.chain(), &empty, &crls, 500).unwrap_err(),
+                PkiError::UntrustedRoot
+            );
+        }
+        assert!(v.is_empty());
+        assert_eq!((v.hits(), v.misses()), (0, 3));
+    }
+
+    #[test]
+    fn cached_validator_honours_expiry() {
+        let w = world();
+        let mut v = CachedValidator::new(8);
+        let crls = CrlStore::new();
+        assert!(v.validate(w.user.chain(), &w.trust, &crls, 500).is_ok());
+        // User cert expires at 100_000; a hit must not outlive it.
+        let err = v
+            .validate(w.user.chain(), &w.trust, &crls, 200_000)
+            .unwrap_err();
+        assert!(matches!(err, PkiError::Expired { .. }));
+        assert_eq!(v.hits(), 0);
+    }
+
+    #[test]
+    fn cached_validator_evicts_fifo() {
+        let mut w = world();
+        let mut v = CachedValidator::new(2);
+        let crls = CrlStore::new();
+        let users: Vec<_> = (0..3)
+            .map(|i| {
+                w.ca.issue_identity(&mut w.rng, dn(&format!("/O=G/CN=U{i}")), 512, 0, 100_000)
+            })
+            .collect();
+        for u in &users {
+            v.validate(u.chain(), &w.trust, &crls, 500).unwrap();
+        }
+        assert_eq!(v.len(), 2);
+        // Oldest (U0) was evicted: validating it again is a miss.
+        let misses = v.misses();
+        v.validate(users[0].chain(), &w.trust, &crls, 500).unwrap();
+        assert_eq!(v.misses(), misses + 1);
     }
 
     #[test]

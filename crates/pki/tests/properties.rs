@@ -156,3 +156,79 @@ fn crl_roundtrip_and_revocation() {
         }
     });
 }
+
+#[test]
+fn cached_validator_agrees_with_direct_walk() {
+    use gridsec_pki::store::CrlStore;
+    use gridsec_pki::validate::{validate_chain_with_crls, CachedValidator};
+    check("cached_validator_agrees_with_direct_walk", CASES, |g| {
+        let f = fixture();
+        let seed = g.u64();
+        let depth = g.usize_in(0..3);
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let mut cred = f.user.clone();
+        for _ in 0..depth {
+            cred =
+                issue_proxy(&mut rng, &cred, ProxyType::Impersonation, 512, 10, 500_000).unwrap();
+        }
+        let mut v = CachedValidator::new(4);
+        let crls = CrlStore::new();
+        let now = g.u64_in(0..1_200_000);
+        // Three queries at the same instant: the first misses and walks,
+        // the rest hit — every answer must agree with the direct walk.
+        for _ in 0..3 {
+            let direct = validate_chain_with_crls(cred.chain(), &f.trust, &crls, now);
+            let cached = v.validate(cred.chain(), &f.trust, &crls, now);
+            match (direct, cached) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.base_identity, b.base_identity);
+                    assert_eq!(a.proxy_depth, b.proxy_depth);
+                    assert_eq!(a.rights, b.rights);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("cache diverged: direct={a:?} cached={b:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn cached_validator_agrees_after_revocation() {
+    use gridsec_pki::store::CrlStore;
+    use gridsec_pki::validate::{validate_chain_with_crls, CachedValidator};
+    check("cached_validator_agrees_after_revocation", CASES, |g| {
+        let f = fixture();
+        let seed = g.u64();
+        let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+        let depth = g.usize_in(0..3);
+        let mut cred = f.user.clone();
+        for _ in 0..depth {
+            cred =
+                issue_proxy(&mut rng, &cred, ProxyType::Impersonation, 512, 10, 500_000).unwrap();
+        }
+        let mut v = CachedValidator::new(4);
+        let mut crls = CrlStore::new();
+        let now = g.u64_in(10..400_000);
+        // Warm the cache with a positive result...
+        assert!(v.validate(cred.chain(), &f.trust, &crls, now).is_ok());
+        // ...then revoke either the user's certificate or some unrelated
+        // serial. The store mutation bumps the CRL generation, so the
+        // cached entry must not mask the new revocation state.
+        let serial = if g.bool() {
+            f.user.certificate().tbs.serial
+        } else {
+            g.u64() | (1 << 63)
+        };
+        assert!(crls.add(
+            f.ca.issue_crl(vec![serial], now, 1_000_000),
+            f.ca.certificate()
+        ));
+        let direct = validate_chain_with_crls(cred.chain(), &f.trust, &crls, now);
+        let cached = v.validate(cred.chain(), &f.trust, &crls, now);
+        match (direct, cached) {
+            (Ok(a), Ok(b)) => assert_eq!(a.base_identity, b.base_identity),
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("cache diverged after revocation: direct={a:?} cached={b:?}"),
+        }
+    });
+}

@@ -9,6 +9,7 @@
 use gridsec_crypto::aead;
 use gridsec_pki::validate::ValidatedIdentity;
 
+use crate::session::ResumptionData;
 use crate::TlsError;
 
 /// Direction-specific keys and sequence state for an established session.
@@ -27,6 +28,7 @@ pub struct SecureChannel {
     read_seq: u64,
     mic_write_seq: u64,
     mic_read_seq: u64,
+    resumption: Option<ResumptionData>,
 }
 
 /// Size of the key block the channel constructor expects:
@@ -75,6 +77,7 @@ impl SecureChannel {
                 read_seq: 0,
                 mic_write_seq: 0,
                 mic_read_seq: 0,
+                resumption: None,
             }
         } else {
             SecureChannel {
@@ -89,8 +92,22 @@ impl SecureChannel {
                 read_seq: 0,
                 mic_write_seq: 0,
                 mic_read_seq: 0,
+                resumption: None,
             }
         }
+    }
+
+    /// Attach resumption state (called by the handshake layers).
+    pub(crate) fn with_resumption(mut self, resumption: ResumptionData) -> Self {
+        self.resumption = Some(resumption);
+        self
+    }
+
+    /// Resumption state minted by the handshake that produced this
+    /// channel, if any — feed it to a session cache to make later
+    /// contexts with the same peer skip the asymmetric handshake.
+    pub fn resumption(&self) -> Option<&ResumptionData> {
+        self.resumption.as_ref()
     }
 
     fn nonce_for(base: &[u8; 12], seq: u64) -> [u8; 12] {

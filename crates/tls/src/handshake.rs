@@ -33,6 +33,7 @@ use gridsec_pki::validate::{validate_chain_with_crls, ValidatedIdentity};
 use gridsec_pki::PkiError;
 
 use crate::channel::SecureChannel;
+use crate::session::ResumptionData;
 use crate::TlsError;
 
 /// Handshake configuration shared by both sides.
@@ -49,6 +50,9 @@ pub struct TlsConfig {
     /// Diffie–Hellman group (defaults to the fast 256-bit test group; use
     /// [`DhGroup::modp2048`] for realistically-sized handshakes).
     pub group: DhGroup,
+    /// How long a completed handshake stays resumable (see
+    /// [`crate::session`]). Measured in the same units as `now`.
+    pub session_lifetime: u64,
 }
 
 impl TlsConfig {
@@ -60,6 +64,7 @@ impl TlsConfig {
             crls: CrlStore::new(),
             now,
             group: DhGroup::test_group_256(),
+            session_lifetime: crate::session::DEFAULT_SESSION_LIFETIME,
         }
     }
 
@@ -72,6 +77,12 @@ impl TlsConfig {
     /// Builder: supply revocation state.
     pub fn with_crls(mut self, crls: CrlStore) -> Self {
         self.crls = crls;
+        self
+    }
+
+    /// Builder: override the session resumption lifetime.
+    pub fn with_session_lifetime(mut self, lifetime: u64) -> Self {
+        self.session_lifetime = lifetime;
         self
     }
 }
@@ -99,7 +110,7 @@ struct ClientFinished {
     mac: [u8; 32],
 }
 
-fn get_array32(dec: &mut Decoder<'_>) -> Result<[u8; 32], PkiError> {
+pub(crate) fn get_array32(dec: &mut Decoder<'_>) -> Result<[u8; 32], PkiError> {
     dec.get_bytes()?
         .try_into()
         .map_err(|_| PkiError::Decode("expected 32 bytes"))
@@ -168,15 +179,15 @@ impl Codec for ClientFinished {
 // Key schedule
 // ----------------------------------------------------------------------
 
-struct KeySchedule {
-    master: [u8; 32],
-    key_block: Vec<u8>,
+pub(crate) struct KeySchedule {
+    pub(crate) master: [u8; 32],
+    pub(crate) key_block: Vec<u8>,
     transcript: [u8; 32],
     server_random: [u8; 32],
 }
 
 impl KeySchedule {
-    fn derive(
+    pub(crate) fn derive(
         shared_secret: &[u8],
         client_random: &[u8; 32],
         server_random: &[u8; 32],
@@ -198,7 +209,7 @@ impl KeySchedule {
         }
     }
 
-    fn finished_mac(&self, label: &str) -> [u8; 32] {
+    pub(crate) fn finished_mac(&self, label: &str) -> [u8; 32] {
         let mut data = label.as_bytes().to_vec();
         data.extend_from_slice(&self.transcript);
         data.extend_from_slice(&self.server_random);
@@ -308,7 +319,12 @@ impl ClientHandshake {
         let finished = ClientFinished {
             mac: ks.finished_mac("client finished"),
         };
-        let channel = SecureChannel::from_key_block(peer, &ks.key_block, true);
+        let resumption = ResumptionData::from_master(
+            ks.master,
+            self.config.now.saturating_add(self.config.session_lifetime),
+        );
+        let channel =
+            SecureChannel::from_key_block(peer, &ks.key_block, true).with_resumption(resumption);
         Ok((finished.to_bytes(), channel))
     }
 }
@@ -328,6 +344,7 @@ pub struct ServerAwaitFinished {
     expected_mac: [u8; 32],
     peer: ValidatedIdentity,
     key_block: Vec<u8>,
+    resumption: ResumptionData,
 }
 
 impl ServerHandshake {
@@ -382,12 +399,17 @@ impl ServerHandshake {
             signature: self.config.credential.sign(&payload),
             finished_mac: ks.finished_mac("server finished"),
         };
+        let resumption = ResumptionData::from_master(
+            ks.master,
+            self.config.now.saturating_add(self.config.session_lifetime),
+        );
         Ok((
             sh.to_bytes(),
             ServerAwaitFinished {
                 expected_mac: ks.finished_mac("client finished"),
                 peer,
                 key_block: ks.key_block,
+                resumption,
             },
         ))
     }
@@ -402,11 +424,10 @@ impl ServerAwaitFinished {
         if !ct_eq(&cf.mac, &self.expected_mac) {
             return Err(TlsError::BadFinished);
         }
-        Ok(SecureChannel::from_key_block(
-            self.peer,
-            &self.key_block,
-            false,
-        ))
+        Ok(
+            SecureChannel::from_key_block(self.peer, &self.key_block, false)
+                .with_resumption(self.resumption),
+        )
     }
 }
 

@@ -22,6 +22,10 @@
 //! * [`stream`] — GT2 mode: pump the same tokens over a blocking byte
 //!   stream with length-prefixed framing ([`stream::client_connect`] /
 //!   [`stream::server_accept`]), yielding a [`stream::SecureStream`].
+//! * [`session`] — session resumption: a completed handshake mints a
+//!   ticket both sides derive from the master secret; a later context
+//!   between the same pair runs an abbreviated handshake that skips
+//!   certificate validation, RSA, and Diffie–Hellman entirely.
 //!
 //! `gridsec-gssapi` wraps the token state machines in GSS-API shapes, and
 //! `gridsec-wsse` carries the *identical* tokens inside WS-Trust SOAP
@@ -33,6 +37,7 @@
 pub mod channel;
 pub mod handshake;
 pub mod retry;
+pub mod session;
 pub mod stream;
 
 use gridsec_pki::PkiError;

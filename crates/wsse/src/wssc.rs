@@ -11,13 +11,26 @@
 //! After establishment, application envelopes are protected under the
 //! context: a `wsc:SecurityContextToken` header names the context and the
 //! body is sealed by the context's keys.
+//!
+//! Repeat conversations between the same pair can skip the asymmetric
+//! handshake: the responder keeps a [`ServerSessionCache`], and a
+//! client holding a [`ClientSession`] runs the abbreviated resumption
+//! exchange ([`WsscResumeInitiator`]) — the same RST/RSTR envelope
+//! shapes, but the `BinaryExchange` tokens carry only symmetric-crypto
+//! material ([`gridsec_tls::session`]). An unknown ticket answers with
+//! a context fault and the client falls back to the full handshake.
 
 use std::collections::HashMap;
 
 use gridsec_bignum::prime::EntropySource;
 use gridsec_gssapi::context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
 use gridsec_pki::validate::ValidatedIdentity;
+use gridsec_tls::channel::SecureChannel;
 use gridsec_tls::handshake::TlsConfig;
+use gridsec_tls::session::{
+    is_resume_hello, resume_client, ClientResume, ClientSession, ServerResumeAwait,
+    ServerSessionCache, DEFAULT_SESSION_CAPACITY,
+};
 use gridsec_xml::Element;
 
 use crate::b64;
@@ -97,6 +110,49 @@ impl WsscInitiator {
     }
 }
 
+/// Client side of the abbreviated resumption exchange: the same
+/// RST/RSTR envelope shapes as [`WsscInitiator`], but the embedded
+/// tokens skip certificate validation, RSA, and Diffie–Hellman.
+pub struct WsscResumeInitiator {
+    inner: ClientResume,
+}
+
+impl WsscResumeInitiator {
+    /// Start a resumption from a cached session; returns the state
+    /// machine and the first RST envelope.
+    pub fn begin<E: EntropySource>(
+        session: ClientSession,
+        now: u64,
+        lifetime: u64,
+        rng: &mut E,
+    ) -> (Self, Envelope) {
+        let (inner, token) = resume_client(session, now, lifetime, rng);
+        (
+            WsscResumeInitiator { inner },
+            rst_envelope("wst:RequestSecurityToken", None, Some(&token)),
+        )
+    }
+
+    /// Process the server's RSTR; returns the final RST envelope (which
+    /// must be delivered) and the resumed session.
+    pub fn finish(self, rstr: &Envelope) -> Result<(Envelope, WsscSession), WsseError> {
+        let (ctx_id, token) = parse_rst(rstr)?;
+        let ctx_id = ctx_id.ok_or(WsseError::Context("RSTR missing context id"))?;
+        let token = token.ok_or(WsseError::Context("RSTR missing token"))?;
+        let (finished, channel) = self
+            .inner
+            .step(&token)
+            .map_err(|_| WsseError::Context("resumption failed"))?;
+        Ok((
+            rst_envelope("wst:RequestSecurityToken", Some(&ctx_id), Some(&finished)),
+            WsscSession {
+                ctx_id,
+                context: EstablishedContext::from_channel(channel),
+            },
+        ))
+    }
+}
+
 /// An established client-side conversation.
 pub struct WsscSession {
     /// The context identifier shared with the server.
@@ -108,6 +164,12 @@ impl WsscSession {
     /// The authenticated peer.
     pub fn peer(&self) -> &ValidatedIdentity {
         self.context.peer()
+    }
+
+    /// The underlying channel — read-only, for harvesting resumption
+    /// state into a [`gridsec_tls::session::ClientSessionCache`].
+    pub fn channel(&self) -> &SecureChannel {
+        self.context.channel()
     }
 
     /// Protect an application envelope under this context.
@@ -131,6 +193,7 @@ impl WsscSession {
 
 enum ServerCtx {
     Pending(Box<AcceptorContext>),
+    PendingResume(Box<ServerResumeAwait>),
     Ready(Box<EstablishedContext>),
 }
 
@@ -139,16 +202,25 @@ pub struct WsscResponder {
     config: TlsConfig,
     next_id: u64,
     contexts: HashMap<String, ServerCtx>,
+    sessions: ServerSessionCache,
 }
 
 impl WsscResponder {
     /// Create a responder with the service's TLS configuration.
     pub fn new(config: TlsConfig) -> Self {
+        let sessions = ServerSessionCache::new(DEFAULT_SESSION_CAPACITY, config.session_lifetime);
         WsscResponder {
             config,
             next_id: 1,
             contexts: HashMap::new(),
+            sessions,
         }
+    }
+
+    /// The responder's session cache (hit/miss counters for tests and
+    /// metrics).
+    pub fn sessions(&self) -> &ServerSessionCache {
+        &self.sessions
     }
 
     /// Handle one RST envelope, returning the RSTR to send back.
@@ -160,6 +232,26 @@ impl WsscResponder {
         let (ctx_id, token) = parse_rst(env)?;
         let token = token.ok_or(WsseError::Context("RST missing token"))?;
         match ctx_id {
+            None if is_resume_hello(&token) => {
+                // Abbreviated handshake: ticket lookup instead of
+                // certificate validation. A miss faults back to the
+                // client, which falls back to the full handshake.
+                let (out, await_finished) = self
+                    .sessions
+                    .accept(&token, self.config.now, rng)
+                    .map_err(|_| WsseError::Context("no resumable session"))?;
+                let id = format!("uuid:ctx-{}", self.next_id);
+                self.next_id += 1;
+                self.contexts.insert(
+                    id.clone(),
+                    ServerCtx::PendingResume(Box::new(await_finished)),
+                );
+                Ok(rst_envelope(
+                    "wst:RequestSecurityTokenResponse",
+                    Some(&id),
+                    Some(&out),
+                ))
+            }
             None => {
                 // New conversation.
                 let id = format!("uuid:ctx-{}", self.next_id);
@@ -191,6 +283,22 @@ impl WsscResponder {
                     .ok_or(WsseError::Context("unknown context id"))?;
                 let mut acceptor = match entry {
                     ServerCtx::Pending(a) => a,
+                    ServerCtx::PendingResume(wait) => {
+                        let channel = wait
+                            .step(&token)
+                            .map_err(|_| WsseError::Context("resumption failed"))?;
+                        // Rotate: the resumed context mints a fresh ticket.
+                        self.sessions.store(&channel);
+                        self.contexts.insert(
+                            id.clone(),
+                            ServerCtx::Ready(Box::new(EstablishedContext::from_channel(channel))),
+                        );
+                        return Ok(rst_envelope(
+                            "wst:RequestSecurityTokenResponse",
+                            Some(&id),
+                            None,
+                        ));
+                    }
                     ServerCtx::Ready(_) => {
                         return Err(WsseError::Context("context already established"))
                     }
@@ -200,6 +308,7 @@ impl WsscResponder {
                     .map_err(|_| WsseError::Context("handshake failed"))?
                 {
                     StepResult::Established { context, .. } => {
+                        self.sessions.store(context.channel());
                         self.contexts.insert(id.clone(), ServerCtx::Ready(context));
                         Ok(rst_envelope(
                             "wst:RequestSecurityTokenResponse",
@@ -343,6 +452,23 @@ pub fn establish<E: EntropySource>(
     Ok(session)
 }
 
+/// Drive an abbreviated resumption exchange against a responder in one
+/// process. The round-trip count matches [`establish`] but neither side
+/// touches certificates, RSA, or Diffie–Hellman.
+pub fn resume<E: EntropySource>(
+    session: ClientSession,
+    now: u64,
+    lifetime: u64,
+    responder: &mut WsscResponder,
+    rng: &mut E,
+) -> Result<WsscSession, WsseError> {
+    let (initiator, rst1) = WsscResumeInitiator::begin(session, now, lifetime, rng);
+    let rstr1 = responder.handle_rst(&Envelope::parse(&rst1.to_xml())?, rng)?;
+    let (rst2, session) = initiator.finish(&Envelope::parse(&rstr1.to_xml())?)?;
+    let _ack = responder.handle_rst(&Envelope::parse(&rst2.to_xml())?, rng)?;
+    Ok(session)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,6 +540,72 @@ mod tests {
             .unprotect(&Envelope::parse(&protected_reply.to_xml()).unwrap())
             .unwrap();
         assert_eq!(opened.payload().unwrap().name, "gram:Handle");
+    }
+
+    #[test]
+    fn resumed_conversation_skips_asymmetric_exchange() {
+        let mut w = world();
+        let mut responder = WsscResponder::new(cfg(&w, &w.service));
+        let first = establish(cfg(&w, &w.alice), &mut responder, &mut w.rng).unwrap();
+        assert_eq!(responder.sessions().len(), 1);
+
+        let cached = ClientSession::from_channel(first.channel()).unwrap();
+        let mut resumed = resume(cached, 100, 3_600, &mut responder, &mut w.rng).unwrap();
+        assert_eq!(responder.sessions().hits(), 1);
+        assert_eq!(resumed.peer().base_identity, dn("/O=G/CN=MMJFS"));
+        assert_eq!(
+            responder.peer(&resumed.ctx_id).unwrap().base_identity,
+            dn("/O=G/CN=Alice")
+        );
+
+        // The resumed context protects traffic like a full one.
+        let req = Envelope::request("query", Element::new("gram:Status"));
+        let protected = resumed.protect(&req);
+        let (ctx_id, inner) = responder
+            .unprotect(&Envelope::parse(&protected.to_xml()).unwrap())
+            .unwrap();
+        assert_eq!(ctx_id, resumed.ctx_id);
+        assert_eq!(inner.payload().unwrap().name, "gram:Status");
+    }
+
+    #[test]
+    fn resumption_rotates_ticket_for_next_hop() {
+        let mut w = world();
+        let mut responder = WsscResponder::new(cfg(&w, &w.service));
+        let first = establish(cfg(&w, &w.alice), &mut responder, &mut w.rng).unwrap();
+        let cached = ClientSession::from_channel(first.channel()).unwrap();
+        let old_ticket = *cached.ticket();
+
+        let resumed = resume(cached, 100, 3_600, &mut responder, &mut w.rng).unwrap();
+        let rotated = ClientSession::from_channel(resumed.channel()).unwrap();
+        assert_ne!(*rotated.ticket(), old_ticket);
+
+        // The rotated ticket resumes again; the original is spent only in
+        // the sense that a fresh responder never saw it.
+        let again = resume(rotated, 200, 3_600, &mut responder, &mut w.rng).unwrap();
+        assert_eq!(again.peer().base_identity, dn("/O=G/CN=MMJFS"));
+        assert_eq!(responder.sessions().hits(), 2);
+    }
+
+    #[test]
+    fn unknown_ticket_faults_and_full_handshake_recovers() {
+        let mut w = world();
+        let mut responder = WsscResponder::new(cfg(&w, &w.service));
+        let first = establish(cfg(&w, &w.alice), &mut responder, &mut w.rng).unwrap();
+        let cached = ClientSession::from_channel(first.channel()).unwrap();
+
+        // A freshly restarted responder has an empty session cache.
+        let mut reborn = WsscResponder::new(cfg(&w, &w.service));
+        match resume(cached, 100, 3_600, &mut reborn, &mut w.rng) {
+            Err(WsseError::Context(_)) => {}
+            Err(other) => panic!("expected context fault, got {other:?}"),
+            Ok(_) => panic!("resume against an empty cache must fault"),
+        }
+        assert_eq!(reborn.sessions().misses(), 1);
+
+        // Fallback: the client re-runs the full exchange successfully.
+        let recovered = establish(cfg(&w, &w.alice), &mut reborn, &mut w.rng).unwrap();
+        assert_eq!(recovered.peer().base_identity, dn("/O=G/CN=MMJFS"));
     }
 
     #[test]

@@ -134,6 +134,14 @@ if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
     echo "ok: crash seed matrix complete"
 fi
 
+echo "== bench smoke: perf guard (resumed < full, montgomery < classic) =="
+# Offline micro-gate on the two amortization claims: the Montgomery
+# modexp kernel must beat the classic window reference on 512-bit
+# sign-shaped operands, and the abbreviated (resumed) handshake must
+# beat the full asymmetric handshake. Median-of-N timings; a genuine
+# win is several-fold, so this does not flake on scheduler noise.
+cargo run -q --offline --release -p gridsec-bench --bin perf_guard
+
 echo "== bench smoke: flow metrics drift gate on EXPERIMENTS.md =="
 # Replay the chaos flows from the pinned seed, regenerate the
 # flow-metrics tables, and require the committed EXPERIMENTS.md to

@@ -122,8 +122,12 @@ fn flow_metrics_accumulate_per_figure() {
     assert!(m.counters["fig2.cas.assertions_fetched"] >= 1);
     assert!(m.counters["fig3.ogsa.envelopes"] >= 1);
     assert!(m.counters["fig4.gram.jobs_submitted"] >= 1);
+    // The repeat sign-on in figure 1 went through the session cache:
+    // no chaos is armed here, so it resumed without touching RSA/DH.
+    assert!(m.counters["fig1.gss.contexts_resumed"] >= 1);
     // Latency histograms auto-recorded from span durations.
     assert!(m.hists["fig1.span.gss.establish.secs"].count >= 1);
+    assert!(m.hists["fig1.span.gss.resume.secs"].count >= 1);
     assert!(m.hists["fig4.span.gram.connect_start.secs"].count >= 1);
     // RPC traffic accounting exists for every RPC-based figure.
     for fig in ["fig1", "fig2", "fig3", "fig4"] {
@@ -222,6 +226,39 @@ fn mid_request_crash_yields_no_duplicate_side_effects() {
     ] {
         assert!(run.transcript.contains(needle), "missing {needle}");
     }
+}
+
+#[test]
+fn mid_resume_kill_falls_back_to_full_handshake() {
+    // Kill the acceptor at the worst moment for session resumption: while
+    // it is executing a resume op. The reborn acceptor has lost its
+    // session cache, so the retransmitted ticket is refused and the
+    // initiator must transparently fall back to the full handshake —
+    // on the still-lossy link.
+    let opts = ChaosOpts {
+        armed_crashes: vec![("gss.accept.resume".to_string(), 1)],
+        ..ChaosOpts::default()
+    };
+    let rep = figure1_gss(chaos_seed(), &opts);
+    assert!(rep.completed, "fallback must still complete the flow");
+    assert_eq!(rep.crashes, 1, "the armed mid-resume kill fired");
+    assert_eq!(rep.restarts, 1, "the acceptor came back");
+    assert!(
+        rep.trace.contains("gss.resume.fallback"),
+        "fallback event missing from trace:\n{}",
+        rep.trace
+    );
+    assert!(rep.metrics.counters["gss.resume_fallbacks"] >= 1);
+    // The abbreviated exchange never finished, so nothing was resumed —
+    // both contexts came from full handshakes.
+    assert!(!rep.metrics.counters.contains_key("gss.contexts_resumed"));
+    assert!(rep.metrics.counters["gss.contexts_established"] >= 2);
+
+    // Determinism gate: the crash-plus-fallback schedule replays
+    // byte-identically from the same seed.
+    let rep2 = figure1_gss(chaos_seed(), &opts);
+    assert_eq!(rep.lines, rep2.lines);
+    assert_eq!(rep.trace, rep2.trace);
 }
 
 #[test]
