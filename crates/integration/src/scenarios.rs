@@ -59,6 +59,8 @@ use std::sync::Mutex;
 
 use crate::{basic_world, dn};
 
+pub mod vo_storm;
+
 /// Options a chaos harness can vary per run.
 #[derive(Clone, Debug, Default)]
 pub struct ChaosOpts {

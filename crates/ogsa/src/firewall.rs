@@ -13,7 +13,13 @@
 //! a perimeter is reachable without the perimeter holding any
 //! credentials or terminating any security context.
 
-use gridsec_testbed::net::Network;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use gridsec_testbed::net::{Endpoint, Message, Network};
+use gridsec_testbed::sched::{Step, Task, TaskCx};
+use gridsec_testbed::TestbedError;
 use gridsec_wsse::routing;
 use gridsec_wsse::soap::Envelope;
 use gridsec_wsse::wssc::RST_ACTION;
@@ -149,11 +155,86 @@ pub fn run_router(
     firewall.stats
 }
 
+/// [`run_router`] as a resumable discrete-event task: drain the
+/// mailbox, forward allowed envelopes to their next hop *without
+/// blocking*, and relay each hop's replies back to the original
+/// senders. Spawn it with
+/// [`Scheduler::spawn_mailbox`][gridsec_testbed::sched::Scheduler::spawn_mailbox]
+/// under the router's endpoint name; this replaces the
+/// thread-per-router loop in scheduler-driven scenarios. The firewall
+/// is shared so a harness can read its counters while the task lives on
+/// the scheduler.
+pub struct RouterTask {
+    endpoint: Endpoint,
+    firewall: Rc<RefCell<Firewall>>,
+    /// Original requesters awaiting a reply from each next hop, in
+    /// forwarding order. Per-link delivery on a fault-free network is
+    /// FIFO, so the first reply from a hop answers the first request
+    /// forwarded to it.
+    pending: HashMap<String, VecDeque<String>>,
+}
+
+impl RouterTask {
+    /// Register `name` and route through `firewall`.
+    pub fn new(network: &Network, name: &str, firewall: Rc<RefCell<Firewall>>) -> Self {
+        RouterTask {
+            endpoint: network.register(name),
+            firewall,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn handle(&mut self, msg: Message) {
+        // A message from a hop we forwarded to is that hop's reply:
+        // relay it to the requester at the head of the hop's queue.
+        if let Some(q) = self.pending.get_mut(&msg.from) {
+            if let Some(client) = q.pop_front() {
+                let _ = self.endpoint.send(&client, msg.payload);
+                return;
+            }
+        }
+        let xml = String::from_utf8_lossy(&msg.payload).into_owned();
+        let fault = match self.firewall.borrow_mut().inspect(&xml) {
+            Verdict::Deny(reason) => crate::hosting::fault_envelope(&OgsaError::Transport(
+                format!("dropped by firewall: {reason}"),
+            )),
+            Verdict::Allow(_) => match Envelope::parse(&xml) {
+                Ok(mut env) => match routing::advance(&mut env) {
+                    Ok(Some(next)) => match self.endpoint.send(&next, env.to_xml().into_bytes()) {
+                        Ok(()) => {
+                            self.pending.entry(next).or_default().push_back(msg.from);
+                            return;
+                        }
+                        Err(e) => {
+                            crate::hosting::fault_envelope(&OgsaError::Transport(e.to_string()))
+                        }
+                    },
+                    _ => crate::hosting::fault_envelope(&OgsaError::Malformed(
+                        "router received unrouted message",
+                    )),
+                },
+                Err(e) => crate::hosting::fault_envelope(&OgsaError::Wsse(e)),
+            },
+        };
+        let _ = self.endpoint.send(&msg.from, fault.to_xml().into_bytes());
+    }
+}
+
+impl Task for RouterTask {
+    fn step(&mut self, _cx: &TaskCx) -> Step {
+        while let Some(msg) = self.endpoint.try_recv() {
+            self.handle(msg);
+        }
+        Step::WaitMail { deadline: None }
+    }
+}
+
 /// A client-side transport that sends every request via a routed path
 /// (client → router(s) → service) on the simulated network.
 pub struct RoutedTransport {
-    endpoint: gridsec_testbed::net::Endpoint,
+    endpoint: Endpoint,
     path: routing::RoutingPath,
+    pump: Option<Box<dyn FnMut() -> usize>>,
 }
 
 impl RoutedTransport {
@@ -162,6 +243,33 @@ impl RoutedTransport {
         RoutedTransport {
             endpoint: network.register(client_name),
             path,
+            pump: None,
+        }
+    }
+
+    /// Install a pump hook (typically `|| scheduler.poll()`): instead of
+    /// blocking on the reply, each call drives the hook until the reply
+    /// arrives, so routers and services scheduled on the same thread
+    /// make progress inside the client's wait.
+    pub fn set_pump(&mut self, hook: impl FnMut() -> usize + 'static) {
+        self.pump = Some(Box::new(hook));
+    }
+
+    /// One request/reply exchange: blocking without a pump, pump-driven
+    /// with one. A quiescent pump with no reply means the message died
+    /// inside the perimeter — surfaced as a timeout, not a hang.
+    fn exchange(&mut self, to: &str, payload: Vec<u8>) -> Result<Message, TestbedError> {
+        self.endpoint.send(to, payload)?;
+        match &mut self.pump {
+            None => self.endpoint.recv(),
+            Some(pump) => loop {
+                if let Some(m) = self.endpoint.try_recv() {
+                    return Ok(m);
+                }
+                if pump() == 0 {
+                    return Err(TestbedError::Timeout);
+                }
+            },
         }
     }
 }
@@ -183,8 +291,7 @@ impl Transport for RoutedTransport {
             let mut direct = env.clone();
             let _ = routing::advance(&mut direct).map_err(OgsaError::Wsse)?;
             let reply = self
-                .endpoint
-                .call(&first, direct.to_xml().into_bytes())
+                .exchange(&first, direct.to_xml().into_bytes())
                 .map_err(|e| OgsaError::Transport(e.to_string()))?;
             return String::from_utf8(reply.payload)
                 .map_err(|_| OgsaError::Transport("non-UTF8".into()));
@@ -192,8 +299,7 @@ impl Transport for RoutedTransport {
         // Pop the entry router from the path before sending to it.
         let _ = routing::advance(&mut env).map_err(OgsaError::Wsse)?;
         let reply = self
-            .endpoint
-            .call(&first, env.to_xml().into_bytes())
+            .exchange(&first, env.to_xml().into_bytes())
             .map_err(|e| OgsaError::Transport(e.to_string()))?;
         String::from_utf8(reply.payload).map_err(|_| OgsaError::Transport("non-UTF8".into()))
     }

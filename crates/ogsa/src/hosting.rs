@@ -190,25 +190,20 @@ impl HostingEnvironment {
         let now = self.clock.now();
         let caller_name = caller.base_identity.to_string();
 
+        // Parse the wire payload into a typed request exactly once:
+        // every attacker-controlled attribute is validated here, before
+        // authorization, and the dispatch below never touches the raw
+        // envelope again.
+        let req = AppRequest::parse(action, payload)?;
+
         // Resolve the authorization target.
-        let (resource, verb, op_desc) = match action {
-            "createService" => {
-                let ty = payload
-                    .attr("type")
-                    .ok_or(OgsaError::Malformed("CreateService needs type"))?;
-                (
-                    format!("factory:{ty}"),
-                    "create".to_string(),
-                    format!("createService {ty}"),
-                )
-            }
-            "invoke" => {
-                let handle = payload
-                    .attr("handle")
-                    .ok_or(OgsaError::Malformed("Invoke needs handle"))?;
-                let op = payload
-                    .attr("op")
-                    .ok_or(OgsaError::Malformed("Invoke needs op"))?;
+        let (resource, verb, op_desc) = match &req {
+            AppRequest::Create { ty, .. } => (
+                format!("factory:{ty}"),
+                "create".to_string(),
+                format!("createService {ty}"),
+            ),
+            AppRequest::Invoke { handle, op, .. } => {
                 let ty = self
                     .registry
                     .service_type_of(handle)
@@ -219,10 +214,7 @@ impl HostingEnvironment {
                     format!("invoke {handle} {op}"),
                 )
             }
-            "queryServiceData" => {
-                let handle = payload
-                    .attr("handle")
-                    .ok_or(OgsaError::Malformed("Query needs handle"))?;
+            AppRequest::Query { handle, .. } => {
                 let ty = self
                     .registry
                     .service_type_of(handle)
@@ -233,10 +225,7 @@ impl HostingEnvironment {
                     format!("query {handle}"),
                 )
             }
-            "destroy" => {
-                let handle = payload
-                    .attr("handle")
-                    .ok_or(OgsaError::Malformed("Destroy needs handle"))?;
+            AppRequest::Destroy { handle } => {
                 let ty = self
                     .registry
                     .service_type_of(handle)
@@ -247,7 +236,6 @@ impl HostingEnvironment {
                     format!("destroy {handle}"),
                 )
             }
-            _ => return Err(OgsaError::Malformed("unknown action")),
         };
 
         // Authorization callout (Figure 3 step 5).
@@ -262,65 +250,107 @@ impl HostingEnvironment {
             });
         }
 
-        // Application dispatch.
-        let result = match action {
-            "createService" => {
-                let ty = payload.attr("type").unwrap().to_string();
+        // Application dispatch, consuming the already-validated request.
+        let result = match req {
+            AppRequest::Create { ty, args } => {
                 let ctx = RequestContext {
                     caller,
                     now,
                     handle: String::new(),
                 };
-                let args = payload
-                    .find("ogsa:Args")
-                    .cloned()
-                    .unwrap_or_else(|| Element::new("ogsa:Args"));
-                let handle = self.registry.create(&ty, &ctx, &args)?;
+                let args = args.cloned().unwrap_or_else(|| Element::new("ogsa:Args"));
+                let handle = self.registry.create(ty, &ctx, &args)?;
                 Ok(Envelope::request(
                     "createServiceResponse",
                     Element::new("ogsa:Handle").with_text(handle),
                 ))
             }
-            "invoke" => {
-                let handle = payload.attr("handle").unwrap().to_string();
-                let op = payload.attr("op").unwrap().to_string();
+            AppRequest::Invoke { handle, op, inner } => {
                 let ctx = RequestContext {
                     caller,
                     now,
-                    handle: handle.clone(),
+                    handle: handle.to_string(),
                 };
-                let inner = payload
-                    .child_elements()
-                    .next()
-                    .cloned()
-                    .unwrap_or_else(|| Element::new("ogsa:Empty"));
-                let out = self.registry.invoke(&handle, &ctx, &op, &inner)?;
+                let inner = inner.cloned().unwrap_or_else(|| Element::new("ogsa:Empty"));
+                let out = self.registry.invoke(handle, &ctx, op, &inner)?;
                 Ok(Envelope::request("invokeResponse", out))
             }
-            "queryServiceData" => {
-                let handle = payload.attr("handle").unwrap();
-                let name = payload
-                    .attr("name")
-                    .ok_or(OgsaError::Malformed("Query needs name"))?;
+            AppRequest::Query { handle, name } => {
                 let sde = self
                     .registry
                     .query(handle, name)?
                     .unwrap_or_else(|| Element::new("ogsa:NoSuchSde"));
                 Ok(Envelope::request("queryServiceDataResponse", sde))
             }
-            "destroy" => {
-                let handle = payload.attr("handle").unwrap();
+            AppRequest::Destroy { handle } => {
                 self.registry.destroy(handle)?;
                 Ok(Envelope::request(
                     "destroyResponse",
                     Element::new("ogsa:Ok"),
                 ))
             }
-            _ => unreachable!("filtered above"),
         };
         let outcome = if result.is_ok() { "permit" } else { "error" };
         self.audit_event(&caller_name, &op_desc, outcome);
         result
+    }
+}
+
+/// An application request with every wire-derived field extracted and
+/// validated. Constructing one is the *only* place dispatch reads
+/// attacker-controlled attributes, so a missing attribute is always a
+/// typed [`OgsaError::Malformed`] fault — never a panic.
+enum AppRequest<'a> {
+    /// `createService`: instantiate `ty` via its factory.
+    Create {
+        ty: &'a str,
+        args: Option<&'a Element>,
+    },
+    /// `invoke`: call `op` on the instance at `handle`.
+    Invoke {
+        handle: &'a str,
+        op: &'a str,
+        inner: Option<&'a Element>,
+    },
+    /// `queryServiceData`: read service-data element `name` of `handle`.
+    Query { handle: &'a str, name: &'a str },
+    /// `destroy`: terminate the instance at `handle`.
+    Destroy { handle: &'a str },
+}
+
+impl<'a> AppRequest<'a> {
+    fn parse(action: &str, payload: &'a Element) -> Result<Self, OgsaError> {
+        match action {
+            "createService" => Ok(AppRequest::Create {
+                ty: payload
+                    .attr("type")
+                    .ok_or(OgsaError::Malformed("CreateService needs type"))?,
+                args: payload.find("ogsa:Args"),
+            }),
+            "invoke" => Ok(AppRequest::Invoke {
+                handle: payload
+                    .attr("handle")
+                    .ok_or(OgsaError::Malformed("Invoke needs handle"))?,
+                op: payload
+                    .attr("op")
+                    .ok_or(OgsaError::Malformed("Invoke needs op"))?,
+                inner: payload.child_elements().next(),
+            }),
+            "queryServiceData" => Ok(AppRequest::Query {
+                handle: payload
+                    .attr("handle")
+                    .ok_or(OgsaError::Malformed("Query needs handle"))?,
+                name: payload
+                    .attr("name")
+                    .ok_or(OgsaError::Malformed("Query needs name"))?,
+            }),
+            "destroy" => Ok(AppRequest::Destroy {
+                handle: payload
+                    .attr("handle")
+                    .ok_or(OgsaError::Malformed("Destroy needs handle"))?,
+            }),
+            _ => Err(OgsaError::Malformed("unknown action")),
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use std::rc::Rc;
 
 use gridsec_testbed::net::{Endpoint, Network};
 use gridsec_testbed::rpc::{RpcCallStats, RpcClient, RpcServer};
+use gridsec_testbed::sched::{Step, Task, TaskCx};
 use gridsec_util::retry::RetryPolicy;
 use gridsec_util::trace;
 
@@ -50,10 +51,13 @@ impl Transport for InProcessTransport {
 }
 
 /// Request/response over the simulated network. Each call sends to the
-/// server endpoint and blocks for the reply.
+/// server endpoint and waits for the reply — blocking (thread-per-server
+/// scenarios) or, with [`NetworkTransport::set_pump`], by driving a
+/// scheduler until the reply lands.
 pub struct NetworkTransport {
     endpoint: Endpoint,
     server: String,
+    pump: Option<Box<dyn FnMut() -> usize>>,
 }
 
 impl NetworkTransport {
@@ -62,16 +66,36 @@ impl NetworkTransport {
         NetworkTransport {
             endpoint: network.register(client_name),
             server: server.to_string(),
+            pump: None,
         }
+    }
+
+    /// Install a pump hook (typically `|| scheduler.poll()`): each call
+    /// drives the hook instead of blocking, so a [`ServeTask`] scheduled
+    /// on the same thread answers inside the client's wait. A quiescent
+    /// pump with no reply surfaces as a transport timeout, not a hang.
+    pub fn set_pump(&mut self, hook: impl FnMut() -> usize + 'static) {
+        self.pump = Some(Box::new(hook));
     }
 }
 
 impl Transport for NetworkTransport {
     fn call(&mut self, request_xml: String) -> Result<String, OgsaError> {
-        let reply = self
-            .endpoint
-            .call(&self.server, request_xml.into_bytes())
+        self.endpoint
+            .send(&self.server, request_xml.into_bytes())
             .map_err(|e| OgsaError::Transport(e.to_string()))?;
+        let reply = match &mut self.pump {
+            None => self.endpoint.recv(),
+            Some(pump) => loop {
+                if let Some(m) = self.endpoint.try_recv() {
+                    break Ok(m);
+                }
+                if pump() == 0 {
+                    break Err(gridsec_testbed::TestbedError::Timeout);
+                }
+            },
+        }
+        .map_err(|e| OgsaError::Transport(e.to_string()))?;
         String::from_utf8(reply.payload).map_err(|_| OgsaError::Transport("non-UTF8".into()))
     }
 }
@@ -161,6 +185,51 @@ impl RpcService {
             let request = String::from_utf8_lossy(body).into_owned();
             env.borrow_mut().handle_message(&request).into_bytes()
         })
+    }
+}
+
+/// An [`RpcService`] is a natural discrete-event task: drain the
+/// mailbox, then park until the next delivery. Spawn it with
+/// [`Scheduler::spawn_mailbox`][gridsec_testbed::sched::Scheduler::spawn_mailbox]
+/// under its endpoint name so deliveries wake it; this replaces the
+/// thread-per-service [`serve`] loop in scheduler-driven scenarios.
+impl Task for RpcService {
+    fn step(&mut self, _cx: &TaskCx) -> Step {
+        self.poll();
+        Step::WaitMail { deadline: None }
+    }
+}
+
+/// [`serve`] as a resumable discrete-event task: answer each raw
+/// envelope from the mailbox, then park until the next delivery. Spawn
+/// with
+/// [`Scheduler::spawn_mailbox`][gridsec_testbed::sched::Scheduler::spawn_mailbox]
+/// under the endpoint name. Unlike [`RpcService`] this speaks bare
+/// envelopes (no RPC framing), matching what [`NetworkTransport`] and
+/// WS-Routing intermediaries send.
+pub struct ServeTask {
+    endpoint: Endpoint,
+    env: HostingEnvironment,
+}
+
+impl ServeTask {
+    /// Serve `env` behind `endpoint_name` on `network`.
+    pub fn new(network: &Network, endpoint_name: &str, env: HostingEnvironment) -> Self {
+        ServeTask {
+            endpoint: network.register(endpoint_name),
+            env,
+        }
+    }
+}
+
+impl Task for ServeTask {
+    fn step(&mut self, _cx: &TaskCx) -> Step {
+        while let Some(msg) = self.endpoint.try_recv() {
+            let request = String::from_utf8_lossy(&msg.payload).into_owned();
+            let reply = self.env.handle_message(&request);
+            let _ = self.endpoint.send(&msg.from, reply.into_bytes());
+        }
+        Step::WaitMail { deadline: None }
     }
 }
 

@@ -9,10 +9,10 @@ use std::rc::Rc;
 use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
-use gridsec_ogsa::firewall::{run_router, Firewall, FirewalledTransport, RoutedTransport, Verdict};
+use gridsec_ogsa::firewall::{Firewall, FirewalledTransport, RoutedTransport, RouterTask, Verdict};
 use gridsec_ogsa::hosting::HostingEnvironment;
 use gridsec_ogsa::service::{GridService, RequestContext};
-use gridsec_ogsa::transport::InProcessTransport;
+use gridsec_ogsa::transport::{InProcessTransport, ServeTask};
 use gridsec_ogsa::OgsaError;
 use gridsec_pki::ca::CertificateAuthority;
 use gridsec_pki::credential::Credential;
@@ -20,6 +20,7 @@ use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::store::TrustStore;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::net::Network;
+use gridsec_testbed::sched::Scheduler;
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_wsse::routing::RoutingPath;
 use gridsec_xml::Element;
@@ -143,29 +144,29 @@ fn ws_routing_through_firewalled_intermediary() {
     let w = world();
     let network = Network::new();
 
-    // The service runs behind the perimeter.
-    let env = env_for(&w, "xml-signature");
-    let net_for_service = network.clone();
-    let service_thread = std::thread::spawn(move || {
-        gridsec_ogsa::transport::serve(env, &net_for_service, "inner-host", Some(3));
-    });
+    // Service and perimeter router are tasks on one deterministic
+    // scheduler — no threads, no registration races, no request caps.
+    let mut sched = Scheduler::new(&network);
+    sched.spawn_mailbox(
+        "inner-host",
+        ServeTask::new(&network, "inner-host", env_for(&w, "xml-signature")),
+    );
+    let fw = Rc::new(RefCell::new(Firewall::new()));
+    sched.spawn_mailbox(
+        "perimeter",
+        RouterTask::new(&network, "perimeter", fw.clone()),
+    );
+    let sched = Rc::new(RefCell::new(sched));
 
-    // The perimeter router (handles exactly the client's 3 requests).
-    let net_for_router = network.clone();
-    let router_thread =
-        std::thread::spawn(move || run_router(&net_for_router, "perimeter", Firewall::new(), 3));
-
-    // Wait for both endpoints to come up (threads race registration).
-    while !(network.is_registered("perimeter") && network.is_registered("inner-host")) {
-        std::thread::yield_now();
-    }
-
-    // Client outside the perimeter, routing via it.
-    let transport = RoutedTransport::connect(
+    // Client outside the perimeter, routing via it; the pump hook runs
+    // the scheduler inside each call's wait.
+    let mut transport = RoutedTransport::connect(
         &network,
         "outside-client",
         RoutingPath::through(&["perimeter"], "inner-host"),
     );
+    let s = sched.clone();
+    transport.set_pump(move || s.borrow_mut().poll());
     let mut client = OgsaClient::new(transport, w.trust.clone(), w.clock.clone(), b"routed");
     client.add_source(Box::new(StaticCredential(w.user.clone())));
 
@@ -173,9 +174,8 @@ fn ws_routing_through_firewalled_intermediary() {
     let reply = client.invoke(&handle, "run", Element::new("p")).unwrap();
     assert_eq!(reply.name, "ok");
 
-    service_thread.join().unwrap();
-    let stats = router_thread.join().unwrap();
     // getPolicy + createService + invoke all passed the perimeter.
+    let stats = fw.borrow().stats;
     assert_eq!(stats.allowed, 3);
     assert_eq!(stats.denied, 0);
 }
@@ -183,20 +183,21 @@ fn ws_routing_through_firewalled_intermediary() {
 #[test]
 fn router_drops_unsecured_messages() {
     let network = Network::new();
-    let router_net = network.clone();
-    let router =
-        std::thread::spawn(move || run_router(&router_net, "perimeter", Firewall::new(), 1));
-    while !network.is_registered("perimeter") {
-        std::thread::yield_now();
-    }
+    let mut sched = Scheduler::new(&network);
+    let fw = Rc::new(RefCell::new(Firewall::new()));
+    sched.spawn_mailbox(
+        "perimeter",
+        RouterTask::new(&network, "perimeter", fw.clone()),
+    );
     let client = network.register("attacker");
     let naked = gridsec_wsse::soap::Envelope::request("invoke", Element::new("x"));
     let mut env = naked;
     gridsec_wsse::routing::set_path(&mut env, &RoutingPath::through(&[], "inner-host"));
-    let reply = client.call("perimeter", env.to_xml().into_bytes()).unwrap();
+    client.send("perimeter", env.to_xml().into_bytes()).unwrap();
+    sched.poll();
+    let reply = client.try_recv().expect("router replied with a fault");
     let text = String::from_utf8_lossy(&reply.payload).into_owned();
     assert!(text.contains("fault"));
     assert!(text.contains("firewall"));
-    let stats = router.join().unwrap();
-    assert_eq!(stats.denied, 1);
+    assert_eq!(fw.borrow().stats.denied, 1);
 }

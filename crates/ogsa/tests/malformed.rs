@@ -1,0 +1,169 @@
+//! Regression tests: a signed request whose payload is missing a
+//! dispatch attribute must come back as a typed `malformed` SOAP fault,
+//! never a panic. These pin the `AppRequest` parse in
+//! `HostingEnvironment::process_authenticated` — the dispatch arms used
+//! to re-read wire attributes with `unwrap()` after the authz match had
+//! validated them, a fragile duplication one refactor away from an
+//! attacker-controlled panic.
+
+use gridsec_authz::policy::{CombiningAlg, Effect, PolicySet, Rule, SubjectMatch};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_ogsa::hosting::{parse_fault, HostingEnvironment};
+use gridsec_ogsa::service::{GridService, RequestContext};
+use gridsec_ogsa::OgsaError;
+use gridsec_pki::ca::CertificateAuthority;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::name::DistinguishedName;
+use gridsec_pki::store::TrustStore;
+use gridsec_testbed::clock::SimClock;
+use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::xmlsig;
+use gridsec_xml::Element;
+
+fn dn(s: &str) -> DistinguishedName {
+    DistinguishedName::parse(s).unwrap()
+}
+
+struct NullService;
+
+impl GridService for NullService {
+    fn service_type(&self) -> &str {
+        "null"
+    }
+    fn invoke(
+        &mut self,
+        _ctx: &RequestContext,
+        _operation: &str,
+        _payload: &Element,
+    ) -> Result<Element, OgsaError> {
+        Ok(Element::new("ok"))
+    }
+    fn service_data(&self, _name: &str) -> Option<Element> {
+        None
+    }
+}
+
+/// A hosting environment plus a CA-chained caller credential that the
+/// authz policy fully permits — so the only thing between a request and
+/// the application is the payload parse under test.
+fn rig() -> (HostingEnvironment, Credential, SimClock) {
+    let mut rng = ChaChaRng::from_seed_bytes(b"malformed rig");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+    let alice = ca.issue_identity(&mut rng, dn("/O=G/CN=Alice"), 512, 0, 500_000);
+    let host = ca.issue_identity(&mut rng, dn("/O=G/CN=Host"), 512, 0, 500_000);
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+
+    let mut authz = PolicySet::new(CombiningAlg::DenyOverrides);
+    for resource in ["factory:null", "service:null"] {
+        authz.add(Rule::new(
+            SubjectMatch::Exact("/O=G/CN=Alice".to_string()),
+            resource,
+            "*",
+            Effect::Permit,
+        ));
+    }
+    let policy = SecurityPolicy {
+        service: "null".to_string(),
+        alternatives: vec![PolicyAlternative {
+            mechanism: "xmlsig".to_string(),
+            token_types: vec!["x509-chain".to_string()],
+            trust_roots: vec![],
+            protection: Protection::Sign,
+        }],
+    };
+    let clock = SimClock::starting_at(100);
+    let mut env = HostingEnvironment::new("host", host, trust, clock.clone(), policy, authz);
+    env.registry
+        .register_factory("null", Box::new(|_ctx, _args| Ok(Box::new(NullService))));
+    (env, alice, clock)
+}
+
+/// Sign `payload` under `action` as the caller and push it through the
+/// full `handle_message` wire path; return the fault (code, message).
+fn fault_for(action: &str, payload: Element) -> (String, String) {
+    let (mut env, alice, clock) = rig();
+    let signed =
+        xmlsig::sign_envelope(&Envelope::request(action, payload), &alice, clock.now(), 60);
+    let reply = env.handle_message(&signed.to_xml());
+    let reply = Envelope::parse(&reply).expect("reply parses");
+    parse_fault(&reply).expect("expected a fault envelope")
+}
+
+#[test]
+fn create_service_missing_type_is_a_malformed_fault() {
+    let (code, msg) = fault_for("createService", Element::new("ogsa:CreateService"));
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("type"), "{msg}");
+}
+
+#[test]
+fn invoke_missing_handle_is_a_malformed_fault() {
+    let (code, msg) = fault_for(
+        "invoke",
+        Element::new("ogsa:Invoke").with_attr("op", "echo"),
+    );
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("handle"), "{msg}");
+}
+
+#[test]
+fn invoke_missing_op_is_a_malformed_fault() {
+    let (code, msg) = fault_for(
+        "invoke",
+        Element::new("ogsa:Invoke").with_attr("handle", "h-1"),
+    );
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("op"), "{msg}");
+}
+
+#[test]
+fn query_missing_handle_is_a_malformed_fault() {
+    let (code, msg) = fault_for(
+        "queryServiceData",
+        Element::new("ogsa:Query").with_attr("name", "serviceType"),
+    );
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("handle"), "{msg}");
+}
+
+#[test]
+fn query_missing_name_is_a_malformed_fault() {
+    let (code, msg) = fault_for(
+        "queryServiceData",
+        Element::new("ogsa:Query").with_attr("handle", "h-1"),
+    );
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("name"), "{msg}");
+}
+
+#[test]
+fn destroy_missing_handle_is_a_malformed_fault() {
+    let (code, msg) = fault_for("destroy", Element::new("ogsa:Destroy"));
+    assert_eq!(code, "malformed");
+    assert!(msg.contains("handle"), "{msg}");
+}
+
+#[test]
+fn unknown_action_is_a_malformed_fault() {
+    let (code, _) = fault_for("formatDisk", Element::new("ogsa:Nope"));
+    assert_eq!(code, "malformed");
+}
+
+#[test]
+fn well_formed_request_still_works_after_the_parse_refactor() {
+    let (mut env, alice, clock) = rig();
+    let create = xmlsig::sign_envelope(
+        &Envelope::request(
+            "createService",
+            Element::new("ogsa:CreateService").with_attr("type", "null"),
+        ),
+        &alice,
+        clock.now(),
+        60,
+    );
+    let reply = env.handle_message(&create.to_xml());
+    let reply = Envelope::parse(&reply).expect("reply parses");
+    assert!(parse_fault(&reply).is_none(), "got fault: {reply:?}");
+}

@@ -10,7 +10,9 @@ use gridsec_crypto::rng::ChaChaRng;
 use gridsec_ogsa::client::{OgsaClient, StaticCredential};
 use gridsec_ogsa::hosting::{AuditEvent, HostingEnvironment};
 use gridsec_ogsa::service::{GridService, RequestContext};
-use gridsec_ogsa::transport::{InProcessTransport, NetworkTransport, Transport};
+use gridsec_ogsa::transport::{
+    InProcessTransport, NetworkTransport, RetryTransport, RpcService, ServeTask, Transport,
+};
 use gridsec_ogsa::OgsaError;
 use gridsec_pki::ca::CertificateAuthority;
 use gridsec_pki::credential::Credential;
@@ -18,6 +20,8 @@ use gridsec_pki::name::DistinguishedName;
 use gridsec_pki::store::TrustStore;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::net::Network;
+use gridsec_testbed::sched::Scheduler;
+use gridsec_util::retry::RetryPolicy;
 use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
 use gridsec_xml::Element;
 
@@ -347,24 +351,61 @@ fn firewall_observability_of_secured_messages() {
 #[test]
 fn network_transport_end_to_end() {
     let w = world();
-    let env = make_env(&w, &["xml-signature"]);
     let network = Network::new();
-    let net2 = network.clone();
-    // The server thread handles exactly the 2 requests the client makes.
-    let server = std::thread::spawn(move || {
-        gridsec_ogsa::transport::serve(env, &net2, "echo-host", Some(2));
-    });
-    while !network.is_registered("echo-host") {
-        std::thread::yield_now();
-    }
+    // The service is a task on a deterministic scheduler — no server
+    // thread, no registration race, no request cap. The pump hook runs
+    // the scheduler inside the client's wait (raw-envelope transport).
+    let mut sched = Scheduler::new(&network);
+    sched.spawn_mailbox(
+        "echo-host",
+        ServeTask::new(&network, "echo-host", make_env(&w, &["xml-signature"])),
+    );
+    let sched = Rc::new(RefCell::new(sched));
 
-    let transport = NetworkTransport::connect(&network, "client-1", "echo-host");
+    let mut transport = NetworkTransport::connect(&network, "client-1", "echo-host");
+    let s = sched.clone();
+    transport.set_pump(move || s.borrow_mut().poll());
     let mut client = OgsaClient::new(transport, w.trust.clone(), w.clock.clone(), b"net client");
     client.add_source(Box::new(StaticCredential(w.alice.clone())));
     let handle = client.create_service("echo", Element::new("args")).unwrap();
     assert!(handle.starts_with("gsh:echo-"));
-    // Second request = the create's getPolicy was first... account:
-    // getPolicy + createService = 2 requests served.
-    server.join().unwrap();
+    // getPolicy + createService = 2 round trips = 4 messages.
     assert!(network.stats().messages >= 4);
+}
+
+#[test]
+fn scheduled_rpc_service_end_to_end() {
+    let w = world();
+    let network = Network::new();
+    // Same flow over the at-most-once RPC framing: the RpcService runs
+    // as a scheduler task (its Task impl), woken per delivery.
+    let env = Rc::new(RefCell::new(make_env(&w, &["xml-signature"])));
+    let mut sched = Scheduler::new(&network);
+    sched.spawn_mailbox("echo-host", RpcService::new(&network, "echo-host", env));
+    let sched = Rc::new(RefCell::new(sched));
+
+    let mut transport = RetryTransport::connect(
+        &network,
+        "client-1",
+        "echo-host",
+        RetryPolicy {
+            max_attempts: 4,
+            base_timeout: 8,
+            multiplier: 2,
+            max_timeout: 32,
+        },
+    );
+    let s = sched.clone();
+    transport.set_pump(move || s.borrow_mut().poll());
+    let mut client = OgsaClient::new(transport, w.trust.clone(), w.clock.clone(), b"rpc client");
+    client.add_source(Box::new(StaticCredential(w.alice.clone())));
+    let handle = client.create_service("echo", Element::new("args")).unwrap();
+    let reply = client
+        .invoke(
+            &handle,
+            "echo",
+            Element::new("m").with_text("via scheduler"),
+        )
+        .unwrap();
+    assert_eq!(reply.text_content(), "via scheduler");
 }

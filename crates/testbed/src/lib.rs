@@ -22,6 +22,10 @@
 //!   retransmission and exponential backoff, so the protocol crates'
 //!   client paths survive the seeded drop/duplicate/reorder faults of
 //!   [`net::Network::enable_faults`].
+//! * [`sched`] — a deterministic discrete-event scheduler: a run queue
+//!   of resumable tasks over [`net`] and [`clock::SimClock`], replacing
+//!   thread-per-endpoint so one process hosts 10⁵–10⁶ endpoints with
+//!   seed-replayable interleavings.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +35,7 @@ pub mod faults;
 pub mod net;
 pub mod os;
 pub mod rpc;
+pub mod sched;
 
 /// Errors from testbed operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -165,6 +165,7 @@ struct FaultState {
     pending: BinaryHeap<Reverse<PendingDelivery>>,
     seq: u64,
     transcript: Vec<String>,
+    record_transcript: bool,
     stats: FaultStats,
 }
 
@@ -213,14 +214,18 @@ impl FaultState {
 
         if self.partitioned(from, to) {
             self.stats.blocked += 1;
-            self.transcript
-                .push(format!("[t={now}] #{id} {from}->{to} {len}B partitioned"));
+            if self.record_transcript {
+                self.transcript
+                    .push(format!("[t={now}] #{id} {from}->{to} {len}B partitioned"));
+            }
             return;
         }
         if self.draw_unit() < prof.drop {
             self.stats.dropped += 1;
-            self.transcript
-                .push(format!("[t={now}] #{id} {from}->{to} {len}B drop"));
+            if self.record_transcript {
+                self.transcript
+                    .push(format!("[t={now}] #{id} {from}->{to} {len}B drop"));
+            }
             return;
         }
         let mut arrivals = vec![self.draw_arrival(now, &prof)];
@@ -232,11 +237,13 @@ impl FaultState {
                 arrivals.push(t);
             }
         }
-        let times: Vec<String> = arrivals.iter().map(|t| format!("@{t}")).collect();
-        self.transcript.push(format!(
-            "[t={now}] #{id} {from}->{to} {len}B deliver{}",
-            times.join(",")
-        ));
+        if self.record_transcript {
+            let times: Vec<String> = arrivals.iter().map(|t| format!("@{t}")).collect();
+            self.transcript.push(format!(
+                "[t={now}] #{id} {from}->{to} {len}B deliver{}",
+                times.join(",")
+            ));
+        }
         for deliver_at in arrivals {
             self.seq += 1;
             self.pending.push(Reverse(PendingDelivery {
@@ -269,6 +276,19 @@ struct NetworkInner {
     endpoints: Mutex<HashMap<String, Sender<Message>>>,
     counters: Counters,
     faults: Mutex<Option<FaultState>>,
+    wakes: Mutex<WakeLog>,
+}
+
+/// Delivery notifications for the discrete-event scheduler
+/// ([`crate::sched`]): when enabled, every successful mailbox delivery
+/// appends the recipient's name, in delivery order, so the scheduler
+/// can wake the task waiting on that mailbox without polling every
+/// endpoint. Disabled by default so non-scheduled networks pay nothing
+/// and accumulate nothing.
+#[derive(Default)]
+struct WakeLog {
+    enabled: bool,
+    names: Vec<String>,
 }
 
 impl Network {
@@ -335,8 +355,40 @@ impl Network {
             pending: BinaryHeap::new(),
             seq: 0,
             transcript: Vec::new(),
+            record_transcript: true,
             stats: FaultStats::default(),
         });
+    }
+
+    /// Turn fault-transcript recording on or off. Storm-scale runs
+    /// (hundreds of thousands of endpoints, millions of sends) disable
+    /// it: one formatted line per send would dominate memory, and those
+    /// runs assert determinism on the metrics snapshot instead. Fault
+    /// *decisions* (RNG draws, stats) are unaffected, so a run is
+    /// byte-identical per seed whether or not the transcript is kept.
+    pub fn set_transcript_recording(&self, on: bool) {
+        if let Some(fs) = self.inner.faults.lock().as_mut() {
+            fs.record_transcript = on;
+        }
+    }
+
+    /// Start recording delivery notifications for [`Network::take_wakes`].
+    pub fn enable_wake_log(&self) {
+        self.inner.wakes.lock().enabled = true;
+    }
+
+    /// Drain the delivery notification log: the names of endpoints that
+    /// received mail since the last call, in delivery order. Empty
+    /// unless [`Network::enable_wake_log`] was called.
+    pub fn take_wakes(&self) -> Vec<String> {
+        std::mem::take(&mut self.inner.wakes.lock().names)
+    }
+
+    fn record_delivery(&self, to: &str) {
+        let mut log = self.inner.wakes.lock();
+        if log.enabled {
+            log.names.push(to.to_string());
+        }
     }
 
     /// `true` iff [`Network::enable_faults`] has armed the fault layer.
@@ -418,6 +470,9 @@ impl Network {
                 // copy evaporates, like packets to a dead host.
                 None => false,
             };
+            if ok {
+                self.record_delivery(&entry.to);
+            }
             let mut guard = self.inner.faults.lock();
             if let Some(fs) = guard.as_mut() {
                 if ok {
@@ -484,7 +539,9 @@ impl Network {
             from: from.to_string(),
             payload,
         })
-        .map_err(|_| TestbedError::Disconnected)
+        .map_err(|_| TestbedError::Disconnected)?;
+        self.record_delivery(to);
+        Ok(())
     }
 
     /// Traffic accounting since creation.
@@ -877,6 +934,182 @@ mod tests {
         // Nothing further: timeout fires and the clock lands on the deadline.
         assert_eq!(b.recv_timeout(5), Err(TestbedError::Timeout));
         assert_eq!(clock.now(), 7);
+    }
+
+    /// Receive outcome plus the clock value observed at return.
+    type RecvOutcome = (Result<Vec<u8>, TestbedError>, u64);
+
+    /// Run one receive under the legacy direct path (`recv_timeout`)
+    /// and the identical scenario as a scheduler task, returning
+    /// `(outcome payload, clock at return)` for each. The scheduler
+    /// must be behaviorally indistinguishable from the loop it
+    /// generalizes.
+    fn legacy_vs_scheduled(
+        profile: FaultProfile,
+        send: bool,
+        timeout: u64,
+        pre_advance: u64,
+    ) -> (RecvOutcome, RecvOutcome) {
+        use crate::sched::{Scheduler, Step, TaskCx};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let run_legacy = || {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(clock.clone(), 11, profile);
+            let a = net.register("alice");
+            let b = net.register("bob");
+            if send {
+                a.send("bob", b"m".to_vec()).unwrap();
+            }
+            clock.advance(pre_advance);
+            let deadline = clock.now().saturating_add(timeout);
+            let r = match b.recv_timeout(timeout.saturating_sub(pre_advance.min(timeout))) {
+                Ok(m) => Ok(m.payload),
+                Err(e) => Err(e),
+            };
+            // recv_timeout takes a relative window; the scenario fixes
+            // the absolute deadline so both paths race the same instant.
+            let _ = deadline;
+            (r, clock.now())
+        };
+        let run_scheduled = || {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(clock.clone(), 11, profile);
+            let a = net.register("alice");
+            let b = net.register("bob");
+            if send {
+                a.send("bob", b"m".to_vec()).unwrap();
+            }
+            clock.advance(pre_advance);
+            let deadline = clock
+                .now()
+                .saturating_add(timeout.saturating_sub(pre_advance));
+            let mut sched = Scheduler::new(&net);
+            type Slot = Rc<RefCell<Option<Result<Vec<u8>, TestbedError>>>>;
+            let out: Slot = Rc::new(RefCell::new(None));
+            let out2 = out.clone();
+            sched.spawn_mailbox("bob", move |cx: &TaskCx| {
+                if let Some(m) = b.try_recv() {
+                    *out2.borrow_mut() = Some(Ok(m.payload));
+                    return Step::Done;
+                }
+                if cx.now() >= deadline {
+                    *out2.borrow_mut() = Some(Err(TestbedError::Timeout));
+                    return Step::Done;
+                }
+                Step::WaitMail {
+                    deadline: Some(deadline),
+                }
+            });
+            sched.run();
+            let r = out.borrow_mut().take().expect("task reached a verdict");
+            (r, clock.now())
+        };
+        (run_legacy(), run_scheduled())
+    }
+
+    #[test]
+    fn zero_timeout_identical_under_scheduler_and_legacy_path() {
+        // recv_timeout(0): due mail (zero-latency profile) is still
+        // returned — the deadline gets one final pump-and-poll — and an
+        // empty mailbox times out without moving the clock. Both paths,
+        // same verdicts, same clocks.
+        let due = FaultProfile::default();
+        let (legacy, scheduled) = legacy_vs_scheduled(due, true, 0, 0);
+        assert_eq!(legacy.0.as_deref().unwrap(), b"m");
+        assert_eq!(legacy, scheduled);
+        assert_eq!(legacy.1, 0, "no clock movement for due mail");
+
+        let (legacy, scheduled) = legacy_vs_scheduled(due, false, 0, 0);
+        assert_eq!(legacy.0, Err(TestbedError::Timeout));
+        assert_eq!(legacy, scheduled);
+        assert_eq!(legacy.1, 0, "timeout at t=0 does not advance time");
+    }
+
+    #[test]
+    fn past_deadline_identical_under_scheduler_and_legacy_path() {
+        // The clock has already moved past the whole timeout window
+        // before the receiver gets to wait (pre_advance > timeout). The
+        // wait must resolve immediately — delivering mail that is
+        // already due, or timing out — never hang or move time.
+        let latency2 = FaultProfile {
+            min_latency: 2,
+            max_latency: 2,
+            ..FaultProfile::default()
+        };
+        // Message became due at t=2; receiver shows up at t=7 with an
+        // expired window: the final pump still hands over the mail.
+        let (legacy, scheduled) = legacy_vs_scheduled(latency2, true, 5, 7);
+        assert_eq!(legacy.0.as_deref().unwrap(), b"m");
+        assert_eq!(legacy, scheduled);
+        assert_eq!(legacy.1, 7, "no further clock movement");
+        // No mail at all: immediate timeout at the current time.
+        let (legacy, scheduled) = legacy_vs_scheduled(latency2, false, 5, 7);
+        assert_eq!(legacy.0, Err(TestbedError::Timeout));
+        assert_eq!(legacy, scheduled);
+        assert_eq!(legacy.1, 7);
+    }
+
+    #[test]
+    fn two_tasks_racing_one_delivery_tick_is_deterministic() {
+        use crate::sched::{Scheduler, Step, TaskCx};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // Two messages to two different waiters, both scheduled for the
+        // same delivery tick. Wake order must follow delivery order
+        // (pending-queue (deliver_at, seq)), identical across runs, and
+        // identical to what the legacy path observes (both messages due
+        // at t=3).
+        let run = || {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(
+                clock.clone(),
+                5,
+                FaultProfile {
+                    min_latency: 3,
+                    max_latency: 3,
+                    ..FaultProfile::default()
+                },
+            );
+            let tx = net.register("tx");
+            let order: Rc<RefCell<Vec<(String, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+            let mut sched = Scheduler::new(&net);
+            for name in ["racer-b", "racer-a"] {
+                let ep = net.register(name);
+                let order = order.clone();
+                sched.spawn_mailbox(name, move |cx: &TaskCx| {
+                    if let Some(m) = ep.try_recv() {
+                        order
+                            .borrow_mut()
+                            .push((String::from_utf8(m.payload).unwrap(), cx.now()));
+                        return Step::Done;
+                    }
+                    Step::WaitMail { deadline: None }
+                });
+            }
+            // Send b-then-a: delivery order is send order (same tick,
+            // ascending seq), regardless of spawn order.
+            tx.send("racer-b", b"first-sent".to_vec()).unwrap();
+            tx.send("racer-a", b"second-sent".to_vec()).unwrap();
+            sched.run();
+            let observed = order.borrow().clone();
+            observed
+        };
+        let o1 = run();
+        let o2 = run();
+        assert_eq!(o1, o2, "same seed, same wake order");
+        assert_eq!(
+            o1,
+            vec![
+                ("first-sent".to_string(), 3),
+                ("second-sent".to_string(), 3)
+            ],
+            "both woke on the same tick, in delivery (seq) order"
+        );
     }
 
     #[test]

@@ -249,6 +249,103 @@ impl RpcClient {
     }
 }
 
+/// Result of polling a [`PollingCall`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallPoll {
+    /// The matching reply arrived; the call is complete.
+    Ready(Vec<u8>),
+    /// Every attempt in the retry schedule timed out (or the server
+    /// endpoint vanished). The call failed.
+    Exhausted,
+    /// Still waiting on the in-flight attempt. The caller should wake
+    /// when its mailbox receives mail or at `deadline` (the attempt's
+    /// timeout), whichever is first — i.e. return
+    /// [`Step::WaitMail`](crate::sched::Step::WaitMail) with this
+    /// deadline from a scheduled task.
+    Wait {
+        /// Absolute sim time at which the current attempt times out.
+        deadline: u64,
+    },
+}
+
+/// A non-blocking, resumable RPC call: [`RpcClient::call`]'s
+/// retransmit-with-backoff loop re-expressed as a poll-style state
+/// machine, so it can run *inside* a [`crate::sched::Scheduler`] task
+/// instead of owning the clock. Semantics mirror `RpcClient` exactly —
+/// same [`RetryPolicy`] schedule, same per-attempt deadlines, same
+/// stale-reply discarding — the only difference is who advances time:
+/// the blocking client drives the clock itself, a `PollingCall` asks
+/// the scheduler to wake it.
+///
+/// The embedding task owns the [`Endpoint`] and passes it to each
+/// [`PollingCall::poll`]; calls on one endpoint must be sequential
+/// (matching `RpcClient`), with unique ids per `(caller, id)` pair.
+pub struct PollingCall {
+    server: String,
+    id: u64,
+    frame: Vec<u8>,
+    schedule: Vec<(u32, u64)>,
+    next_attempt: usize,
+    attempt_deadline: Option<u64>,
+    retransmissions: u64,
+}
+
+impl PollingCall {
+    /// Prepare a call of `payload` to `server` under `policy`. Nothing
+    /// is sent until the first [`PollingCall::poll`].
+    pub fn new(server: &str, id: u64, payload: &[u8], policy: RetryPolicy) -> Self {
+        PollingCall {
+            server: server.to_string(),
+            id,
+            frame: encode_request(id, payload),
+            schedule: policy.schedule().collect(),
+            next_attempt: 0,
+            attempt_deadline: None,
+            retransmissions: 0,
+        }
+    }
+
+    /// Retransmissions beyond the first attempt, so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Advance the call: drain `ep`'s mailbox for the matching reply,
+    /// and (re)transmit when the current attempt's deadline has passed.
+    /// Non-matching frames (stale or duplicate replies of earlier
+    /// calls) are discarded, as in [`RpcClient`]. A deadline already in
+    /// the past triggers the next attempt on this very poll — it never
+    /// silently extends the wait.
+    pub fn poll(&mut self, ep: &Endpoint, now: u64) -> CallPoll {
+        while let Some(m) = ep.try_recv() {
+            if let Some((rid, body)) = decode_reply(&m.payload) {
+                if rid == self.id {
+                    return CallPoll::Ready(body.to_vec());
+                }
+            }
+        }
+        loop {
+            if let Some(d) = self.attempt_deadline {
+                if now < d {
+                    return CallPoll::Wait { deadline: d };
+                }
+            }
+            // First transmission, or the in-flight attempt timed out.
+            let Some(&(attempt, timeout)) = self.schedule.get(self.next_attempt) else {
+                return CallPoll::Exhausted;
+            };
+            self.next_attempt += 1;
+            if attempt > 0 {
+                self.retransmissions += 1;
+            }
+            if ep.send(&self.server, self.frame.clone()).is_err() {
+                return CallPoll::Exhausted;
+            }
+            self.attempt_deadline = Some(now.saturating_add(timeout));
+        }
+    }
+}
+
 /// An at-most-once RPC server: executes each distinct `(caller, id)`
 /// once and replays the cached reply for retransmissions.
 pub struct RpcServer {
@@ -309,6 +406,7 @@ mod tests {
     use super::*;
     use crate::clock::SimClock;
     use crate::net::{FaultProfile, Network};
+    use crate::sched::{Scheduler, Step};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -434,25 +532,125 @@ mod tests {
     }
 
     #[test]
-    fn threaded_server_without_faults_still_works() {
+    fn scheduled_server_without_faults_still_works() {
+        // Formerly a thread::spawn server racing yield_now: the server
+        // now runs as a scheduler task, driven from the client's pump
+        // hook — same observable behavior, zero threads, deterministic.
         let net = Network::new();
         let server_ep = net.register("server");
         let mut client = RpcClient::new(net.register("client"), "server", RetryPolicy::default());
-        let t = std::thread::spawn(move || {
-            let mut server = RpcServer::new(server_ep);
-            let mut handler = |_from: &str, body: &[u8]| body.to_ascii_uppercase();
-            let mut answered = 0;
-            while answered < 3 {
-                answered += server.poll(&mut handler);
-                std::thread::yield_now();
-            }
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
+        let mut server = RpcServer::new(server_ep);
+        let mut handler = |_from: &str, body: &[u8]| body.to_ascii_uppercase();
+        sched.borrow_mut().spawn_mailbox("server", move |_cx: &_| {
+            server.poll(&mut handler);
+            Step::WaitMail { deadline: None }
         });
+        let hook = sched.clone();
+        client.set_pump(move || hook.borrow_mut().poll());
         for msg in ["a", "b", "c"] {
             assert_eq!(
                 client.call(msg.as_bytes()).unwrap(),
                 msg.to_ascii_uppercase().as_bytes()
             );
         }
-        t.join().unwrap();
+        assert_eq!(client.stats().retransmissions, 0);
+        assert_eq!(sched.borrow().live(), 1, "server task still waiting");
+    }
+
+    #[test]
+    fn polling_call_matches_blocking_client_through_loss() {
+        // The same lossy-WAN call sequence, once through the blocking
+        // RpcClient (which owns the clock) and once as PollingCall state
+        // machines inside scheduler tasks: both must complete all calls
+        // with identical retransmission counts and identical fault
+        // transcripts — the state machine is the loop, re-expressed.
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_timeout: 16,
+            multiplier: 2,
+            max_timeout: 64,
+        };
+        let profile = FaultProfile {
+            drop: 0.25,
+            min_latency: 1,
+            max_latency: 3,
+            ..FaultProfile::lossy_wan()
+        };
+        let calls = 12u64;
+
+        let blocking = {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(clock.clone(), 0xBEEF, profile);
+            let (mut client, _server) = pumped_pair(&net, policy);
+            for i in 0..calls {
+                let req = format!("msg-{i}");
+                assert_eq!(
+                    client.call(req.as_bytes()).unwrap(),
+                    req.to_ascii_uppercase().as_bytes()
+                );
+            }
+            (client.stats().retransmissions, net.transcript())
+        };
+
+        let scheduled = {
+            let net = Network::new();
+            let clock = SimClock::new();
+            net.enable_faults(clock.clone(), 0xBEEF, profile);
+            let mut sched = Scheduler::new(&net);
+            let mut server = RpcServer::new(net.register("server"));
+            let mut handler = echo_upper();
+            sched.spawn_mailbox("server", move |_cx: &_| {
+                server.poll(&mut handler);
+                Step::WaitMail { deadline: None }
+            });
+            let ep = net.register("client");
+            let done = Rc::new(RefCell::new((0u64, 0u64))); // (completed, retransmissions)
+            let done2 = done.clone();
+            let mut call: Option<PollingCall> = None;
+            let mut next = 0u64;
+            sched.spawn_mailbox("client", move |cx: &crate::sched::TaskCx| loop {
+                if call.is_none() {
+                    if next == calls {
+                        return Step::Done;
+                    }
+                    next += 1;
+                    let req = format!("msg-{}", next - 1);
+                    call = Some(PollingCall::new("server", next, req.as_bytes(), policy));
+                }
+                let c = call.as_mut().unwrap();
+                match c.poll(&ep, cx.now()) {
+                    CallPoll::Ready(reply) => {
+                        assert_eq!(
+                            reply,
+                            format!("MSG-{}", next - 1).as_bytes(),
+                            "reply matches the call"
+                        );
+                        let mut d = done2.borrow_mut();
+                        d.0 += 1;
+                        d.1 += c.retransmissions();
+                        call = None;
+                    }
+                    CallPoll::Wait { deadline } => {
+                        return Step::WaitMail {
+                            deadline: Some(deadline),
+                        };
+                    }
+                    CallPoll::Exhausted => panic!("retry budget exhausted"),
+                }
+            });
+            sched.run();
+            let (completed, retx) = *done.borrow();
+            assert_eq!(completed, calls);
+            (retx, net.transcript())
+        };
+
+        assert_eq!(
+            blocking.0, scheduled.0,
+            "same retransmission count either way"
+        );
+        assert_eq!(blocking.1, scheduled.1, "byte-identical fault transcript");
+        assert!(blocking.0 > 0, "25% drop over 12 calls retransmits");
     }
 }

@@ -28,9 +28,17 @@ impl core::fmt::Display for XmlError {
 
 impl std::error::Error for XmlError {}
 
+/// Maximum element nesting depth. `parse_element` recurses per level,
+/// so without a cap a wire-supplied document of ~10⁴ open tags
+/// overflows the stack — an attacker-triggerable abort. Every real
+/// envelope in this codebase nests < 20 deep; 128 leaves an order of
+/// magnitude of headroom while bounding recursion.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 /// Parse a document into its root element.
@@ -38,6 +46,7 @@ pub fn parse(input: &str) -> Result<Element, XmlError> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_prolog()?;
     let root = p.parse_element()?;
@@ -130,6 +139,16 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("element nesting exceeds {MAX_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let el = self.parse_element_inner();
+        self.depth -= 1;
+        el
+    }
+
+    fn parse_element_inner(&mut self) -> Result<Element, XmlError> {
         self.expect(b'<')?;
         let name = self.parse_name()?;
         let mut el = Element::new(name);
@@ -389,5 +408,29 @@ mod tests {
             cur = c;
         }
         assert_eq!(depth, 100);
+    }
+
+    #[test]
+    fn nesting_beyond_cap_is_an_error_not_a_stack_overflow() {
+        // One past the cap fails cleanly...
+        let mut doc = String::new();
+        for _ in 0..MAX_DEPTH + 1 {
+            doc.push_str("<d>");
+        }
+        let err = parse(&doc).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // ...and so does a wire-scale bomb that would otherwise blow
+        // the stack (each level recurses parse_element).
+        let bomb = "<d>".repeat(200_000);
+        assert!(parse(&bomb).is_err());
+        // Exactly at the cap still parses.
+        let mut ok = String::new();
+        for _ in 0..MAX_DEPTH {
+            ok.push_str("<d>");
+        }
+        for _ in 0..MAX_DEPTH {
+            ok.push_str("</d>");
+        }
+        assert!(parse(&ok).is_ok());
     }
 }

@@ -142,6 +142,30 @@ echo "== bench smoke: perf guard (resumed < full, montgomery < classic) =="
 # win is several-fold, so this does not flake on scheduler noise.
 cargo run -q --offline --release -p gridsec-bench --bin perf_guard
 
+echo "== vo_storm smoke: 2000-principal storm, two-run byte-identical metrics =="
+# Reduced-scale run of the discrete-event VO storm (the bench bin
+# defaults to 10^5 principals; see bench-results/after/BENCH_vo_storm.json
+# for the full-scale record). Every metric except wall time must be a
+# pure function of the seed across two fresh processes, and every flow
+# must reach a verdict.
+for run in 1 2; do
+    GRIDSEC_STORM_PRINCIPALS="${GRIDSEC_STORM_PRINCIPALS:-2000}" \
+    GRIDSEC_BENCH_DIR="$tdir" \
+        cargo run -q --offline --release -p gridsec-bench --bin vo_storm -- \
+        --metrics-out "$tdir/storm.$run" > /dev/null
+done
+if ! cmp -s "$tdir/storm.1" "$tdir/storm.2"; then
+    echo "FAIL: vo_storm metrics differ across two runs of the same seed" >&2
+    diff "$tdir/storm.1" "$tdir/storm.2" | head -20 >&2 || true
+    exit 1
+fi
+if ! head -1 "$tdir/storm.1" | grep -q " failed=0 "; then
+    echo "FAIL: vo_storm flows exhausted their retry budget:" >&2
+    head -1 "$tdir/storm.1" >&2
+    exit 1
+fi
+echo "ok: $(head -1 "$tdir/storm.1") (byte-identical across two runs)"
+
 echo "== bench smoke: flow metrics drift gate on EXPERIMENTS.md =="
 # Replay the chaos flows from the pinned seed, regenerate the
 # flow-metrics tables, and require the committed EXPERIMENTS.md to

@@ -1,0 +1,210 @@
+//! Malformed-envelope fuzz: every wire-facing handler must return a
+//! typed error for garbage input — never panic.
+//!
+//! A faulty WAN (or an attacker) can deliver any byte string to any
+//! endpoint. The paper's availability story dies if a hosting
+//! environment aborts on the first bad frame, so this test drives
+//! seeded mutations — truncations, splices, byte flips, insertions,
+//! deep-nesting bombs, and pure noise — through:
+//!
+//! * `gridsec_wsse::soap::Envelope::parse` (and through it the XML
+//!   parser's recursion-depth cap),
+//! * `HostingEnvironment::handle_message` (the full OGSA pipeline),
+//! * `AcceptorService::handle` (GSS token exchange),
+//! * `CasService::handle` (community authorization),
+//! * `RemoteGram::handle` (job management).
+//!
+//! All mutations derive from one `DetRng` seed, so a failure replays
+//! exactly. The assertion is simply that every call returns: a panic
+//! anywhere fails the test.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use gridsec_authz::cas::CasServer;
+use gridsec_authz::gridmap::GridMapFile;
+use gridsec_authz::net::CasService;
+use gridsec_authz::policy::{CombiningAlg, PolicySet};
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_gram::remote::RemoteGram;
+use gridsec_gram::resource::{GramConfig, GramResource};
+use gridsec_gssapi::net::AcceptorService;
+use gridsec_integration::basic_world;
+use gridsec_ogsa::hosting::HostingEnvironment;
+use gridsec_testbed::clock::SimClock;
+use gridsec_testbed::os::SimOs;
+use gridsec_tls::handshake::TlsConfig;
+use gridsec_util::rng::{DetRng, RngCore};
+use gridsec_wsse::policy::{PolicyAlternative, Protection, SecurityPolicy};
+use gridsec_wsse::soap::Envelope;
+use gridsec_wsse::xmlsig;
+use gridsec_xml::Element;
+
+const CASES_PER_TARGET: usize = 400;
+
+/// Apply one seeded mutation to `base`.
+fn mutate(rng: &mut DetRng, base: &[u8]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    match rng.next_u64() % 6 {
+        // Truncate.
+        0 => {
+            if !out.is_empty() {
+                out.truncate(rng.next_u64() as usize % out.len());
+            }
+        }
+        // Delete a slice.
+        1 => {
+            if out.len() > 2 {
+                let a = rng.next_u64() as usize % out.len();
+                let b = (a + 1 + rng.next_u64() as usize % 40).min(out.len());
+                out.drain(a..b);
+            }
+        }
+        // Flip bytes.
+        2 => {
+            for _ in 0..1 + rng.next_u64() % 8 {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.next_u64() as usize % out.len();
+                out[i] = rng.next_u64() as u8;
+            }
+        }
+        // Insert garbage.
+        3 => {
+            let i = if out.is_empty() {
+                0
+            } else {
+                rng.next_u64() as usize % out.len()
+            };
+            let n = 1 + rng.next_u64() as usize % 32;
+            let junk: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            out.splice(i..i, junk);
+        }
+        // Nesting bomb: thousands of open tags, the classic
+        // stack-overflow vector the parser's depth cap must absorb.
+        4 => {
+            let depth = 500 + rng.next_u64() as usize % 3000;
+            out = "<d>".repeat(depth).into_bytes();
+        }
+        // Pure noise.
+        _ => {
+            let n = rng.next_u64() as usize % 300;
+            out = (0..n).map(|_| rng.next_u64() as u8).collect();
+        }
+    }
+    out
+}
+
+/// A valid signed OGSA request to mutate from (mutants that stay
+/// well-formed-ish penetrate deeper than pure noise).
+fn signed_corpus(clock: &SimClock) -> Vec<Vec<u8>> {
+    let w = basic_world(b"fuzz corpus");
+    let mut corpus = Vec::new();
+    for (action, payload) in [
+        (
+            "createService",
+            Element::new("ogsa:CreateService").with_attr("type", "echo"),
+        ),
+        (
+            "invoke",
+            Element::new("ogsa:Invoke")
+                .with_attr("handle", "h-1")
+                .with_attr("op", "echo"),
+        ),
+        (
+            "queryServiceData",
+            Element::new("ogsa:Query")
+                .with_attr("handle", "h-1")
+                .with_attr("name", "serviceType"),
+        ),
+        (
+            "destroy",
+            Element::new("ogsa:Destroy").with_attr("handle", "h-1"),
+        ),
+    ] {
+        let env = Envelope::request(action, payload);
+        let signed = xmlsig::sign_envelope(&env, &w.user, clock.now(), 60);
+        corpus.push(signed.to_xml().into_bytes());
+        corpus.push(env.to_xml().into_bytes()); // unsigned variant
+    }
+    corpus.push(b"<soap:Envelope><soap:Body/></soap:Envelope>".to_vec());
+    corpus
+}
+
+#[test]
+fn no_wire_facing_handler_panics_on_malformed_input() {
+    let clock = SimClock::starting_at(100);
+    let w = basic_world(b"fuzz world");
+    let corpus = signed_corpus(&clock);
+    let mut rng = DetRng::seed_from_u64(0xFA22_0611);
+
+    // Target: Envelope::parse + the OGSA hosting pipeline.
+    let mut hosting = HostingEnvironment::new(
+        "fuzz-host",
+        w.service.clone(),
+        w.trust.clone(),
+        clock.clone(),
+        SecurityPolicy {
+            service: "echo".to_string(),
+            alternatives: vec![PolicyAlternative {
+                mechanism: "xmlsig".to_string(),
+                token_types: vec!["x509-chain".to_string()],
+                trust_roots: vec![],
+                protection: Protection::Sign,
+            }],
+        },
+        PolicySet::new(CombiningAlg::DenyOverrides),
+    );
+    for i in 0..CASES_PER_TARGET {
+        let base = &corpus[i % corpus.len()];
+        let bytes = mutate(&mut rng, base);
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Envelope::parse(&text);
+        let reply = hosting.handle_message(&text);
+        assert!(!reply.is_empty(), "handler must always produce a reply");
+    }
+
+    // Target: GSS acceptor.
+    let mut acceptor = AcceptorService::new(
+        TlsConfig::new(w.service.clone(), w.trust.clone(), clock.now()),
+        ChaChaRng::from_seed_bytes(b"fuzz acceptor"),
+    );
+    for i in 0..CASES_PER_TARGET {
+        let base = &corpus[i % corpus.len()];
+        let bytes = mutate(&mut rng, base);
+        let reply = acceptor.handle("mallory", &bytes);
+        assert!(!reply.is_empty());
+    }
+
+    // Target: CAS service.
+    let cas = Arc::new(CasServer::new("vo-fuzz", w.service.clone(), 600));
+    let mut cas_svc = CasService::new(cas, clock.clone());
+    for i in 0..CASES_PER_TARGET {
+        let base = &corpus[i % corpus.len()];
+        let bytes = mutate(&mut rng, base);
+        let reply = cas_svc.handle("mallory", &bytes);
+        assert!(!reply.is_empty());
+    }
+
+    // Target: remote GRAM.
+    let gridmap = GridMapFile::parse("\"/O=G/CN=User\" juser\n").unwrap();
+    let resource = GramResource::install(
+        SimOs::new(),
+        clock.clone(),
+        "compute1",
+        w.trust.clone(),
+        w.service.clone(),
+        &gridmap,
+        GramConfig::default(),
+    )
+    .unwrap();
+    let mut gram = RemoteGram::new(Rc::new(RefCell::new(resource)), b"fuzz gram");
+    for i in 0..CASES_PER_TARGET {
+        let base = &corpus[i % corpus.len()];
+        let bytes = mutate(&mut rng, base);
+        let reply = gram.handle("mallory", &bytes);
+        assert!(!reply.is_empty());
+    }
+}
