@@ -1,0 +1,240 @@
+//! Const-generic fixed-limb Montgomery kernels for the hot operand
+//! widths.
+//!
+//! The dynamic CIOS multiply in [`crate::montgomery`] allocates a
+//! scratch vector per multiplication and loops over a runtime limb
+//! count. For the widths that dominate handshake traffic — 4 limbs
+//! (the 256-bit DH test group, RSA-512 CRT primes) and 8 limbs
+//! (512-bit RSA moduli) — this module provides kernels whose buffers
+//! are stack arrays `[u64; K]` with compile-time trip counts, after
+//! the `limbs_to_biguint` / `biguint_to_limbs` fixed-limb conversion
+//! idiom. The compiler can unroll the inner loops and nothing touches
+//! the heap per multiply.
+//!
+//! The fixed kernels are deliberately only reachable through
+//! [`Montgomery::new_precomputed`](crate::montgomery::Montgomery::new_precomputed)
+//! — and therefore through the [`crate::precomp`] registry and the
+//! shared verify contexts layered on it. Contexts built with the plain
+//! constructor keep the dynamic kernel, which preserves the
+//! per-session baseline that `perf_guard` measures the batch path
+//! against.
+
+use crate::BigUint;
+
+/// Split a [`BigUint`] into exactly `K` little-endian limbs, or `None`
+/// when the value does not fit in `K` limbs.
+pub fn biguint_to_limbs<const K: usize>(x: &BigUint) -> Option<[u64; K]> {
+    let limbs = x.limbs();
+    if limbs.len() > K {
+        return None;
+    }
+    let mut out = [0u64; K];
+    out[..limbs.len()].copy_from_slice(limbs);
+    Some(out)
+}
+
+/// Rebuild a [`BigUint`] from `K` little-endian limbs; trailing zero
+/// limbs are stripped by the canonical constructor.
+pub fn limbs_to_biguint<const K: usize>(limbs: &[u64; K]) -> BigUint {
+    BigUint::from_limbs(limbs.to_vec())
+}
+
+/// A Montgomery context specialised to a compile-time limb count `K`.
+///
+/// Mirrors the state of [`crate::montgomery::Montgomery`] (modulus
+/// limbs, `-n^-1 mod 2^64`, `R^2 mod n`) with every buffer a stack
+/// array. Produces bit-identical results to the dynamic kernel: the
+/// CIOS recurrence and the exponent scan are the same algorithms with
+/// the limb count fixed at compile time.
+pub(crate) struct FixedMont<const K: usize> {
+    n: [u64; K],
+    n0inv: u64,
+    rr: [u64; K],
+}
+
+impl<const K: usize> FixedMont<K> {
+    /// Wrap precomputed Montgomery parameters; `None` unless the
+    /// modulus occupies exactly `K` limbs.
+    pub(crate) fn new(n: &[u64], n0inv: u64, rr: &[u64]) -> Option<FixedMont<K>> {
+        if n.len() != K || rr.len() != K {
+            return None;
+        }
+        let mut nf = [0u64; K];
+        nf.copy_from_slice(n);
+        let mut rrf = [0u64; K];
+        rrf.copy_from_slice(rr);
+        Some(FixedMont {
+            n: nf,
+            n0inv,
+            rr: rrf,
+        })
+    }
+
+    /// `base^exp mod n` for `0 < base < n` and `exp > 0` — the caller
+    /// (the dispatching [`Montgomery::pow`]) has already handled the
+    /// degenerate cases.
+    ///
+    /// [`Montgomery::pow`]: crate::montgomery::Montgomery::pow
+    pub(crate) fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let bm0 = biguint_to_limbs::<K>(base).expect("base reduced below the modulus");
+        let bm = self.mul(&bm0, &self.rr); // into Montgomery form
+        let acc = match exp.to_u64() {
+            Some(e) => self.pow_u64(&bm, e),
+            None => self.pow_window(&bm, exp),
+        };
+        let mut one = [0u64; K];
+        one[0] = 1;
+        limbs_to_biguint(&self.mul(&acc, &one))
+    }
+
+    /// Montgomery multiply on general limb slices: convert, multiply,
+    /// convert back. Used by the fixed-base table builder, where the
+    /// copy cost is amortised over the table's lifetime.
+    pub(crate) fn mul_slices(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let mut af = [0u64; K];
+        af.copy_from_slice(a);
+        let mut bf = [0u64; K];
+        bf.copy_from_slice(b);
+        self.mul(&af, &bf).to_vec()
+    }
+
+    /// Left-to-right binary exponentiation for `e >= 1` fitting a word.
+    fn pow_u64(&self, bm: &[u64; K], e: u64) -> [u64; K] {
+        let mut acc = *bm;
+        for i in (0..63 - e.leading_zeros() as usize).rev() {
+            acc = self.mul(&acc, &acc);
+            if (e >> i) & 1 == 1 {
+                acc = self.mul(&acc, bm);
+            }
+        }
+        acc
+    }
+
+    /// Sliding-window exponentiation, window sizes matching the dynamic
+    /// kernel so both scan the exponent identically.
+    fn pow_window(&self, bm: &[u64; K], exp: &BigUint) -> [u64; K] {
+        let bits = exp.bit_len();
+        let w = match bits {
+            0..=96 => 3,
+            97..=384 => 4,
+            _ => 5,
+        };
+        // table[t] = base^(2t+1) in Montgomery form.
+        let bsq = self.mul(bm, bm);
+        let mut table: Vec<[u64; K]> = Vec::with_capacity(1 << (w - 1));
+        table.push(*bm);
+        for t in 1..(1 << (w - 1)) {
+            let prev = table[t - 1];
+            table.push(self.mul(&prev, &bsq));
+        }
+
+        let mut acc: Option<[u64; K]> = None;
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                let a = acc.expect("window scan starts on a set bit");
+                acc = Some(self.mul(&a, &a));
+                i -= 1;
+                continue;
+            }
+            let mut j = (i - w as isize + 1).max(0);
+            while !exp.bit(j as usize) {
+                j += 1;
+            }
+            let mut val = 0usize;
+            for b in (j..=i).rev() {
+                val = (val << 1) | exp.bit(b as usize) as usize;
+            }
+            let width = (i - j + 1) as usize;
+            acc = Some(match acc {
+                None => table[val >> 1],
+                Some(mut a) => {
+                    for _ in 0..width {
+                        a = self.mul(&a, &a);
+                    }
+                    self.mul(&a, &table[val >> 1])
+                }
+            });
+            i = j - 1;
+        }
+        acc.expect("exponent is non-zero")
+    }
+
+    /// CIOS Montgomery multiply on `K`-limb stack arrays — the same
+    /// recurrence as the dynamic kernel with the `t[k]`/`t[k+1]`
+    /// overflow limbs held in scalars.
+    fn mul(&self, a: &[u64; K], b: &[u64; K]) -> [u64; K] {
+        let mut t = [0u64; K];
+        let mut tk = 0u64;
+        for &bi in b {
+            // t += a * bi
+            let mut carry = 0u64;
+            for j in 0..K {
+                let v = t[j] as u128 + (a[j] as u128) * (bi as u128) + carry as u128;
+                t[j] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = tk as u128 + carry as u128;
+            tk = v as u64;
+            // The limb the dynamic kernel calls t[k+1]: written and
+            // consumed within one outer iteration.
+            let tk1 = (v >> 64) as u64;
+
+            // t = (t + m*n) / 2^64 with m chosen so t becomes divisible.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let v = t[0] as u128 + (m as u128) * (self.n[0] as u128);
+            let mut carry = (v >> 64) as u64;
+            for j in 1..K {
+                let v = t[j] as u128 + (m as u128) * (self.n[j] as u128) + carry as u128;
+                t[j - 1] = v as u64;
+                carry = (v >> 64) as u64;
+            }
+            let v = tk as u128 + carry as u128;
+            t[K - 1] = v as u64;
+            tk = tk1 + ((v >> 64) as u64);
+        }
+        if tk != 0 || ge(&t, &self.n) {
+            sub_in_place(&mut t, &self.n);
+        }
+        t
+    }
+}
+
+/// `a >= b` on equal-length little-endian limb arrays.
+fn ge(a: &[u64], b: &[u64]) -> bool {
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+/// `a -= b` on equal-length little-endian limb arrays; `a >= b` holds.
+fn sub_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        let (d1, b1) = ai.overflowing_sub(bi);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (b1 | b2) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limb_conversions_round_trip() {
+        let x = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        let limbs = biguint_to_limbs::<4>(&x).unwrap();
+        assert_eq!(limbs_to_biguint(&limbs), x);
+        // Too wide for the requested limb count.
+        assert!(biguint_to_limbs::<1>(&x).is_none());
+        // Zero maps to the all-zero array and back.
+        let z = biguint_to_limbs::<4>(&BigUint::zero()).unwrap();
+        assert_eq!(z, [0u64; 4]);
+        assert!(limbs_to_biguint(&z).is_zero());
+    }
+}

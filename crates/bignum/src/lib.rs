@@ -16,6 +16,12 @@
 //! * [`montgomery`] — Montgomery-form (CIOS) modular multiplication and
 //!   sliding-window exponentiation for odd moduli: the hot kernel under
 //!   every RSA sign/verify and DH agreement in the workspace.
+//! * [`fixed`] — const-generic fixed-limb CIOS kernels for the hot
+//!   operand widths (4 and 8 limbs), attached to contexts built with
+//!   [`montgomery::Montgomery::new_precomputed`].
+//! * [`precomp`] — fixed-base windowed tables and a per-thread registry
+//!   of precomputed contexts consulted by [`modular::mod_pow`], so hot
+//!   keys (DH generator, CA verify key, CRT primes) skip per-call setup.
 //! * [`prime`] — Miller–Rabin probabilistic primality testing with a small
 //!   prime sieve front end, and random prime generation suitable for RSA
 //!   and DH parameter creation.
@@ -40,8 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fixed;
 pub mod modular;
 pub mod montgomery;
+pub mod precomp;
 pub mod prime;
 mod uint;
 

@@ -8,12 +8,16 @@ use crate::BigUint;
 
 /// `base^exp mod modulus`.
 ///
-/// Odd moduli (every RSA and DH modulus in this workspace) take the
-/// Montgomery CIOS kernel in [`crate::montgomery`]: one conversion in
-/// and out, division-free multiplies in between, and an exponent scan
-/// sized to the exponent. Even moduli fall back to the classic
-/// division-per-step window kernel, [`mod_pow_classic`]. Both produce
-/// identical results.
+/// When the calling thread has registered `(base, modulus)` or
+/// `modulus` in the [`crate::precomp`] registry, the call is served
+/// from the precomputed fixed-base table or shared Montgomery context
+/// (identical results, no per-call setup). Otherwise odd moduli
+/// (every RSA and DH modulus in this workspace) take the Montgomery
+/// CIOS kernel in [`crate::montgomery`]: one conversion in and out,
+/// division-free multiplies in between, and an exponent scan sized to
+/// the exponent. Even moduli fall back to the classic
+/// division-per-step window kernel, [`mod_pow_classic`]. All paths
+/// produce identical results.
 ///
 /// Panics if `modulus` is zero. `x mod 1` is zero for all `x`.
 pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
@@ -23,6 +27,9 @@ pub fn mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
     }
     if exp.is_zero() {
         return BigUint::one();
+    }
+    if let Some(hit) = crate::precomp::lookup_pow(base, exp, modulus) {
+        return hit;
     }
     match Montgomery::new(modulus) {
         Some(ctx) => ctx.pow(base, exp),

@@ -12,7 +12,18 @@
 //! table at all, while full-width RSA/DH exponents use an odd-powers
 //! table of at most 2^(w-1) entries.
 
+use crate::fixed::FixedMont;
 use crate::BigUint;
+
+/// Width-specialised CIOS kernel attached to a context built with
+/// [`Montgomery::new_precomputed`]; contexts from [`Montgomery::new`]
+/// carry `None` and keep the dynamic kernel.
+enum FixedKernel {
+    /// 4-limb operands: the 256-bit DH test group, RSA-512 CRT primes.
+    F4(FixedMont<4>),
+    /// 8-limb operands: 512-bit RSA moduli.
+    F8(FixedMont<8>),
+}
 
 /// Precomputed Montgomery context for a fixed odd modulus `n > 1`.
 ///
@@ -28,6 +39,8 @@ pub struct Montgomery {
     /// `R^2 mod n`, padded to `k` limbs; multiplying by it converts into
     /// Montgomery form.
     rr: Vec<u64>,
+    /// Fixed-limb kernel for the hot widths (see [`crate::fixed`]).
+    kernel: Option<FixedKernel>,
 }
 
 impl Montgomery {
@@ -54,7 +67,33 @@ impl Montgomery {
             n,
             n0inv: inv.wrapping_neg(),
             rr,
+            kernel: None,
         })
+    }
+
+    /// Build a context intended to be cached and reused across many
+    /// exponentiations: same parameters as [`Montgomery::new`], plus a
+    /// const-generic fixed-limb kernel (see [`crate::fixed`]) when the
+    /// modulus is one of the hot widths (4 or 8 limbs). Other widths
+    /// keep the dynamic kernel. Results are bit-identical either way.
+    pub fn new_precomputed(modulus: &BigUint) -> Option<Montgomery> {
+        let mut ctx = Montgomery::new(modulus)?;
+        ctx.kernel = match ctx.n.len() {
+            4 => FixedMont::<4>::new(&ctx.n, ctx.n0inv, &ctx.rr).map(FixedKernel::F4),
+            8 => FixedMont::<8>::new(&ctx.n, ctx.n0inv, &ctx.rr).map(FixedKernel::F8),
+            _ => None,
+        };
+        Some(ctx)
+    }
+
+    /// The modulus this context was built for.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Whether this context dispatches to a fixed-limb kernel.
+    pub fn has_fixed_kernel(&self) -> bool {
+        self.kernel.is_some()
     }
 
     /// `base^exp mod n` with the same semantics as
@@ -66,6 +105,11 @@ impl Montgomery {
         let base = base.rem_ref(&self.modulus);
         if base.is_zero() {
             return BigUint::zero();
+        }
+        match &self.kernel {
+            Some(FixedKernel::F4(f)) => return f.pow(&base, exp),
+            Some(FixedKernel::F8(f)) => return f.pow(&base, exp),
+            None => {}
         }
         let mut bm = base.limbs().to_vec();
         bm.resize(self.n.len(), 0);
@@ -80,6 +124,31 @@ impl Montgomery {
         let mut one = vec![0u64; self.n.len()];
         one[0] = 1;
         BigUint::from_limbs(self.mul(&acc, &one))
+    }
+
+    /// Convert `x < n` into Montgomery form (`k` limbs).
+    pub(crate) fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let mut xm = x.limbs().to_vec();
+        xm.resize(self.n.len(), 0);
+        self.mont_mul(&xm, &self.rr)
+    }
+
+    /// Convert a Montgomery-form value back to a canonical [`BigUint`].
+    pub(crate) fn demont(&self, m: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(m, &one))
+    }
+
+    /// Montgomery multiply on `k`-limb slices, routed through the fixed
+    /// kernel when one is attached. Used by the fixed-base table in
+    /// [`crate::precomp`].
+    pub(crate) fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        match &self.kernel {
+            Some(FixedKernel::F4(f)) => f.mul_slices(a, b),
+            Some(FixedKernel::F8(f)) => f.mul_slices(a, b),
+            None => self.mul(a, b),
+        }
     }
 
     /// Left-to-right binary exponentiation for `e >= 1` fitting a word.

@@ -5,6 +5,7 @@
 //! HKDF to derive record keys — the structure GT2's TLS channel relies on.
 
 use gridsec_bignum::modular::mod_pow;
+use gridsec_bignum::precomp;
 use gridsec_bignum::prime::{random_below, EntropySource};
 use gridsec_bignum::BigUint;
 
@@ -55,6 +56,24 @@ impl DhGroup {
     /// Byte length of the group modulus.
     pub fn modulus_len(&self) -> usize {
         self.p.bit_len().div_ceil(8)
+    }
+
+    /// Register this group in the calling thread's
+    /// [`gridsec_bignum::precomp`] registry: a fixed-base table for
+    /// `g^x mod p` (every [`DhKeyPair::generate`] in the thread then
+    /// runs squaring-free) and a shared Montgomery context for `p`
+    /// (accelerating [`DhKeyPair::agree`], whose base is the peer's
+    /// share). Pair with [`DhGroup::unregister_precomp`].
+    pub fn register_precomp(&self) -> bool {
+        let table_ok = precomp::register_fixed_base(&self.g, &self.p, self.p.bit_len());
+        let ctx_ok = precomp::register_modulus(&self.p);
+        table_ok && ctx_ok
+    }
+
+    /// Remove the registrations made by [`DhGroup::register_precomp`].
+    pub fn unregister_precomp(&self) {
+        precomp::unregister_fixed_base(&self.g, &self.p);
+        precomp::unregister_modulus(&self.p);
     }
 }
 

@@ -13,11 +13,17 @@
 //! * [`RsaPublicKey::encrypt_pkcs1`] / [`RsaKeyPair::decrypt_pkcs1`] —
 //!   EME-PKCS1-v1_5 (type 2) key transport, used to wrap AEAD content keys
 //!   in XML-Encryption.
+//! * [`RsaVerifyCtx`] — a precomputed verification context for one hot
+//!   public key (CA verify key, a busy server's key), with
+//!   [`RsaVerifyCtx::verify_batch`] verifying N signatures under one
+//!   shared Montgomery context and attributing any failures by index.
 
 use crate::ct::ct_eq;
 use crate::sha256::sha256;
 use crate::CryptoError;
 use gridsec_bignum::modular::{mod_inv, mod_pow};
+use gridsec_bignum::montgomery::Montgomery;
+use gridsec_bignum::precomp;
 use gridsec_bignum::prime::{generate_prime, EntropySource};
 use gridsec_bignum::BigUint;
 
@@ -116,6 +122,143 @@ impl RsaPublicKey {
         data.extend_from_slice(&self.e.to_bytes_be());
         sha256(&data)
     }
+
+    /// Build a reusable verification context for this key (see
+    /// [`RsaVerifyCtx`]).
+    pub fn verify_ctx(&self) -> RsaVerifyCtx {
+        RsaVerifyCtx::new(self)
+    }
+}
+
+/// Per-index outcome of [`RsaVerifyCtx::verify_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    valid: Vec<bool>,
+}
+
+impl BatchOutcome {
+    /// `true` when every signature in the batch verified.
+    pub fn all_valid(&self) -> bool {
+        self.valid.iter().all(|&v| v)
+    }
+
+    /// Per-item verdicts, batch order.
+    pub fn valid(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// Indices of the items that failed, ascending.
+    pub fn invalid_indices(&self) -> Vec<usize> {
+        (0..self.valid.len()).filter(|&i| !self.valid[i]).collect()
+    }
+
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+}
+
+/// Precomputed verification context for one RSA public key.
+///
+/// [`RsaPublicKey::verify_pkcs1_sha256`] rebuilds the Montgomery
+/// context — including the `R^2 mod n` division — on every call. For a
+/// key that verifies thousands of signatures per login wave (the CA
+/// verify key, a portal server's key) this context builds it once, with
+/// the fixed-limb kernel attached when the modulus width allows, and
+/// reuses it for every verification.
+///
+/// `verify_batch` evaluates the **same predicate** as N individual
+/// `verify_pkcs1_sha256` calls — each item is verified on its own under
+/// the shared context, so a failure is attributed to its exact index
+/// and an accept can never diverge from the individual path. (The
+/// classic product-screening batch test `(∏ sᵢ)^e = ∏ mᵢ` is rejected
+/// here by design: a compensating pair `t·s, t⁻¹·s'` passes the screen
+/// with two invalid signatures, and randomized screening à la
+/// Bellare–Garay–Rabin costs more than it saves for `e = 65537`. See
+/// DESIGN.md §13.)
+pub struct RsaVerifyCtx {
+    key: RsaPublicKey,
+    /// Shared context; `None` for degenerate (even/trivial) moduli,
+    /// which keep the plain `mod_pow` fallback.
+    mont: Option<Montgomery>,
+}
+
+impl RsaVerifyCtx {
+    /// Build a context for `key`. Degenerate keys (even or trivial
+    /// modulus) are accepted and simply keep the uncached path so the
+    /// verdict always matches [`RsaPublicKey::verify_pkcs1_sha256`].
+    pub fn new(key: &RsaPublicKey) -> Self {
+        RsaVerifyCtx {
+            key: key.clone(),
+            mont: Montgomery::new_precomputed(&key.n),
+        }
+    }
+
+    /// The key this context verifies under.
+    pub fn key(&self) -> &RsaPublicKey {
+        &self.key
+    }
+
+    /// `s^e mod n` through the shared context.
+    fn public_op(&self, s: &BigUint) -> BigUint {
+        match &self.mont {
+            Some(m) => m.pow(s, &self.key.e),
+            None => mod_pow(s, &self.key.e, &self.key.n),
+        }
+    }
+
+    /// Verify one EMSA-PKCS1-v1_5 / SHA-256 signature — the same
+    /// checks, in the same order, as
+    /// [`RsaPublicKey::verify_pkcs1_sha256`], with the exponentiation
+    /// routed through the shared context.
+    pub fn verify_pkcs1_sha256(&self, msg: &[u8], signature: &[u8]) -> bool {
+        let k = self.key.modulus_len();
+        if signature.len() != k {
+            return false;
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.key.n {
+            return false;
+        }
+        let em = self.public_op(&s).to_bytes_be_padded(k);
+        let expected = match emsa_pkcs1_encode(msg, k) {
+            Ok(v) => v,
+            Err(_) => return false,
+        };
+        ct_eq(&em, &expected)
+    }
+
+    /// Verify a batch of `(msg, signature)` pairs under this key.
+    ///
+    /// Each item runs under the shared context; any rejection falls
+    /// back to the independent single-shot verifier to attribute the
+    /// failure, so the outcome is exactly what N individual
+    /// [`RsaPublicKey::verify_pkcs1_sha256`] calls would return, with
+    /// failing indices reported via [`BatchOutcome::invalid_indices`].
+    pub fn verify_batch(&self, items: &[(&[u8], &[u8])]) -> BatchOutcome {
+        let valid = items
+            .iter()
+            .map(|(msg, sig)| {
+                if self.verify_pkcs1_sha256(msg, sig) {
+                    return true;
+                }
+                // Attribute through the uncached reference path. The
+                // kernels are differentially tested identical, so this
+                // is belt-and-braces: if they ever disagreed, the
+                // individual verdict wins and batch/individual
+                // agreement still holds.
+                let individual = self.key.verify_pkcs1_sha256(msg, sig);
+                debug_assert!(!individual, "batch and individual verify diverged");
+                individual
+            })
+            .collect();
+        BatchOutcome { valid }
+    }
 }
 
 /// An RSA key pair with CRT acceleration parameters.
@@ -206,6 +349,25 @@ impl RsaKeyPair {
     /// the CRT parameters instead).
     pub fn private_exponent(&self) -> &BigUint {
         &self.d
+    }
+
+    /// Register this key's CRT prime moduli in the calling thread's
+    /// [`precomp`] registry, so repeated signing (a busy server during
+    /// a login wave) reuses one Montgomery context per prime instead of
+    /// rebuilding both per signature. Pair with
+    /// [`RsaKeyPair::unregister_signing_precomp`]; returns `false` if
+    /// either prime was refused (never the case for generated keys).
+    pub fn register_signing_precomp(&self) -> bool {
+        let p_ok = precomp::register_modulus(&self.p);
+        let q_ok = precomp::register_modulus(&self.q);
+        p_ok && q_ok
+    }
+
+    /// Remove the registrations made by
+    /// [`RsaKeyPair::register_signing_precomp`].
+    pub fn unregister_signing_precomp(&self) {
+        precomp::unregister_modulus(&self.p);
+        precomp::unregister_modulus(&self.q);
     }
 
     /// Private-key operation using the Chinese Remainder Theorem.

@@ -1,0 +1,211 @@
+//! Adversarial tests for PKCS#1 batch signature verification.
+//!
+//! The batch verifier's contract is exact agreement with N individual
+//! `verify_pkcs1_sha256` calls plus per-index failure attribution, so
+//! the suite attacks exactly those properties: single and multiple
+//! corruptions must be rejected *and pinned to the right indices*, a
+//! randomized cross-check compares every batch verdict against the
+//! individual path item by item, and the compensating-pair forgery
+//! that defeats naive product screening must be rejected outright —
+//! the attack the per-item design exists to be immune to.
+
+use gridsec_bignum::modular::mod_inv;
+use gridsec_bignum::BigUint;
+use gridsec_crypto::rng::ChaChaRng;
+use gridsec_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaVerifyCtx};
+use gridsec_util::check::check;
+
+fn key_from(seed: &[u8]) -> RsaKeyPair {
+    let mut rng = ChaChaRng::from_seed_bytes(seed);
+    RsaKeyPair::generate(&mut rng, 512)
+}
+
+#[test]
+fn single_corruption_attributed_to_exact_index() {
+    let key = key_from(b"batch attribution key");
+    let ctx = key.public().verify_ctx();
+    let msgs: Vec<Vec<u8>> = (0..12)
+        .map(|i| format!("proxy request {i}").into_bytes())
+        .collect();
+    let sigs: Vec<Vec<u8>> = msgs.iter().map(|m| key.sign_pkcs1_sha256(m)).collect();
+
+    // Clean batch accepts.
+    let items: Vec<(&[u8], &[u8])> = msgs
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (m.as_slice(), s.as_slice()))
+        .collect();
+    let clean = ctx.verify_batch(&items);
+    assert!(clean.all_valid());
+    assert!(clean.invalid_indices().is_empty());
+    assert_eq!(clean.len(), 12);
+
+    // One flipped byte, every position: rejected and attributed there.
+    for bad in 0..msgs.len() {
+        let mut sigs = sigs.clone();
+        sigs[bad][7] ^= 0x40;
+        let items: Vec<(&[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s.as_slice()))
+            .collect();
+        let outcome = ctx.verify_batch(&items);
+        assert!(!outcome.all_valid());
+        assert_eq!(outcome.invalid_indices(), vec![bad], "corruption at {bad}");
+        for (i, &ok) in outcome.valid().iter().enumerate() {
+            assert_eq!(ok, i != bad, "index {i} with corruption at {bad}");
+        }
+    }
+}
+
+#[test]
+fn multiple_corruptions_all_attributed() {
+    let key = key_from(b"batch multi key");
+    let ctx = key.public().verify_ctx();
+    let msgs: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 24]).collect();
+    let mut sigs: Vec<Vec<u8>> = msgs.iter().map(|m| key.sign_pkcs1_sha256(m)).collect();
+    for &bad in &[1usize, 4, 9] {
+        sigs[bad][0] ^= 1;
+    }
+    let items: Vec<(&[u8], &[u8])> = msgs
+        .iter()
+        .zip(&sigs)
+        .map(|(m, s)| (m.as_slice(), s.as_slice()))
+        .collect();
+    assert_eq!(ctx.verify_batch(&items).invalid_indices(), vec![1, 4, 9]);
+}
+
+#[test]
+fn compensating_pair_forgery_is_rejected() {
+    // The classic attack on product-screened batch RSA: given two valid
+    // signatures s1, s2, submit s1' = t·s1 and s2' = t⁻¹·s2 (mod n).
+    // The product s1'·s2' = s1·s2 is unchanged, so the screen
+    // (∏ sᵢ)^e = ∏ mᵢ accepts a batch containing two forgeries. The
+    // per-item verifier must reject both and attribute both.
+    let key = key_from(b"compensating pair key");
+    let n = key.public().modulus();
+    let ctx = key.public().verify_ctx();
+    let (m1, m2): (&[u8], &[u8]) = (b"pay alice 1 credit", b"pay bob 1 credit");
+    let s1 = BigUint::from_bytes_be(&key.sign_pkcs1_sha256(m1));
+    let s2 = BigUint::from_bytes_be(&key.sign_pkcs1_sha256(m2));
+
+    let t = BigUint::from(0x5eed_cafe_u64);
+    let t_inv = mod_inv(&t, n).expect("t coprime to a two-prime modulus");
+    let k = key.public().modulus_len();
+    let s1f = s1.mul_ref(&t).rem_ref(n).to_bytes_be_padded(k);
+    let s2f = s2.mul_ref(&t_inv).rem_ref(n).to_bytes_be_padded(k);
+
+    // Sanity: the product of the forged pair really is preserved, i.e.
+    // a multiplicative screen would have been blind to this batch.
+    let prod_forged = BigUint::from_bytes_be(&s1f)
+        .mul_ref(&BigUint::from_bytes_be(&s2f))
+        .rem_ref(n);
+    let prod_valid = s1.mul_ref(&s2).rem_ref(n);
+    assert_eq!(prod_forged, prod_valid, "compensating pair construction");
+
+    let outcome = ctx.verify_batch(&[(m1, &s1f), (m2, &s2f)]);
+    assert_eq!(outcome.invalid_indices(), vec![0, 1]);
+    // And the individual path agrees, of course.
+    assert!(!key.public().verify_pkcs1_sha256(m1, &s1f));
+    assert!(!key.public().verify_pkcs1_sha256(m2, &s2f));
+}
+
+#[test]
+fn batch_never_diverges_from_individual_randomized() {
+    let key = key_from(b"batch cross-check key");
+    let other = key_from(b"batch cross-check other");
+    let ctx = key.public().verify_ctx();
+    check("batch_never_diverges_from_individual", 64, |g| {
+        let n_items = g.usize_in(0..9);
+        let mut msgs: Vec<Vec<u8>> = Vec::new();
+        let mut sigs: Vec<Vec<u8>> = Vec::new();
+        for _ in 0..n_items {
+            let msg = g.bytes(0..40);
+            // Draw one adversarial shape per item.
+            let sig = match g.usize_in(0..8) {
+                0 | 1 => key.sign_pkcs1_sha256(&msg), // valid
+                2 => {
+                    // Valid signature over a different message.
+                    let other_msg = g.bytes(0..40);
+                    key.sign_pkcs1_sha256(&other_msg)
+                }
+                3 => other.sign_pkcs1_sha256(&msg), // wrong key
+                4 => {
+                    // Bit flip at a random position.
+                    let mut s = key.sign_pkcs1_sha256(&msg);
+                    let i = g.usize_in(0..s.len());
+                    s[i] ^= 1 << g.usize_in(0..8);
+                    s
+                }
+                5 => {
+                    // Truncated.
+                    let s = key.sign_pkcs1_sha256(&msg);
+                    let keep = g.usize_in(0..s.len());
+                    s[..keep].to_vec()
+                }
+                6 => {
+                    // Oversized.
+                    let mut s = key.sign_pkcs1_sha256(&msg);
+                    s.push(0);
+                    s
+                }
+                // Pure garbage of random length (including s >= n
+                // shapes when the top bytes come out large).
+                _ => g.bytes(0..80),
+            };
+            msgs.push(msg);
+            sigs.push(sig);
+        }
+        let items: Vec<(&[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s.as_slice()))
+            .collect();
+        let outcome = ctx.verify_batch(&items);
+        let individual: Vec<bool> = items
+            .iter()
+            .map(|(m, s)| key.public().verify_pkcs1_sha256(m, s))
+            .collect();
+        assert_eq!(outcome.valid(), individual.as_slice());
+        assert_eq!(outcome.all_valid(), individual.iter().all(|&v| v));
+        // The ctx's single-shot verifier agrees item by item too.
+        for (i, (m, s)) in items.iter().enumerate() {
+            assert_eq!(ctx.verify_pkcs1_sha256(m, s), individual[i], "item {i}");
+        }
+    });
+}
+
+#[test]
+fn empty_batch_is_vacuously_valid() {
+    let key = key_from(b"batch empty key");
+    let outcome = key.public().verify_ctx().verify_batch(&[]);
+    assert!(outcome.all_valid());
+    assert!(outcome.is_empty());
+    assert!(outcome.invalid_indices().is_empty());
+}
+
+#[test]
+fn degenerate_keys_match_individual_and_never_panic() {
+    // Even, zero, one, and tiny moduli; zero exponent. The context must
+    // refuse nothing loudly — it just keeps the uncached path — and
+    // every verdict must match the individual verifier.
+    let shapes = [
+        (BigUint::zero(), BigUint::from(65537u64)),
+        (BigUint::one(), BigUint::from(65537u64)),
+        (BigUint::from(65536u64), BigUint::from(65537u64)), // even n
+        (BigUint::from(65537u64), BigUint::zero()),         // e = 0
+        (BigUint::from(3u64), BigUint::from(3u64)),
+    ];
+    for (n, e) in shapes {
+        let key = RsaPublicKey::new(n.clone(), e.clone());
+        let ctx = RsaVerifyCtx::new(&key);
+        for sig_len in [0usize, 1, 8, 64, 65] {
+            let sig = vec![0xA5u8; sig_len];
+            let got = ctx.verify_pkcs1_sha256(b"msg", &sig);
+            let want = key.verify_pkcs1_sha256(b"msg", &sig);
+            assert_eq!(got, want, "n={n} e={e} sig_len={sig_len}");
+            let batch = ctx.verify_batch(&[(b"msg".as_slice(), sig.as_slice())]);
+            assert_eq!(batch.valid(), &[want]);
+        }
+    }
+}

@@ -122,6 +122,15 @@ impl AcceptorContext {
         }
     }
 
+    /// Acceptor that has already consumed a ClientHello (through a
+    /// batch driver such as [`crate::mill::HandshakeMill`]) and awaits
+    /// the ClientFinished token.
+    pub fn from_await_finished(await_finished: ServerAwaitFinished) -> Self {
+        AcceptorContext {
+            state: AcceptState::AwaitFinished(Box::new(await_finished)),
+        }
+    }
+
     /// Feed the next token from the initiator.
     pub fn step<E: EntropySource>(
         &mut self,

@@ -27,6 +27,7 @@
 
 pub mod context;
 pub mod delegation;
+pub mod mill;
 pub mod net;
 
 pub use context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};

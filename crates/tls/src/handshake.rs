@@ -18,6 +18,8 @@
 //! WS-Trust SOAP envelopes (GT3) — the token-compatibility property the
 //! paper states in §5.1 and experiment C1 checks byte-for-byte.
 
+use std::sync::{Arc, Mutex};
+
 use gridsec_bignum::prime::EntropySource;
 use gridsec_bignum::BigUint;
 use gridsec_crypto::ct::ct_eq;
@@ -33,6 +35,7 @@ use gridsec_pki::validate::{validate_chain_with_crls, ValidatedIdentity};
 use gridsec_pki::PkiError;
 
 use crate::channel::SecureChannel;
+use crate::pool::CryptoPool;
 use crate::session::ResumptionData;
 use crate::TlsError;
 
@@ -53,6 +56,11 @@ pub struct TlsConfig {
     /// How long a completed handshake stays resumable (see
     /// [`crate::session`]). Measured in the same units as `now`.
     pub session_lifetime: u64,
+    /// Optional shared crypto state (see [`crate::pool`]). When set,
+    /// chain validation and binding-signature verification route
+    /// through the pool's cached validator and shared verify contexts;
+    /// verdicts are identical to the pool-less path.
+    pub pool: Option<Arc<Mutex<CryptoPool>>>,
 }
 
 impl TlsConfig {
@@ -65,6 +73,45 @@ impl TlsConfig {
             now,
             group: DhGroup::test_group_256(),
             session_lifetime: crate::session::DEFAULT_SESSION_LIFETIME,
+            pool: None,
+        }
+    }
+
+    /// Builder: share crypto state across handshakes (see
+    /// [`crate::pool`]). Clones of the config share the same pool.
+    pub fn with_pool(mut self, pool: Arc<Mutex<CryptoPool>>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Validate a peer chain — through the pool when one is attached.
+    fn validate_peer(&self, chain: &[Certificate]) -> Result<ValidatedIdentity, TlsError> {
+        let identity = match &self.pool {
+            Some(pool) => pool.lock().expect("crypto pool lock").validate(
+                chain,
+                &self.trust,
+                &self.crls,
+                self.now,
+            )?,
+            None => validate_chain_with_crls(chain, &self.trust, &self.crls, self.now)?,
+        };
+        Ok(identity)
+    }
+
+    /// Verify a hello-binding signature — through the pool's shared
+    /// contexts when one is attached.
+    fn verify_binding(
+        &self,
+        key: &gridsec_crypto::rsa::RsaPublicKey,
+        msg: &[u8],
+        sig: &[u8],
+    ) -> bool {
+        match &self.pool {
+            Some(pool) => pool
+                .lock()
+                .expect("crypto pool lock")
+                .verify_binding(key, msg, sig),
+            None => key.verify_pkcs1_sha256(msg, sig),
         }
     }
 
@@ -288,19 +335,17 @@ impl ClientHandshake {
             .map_err(|_| TlsError::Protocol("malformed ServerHello"))?;
 
         // Authenticate the server.
-        let peer = validate_chain_with_crls(
-            &sh.chain,
-            &self.config.trust,
-            &self.config.crls,
-            self.config.now,
-        )?;
+        let peer = self.config.validate_peer(&sh.chain)?;
         let payload = server_signature_payload(
             &self.client_random,
             &sh.server_random,
             &self.dh.public,
             &sh.dh_public,
         );
-        if !peer.public_key.verify_pkcs1_sha256(&payload, &sh.signature) {
+        if !self
+            .config
+            .verify_binding(&peer.public_key, &payload, &sh.signature)
+        {
             return Err(TlsError::BadPeerSignature);
         }
 
@@ -364,55 +409,144 @@ impl ServerHandshake {
             .map_err(|_| TlsError::Protocol("malformed ClientHello"))?;
 
         // Authenticate the client (GSI is always mutual).
-        let peer = validate_chain_with_crls(
-            &ch.chain,
-            &self.config.trust,
-            &self.config.crls,
-            self.config.now,
-        )?;
+        let peer = self.config.validate_peer(&ch.chain)?;
         let payload = client_signature_payload(&ch.client_random, &ch.dh_public);
-        if !peer.public_key.verify_pkcs1_sha256(&payload, &ch.signature) {
+        if !self
+            .config
+            .verify_binding(&peer.public_key, &payload, &ch.signature)
+        {
             return Err(TlsError::BadPeerSignature);
         }
 
-        // Our share and the key schedule.
-        let mut seed = [0u8; 32];
-        rng.fill_bytes(&mut seed);
-        let mut local_rng = ChaChaRng::from_seed_bytes(&seed);
-        let mut server_random = [0u8; 32];
-        EntropySource::fill_bytes(&mut local_rng, &mut server_random);
-        let dh = DhKeyPair::generate(&mut local_rng, &self.config.group);
-        let shared = dh.agree(&ch.dh_public).ok_or(TlsError::BadDhShare)?;
-        let ks = KeySchedule::derive(
-            &shared,
-            &ch.client_random,
-            &server_random,
-            client_hello_token,
-        );
-
-        let payload =
-            server_signature_payload(&ch.client_random, &server_random, &ch.dh_public, &dh.public);
-        let sh = ServerHello {
-            server_random,
-            dh_public: dh.public.clone(),
-            chain: self.config.credential.chain().to_vec(),
-            signature: self.config.credential.sign(&payload),
-            finished_mac: ks.finished_mac("server finished"),
-        };
-        let resumption = ResumptionData::from_master(
-            ks.master,
-            self.config.now.saturating_add(self.config.session_lifetime),
-        );
-        Ok((
-            sh.to_bytes(),
-            ServerAwaitFinished {
-                expected_mac: ks.finished_mac("client finished"),
-                peer,
-                key_block: ks.key_block,
-                resumption,
-            },
-        ))
+        server_respond(&self.config, rng, &ch, client_hello_token, peer)
     }
+}
+
+/// The server's second half: mint the DH share, derive the schedule,
+/// sign the binding, and build the ServerHello. Shared by
+/// [`ServerHandshake::step`] and [`server_accept_batch`].
+fn server_respond<E: EntropySource>(
+    config: &TlsConfig,
+    rng: &mut E,
+    ch: &ClientHello,
+    client_hello_token: &[u8],
+    peer: ValidatedIdentity,
+) -> Result<(Vec<u8>, ServerAwaitFinished), TlsError> {
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    let mut local_rng = ChaChaRng::from_seed_bytes(&seed);
+    let mut server_random = [0u8; 32];
+    EntropySource::fill_bytes(&mut local_rng, &mut server_random);
+    let dh = DhKeyPair::generate(&mut local_rng, &config.group);
+    let shared = dh.agree(&ch.dh_public).ok_or(TlsError::BadDhShare)?;
+    let ks = KeySchedule::derive(
+        &shared,
+        &ch.client_random,
+        &server_random,
+        client_hello_token,
+    );
+
+    let payload =
+        server_signature_payload(&ch.client_random, &server_random, &ch.dh_public, &dh.public);
+    let sh = ServerHello {
+        server_random,
+        dh_public: dh.public.clone(),
+        chain: config.credential.chain().to_vec(),
+        signature: config.credential.sign(&payload),
+        finished_mac: ks.finished_mac("server finished"),
+    };
+    let resumption = ResumptionData::from_master(
+        ks.master,
+        config.now.saturating_add(config.session_lifetime),
+    );
+    Ok((
+        sh.to_bytes(),
+        ServerAwaitFinished {
+            expected_mac: ks.finished_mac("client finished"),
+            peer,
+            key_block: ks.key_block,
+            resumption,
+        },
+    ))
+}
+
+/// Accept a wave of ClientHello tokens at once.
+///
+/// With a pool attached to `config`, every parsed chain in the wave
+/// goes through [`CachedValidator::validate_batch`], which groups the
+/// certificate signature checks by issuer key and verifies each group
+/// under one shared Montgomery context ([`RsaVerifyCtx::verify_batch`])
+/// — the portal-login-wave shape where thousands of chains hang off one
+/// CA. Without a pool it degrades to per-token validation.
+///
+/// Results are positionally aligned with `hellos`, and each entry is
+/// exactly what [`ServerHandshake::step`] would have produced for that
+/// token alone (same verdicts, same rng consumption order for the
+/// successful responses).
+///
+/// [`CachedValidator::validate_batch`]: gridsec_pki::validate::CachedValidator::validate_batch
+/// [`RsaVerifyCtx::verify_batch`]: gridsec_crypto::rsa::RsaVerifyCtx::verify_batch
+pub fn server_accept_batch<E: EntropySource>(
+    config: &TlsConfig,
+    rng: &mut E,
+    hellos: &[&[u8]],
+) -> Vec<Result<(Vec<u8>, ServerAwaitFinished), TlsError>> {
+    // Parse phase.
+    let parsed: Vec<Result<ClientHello, TlsError>> = hellos
+        .iter()
+        .map(|token| {
+            ClientHello::from_bytes(token).map_err(|_| TlsError::Protocol("malformed ClientHello"))
+        })
+        .collect();
+
+    // Chain validation: batched through the pool when present.
+    let mut identities: Vec<Option<Result<ValidatedIdentity, TlsError>>> =
+        (0..hellos.len()).map(|_| None).collect();
+    if let Some(pool) = &config.pool {
+        let mut idx = Vec::new();
+        let mut chains: Vec<&[Certificate]> = Vec::new();
+        for (i, p) in parsed.iter().enumerate() {
+            if let Ok(ch) = p {
+                idx.push(i);
+                chains.push(&ch.chain);
+            }
+        }
+        let verdicts = pool.lock().expect("crypto pool lock").validate_batch(
+            &chains,
+            &config.trust,
+            &config.crls,
+            config.now,
+        );
+        for (i, verdict) in idx.into_iter().zip(verdicts) {
+            identities[i] = Some(verdict.map_err(TlsError::from));
+        }
+    } else {
+        for (i, p) in parsed.iter().enumerate() {
+            if let Ok(ch) = p {
+                identities[i] = Some(
+                    validate_chain_with_crls(&ch.chain, &config.trust, &config.crls, config.now)
+                        .map_err(TlsError::from),
+                );
+            }
+        }
+    }
+
+    // Binding verification + response, in wave order.
+    parsed
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let ch = p?;
+            let peer = identities[i]
+                .take()
+                .expect("parsed hello has a validation verdict")?;
+            let payload = client_signature_payload(&ch.client_random, &ch.dh_public);
+            if !config.verify_binding(&peer.public_key, &payload, &ch.signature) {
+                return Err(TlsError::BadPeerSignature);
+            }
+            server_respond(config, rng, &ch, hellos[i], peer)
+        })
+        .collect()
 }
 
 impl ServerAwaitFinished {

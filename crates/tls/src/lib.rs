@@ -36,6 +36,7 @@
 
 pub mod channel;
 pub mod handshake;
+pub mod pool;
 pub mod retry;
 pub mod session;
 pub mod stream;

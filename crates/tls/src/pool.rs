@@ -1,0 +1,247 @@
+//! Shared crypto state for high-fan-in handshake endpoints.
+//!
+//! A service accepting thousands of contexts repeats the same expensive
+//! asymmetric steps with the same parameters: every chain it validates
+//! hangs off a handful of CA keys, every DH share lives in one group,
+//! and every outgoing signature uses its own credential. [`CryptoPool`]
+//! ties the per-parameter amortizations built lower in the stack into
+//! one handle a handshake endpoint threads through [`TlsConfig`]:
+//!
+//! * a [`CachedValidator`] memoizing chain walks and sharing per-issuer
+//!   [`RsaVerifyCtx`]s (Montgomery state built once per CA key);
+//! * thread-local [`gridsec_bignum::precomp`] registrations — a
+//!   fixed-base table for the DH generator (squaring-free share
+//!   generation), a Montgomery context for the group modulus
+//!   (accelerated agreement), and contexts for the credential's CRT
+//!   primes (accelerated signing);
+//! * shared verify contexts for the hello-binding signatures keyed on
+//!   the peer's leaf key.
+//!
+//! The pool itself is plain data (shared through `Arc<Mutex<_>>` in
+//! [`TlsConfig`]), but the precomp registrations are *thread-local*:
+//! they accelerate `mod_pow` on the thread that called the register
+//! methods — exactly the shape of the single-threaded deterministic
+//! simulation harness. Dropping the pool (or calling
+//! [`CryptoPool::release`]) unregisters everything it registered, on
+//! the dropping thread.
+//!
+//! [`TlsConfig`]: crate::handshake::TlsConfig
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gridsec_crypto::dh::DhGroup;
+use gridsec_crypto::rsa::{RsaPublicKey, RsaVerifyCtx};
+use gridsec_crypto::sha256::sha256;
+use gridsec_pki::cert::Certificate;
+use gridsec_pki::credential::Credential;
+use gridsec_pki::store::{CrlStore, TrustStore};
+use gridsec_pki::validate::{CachedValidator, ValidatedIdentity};
+use gridsec_pki::PkiError;
+
+/// Default capacity of the pooled chain-validation cache.
+pub const DEFAULT_VALIDATOR_CAPACITY: usize = 256;
+
+/// Bound on retained binding-verify contexts; reaching it clears the
+/// map (deterministic, mirroring the validator's context policy).
+const MAX_BINDING_CTXS: usize = 64;
+
+/// Shared, reusable crypto state for many handshakes on one thread.
+pub struct CryptoPool {
+    validator: CachedValidator,
+    binding_ctxs: HashMap<[u8; 32], Arc<RsaVerifyCtx>>,
+    groups: Vec<DhGroup>,
+    signers: Vec<Credential>,
+    binding_hits: u64,
+    binding_misses: u64,
+}
+
+impl CryptoPool {
+    /// Pool with the default validation-cache capacity.
+    pub fn new() -> Self {
+        Self::with_validator_capacity(DEFAULT_VALIDATOR_CAPACITY)
+    }
+
+    /// Pool memoizing at most `capacity` validated chains.
+    pub fn with_validator_capacity(capacity: usize) -> Self {
+        CryptoPool {
+            validator: CachedValidator::new(capacity),
+            binding_ctxs: HashMap::new(),
+            groups: Vec::new(),
+            signers: Vec::new(),
+            binding_hits: 0,
+            binding_misses: 0,
+        }
+    }
+
+    /// Register `group` in the thread's precomp registry (fixed-base
+    /// table for the generator, shared context for the modulus), and
+    /// remember it for release. Idempotent per group.
+    pub fn register_group(&mut self, group: &DhGroup) -> bool {
+        let ok = group.register_precomp();
+        if !self.groups.contains(group) {
+            self.groups.push(group.clone());
+        }
+        ok
+    }
+
+    /// Register `credential`'s signing key (CRT prime contexts) in the
+    /// thread's precomp registry and remember it for release.
+    pub fn register_signer(&mut self, credential: &Credential) -> bool {
+        let ok = credential.key().register_signing_precomp();
+        if !self
+            .signers
+            .iter()
+            .any(|c| c.certificate().fingerprint() == credential.certificate().fingerprint())
+        {
+            self.signers.push(credential.clone());
+        }
+        ok
+    }
+
+    /// Validate a peer chain through the pooled [`CachedValidator`].
+    /// Semantically identical to
+    /// [`gridsec_pki::validate::validate_chain_with_crls`].
+    pub fn validate(
+        &mut self,
+        chain: &[Certificate],
+        trust: &TrustStore,
+        crls: &CrlStore,
+        now: u64,
+    ) -> Result<ValidatedIdentity, PkiError> {
+        self.validator.validate(chain, trust, crls, now)
+    }
+
+    /// Validate many peer chains at once through the pooled validator,
+    /// grouping signature checks by issuer key (see
+    /// [`CachedValidator::validate_batch`]).
+    pub fn validate_batch(
+        &mut self,
+        chains: &[&[Certificate]],
+        trust: &TrustStore,
+        crls: &CrlStore,
+        now: u64,
+    ) -> Vec<Result<ValidatedIdentity, PkiError>> {
+        self.validator.validate_batch(chains, trust, crls, now)
+    }
+
+    /// Verify a hello-binding signature through a shared per-key
+    /// context. Identical verdict to
+    /// [`RsaPublicKey::verify_pkcs1_sha256`].
+    pub fn verify_binding(&mut self, key: &RsaPublicKey, msg: &[u8], sig: &[u8]) -> bool {
+        let n = key.modulus().to_bytes_be();
+        let e = key.exponent().to_bytes_be();
+        let mut data = Vec::with_capacity(n.len() + e.len() + 8);
+        data.extend_from_slice(&(n.len() as u32).to_be_bytes());
+        data.extend_from_slice(&n);
+        data.extend_from_slice(&(e.len() as u32).to_be_bytes());
+        data.extend_from_slice(&e);
+        let digest = sha256(&data);
+
+        let ctx = if let Some(ctx) = self.binding_ctxs.get(&digest) {
+            self.binding_hits += 1;
+            Arc::clone(ctx)
+        } else {
+            self.binding_misses += 1;
+            if self.binding_ctxs.len() >= MAX_BINDING_CTXS {
+                self.binding_ctxs.clear();
+            }
+            let ctx = Arc::new(key.verify_ctx());
+            self.binding_ctxs.insert(digest, Arc::clone(&ctx));
+            ctx
+        };
+        ctx.verify_pkcs1_sha256(msg, sig)
+    }
+
+    /// The pooled validator (hit/miss counters, precomputed-key count).
+    pub fn validator(&self) -> &CachedValidator {
+        &self.validator
+    }
+
+    /// Binding-signature context reuses so far.
+    pub fn binding_hits(&self) -> u64 {
+        self.binding_hits
+    }
+
+    /// Binding-signature contexts built so far.
+    pub fn binding_misses(&self) -> u64 {
+        self.binding_misses
+    }
+
+    /// Unregister every precomp registration this pool made and drop
+    /// the shared contexts. Called automatically on drop.
+    pub fn release(&mut self) {
+        for group in self.groups.drain(..) {
+            group.unregister_precomp();
+        }
+        for signer in self.signers.drain(..) {
+            signer.key().unregister_signing_precomp();
+        }
+        self.binding_ctxs.clear();
+    }
+}
+
+impl Default for CryptoPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for CryptoPool {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsec_bignum::precomp;
+    use gridsec_crypto::rng::ChaChaRng;
+    use gridsec_pki::ca::CertificateAuthority;
+    use gridsec_pki::name::DistinguishedName;
+
+    fn dn(s: &str) -> DistinguishedName {
+        DistinguishedName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn pool_registers_and_releases_precomp() {
+        precomp::clear();
+        let mut rng = ChaChaRng::from_seed_bytes(b"pool test");
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let user = ca.issue_identity(&mut rng, dn("/O=G/CN=U"), 512, 0, 100_000);
+        let group = DhGroup::test_group_256();
+
+        {
+            let mut pool = CryptoPool::new();
+            assert!(pool.register_group(&group));
+            assert!(pool.register_signer(&user));
+            let stats = precomp::stats();
+            assert_eq!(stats.tables, 1, "one fixed-base table for g");
+            assert_eq!(stats.contexts, 3, "group modulus plus two CRT primes");
+            // Re-registration is idempotent.
+            assert!(pool.register_group(&group));
+            assert_eq!(precomp::stats().tables, 1);
+        }
+        // Drop released everything.
+        let stats = precomp::stats();
+        assert_eq!((stats.tables, stats.contexts), (0, 0));
+    }
+
+    #[test]
+    fn binding_verification_shares_contexts() {
+        let mut rng = ChaChaRng::from_seed_bytes(b"pool binding");
+        let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+        let user = ca.issue_identity(&mut rng, dn("/O=G/CN=U"), 512, 0, 100_000);
+        let key = user.certificate().public_key().clone();
+
+        let mut pool = CryptoPool::new();
+        let sig = user.sign(b"binding payload");
+        assert!(pool.verify_binding(&key, b"binding payload", &sig));
+        assert!(pool.verify_binding(&key, b"binding payload", &sig));
+        assert!(!pool.verify_binding(&key, b"other payload", &sig));
+        assert_eq!(pool.binding_misses(), 1, "one context built");
+        assert_eq!(pool.binding_hits(), 2, "then shared");
+    }
+}

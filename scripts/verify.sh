@@ -134,12 +134,14 @@ if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
     echo "ok: crash seed matrix complete"
 fi
 
-echo "== bench smoke: perf guard (resumed < full, montgomery < classic) =="
-# Offline micro-gate on the two amortization claims: the Montgomery
+echo "== bench smoke: perf guard (resumed < full, montgomery < classic, batched >= 2x) =="
+# Offline micro-gate on the three amortization claims: the Montgomery
 # modexp kernel must beat the classic window reference on 512-bit
-# sign-shaped operands, and the abbreviated (resumed) handshake must
-# beat the full asymmetric handshake. Median-of-N timings; a genuine
-# win is several-fold, so this does not flake on scheduler noise.
+# sign-shaped operands, the abbreviated (resumed) handshake must beat
+# the full asymmetric handshake, and a HandshakeMill batched wave must
+# accept at >=2x the per-session, cleared-registry baseline rate
+# (DESIGN.md §13.4). Median-of-N timings; genuine wins are
+# several-fold, so this does not flake on scheduler noise.
 cargo run -q --offline --release -p gridsec-bench --bin perf_guard
 
 echo "== vo_storm smoke: 2000-principal storm, two-run byte-identical metrics =="
@@ -165,6 +167,31 @@ if ! head -1 "$tdir/storm.1" | grep -q " failed=0 "; then
     exit 1
 fi
 echo "ok: $(head -1 "$tdir/storm.1") (byte-identical across two runs)"
+
+echo "== handshake_storm smoke: 400-session wave, two-run byte-identical metrics =="
+# Reduced-scale run of the batched-handshake storm (the bench bin
+# defaults to 10^4 sessions; bench-results/after/BENCH_handshake_storm.json
+# records the full-scale run and its ~2x speedup — the timing claim
+# itself is gated by perf_guard above). Every metric except wall time
+# must be a pure function of the seed across two fresh processes.
+for run in 1 2; do
+    GRIDSEC_BENCH_DIR="$tdir" \
+        cargo run -q --offline --release -p gridsec-bench --bin handshake_storm -- \
+        --sessions "${GRIDSEC_STORM_SESSIONS:-400}" --clients 16 --wave 64 \
+        --baseline-sessions 100 --metrics-out "$tdir/hstorm.$run" > /dev/null
+done
+if ! cmp -s "$tdir/hstorm.1" "$tdir/hstorm.2"; then
+    echo "FAIL: handshake_storm metrics differ across two runs of the same seed" >&2
+    diff "$tdir/hstorm.1" "$tdir/hstorm.2" | head -20 >&2 || true
+    exit 1
+fi
+if ! grep -q "^counter storm.completed = " "$tdir/hstorm.1" || \
+   grep -q "^counter storm.completed = 0$" "$tdir/hstorm.1"; then
+    echo "FAIL: handshake_storm completed no end-to-end sessions:" >&2
+    cat "$tdir/hstorm.1" >&2
+    exit 1
+fi
+echo "ok: $(head -1 "$tdir/hstorm.1") (byte-identical across two runs)"
 
 echo "== bench smoke: flow metrics drift gate on EXPERIMENTS.md =="
 # Replay the chaos flows from the pinned seed, regenerate the

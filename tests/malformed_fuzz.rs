@@ -12,7 +12,11 @@
 //! * `HostingEnvironment::handle_message` (the full OGSA pipeline),
 //! * `AcceptorService::handle` (GSS token exchange),
 //! * `CasService::handle` (community authorization),
-//! * `RemoteGram::handle` (job management).
+//! * `RemoteGram::handle` (job management),
+//! * the batch/precomputed crypto entry points (`RsaVerifyCtx`,
+//!   `verify_batch`, `CachedValidator::validate_batch`,
+//!   `HandshakeMill::accept_wave`, fixed-base/modulus precomputation) —
+//!   mutated signatures, degenerate keys and group parameters.
 //!
 //! All mutations derive from one `DetRng` seed, so a failure replays
 //! exactly. The assertion is simply that every call returns: a panic
@@ -206,5 +210,149 @@ fn no_wire_facing_handler_panics_on_malformed_input() {
         let bytes = mutate(&mut rng, base);
         let reply = gram.handle("mallory", &bytes);
         assert!(!reply.is_empty());
+    }
+}
+
+/// The batch + precomputed crypto paths added for login-wave
+/// amortization face the same wire: signatures and certificate fields
+/// come straight from attacker-controlled bytes, and group parameters
+/// can be degenerate. Every entry point must return — and, for the
+/// batch verifiers, agree with its single-shot counterpart — on any
+/// input.
+#[test]
+fn batch_crypto_entry_points_absorb_malformed_input() {
+    use gridsec_bignum::{precomp, BigUint};
+    use gridsec_crypto::rsa::{RsaKeyPair, RsaPublicKey, RsaVerifyCtx};
+    use gridsec_gssapi::mill::HandshakeMill;
+    use gridsec_gssapi::InitiatorContext;
+    use gridsec_pki::cert::Certificate;
+    use gridsec_pki::store::CrlStore;
+    use gridsec_pki::validate::{validate_chain_with_crls, CachedValidator};
+
+    let mut rng = DetRng::seed_from_u64(0xFA22_0611);
+    let w = basic_world(b"batch fuzz world");
+    let mut crng = ChaChaRng::from_seed_bytes(b"batch fuzz rng");
+
+    // Target: RsaVerifyCtx::verify_batch with mutated signatures. The
+    // batch verdict must match the uncached single-shot verifier on
+    // every item, mutant or not.
+    let pair = RsaKeyPair::generate(&mut crng, 512);
+    let good_sig = pair.sign_pkcs1_sha256(b"wave payload");
+    let ctx = RsaVerifyCtx::new(pair.public());
+    for i in 0..CASES_PER_TARGET / 4 {
+        let mut sigs: Vec<Vec<u8>> = (0..4).map(|_| mutate(&mut rng, &good_sig)).collect();
+        sigs.push(good_sig.clone());
+        // Oversized: longer than the modulus, and absurdly long.
+        sigs.push([good_sig.clone(), vec![0xFF; 1 + i % 7]].concat());
+        sigs.push(vec![0xAB; 4096]);
+        sigs.push(Vec::new());
+        let items: Vec<(&[u8], &[u8])> = sigs
+            .iter()
+            .map(|s| (b"wave payload".as_slice(), s.as_slice()))
+            .collect();
+        let outcome = ctx.verify_batch(&items);
+        assert_eq!(outcome.len(), items.len());
+        for (j, (msg, sig)) in items.iter().enumerate() {
+            assert_eq!(
+                outcome.valid()[j],
+                pair.public().verify_pkcs1_sha256(msg, sig),
+                "batch/individual divergence at case {i} item {j}"
+            );
+        }
+    }
+
+    // Target: verify contexts over degenerate keys (an attacker
+    // controls the modulus bytes in a presented certificate). Even,
+    // zero, trivial, and tiny moduli must build and verify (falsely)
+    // without panicking.
+    for n in [
+        BigUint::from(0u64),
+        BigUint::from(1u64),
+        BigUint::from(2u64),
+        BigUint::from(15u64),
+        BigUint::from(u64::MAX),     // odd, but far too small for PKCS#1
+        &BigUint::from(1u64) << 512, // even 513-bit
+    ] {
+        for e in [
+            BigUint::from(0u64),
+            BigUint::from(1u64),
+            BigUint::from(65537u64),
+        ] {
+            let key = RsaPublicKey::new(n.clone(), e);
+            let ctx = RsaVerifyCtx::new(&key);
+            for sig in [&b""[..], &[0u8; 64][..], &good_sig[..]] {
+                assert!(!ctx.verify_pkcs1_sha256(b"m", sig));
+            }
+            let outcome = ctx.verify_batch(&[(b"m", &good_sig), (b"m", b"")]);
+            assert_eq!(outcome.invalid_indices(), vec![0, 1]);
+        }
+    }
+
+    // Target: fixed-base/modulus precomputation with degenerate group
+    // parameters. Registration must refuse (or absorb) them and the
+    // registry must stay consistent.
+    let one = BigUint::from(1u64);
+    let cases = [
+        (BigUint::from(0u64), BigUint::from(0u64)),
+        (BigUint::from(0u64), one.clone()),
+        (one.clone(), BigUint::from(2u64)),
+        (BigUint::from(7u64), BigUint::from(4u64)), // even modulus
+        (BigUint::from(9u64), BigUint::from(7u64)), // base >= modulus
+        (BigUint::from(3u64), BigUint::from(7u64)), // fine but tiny
+    ];
+    for (base, modulus) in &cases {
+        let _ = precomp::register_fixed_base(base, modulus, 0);
+        let _ = precomp::register_fixed_base(base, modulus, 4096);
+        precomp::unregister_fixed_base(base, modulus);
+        let _ = precomp::register_modulus(modulus);
+        precomp::unregister_modulus(modulus);
+    }
+    precomp::clear();
+    assert_eq!(precomp::stats().tables, 0);
+
+    // Target: CachedValidator::validate_batch over chains whose
+    // signature bytes are mutated wholesale. Verdicts must match the
+    // stateless walk, chain for chain.
+    let mut validator = CachedValidator::new(32);
+    let crls = CrlStore::new();
+    let good_chain = w.user.chain().to_vec();
+    for _ in 0..CASES_PER_TARGET / 8 {
+        let mut broken = good_chain.clone();
+        let which = rng.next_u64() as usize % broken.len();
+        broken[which].signature = mutate(&mut rng, &broken[which].signature);
+        let chains: Vec<&[Certificate]> = vec![&good_chain, &broken, &[]];
+        let batch = validator.validate_batch(&chains, &w.trust, &crls, 100);
+        assert_eq!(batch.len(), 3);
+        for (i, chain) in chains.iter().enumerate() {
+            let individual = validate_chain_with_crls(chain, &w.trust, &crls, 100);
+            assert_eq!(
+                batch[i].is_ok(),
+                individual.is_ok(),
+                "batch/stateless divergence on chain {i}"
+            );
+            if let (Err(b), Err(s)) = (&batch[i], &individual) {
+                assert_eq!(b, s);
+            }
+        }
+    }
+
+    // Target: HandshakeMill::accept_wave on waves mixing valid hellos
+    // with mutants of them. The mill must survive and still accept the
+    // intact hello in every wave.
+    let mut mill = HandshakeMill::new(TlsConfig::new(w.service.clone(), w.trust.clone(), 100));
+    let (_init, good_hello) = InitiatorContext::new(
+        TlsConfig::new(w.user.clone(), w.trust.clone(), 100),
+        &mut crng,
+    );
+    for _ in 0..CASES_PER_TARGET / 8 {
+        let mutants: Vec<Vec<u8>> = (0..3).map(|_| mutate(&mut rng, &good_hello)).collect();
+        let mut wave: Vec<&[u8]> = mutants.iter().map(|m| m.as_slice()).collect();
+        wave.push(&good_hello);
+        let results = mill.accept_wave(&mut crng, &wave);
+        assert_eq!(results.len(), wave.len());
+        assert!(
+            results.last().unwrap().is_ok(),
+            "intact hello must still accept amid mutants"
+        );
     }
 }
