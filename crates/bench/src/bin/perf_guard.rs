@@ -1,5 +1,5 @@
-//! CI bench-smoke guard: asserts the two amortization claims this stack
-//! depends on, offline and in seconds, exiting nonzero on regression.
+//! CI bench-smoke guard: asserts the perf claims this stack depends
+//! on, offline and in seconds, exiting nonzero on regression.
 //!
 //! 1. **Kernel**: Montgomery-form `mod_pow` beats the classic 4-bit
 //!    window reference on 512-bit RSA-sign-shaped operands.
@@ -10,15 +10,23 @@
 //!    accepts hellos at ≥2× the per-session baseline rate (fresh
 //!    acceptor per hello, precomp registry cleared) — the headline
 //!    claim behind `handshake_storm`.
+//! 4. **Striping**: four pinned stripes finish the 32 KiB reference
+//!    fetch at 5% loss in ≤2/3 the simulated ticks of a single stream
+//!    (≥1.5× goodput) — the headline claim behind `striped_xfer`.
+//!    Claim 4 is tick-model arithmetic, deterministic by seed.
 //!
-//! All comparisons use median-of-N wall times on identical inputs, with
-//! a safety factor so scheduler noise cannot flake CI: a real win is
+//! Claims 1–3 use median-of-N wall times on identical inputs, with a
+//! safety factor so scheduler noise cannot flake CI: a real win is
 //! several-fold, so requiring only `faster < slower` (or a 2× floor on
 //! a ~3× win for claim 3) leaves margin.
+//!
+//! Every claim prints its measured ratio, its threshold, and the
+//! recorded bench artifact it gates (`BENCH_*.json`), pass or fail.
 
 use std::time::Instant;
 
 use gridsec_bench::bench_world;
+use gridsec_bench::striped::{run_get_cell, seed_file, striped_payload, striped_world};
 use gridsec_bignum::modular::{mod_pow, mod_pow_classic};
 use gridsec_bignum::precomp;
 use gridsec_bignum::prime::random_bits;
@@ -40,6 +48,23 @@ fn median_ns(rounds: usize, mut f: impl FnMut()) -> u128 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// Uniform claim verdict: prints measured ratio, threshold, and the
+/// recorded `BENCH_*.json` the claim gates — pass or fail — and counts
+/// the failure.
+fn claim(failures: &mut u32, name: &str, measured: f64, threshold: f64, bench: &str) {
+    let dir = std::env::var("GRIDSEC_PERF_SOURCE_DIR")
+        .unwrap_or_else(|_| "bench-results/after".to_string());
+    let pass = measured >= threshold;
+    println!(
+        "[perf_guard] {name}: measured x{measured:.2} threshold x{threshold:.2} \
+         source {dir}/BENCH_{bench}.json -> {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    if !pass {
+        *failures += 1;
+    }
 }
 
 fn main() {
@@ -64,14 +89,14 @@ fn main() {
     let classic = median_ns(15, || {
         std::hint::black_box(mod_pow_classic(&base, &exp, &modulus));
     });
-    println!(
-        "[perf_guard] modexp 512-bit sign: montgomery {mont}ns vs classic {classic}ns (x{:.2})",
-        classic as f64 / mont as f64
+    println!("[perf_guard] modexp 512-bit sign: montgomery {mont}ns vs classic {classic}ns");
+    claim(
+        &mut failures,
+        "modexp-montgomery-vs-classic",
+        classic as f64 / mont as f64,
+        1.0,
+        "k1_modexp",
     );
-    if mont >= classic {
-        eprintln!("[perf_guard] FAIL: Montgomery modexp no faster than classic");
-        failures += 1;
-    }
 
     // --- Claim 2: resumed handshake beats the full handshake. ---
     let mut w = bench_world(b"perf guard resume");
@@ -95,14 +120,14 @@ fn main() {
         let server_chan = wait.step(&t3).unwrap();
         std::hint::black_box((client_chan, server_chan));
     });
-    println!(
-        "[perf_guard] handshake: resumed {resumed}ns vs full {full}ns (x{:.2})",
-        full as f64 / resumed as f64
+    println!("[perf_guard] handshake: resumed {resumed}ns vs full {full}ns");
+    claim(
+        &mut failures,
+        "handshake-resumed-vs-full",
+        full as f64 / resumed as f64,
+        1.0,
+        "c1_establishment",
     );
-    if resumed >= full {
-        eprintln!("[perf_guard] FAIL: resumed handshake no faster than full");
-        failures += 1;
-    }
 
     // --- Claim 3: batched wave ≥2× the per-session baseline. ---
     // One wave of hellos, accepted two ways. The baseline runs first,
@@ -138,14 +163,40 @@ fn main() {
             std::hint::black_box(r.expect("timed wave accepts"));
         }
     });
-    println!(
-        "[perf_guard] wave of {WAVE}: batched {batched}ns vs per-session {per_session}ns (x{:.2})",
-        per_session as f64 / batched as f64
+    println!("[perf_guard] wave of {WAVE}: batched {batched}ns vs per-session {per_session}ns");
+    claim(
+        &mut failures,
+        "batched-wave-vs-per-session",
+        per_session as f64 / batched as f64,
+        2.0,
+        "handshake_storm",
     );
-    if batched.saturating_mul(2) > per_session {
-        eprintln!("[perf_guard] FAIL: batched wave under 2x the per-session baseline");
-        failures += 1;
-    }
+
+    // --- Claim 4: 4 stripes ≥1.5× a single stream at 5% loss. ---
+    // Deterministic tick-model arithmetic through the same harness and
+    // seeds as the recorded `striped_xfer` run (32 KiB, 5% drop).
+    let world = striped_world(format!("striped world {:#x}", 0x5712u64).as_bytes());
+    let data = striped_payload(32 * 1024);
+    seed_file(&world, "/home/jdoe/bench.dat", &data);
+    let cell = |stripes: u32| {
+        let base = 0x5712u64 ^ (50u64 << 32) ^ ((stripes as u64) << 16);
+        run_get_cell(&world, base, 0.05, Some(stripes), "/home/jdoe/bench.dat")
+    };
+    let single = cell(1);
+    let four = cell(4);
+    assert_eq!(single.bytes, data, "single-stream cell corrupted payload");
+    assert_eq!(four.bytes, data, "four-stripe cell corrupted payload");
+    println!(
+        "[perf_guard] striped 32KiB at 5% loss: s4 {} ticks ({}B/kt) vs s1 {} ticks ({}B/kt)",
+        four.ticks, four.goodput_bpkt, single.ticks, single.goodput_bpkt
+    );
+    claim(
+        &mut failures,
+        "striped-4-vs-1-at-5pct-loss",
+        single.ticks as f64 / four.ticks as f64,
+        1.5,
+        "striped_xfer",
+    );
 
     if failures > 0 {
         eprintln!("[perf_guard] {failures} perf claim(s) regressed");

@@ -73,3 +73,4 @@ pub fn bench_world(seed: &[u8]) -> BenchWorld {
 }
 
 pub mod least_privilege;
+pub mod striped;

@@ -1,0 +1,265 @@
+//! AIMD congestion control for striped transfers.
+//!
+//! Real GridFTP lets the client pick parallelism and window sizes; the
+//! paper-era servers adapted both to observed loss. This controller
+//! reproduces that loop on the simulated testbed: the striped engine
+//! reports every torn stripe connection (with the stripe's
+//! [`LossStats`](gridsec_testbed::net::LossStats)-derived loss rate)
+//! and every cleanly delivered window, and the controller answers with
+//! the pull-window size and the target stripe count.
+//!
+//! Window control is textbook AIMD: +1 chunk per clean window, halve on
+//! a tear. Stripe control is slower and probabilistic — after a streak
+//! of clean windows the controller *may* add a stripe, and on a tear
+//! over a badly lossy stripe it *may* drop one. Both draws come from a
+//! [`DetRng`] seeded by the caller, so a given seed replays the exact
+//! same decision sequence; the decision log is part of the chaos
+//! transcripts CI byte-compares across processes. Determinism holds
+//! because every input is itself deterministic: tick times come from
+//! the engine's simulated timeline, loss rates from the seeded stream
+//! fault layer, and the draw sequence from the seed — no wall clock,
+//! no thread scheduling, no ambient entropy.
+
+use gridsec_util::rng::{DetRng, RngCore};
+
+/// Bounds and starting points for the controller.
+#[derive(Clone, Copy, Debug)]
+pub struct AimdConfig {
+    /// Smallest pull window (chunks per request round).
+    pub min_window: u32,
+    /// Largest pull window.
+    pub max_window: u32,
+    /// Initial pull window.
+    pub init_window: u32,
+    /// Fewest concurrently active stripes.
+    pub min_stripes: u32,
+    /// Most concurrently active stripes.
+    pub max_stripes: u32,
+    /// Initial stripe count.
+    pub init_stripes: u32,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            min_window: 1,
+            max_window: 16,
+            init_window: 4,
+            min_stripes: 1,
+            max_stripes: 4,
+            init_stripes: 2,
+        }
+    }
+}
+
+impl AimdConfig {
+    /// A config pinned to exactly `n` stripes (bench baselines compare
+    /// fixed stripe counts; only the window still adapts).
+    pub fn pinned_stripes(n: u32) -> Self {
+        AimdConfig {
+            min_stripes: n.max(1),
+            max_stripes: n.max(1),
+            init_stripes: n.max(1),
+            ..AimdConfig::default()
+        }
+    }
+}
+
+/// Clean-window streak length required before a stripe may be added.
+const GROW_STREAK: u32 = 4;
+/// Probability (in 1/256ths) of adding a stripe once the streak allows.
+const GROW_P256: u64 = 192;
+/// Loss rate (permille) above which a tear may also shed a stripe.
+const SHED_LOSS_PERMILLE: u64 = 150;
+/// Probability (in 1/256ths) of shedding a stripe on a qualifying tear.
+const SHED_P256: u64 = 128;
+
+/// Additive-increase / multiplicative-decrease controller over the
+/// striped engine's window size and stripe count.
+pub struct AimdController {
+    cfg: AimdConfig,
+    window: u32,
+    stripes: u32,
+    clean_streak: u32,
+    rng: DetRng,
+    decisions: Vec<String>,
+    tears: u64,
+    clean_rounds: u64,
+}
+
+impl AimdController {
+    /// Create a controller from bounds and a replay seed.
+    pub fn new(cfg: AimdConfig, seed: u64) -> Self {
+        let cfg = AimdConfig {
+            min_window: cfg.min_window.max(1),
+            max_window: cfg.max_window.max(cfg.min_window.max(1)),
+            init_window: cfg
+                .init_window
+                .clamp(cfg.min_window.max(1), cfg.max_window.max(1)),
+            min_stripes: cfg.min_stripes.max(1),
+            max_stripes: cfg.max_stripes.max(cfg.min_stripes.max(1)),
+            init_stripes: cfg
+                .init_stripes
+                .clamp(cfg.min_stripes.max(1), cfg.max_stripes.max(1)),
+        };
+        AimdController {
+            window: cfg.init_window,
+            stripes: cfg.init_stripes,
+            clean_streak: 0,
+            rng: DetRng::seed_from_u64(seed ^ 0xA1_4D_C0_47),
+            decisions: Vec::new(),
+            tears: 0,
+            clean_rounds: 0,
+            cfg,
+        }
+    }
+
+    /// Current pull window (chunks per request round).
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Stripe count the engine should be running right now.
+    pub fn target_stripes(&self) -> u32 {
+        self.stripes
+    }
+
+    /// Tears reported so far.
+    pub fn tears(&self) -> u64 {
+        self.tears
+    }
+
+    /// Clean windows reported so far.
+    pub fn clean_rounds(&self) -> u64 {
+        self.clean_rounds
+    }
+
+    /// The decision log: one line per state change, deterministic per
+    /// seed (chaos transcripts embed it).
+    pub fn decisions(&self) -> &[String] {
+        &self.decisions
+    }
+
+    fn draw256(&mut self) -> u64 {
+        self.rng.next_u64() & 0xFF
+    }
+
+    /// A stripe's connection tore at simulated tick `now`;
+    /// `loss_permille` is the stripe's observed write-loss rate from
+    /// the fault layer. Multiplicative decrease on the window, and on a
+    /// badly lossy stripe possibly one fewer stripe.
+    pub fn on_tear(&mut self, stripe: usize, loss_permille: u64, now: u64) {
+        self.tears += 1;
+        self.clean_streak = 0;
+        let old_w = self.window;
+        self.window = (self.window / 2).max(self.cfg.min_window);
+        let mut line = format!(
+            "t={now} stripe={stripe} tear loss={loss_permille}\u{2030} window {old_w}->{}",
+            self.window
+        );
+        if loss_permille > SHED_LOSS_PERMILLE
+            && self.stripes > self.cfg.min_stripes
+            && self.draw256() < SHED_P256
+        {
+            let old_s = self.stripes;
+            self.stripes -= 1;
+            line.push_str(&format!(" stripes {old_s}->{}", self.stripes));
+        }
+        self.decisions.push(line);
+    }
+
+    /// A full pull window was delivered with no tear at tick `now`.
+    /// Additive increase on the window; after a clean streak the
+    /// controller may add a stripe.
+    pub fn on_clean_round(&mut self, stripe: usize, now: u64) {
+        self.clean_rounds += 1;
+        self.clean_streak += 1;
+        let old_w = self.window;
+        self.window = (self.window + 1).min(self.cfg.max_window);
+        let mut changed = self.window != old_w;
+        let mut line = format!(
+            "t={now} stripe={stripe} clean window {old_w}->{}",
+            self.window
+        );
+        if self.clean_streak >= GROW_STREAK
+            && self.stripes < self.cfg.max_stripes
+            && self.draw256() < GROW_P256
+        {
+            let old_s = self.stripes;
+            self.stripes += 1;
+            self.clean_streak = 0;
+            line.push_str(&format!(" stripes {old_s}->{}", self.stripes));
+            changed = true;
+        }
+        if changed {
+            self.decisions.push(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_follows_aimd() {
+        let mut c = AimdController::new(AimdConfig::default(), 7);
+        assert_eq!(c.window(), 4);
+        c.on_clean_round(0, 1);
+        c.on_clean_round(0, 2);
+        assert_eq!(c.window(), 6);
+        c.on_tear(0, 100, 3);
+        assert_eq!(c.window(), 3);
+        for t in 4..40 {
+            c.on_clean_round(0, t);
+        }
+        assert_eq!(c.window(), 16, "additive increase caps at max_window");
+    }
+
+    #[test]
+    fn stripes_stay_within_bounds() {
+        let mut c = AimdController::new(AimdConfig::default(), 9);
+        for t in 0..200 {
+            c.on_clean_round(0, t);
+        }
+        assert!(c.target_stripes() <= 4);
+        for t in 200..400 {
+            c.on_tear(0, 900, t);
+        }
+        assert_eq!(c.target_stripes(), 1, "heavy loss sheds to min_stripes");
+        assert_eq!(c.window(), 1);
+    }
+
+    #[test]
+    fn pinned_config_never_moves_stripes() {
+        let mut c = AimdController::new(AimdConfig::pinned_stripes(1), 11);
+        for t in 0..100 {
+            c.on_clean_round(0, t);
+            if t % 7 == 0 {
+                c.on_tear(0, 999, t);
+            }
+        }
+        assert_eq!(c.target_stripes(), 1);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_decisions() {
+        let drive = |seed: u64| {
+            let mut c = AimdController::new(AimdConfig::default(), seed);
+            for t in 0..50 {
+                if t % 9 == 5 {
+                    c.on_tear((t % 3) as usize, 200, t);
+                } else {
+                    c.on_clean_round((t % 3) as usize, t);
+                }
+            }
+            c.decisions().to_vec()
+        };
+        assert_eq!(drive(0xFEED), drive(0xFEED));
+        assert_ne!(
+            drive(0xFEED),
+            drive(0xBEEF),
+            "the seed drives the probabilistic moves"
+        );
+    }
+}

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod congestion;
 pub mod resume;
+pub mod stripe;
 
 use std::io::{Read, Write};
 

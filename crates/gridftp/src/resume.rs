@@ -56,7 +56,7 @@ use crate::{FtpError, GridFtpServer};
 pub const CHUNK: usize = 256;
 
 /// Lowercase hex of a digest.
-fn hex(d: &[u8]) -> String {
+pub(crate) fn hex(d: &[u8]) -> String {
     d.iter().map(|b| format!("{b:02x}")).collect()
 }
 
@@ -209,7 +209,10 @@ fn parse_two(rest: &str) -> Option<(String, usize)> {
     Some((path, n))
 }
 
-fn send_line<S: Read + Write>(stream: &mut SecureStream<S>, line: &str) -> Result<(), FtpError> {
+pub(crate) fn send_line<S: Read + Write>(
+    stream: &mut SecureStream<S>,
+    line: &str,
+) -> Result<(), FtpError> {
     stream
         .send(line.as_bytes())
         .map_err(|e| FtpError::Channel(e.to_string()))
@@ -229,7 +232,7 @@ pub struct XferOutcome {
 }
 
 /// How one session attempt ended.
-enum SessionErr {
+pub(crate) enum SessionErr {
     /// Transport tear — redial and resume from the restart marker.
     /// Which side saw the tear first (own lost write, peer reset, or
     /// EOF from a killed server) is scheduling-dependent, so the tear
@@ -239,7 +242,7 @@ enum SessionErr {
     Fatal(FtpError),
 }
 
-fn tls_err(e: TlsError) -> SessionErr {
+pub(crate) fn tls_err(e: TlsError) -> SessionErr {
     if is_transient(&e) {
         SessionErr::Torn
     } else {
@@ -464,7 +467,7 @@ fn put_once<S: Read + Write>(
     }
 }
 
-fn greet<S: Read + Write>(stream: &mut SecureStream<S>) -> Result<(), SessionErr> {
+pub(crate) fn greet<S: Read + Write>(stream: &mut SecureStream<S>) -> Result<(), SessionErr> {
     let text = recv_text(stream)?;
     if text.starts_with("OK") {
         Ok(())
@@ -473,12 +476,14 @@ fn greet<S: Read + Write>(stream: &mut SecureStream<S>) -> Result<(), SessionErr
     }
 }
 
-fn recv_text<S: Read + Write>(stream: &mut SecureStream<S>) -> Result<String, SessionErr> {
+pub(crate) fn recv_text<S: Read + Write>(
+    stream: &mut SecureStream<S>,
+) -> Result<String, SessionErr> {
     let msg = stream.recv().map_err(tls_err)?;
     Ok(String::from_utf8_lossy(&msg).into_owned())
 }
 
-fn parse_field<T: std::str::FromStr>(f: Option<&str>) -> Result<T, SessionErr> {
+pub(crate) fn parse_field<T: std::str::FromStr>(f: Option<&str>) -> Result<T, SessionErr> {
     f.and_then(|s| s.parse().ok())
         .ok_or_else(|| SessionErr::Fatal(FtpError::Protocol("bad numeric field".to_string())))
 }

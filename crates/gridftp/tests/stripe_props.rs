@@ -1,0 +1,69 @@
+//! Property tests for stripe-range reassembly.
+//!
+//! The crash-recovery argument for striped transfers rests on
+//! `merge_ranges` being a pure function of the *set* of completed
+//! ranges: any partition of the file into stripe tasks, completed and
+//! reported in any order, must merge back to byte-identical contents —
+//! and any gap or overlap (a lost or doubled staging file) must be
+//! rejected rather than silently mis-assembled.
+
+use gridsec_gridftp::stripe::merge_ranges;
+use gridsec_util::check::check;
+
+/// Random partition of `[0, total)` into contiguous `(start, bytes)`
+/// parts, then shuffled.
+fn random_partition(g: &mut gridsec_util::check::Gen, data: &[u8]) -> Vec<(usize, Vec<u8>)> {
+    let total = data.len();
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    while start < total {
+        let end = start + g.usize_in(1..total - start + 1);
+        parts.push((start, data[start..end].to_vec()));
+        start = end;
+    }
+    // Fisher–Yates shuffle: completion order must not matter.
+    for i in (1..parts.len()).rev() {
+        parts.swap(i, g.usize_in(0..i + 1));
+    }
+    parts
+}
+
+#[test]
+fn any_partition_in_any_order_merges_byte_identically() {
+    check("stripe_merge_partition", 256, |g| {
+        let total = g.usize_in(0..2048);
+        let data: Vec<u8> = (0..total).map(|_| g.u8()).collect();
+        let parts = random_partition(g, &data);
+        let merged = merge_ranges(total, &parts).expect("exact tiling merges");
+        assert_eq!(merged, data, "merge must reproduce the file");
+    });
+}
+
+#[test]
+fn gaps_and_overlaps_are_rejected() {
+    check("stripe_merge_gap_overlap", 256, |g| {
+        let total = g.usize_in(2..2048);
+        let data: Vec<u8> = (0..total).map(|_| g.u8()).collect();
+        let parts = random_partition(g, &data);
+        if g.bool() {
+            // Gap: lose one staging file. (A single all-covering part
+            // removed leaves the empty set, which is a 0-of-total gap.)
+            let mut broken = parts.clone();
+            broken.remove(g.usize_in(0..broken.len()));
+            assert!(
+                merge_ranges(total, &broken).is_err(),
+                "missing range must not merge"
+            );
+        } else {
+            // Overlap: double one staging file. A duplicated part can
+            // never tile — the second copy restates covered bytes.
+            let mut broken = parts.clone();
+            let dup = broken[g.usize_in(0..broken.len())].clone();
+            broken.push(dup);
+            assert!(
+                merge_ranges(total, &broken).is_err(),
+                "overlapping range must not merge"
+            );
+        }
+    });
+}

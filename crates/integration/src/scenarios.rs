@@ -777,6 +777,218 @@ pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     finish(r, true, lines, stats)
 }
 
+/// Figure 5, striped variant: the same GridFTP data movement split
+/// across adaptively many parallel lossy channels, with the AIMD
+/// congestion controller reacting to per-stripe loss stats and a
+/// shared token bucket capping aggregate bandwidth. A GET and a PUT of
+/// an 8 KiB payload run under 10% seeded loss; `xfer.stripe.get.chunk`
+/// / `xfer.stripe.put.chunk` / `xfer.stripe.merge` are live kill
+/// points for armed mid-stripe kills. The controller's decision log is
+/// embedded in the transcript, so the two-run CI gate byte-compares
+/// the adaptation sequence along with everything else. Not part of
+/// [`run_all`] — it has its own verify.sh gate so the legacy
+/// transcript drift gates stay untouched.
+pub fn figure5_striped(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
+    use gridsec_gridftp::stripe::{striped_get, striped_put, StripeOpts};
+
+    let clock = SimClock::starting_at(100);
+    let plan = crash_plan(opts, seed, 0xC4A6, 0.10, 2);
+    let r = rig(&clock, opts);
+    let _guard = trace::install(&r.tracer);
+    let _dump = trace::dump_on_panic(&r.tracer, "figure5_striped");
+
+    let mut rng = ChaChaRng::from_seed_bytes(b"chaos fig5s");
+    let ca = CertificateAuthority::create_root(&mut rng, dn("/O=G/CN=CA"), 512, 0, 1_000_000);
+    let jane = ca.issue_identity(&mut rng, dn("/O=G/CN=Jane"), 512, 0, 500_000);
+    let host_cred = ca.issue_host_identity(
+        &mut rng,
+        dn("/O=G/CN=host data1"),
+        vec!["data1".into()],
+        512,
+        0,
+        500_000,
+    );
+    let mut trust = TrustStore::new();
+    trust.add_root(ca.certificate().clone());
+    let gridmap = gridsec_authz::gridmap::GridMapFile::parse("\"/O=G/CN=Jane\" jdoe\n").unwrap();
+    let server = Arc::new(Mutex::new(
+        GridFtpServer::new(SimOs::new(), "data1", host_cred, trust.clone(), gridmap).unwrap(),
+    ));
+
+    // Deterministic 8 KiB payload, seeded into the mapped account.
+    let data: Vec<u8> = (0..8192usize).map(|i| (i * 31 % 251) as u8).collect();
+    let uid = {
+        let s = server.lock().unwrap();
+        let uid = s.os().uid_of("data1", "jdoe").unwrap();
+        s.os()
+            .write_file(
+                "data1",
+                "/home/jdoe/striped.dat",
+                uid,
+                FileMode::private(),
+                data.clone(),
+            )
+            .unwrap();
+        uid
+    };
+
+    let handles: Rc<RefCell<Vec<std::thread::JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+    let drop_rate = if opts.partition_all { 1.0 } else { 0.10 };
+    // Dialer per direction: one detached striped server session per
+    // dial. The client engine drives one stripe exchange at a time, so
+    // crash-plan and loss draws stay causally ordered (deterministic).
+    let mk_dial = |label: u64| {
+        let server = Arc::clone(&server);
+        let plan = plan.clone();
+        let handles = handles.clone();
+        let mut n = 0u64;
+        move |slot: usize, _attempt: u32| {
+            n += 1;
+            let stream_seed = (seed ^ 0xF165_0513)
+                .wrapping_add(label.wrapping_mul(1_000_003))
+                .wrapping_add((slot as u64) << 40)
+                .wrapping_add(n);
+            let (a, b, stats) = StreamPair::lossy(stream_seed, drop_rate);
+            let server = Arc::clone(&server);
+            let plan = plan.clone();
+            let h = std::thread::spawn(move || {
+                let mut rng = ChaChaRng::from_seed_bytes(&stream_seed.to_be_bytes());
+                let _ = gridsec_gridftp::stripe::serve_striped(&server, b, &mut rng, 100, &plan);
+            });
+            handles.borrow_mut().push(h);
+            Ok::<_, gridsec_tls::TlsError>((a, stats))
+        }
+    };
+    let config = TlsConfig::new(jane, trust, 100);
+    let mut client_rng = ChaChaRng::from_seed_bytes(b"chaos fig5s client");
+    let join_all = |handles: &Rc<RefCell<Vec<std::thread::JoinHandle<()>>>>| {
+        for h in handles.borrow_mut().drain(..) {
+            let _ = h.join();
+        }
+    };
+    let finish = |r: Rig, completed: bool, lines: Vec<String>, stats: FaultStats| {
+        assert!(r.audit.verify().is_ok(), "fig5s: audit hash chain verifies");
+        let mut lines = lines;
+        lines.extend(plan.transcript().into_iter().map(|l| format!("fig5s {l}")));
+        ScenarioReport {
+            lines,
+            stats,
+            trace: format!("{}{}", r.tracer.dump(), r.tracer.metrics().render()),
+            metrics: r.tracer.metrics(),
+            audit_records: r.audit.len(),
+            completed,
+            crashes: plan.crashes(),
+            restarts: plan.restarts(),
+        }
+    };
+    let opts_for = |dir_seed: u64| StripeOpts {
+        seed: seed ^ dir_seed,
+        bucket: Some(gridsec_util::throttle::TokenBucket::new(512, 2048)),
+        max_sessions: 128,
+        ..StripeOpts::default()
+    };
+
+    if opts.partition_all {
+        let res = striped_get(
+            &config,
+            &mut client_rng,
+            policy(),
+            mk_dial(1),
+            "/home/jdoe/striped.dat",
+            StripeOpts {
+                max_sessions: 3,
+                ..opts_for(1)
+            },
+        );
+        assert!(res.is_err(), "total loss must exhaust the stripe budget");
+        join_all(&handles);
+        let stats = FaultStats {
+            blocked: 1,
+            ..FaultStats::default()
+        };
+        return finish(r, false, vec!["fig5s xfer blocked".to_string()], stats);
+    }
+
+    let got = striped_get(
+        &config,
+        &mut client_rng,
+        policy(),
+        mk_dial(1),
+        "/home/jdoe/striped.dat",
+        opts_for(1),
+    )
+    .expect("striped GET must complete under lossy streams + crashes");
+    assert_eq!(got.bytes, data, "striped GET bytes hash-equal");
+
+    let put = striped_put(
+        &config,
+        &mut client_rng,
+        policy(),
+        mk_dial(2),
+        "/home/jdoe/striped-up.dat",
+        &data,
+        opts_for(2),
+    )
+    .expect("striped PUT must complete under lossy streams + crashes");
+    join_all(&handles);
+
+    {
+        let s = server.lock().unwrap();
+        let stored = s
+            .os()
+            .read_file("data1", "/home/jdoe/striped-up.dat", uid)
+            .unwrap();
+        assert_eq!(stored, data, "striped PUT bytes hash-equal");
+        // Every per-range staging file was merged and removed.
+        let span = 4 * gridsec_gridftp::resume::CHUNK;
+        let mut pos = 0;
+        while pos < data.len() {
+            let end = (pos + span).min(data.len());
+            let part = gridsec_gridftp::stripe::part_path("/home/jdoe/striped-up.dat", pos, end);
+            assert_eq!(s.os().file_len("data1", &part).unwrap(), None, "{part}");
+            pos = end;
+        }
+        assert!(s.transfers >= 2, "both directions completed");
+    }
+    let digest: String = sha256(&data).iter().map(|b| format!("{b:02x}")).collect();
+    assert_eq!(got.sha256, digest);
+    assert_eq!(put.sha256, digest);
+
+    let tears = u64::from(got.tears + put.tears);
+    let sessions = u64::from(got.sessions + put.sessions);
+    let mut lines = vec![
+        format!(
+            "fig5s xfer get bytes={} sessions={} tears={} stripes={} ticks={} goodput={} sha={}",
+            got.bytes.len(),
+            got.sessions,
+            got.tears,
+            got.peak_stripes,
+            got.ticks,
+            got.goodput_bpkt,
+            got.sha256
+        ),
+        format!(
+            "fig5s xfer put bytes={} sessions={} tears={} stripes={} ticks={} goodput={} sha={}",
+            data.len(),
+            put.sessions,
+            put.tears,
+            put.peak_stripes,
+            put.ticks,
+            put.goodput_bpkt,
+            put.sha256
+        ),
+    ];
+    lines.extend(got.decisions.iter().map(|d| format!("fig5s aimd get {d}")));
+    lines.extend(put.decisions.iter().map(|d| format!("fig5s aimd put {d}")));
+    let stats = FaultStats {
+        sent: sessions,
+        delivered: sessions - tears.min(sessions),
+        dropped: tears,
+        ..FaultStats::default()
+    };
+    finish(r, true, lines, stats)
+}
+
 /// The end-to-end multi-domain world (`tests/end_to_end.rs`) wired
 /// through the fault layer instead of in-process calls: two domains
 /// form a VO, then a siteA user submits a job to siteB's GRAM resource

@@ -52,6 +52,9 @@ pub struct TrafficStats {
 struct Counters {
     messages: AtomicU64,
     bytes: AtomicU64,
+    write_attempts: AtomicU64,
+    torn_writes: AtomicU64,
+    resets_seen: AtomicU64,
 }
 
 impl Counters {
@@ -64,6 +67,37 @@ impl Counters {
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
         }
+    }
+    fn loss(&self) -> LossStats {
+        LossStats {
+            write_attempts: self.write_attempts.load(Ordering::Relaxed),
+            torn_writes: self.torn_writes.load(Ordering::Relaxed),
+            resets_seen: self.resets_seen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-pair loss accounting across both directions of a stream,
+/// observable while the streams are live (the congestion controller in
+/// `gridsec-gridftp` reads this per stripe to weigh its decisions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct LossStats {
+    /// Writes attempted on either side, including the ones the loss
+    /// layer tore (a perfect pair counts these too, with zero tears).
+    pub write_attempts: u64,
+    /// Writes the seeded loss layer dropped, tearing the connection.
+    pub torn_writes: u64,
+    /// `Reset` markers observed by a reader (the peer-visible side of a
+    /// torn write; at most one per direction per pair).
+    pub resets_seen: u64,
+}
+
+impl LossStats {
+    /// Observed loss rate in permille of attempted writes.
+    pub fn loss_permille(&self) -> u64 {
+        (self.torn_writes * 1000)
+            .checked_div(self.write_attempts)
+            .unwrap_or(0)
     }
 }
 
@@ -724,6 +758,12 @@ impl StreamStats {
     pub fn snapshot(&self) -> TrafficStats {
         self.counters.snapshot()
     }
+
+    /// Snapshot of loss accounting across both directions: attempted
+    /// writes, seeded tears, and observed resets.
+    pub fn loss(&self) -> LossStats {
+        self.counters.loss()
+    }
 }
 
 impl Read for SimStream {
@@ -742,6 +782,10 @@ impl Read for SimStream {
                 }
                 Ok(Chunk::Reset) => {
                     self.half.dead = true;
+                    self.half
+                        .counters
+                        .resets_seen
+                        .fetch_add(1, Ordering::Relaxed);
                     return Err(io::Error::new(
                         io::ErrorKind::ConnectionReset,
                         "connection torn by simulated loss",
@@ -766,10 +810,18 @@ impl Write for SimStream {
                 "connection torn by simulated loss",
             ));
         }
+        self.half
+            .counters
+            .write_attempts
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(f) = &mut self.half.fault {
             let draw = (f.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
             if draw < f.drop {
                 self.half.dead = true;
+                self.half
+                    .counters
+                    .torn_writes
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = self.half.tx.send(Chunk::Reset);
                 return Err(io::Error::new(
                     io::ErrorKind::ConnectionReset,
@@ -1279,5 +1331,35 @@ mod tests {
         b.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"clean");
         assert_eq!(stats.snapshot().bytes, 5);
+    }
+
+    #[test]
+    fn loss_stats_count_attempts_tears_and_resets() {
+        // Clean pair: attempts counted, no tears.
+        let (mut a, mut b, stats) = StreamPair::new();
+        a.write_all(b"x").unwrap();
+        b.write_all(b"y").unwrap();
+        let loss = stats.loss();
+        assert_eq!(loss.write_attempts, 2);
+        assert_eq!(loss.torn_writes, 0);
+        assert_eq!(loss.loss_permille(), 0);
+
+        // Lossy pair: drive writes until the seeded tear, then read to
+        // the reset. The torn write is still an attempt.
+        let (mut a, mut b, stats) = StreamPair::lossy(42, 0.2);
+        let mut wrote = 0u64;
+        loop {
+            wrote += 1;
+            if a.write_all(b"chunk").is_err() {
+                break;
+            }
+        }
+        let mut buf = [0u8; 5];
+        while b.read_exact(&mut buf).is_ok() {}
+        let loss = stats.loss();
+        assert_eq!(loss.write_attempts, wrote);
+        assert_eq!(loss.torn_writes, 1);
+        assert_eq!(loss.resets_seen, 1);
+        assert_eq!(loss.loss_permille(), 1000 / wrote);
     }
 }

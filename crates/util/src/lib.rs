@@ -19,6 +19,8 @@
 //!   median/p95 JSON reports (`BENCH_*.json`).
 //! * [`retry`] — the shared exponential-backoff [`retry::RetryPolicy`]
 //!   used by every client path that crosses the simulated network.
+//! * [`throttle`] — a deterministic token-bucket bandwidth limiter
+//!   driven by an explicit caller clock (the striped-GridFTP rate cap).
 //! * [`trace`] — deterministic structured tracing/metrics with a bounded
 //!   flight recorder; every security flow emits nested spans through it.
 
@@ -31,4 +33,5 @@ pub mod check;
 pub mod retry;
 pub mod rng;
 pub mod sync;
+pub mod throttle;
 pub mod trace;

@@ -301,3 +301,78 @@ fn forced_failure_dumps_the_flight_recorder() {
     assert!(dump.contains("counter rpc.timeouts"), "{dump}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn figure5_striped_completes_with_armed_mid_stripe_kills() {
+    use gridsec_integration::scenarios::figure5_striped;
+    let opts = ChaosOpts {
+        armed_crashes: vec![
+            ("xfer.stripe.get.chunk".to_string(), 3),
+            ("xfer.stripe.put.chunk".to_string(), 3),
+            ("xfer.stripe.merge".to_string(), 1),
+        ],
+        ..ChaosOpts::default()
+    };
+    let r = figure5_striped(chaos_seed(), &opts);
+    assert!(r.completed, "striped transfer survives armed kills");
+    assert_eq!(r.crashes, 3, "each armed point fired exactly once");
+    assert_eq!(r.restarts, 3);
+    let transcript = r.lines.join("\n");
+    for needle in [
+        "point=xfer.stripe.get.chunk",
+        "point=xfer.stripe.put.chunk",
+        "point=xfer.stripe.merge",
+    ] {
+        assert!(
+            transcript.contains(needle),
+            "missing {needle}:\n{transcript}"
+        );
+    }
+}
+
+#[test]
+fn figure5_striped_same_seed_is_byte_identical() {
+    use gridsec_integration::scenarios::figure5_striped;
+    // Loss plus seeded crashes plus the AIMD controller's probabilistic
+    // moves: the transcript embeds the decision log, so byte-equality
+    // here proves the whole adaptation sequence replays.
+    let opts = ChaosOpts {
+        crashes: true,
+        ..ChaosOpts::default()
+    };
+    let seed = chaos_seed();
+    let r1 = figure5_striped(seed, &opts);
+    let r2 = figure5_striped(seed, &opts);
+    let t1 = r1.lines.join("\n");
+    let t2 = r2.lines.join("\n");
+    assert_eq!(t1, t2, "striped transcript must replay byte-identically");
+    assert_eq!(
+        r1.trace, r2.trace,
+        "striped trace must replay byte-identically"
+    );
+    assert_eq!((r1.crashes, r1.restarts), (r2.crashes, r2.restarts));
+    assert!(
+        t1.contains("fig5s aimd"),
+        "controller decisions belong in the transcript:\n{t1}"
+    );
+    if let Ok(path) = std::env::var("GRIDSEC_STRIPED_TRANSCRIPT") {
+        std::fs::write(&path, &t1).expect("write striped transcript");
+    }
+    if let Ok(path) = std::env::var("GRIDSEC_STRIPED_TRACE") {
+        std::fs::write(&path, &r1.trace).expect("write striped trace dump");
+    }
+}
+
+#[test]
+fn figure5_striped_seed_drives_the_run() {
+    use gridsec_integration::scenarios::figure5_striped;
+    let opts = ChaosOpts::default();
+    let seed = chaos_seed();
+    let r1 = figure5_striped(seed, &opts);
+    let r2 = figure5_striped(seed ^ 0x5712_0000_0000_5712, &opts);
+    assert_ne!(
+        r1.lines.join("\n"),
+        r2.lines.join("\n"),
+        "seed must drive stripe loss, crashes, and controller draws"
+    );
+}
