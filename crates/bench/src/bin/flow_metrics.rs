@@ -1,7 +1,9 @@
 //! Deterministic flow-metrics smoke bench: replay the four paper-figure
 //! chaos scenarios from a pinned seed and emit their trace metrics
 //! (handshake latency in simulated seconds, retransmit counts, bytes on
-//! the wire) as `BENCH_flows.json` for `regen_experiments`.
+//! the wire) as `BENCH_flows.json` for `regen_experiments`; then replay
+//! the credential expiry storm at reduced scale and emit its renewal /
+//! fail-closed / mill counters as `BENCH_expiry_storm.json`.
 //!
 //! Unlike the timing benches, every number here comes from the
 //! `SimClock`-driven tracer, so the report is a pure function of the
@@ -14,6 +16,7 @@
 //! flow_metrics [--seed 0xC4A05EED]    # reports -> $GRIDSEC_BENCH_DIR (default .)
 //! ```
 
+use gridsec_integration::scenarios::expiry_storm::{run_expiry_storm, ExpiryOpts};
 use gridsec_integration::scenarios::{run_all, ChaosOpts};
 
 fn main() {
@@ -45,5 +48,17 @@ fn main() {
     println!(
         "flow_metrics: seed=0x{seed:016x} {} metrics -> {path}",
         run.metrics.counters.len() + run.metrics.hists.len()
+    );
+
+    // The credential expiry storm at drift-gate scale: every counter is
+    // SimClock-driven, so the report is a pure function of the seed.
+    let storm = run_expiry_storm(&ExpiryOpts::new(400, seed));
+    let storm_path = storm
+        .metrics
+        .write_bench_json("expiry_storm", &dir)
+        .expect("write BENCH_expiry_storm.json");
+    println!(
+        "flow_metrics: expiry_storm survived={} stillborn={} failed_closed={} renewals={} -> {storm_path}",
+        storm.survived, storm.stillborn, storm.failed_closed, storm.renewals
     );
 }

@@ -49,6 +49,11 @@ pub enum FtpError {
     File(String),
     /// Protocol violation.
     Protocol(String),
+    /// A transfer-engine invariant did not hold (e.g. bookkeeping state
+    /// lost across a torn session). Returned instead of panicking so
+    /// fault-injection runs degrade into a failed transfer, never a
+    /// crashed client.
+    Xfer(&'static str),
 }
 
 impl core::fmt::Display for FtpError {
@@ -59,6 +64,7 @@ impl core::fmt::Display for FtpError {
             FtpError::NoMapping(dn) => write!(f, "no mapping for {dn}"),
             FtpError::File(m) => write!(f, "file error: {m}"),
             FtpError::Protocol(m) => write!(f, "protocol error: {m}"),
+            FtpError::Xfer(m) => write!(f, "transfer invariant violated: {m}"),
         }
     }
 }

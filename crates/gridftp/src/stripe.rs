@@ -454,6 +454,23 @@ fn parse_ranges(field: &str) -> Option<Vec<(usize, usize)>> {
     Some(out)
 }
 
+/// Unwrap an engine-invariant `Option` on a fault-reachable path. These
+/// invariants are maintained by the transfer loop itself, but the loop
+/// runs under injected tears and crashes — a violated invariant must
+/// surface as a typed [`FtpError::Xfer`] the caller can handle, not a
+/// panic that takes the client down mid-chaos-run.
+macro_rules! xfer_invariant {
+    ($sp:expr, $opt:expr, $msg:literal) => {
+        match $opt {
+            Some(v) => v,
+            None => {
+                $sp.fail($msg);
+                return Err(FtpError::Xfer($msg));
+            }
+        }
+    };
+}
+
 /// One stripe's slot in the client engine.
 struct Slot<S: Read + Write> {
     stream: Option<SecureStream<S>>,
@@ -588,7 +605,9 @@ where
     match result {
         Ok((mut stream, cstats)) => {
             greet(&mut stream)?;
-            let stats = pair_stats.expect("dial ran at least once");
+            let stats = pair_stats.ok_or(SessionErr::Fatal(FtpError::Xfer(
+                "dial succeeded without recording pair stats",
+            )))?;
             Ok((stream, stats, cstats.attempts))
         }
         Err(e) => Err(tls_err(e)),
@@ -732,7 +751,7 @@ where
                 retire_slot(&mut slots[si], t + tm.rtt_ticks);
                 continue;
             }
-            let (s0, e0) = queue.pop_front().expect("queue checked non-empty");
+            let (s0, e0) = xfer_invariant!(sp, queue.pop_front(), "task queue drained mid-claim");
             slots[si].task = Some(Task {
                 start: s0,
                 end: e0,
@@ -764,7 +783,11 @@ where
             continue;
         }
         if total.is_none() {
-            let stream = slots[si].stream.as_mut().expect("stream ensured above");
+            let stream = xfer_invariant!(
+                sp,
+                slots[si].stream.as_mut(),
+                "stripe stream lost after dial"
+            );
             match fetch_size(stream, path) {
                 Ok((len, sha)) => {
                     t += tm.rtt_ticks;
@@ -791,20 +814,18 @@ where
             continue;
         }
         let (start, end, got) = {
-            let task = slots[si].task.as_ref().expect("task ensured above");
+            let task = xfer_invariant!(sp, slots[si].task.as_ref(), "stripe task lost mid-claim");
             (task.start, task.end, task.got)
         };
         if !slots[si].header_done {
-            let stream = slots[si].stream.as_mut().expect("stream ensured above");
-            let sha = file_sha.as_deref().expect("sha learned with size");
-            match gets_header(
-                stream,
-                path,
-                start + got,
-                end,
-                total.expect("size known"),
-                sha,
-            ) {
+            let range_total = xfer_invariant!(sp, total, "range header sent before size");
+            let stream = xfer_invariant!(
+                sp,
+                slots[si].stream.as_mut(),
+                "stripe stream lost after dial"
+            );
+            let sha = xfer_invariant!(sp, file_sha.as_deref(), "file digest lost after size");
+            match gets_header(stream, path, start + got, end, range_total, sha) {
                 Ok(()) => {
                     t += tm.rtt_ticks;
                     slots[si].header_done = true;
@@ -827,8 +848,8 @@ where
         let mut complete = false;
         {
             let slot = &mut slots[si];
-            let stream = slot.stream.as_mut().expect("stream ensured above");
-            let task = slot.task.as_mut().expect("task ensured above");
+            let stream = xfer_invariant!(sp, slot.stream.as_mut(), "stripe stream lost after dial");
+            let task = xfer_invariant!(sp, slot.task.as_mut(), "stripe task lost mid-claim");
             if stream.send(format!("PULL {n}").as_bytes()).is_err() {
                 torn = true;
             } else {
@@ -867,7 +888,7 @@ where
         }
         ctl.on_clean_round(si, t);
         if complete {
-            let task = slots[si].task.take().expect("completed task present");
+            let task = xfer_invariant!(sp, slots[si].task.take(), "completed task vanished");
             parts.push((task.start, task.buf));
         }
         slots[si].ready_at = t;
@@ -969,7 +990,7 @@ where
                 retire_slot(&mut slots[si], t + tm.rtt_ticks);
                 continue;
             }
-            let (s0, e0) = queue.pop_front().expect("queue checked non-empty");
+            let (s0, e0) = xfer_invariant!(sp, queue.pop_front(), "task queue drained mid-claim");
             slots[si].task = Some(Task {
                 start: s0,
                 end: e0,
@@ -1006,10 +1027,12 @@ where
             {
                 let slot = &mut slots[si];
                 let (start, end) = {
-                    let task = slot.task.as_ref().expect("task ensured above");
+                    let task =
+                        xfer_invariant!(sp, slot.task.as_ref(), "stripe task lost mid-claim");
                     (task.start, task.end)
                 };
-                let stream = slot.stream.as_mut().expect("stream ensured above");
+                let stream =
+                    xfer_invariant!(sp, slot.stream.as_mut(), "stripe stream lost after dial");
                 match puts_header(stream, path, start, end, total) {
                     Ok(abs) => {
                         t += tm.rtt_ticks;
@@ -1042,8 +1065,8 @@ where
         let mut complete = false;
         {
             let slot = &mut slots[si];
-            let stream = slot.stream.as_mut().expect("stream ensured above");
-            let task = slot.task.as_mut().expect("task ensured above");
+            let stream = xfer_invariant!(sp, slot.stream.as_mut(), "stripe stream lost after dial");
+            let task = xfer_invariant!(sp, slot.task.as_mut(), "stripe task lost mid-claim");
             let remaining = (task.end - task.start) - task.got;
             let n = remaining.div_ceil(CHUNK).min(ctl.window() as usize).max(1);
             if stream.send(format!("SEND {n}").as_bytes()).is_err() {

@@ -37,6 +37,15 @@ pub struct Session {
 }
 
 impl Session {
+    /// Wrap a credential obtained elsewhere (e.g. re-acquired from an
+    /// online credential repository) as a signed-on session.
+    pub fn from_credential(credential: Credential, created_at: u64) -> Session {
+        Session {
+            credential,
+            created_at,
+        }
+    }
+
     /// The session's proxy credential.
     pub fn credential(&self) -> &Credential {
         &self.credential

@@ -59,6 +59,8 @@ use std::sync::Mutex;
 
 use crate::{basic_world, dn};
 
+pub mod expiry_storm;
+pub mod portal;
 pub mod vo_storm;
 
 /// Options a chaos harness can vary per run.

@@ -192,6 +192,133 @@ fn cached_validator_agrees_with_direct_walk() {
     });
 }
 
+/// A proxy chain whose leaf window `[nb, na]` is strictly inside every
+/// issuer window, so the leaf alone decides the chain's validity edge.
+fn edged_proxy(g: &mut Gen) -> (gridsec_pki::credential::Credential, u64, u64) {
+    let f = fixture();
+    let seed = g.u64();
+    let nb = g.u64_in(1..500_000);
+    let na = nb + g.u64_in(1..400_000);
+    let mut rng = ChaChaRng::from_seed_bytes(&seed.to_le_bytes());
+    let cred = issue_proxy(
+        &mut rng,
+        &f.user,
+        ProxyType::Impersonation,
+        512,
+        nb,
+        na - nb,
+    )
+    .unwrap();
+    assert_eq!(cred.certificate().tbs.validity.not_before, nb);
+    assert_eq!(cred.certificate().tbs.validity.not_after, na);
+    (cred, nb, na)
+}
+
+#[test]
+fn validation_window_edges_are_inclusive() {
+    check("validation_window_edges_are_inclusive", CASES, |g| {
+        let f = fixture();
+        let (cred, nb, na) = edged_proxy(g);
+        // Validity is inclusive at both instants — the credential works
+        // at exactly `not_before` and exactly `not_after` ...
+        assert!(validate_chain(cred.chain(), &f.trust, nb).is_ok());
+        assert!(validate_chain(cred.chain(), &f.trust, na).is_ok());
+        // ... and fails one tick outside either edge.
+        assert!(validate_chain(cred.chain(), &f.trust, nb - 1).is_err());
+        assert!(validate_chain(cred.chain(), &f.trust, na + 1).is_err());
+    });
+}
+
+#[test]
+fn cached_validator_hits_pin_window_edges() {
+    use gridsec_pki::store::CrlStore;
+    use gridsec_pki::validate::{validate_chain_with_crls, CachedValidator};
+    check("cached_validator_hits_pin_window_edges", CASES, |g| {
+        let f = fixture();
+        let (cred, nb, na) = edged_proxy(g);
+        let crls = CrlStore::new();
+        let mut v = CachedValidator::new(4);
+
+        // Warm the cache mid-window, then probe exactly at each edge:
+        // the warm entry must still HIT (no re-walk) and agree with the
+        // direct walk, because both windows are inclusive.
+        let mid = nb + (na - nb) / 2;
+        assert!(v.validate(cred.chain(), &f.trust, &crls, mid).is_ok());
+        assert_eq!((v.hits(), v.misses()), (0, 1));
+        for edge in [nb, na] {
+            let direct = validate_chain_with_crls(cred.chain(), &f.trust, &crls, edge).unwrap();
+            let cached = v.validate(cred.chain(), &f.trust, &crls, edge).unwrap();
+            assert_eq!(direct.base_identity, cached.base_identity);
+            assert_eq!(direct.proxy_depth, cached.proxy_depth);
+        }
+        assert_eq!((v.hits(), v.misses()), (2, 1));
+
+        // One tick past `not_after` the entry is stale: the probe is a
+        // MISS, the stale entry is dropped, and the re-walk reports the
+        // same expiry error the direct walk does.
+        let direct = validate_chain_with_crls(cred.chain(), &f.trust, &crls, na + 1);
+        let cached = v.validate(cred.chain(), &f.trust, &crls, na + 1);
+        assert_eq!(direct.unwrap_err(), cached.unwrap_err());
+        assert_eq!((v.hits(), v.misses()), (2, 2));
+
+        // Same one tick before `not_before` (re-warm first: the stale
+        // drop above emptied the cache).
+        assert!(v.validate(cred.chain(), &f.trust, &crls, mid).is_ok());
+        let direct = validate_chain_with_crls(cred.chain(), &f.trust, &crls, nb - 1);
+        let cached = v.validate(cred.chain(), &f.trust, &crls, nb - 1);
+        assert_eq!(direct.unwrap_err(), cached.unwrap_err());
+    });
+}
+
+#[test]
+fn batch_validation_agrees_at_window_edges() {
+    use gridsec_pki::store::CrlStore;
+    use gridsec_pki::validate::{validate_chain_with_crls, CachedValidator};
+    check("batch_validation_agrees_at_window_edges", CASES, |g| {
+        let f = fixture();
+        let crls = CrlStore::new();
+        // A handful of chains with independent windows; `now` lands
+        // exactly on one chain's edge, so the batch must return Ok for
+        // that chain (inclusive) while attributing expiry/not-yet-valid
+        // errors to the right positions among the others.
+        let creds: Vec<_> = (0..4).map(|_| edged_proxy(g)).collect();
+        let pick = g.usize_in(0..4);
+        let now = if g.bool() {
+            creds[pick].2
+        } else {
+            creds[pick].1
+        };
+
+        let chains: Vec<&[Certificate]> = creds.iter().map(|(c, _, _)| c.chain()).collect();
+        let mut v = CachedValidator::new(8);
+        let batch = v.validate_batch(&chains, &f.trust, &crls, now);
+        assert_eq!(batch.len(), chains.len());
+        for (i, got) in batch.iter().enumerate() {
+            let direct = validate_chain_with_crls(chains[i], &f.trust, &crls, now);
+            match (direct, got) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.base_identity, b.base_identity);
+                    assert_eq!(a.proxy_depth, b.proxy_depth);
+                }
+                (Err(a), Err(b)) => assert_eq!(&a, b),
+                (a, b) => panic!("batch diverged at {i}: direct={a:?} batch={b:?}"),
+            }
+        }
+        // The picked chain sat exactly on its own edge — inclusive.
+        assert!(batch[pick].is_ok());
+
+        // A second batch at the same instant is pure cache hits for the
+        // chains that validated, and still position-for-position equal.
+        let ok_count = batch.iter().filter(|r| r.is_ok()).count() as u64;
+        let hits_before = v.hits();
+        let again = v.validate_batch(&chains, &f.trust, &crls, now);
+        assert_eq!(v.hits(), hits_before + ok_count);
+        for (a, b) in batch.iter().zip(again.iter()) {
+            assert_eq!(a.is_ok(), b.is_ok());
+        }
+    });
+}
+
 #[test]
 fn cached_validator_agrees_after_revocation() {
     use gridsec_pki::store::CrlStore;

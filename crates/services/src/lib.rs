@@ -22,6 +22,10 @@
 //!   user's personal credential to a VO credential".
 //! * **MDS-like index** — [`index`]: the VO directory service §2 uses to
 //!   motivate dynamically-created, securely-coordinated services.
+//! * **Online credential repository** — [`myproxy`]: MyProxy-style
+//!   durable store backing the paper's portal single-sign-on flow;
+//!   issues short-lived delegated proxies with exactly-once semantics
+//!   across crash/restart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,4 +38,5 @@ pub mod identity_map;
 pub mod idmap_rpc;
 pub mod index;
 pub mod kca;
+pub mod myproxy;
 pub mod sslk5;

@@ -588,6 +588,109 @@ impl CrashableServer {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Credential-lifetime fault layer
+// ---------------------------------------------------------------------------
+
+/// A seeded source of credential-lifetime faults: clock-skewed issuers,
+/// near-zero proxy lifetimes, and staggered renewal-storm scheduling —
+/// all drawn from one [`DetRng`] so a scenario's entire lifetime-fault
+/// surface replays byte-identically per seed.
+///
+/// The knobs model the three ways real grids corrupt credential
+/// lifetime: an issuer whose wall clock is wrong (proxies born in the
+/// future or already stale), an operator or tool that requests an
+/// absurdly short lifetime, and a portal population whose sign-on
+/// times (and therefore renewal deadlines) pile up into waves.
+pub struct LifetimeFaults {
+    rng: DetRng,
+    /// Maximum issuer clock skew in either direction, sim-seconds.
+    skew_max: u64,
+    /// Per-mille of draws that yield a near-zero lifetime.
+    short_permille: u64,
+    /// The "near-zero" lifetime range upper bound, sim-seconds.
+    short_max: u64,
+    skewed: u64,
+    shortened: u64,
+}
+
+impl LifetimeFaults {
+    /// A seeded injector with the default fault mix: issuer skew up to
+    /// ±`skew_max`, and `short_permille`‰ of lifetimes collapsed into
+    /// `1..=short_max` sim-seconds.
+    pub fn seeded(seed: u64, skew_max: u64, short_permille: u64, short_max: u64) -> Self {
+        LifetimeFaults {
+            rng: DetRng::seed_from_u64(seed ^ 0x4C49_4645_5449_4D45), // "LIFETIME"
+            skew_max,
+            short_permille,
+            short_max: short_max.max(1),
+            skewed: 0,
+            shortened: 0,
+        }
+    }
+
+    /// An injector that never perturbs anything (still burns rng draws
+    /// identically, so a scenario can flip faults on without shifting
+    /// every later draw).
+    pub fn disabled(seed: u64) -> Self {
+        Self::seeded(seed, 0, 0, 1)
+    }
+
+    /// An issuer's view of `now`: true time plus a seeded skew in
+    /// `[-skew_max, +skew_max]`. Zero-skew configs return `now`.
+    pub fn issuer_now(&mut self, now: u64) -> u64 {
+        let draw = self.rng.next_u64();
+        if self.skew_max == 0 {
+            return now;
+        }
+        let magnitude = draw % (self.skew_max + 1);
+        let backwards = draw & (1 << 63) != 0;
+        if magnitude > 0 {
+            self.skewed += 1;
+        }
+        if backwards {
+            now.saturating_sub(magnitude)
+        } else {
+            now.saturating_add(magnitude)
+        }
+    }
+
+    /// A possibly-faulted lifetime: usually `nominal`, but
+    /// `short_permille`‰ of draws collapse to `1..=short_max` — the
+    /// near-zero lifetimes that force immediate renewal churn.
+    pub fn lifetime(&mut self, nominal: u64) -> u64 {
+        let draw = self.rng.next_u64();
+        if self.short_permille > 0 && draw % 1000 < self.short_permille {
+            self.shortened += 1;
+            1 + (draw >> 10) % self.short_max
+        } else {
+            nominal
+        }
+    }
+
+    /// A renewal-storm offset in `[0, spread)`: where in the storm
+    /// window this principal signs on (and therefore when its renewals
+    /// come due). `spread == 0` returns 0.
+    pub fn storm_offset(&mut self, spread: u64) -> u64 {
+        let draw = self.rng.next_u64();
+        if spread == 0 {
+            0
+        } else {
+            draw % spread
+        }
+    }
+
+    /// Draws that actually applied issuer skew.
+    pub fn skewed(&self) -> u64 {
+        self.skewed
+    }
+
+    /// Draws that collapsed a lifetime to near-zero.
+    pub fn shortened(&self) -> u64 {
+        self.shortened
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -924,5 +1027,47 @@ mod tests {
         assert_eq!(app.borrow().count, 1);
         assert_eq!(server.borrow().restarts(), 1);
         assert!(client.stats().retransmissions >= 1);
+    }
+
+    #[test]
+    fn lifetime_faults_replay_per_seed() {
+        let run = |seed: u64| {
+            let mut lf = LifetimeFaults::seeded(seed, 600, 300, 50);
+            let draws: Vec<(u64, u64, u64)> = (0..64)
+                .map(|_| {
+                    (
+                        lf.issuer_now(10_000),
+                        lf.lifetime(3_600),
+                        lf.storm_offset(900),
+                    )
+                })
+                .collect();
+            (draws, lf.skewed(), lf.shortened())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0, "different seeds diverge");
+        let (draws, skewed, shortened) = run(7);
+        assert!(skewed > 0, "skew mix actually bit");
+        assert!(shortened > 0, "short-lifetime mix actually bit");
+        assert!(draws.iter().all(|&(_, l, o)| l >= 1 && o < 900));
+        assert!(
+            draws.iter().any(|&(n, _, _)| n != 10_000),
+            "some issuer clock was skewed"
+        );
+        assert!(
+            draws.iter().any(|&(_, l, _)| l <= 50),
+            "some lifetime collapsed to near-zero"
+        );
+    }
+
+    #[test]
+    fn disabled_lifetime_faults_perturb_nothing_but_burn_draws() {
+        let mut lf = LifetimeFaults::disabled(7);
+        for _ in 0..32 {
+            assert_eq!(lf.issuer_now(5_000), 5_000);
+            assert_eq!(lf.lifetime(1_234), 1_234);
+        }
+        assert_eq!(lf.skewed(), 0);
+        assert_eq!(lf.shortened(), 0);
     }
 }

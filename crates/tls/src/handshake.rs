@@ -364,9 +364,14 @@ impl ClientHandshake {
         let finished = ClientFinished {
             mac: ks.finished_mac("client finished"),
         };
+        // Both chains bound the ticket: resumption skips revalidation,
+        // so the ticket must die with whichever credential dies first.
+        let cred_not_after = crate::session::chain_not_after(self.config.credential.chain())
+            .min(crate::session::chain_not_after(&sh.chain));
         let resumption = ResumptionData::from_master(
             ks.master,
             self.config.now.saturating_add(self.config.session_lifetime),
+            cred_not_after,
         );
         let channel =
             SecureChannel::from_key_block(peer, &ks.key_block, true).with_resumption(resumption);
@@ -455,9 +460,14 @@ fn server_respond<E: EntropySource>(
         signature: config.credential.sign(&payload),
         finished_mac: ks.finished_mac("server finished"),
     };
+    // Same symmetric bound the client computes in `ClientHandshake::step`,
+    // so both sides mint identically-stamped resumption state.
+    let cred_not_after = crate::session::chain_not_after(config.credential.chain())
+        .min(crate::session::chain_not_after(&ch.chain));
     let resumption = ResumptionData::from_master(
         ks.master,
         config.now.saturating_add(config.session_lifetime),
+        cred_not_after,
     );
     Ok((
         sh.to_bytes(),

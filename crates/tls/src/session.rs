@@ -29,6 +29,7 @@ use std::collections::{HashMap, VecDeque};
 use gridsec_bignum::prime::EntropySource;
 use gridsec_crypto::ct::ct_eq;
 use gridsec_crypto::hmac::hmac_sha256;
+use gridsec_pki::cert::Certificate;
 use gridsec_pki::encoding::{Codec, Decoder, Encoder};
 use gridsec_pki::validate::ValidatedIdentity;
 use gridsec_pki::PkiError;
@@ -53,6 +54,7 @@ pub struct ResumptionData {
     ticket: [u8; 32],
     master: [u8; 32],
     expires_at: u64,
+    cred_not_after: u64,
 }
 
 impl core::fmt::Debug for ResumptionData {
@@ -60,6 +62,7 @@ impl core::fmt::Debug for ResumptionData {
         // Deliberately omits the master secret.
         f.debug_struct("ResumptionData")
             .field("expires_at", &self.expires_at)
+            .field("cred_not_after", &self.cred_not_after)
             .finish_non_exhaustive()
     }
 }
@@ -68,13 +71,27 @@ impl ResumptionData {
     /// Derive the ticket from the master secret. Both handshake sides
     /// call this with identical inputs, so the ticket never needs to be
     /// negotiated on the wire during the full handshake.
-    pub(crate) fn from_master(master: [u8; 32], expires_at: u64) -> Self {
+    ///
+    /// `cred_not_after` is the earliest `not_after` across both sides'
+    /// certificate chains; the ticket lifetime is clamped to it so a
+    /// session can never be resumed after the credentials that
+    /// authenticated it have expired. Rotation on resumption carries
+    /// the bound forward, so no chain of abbreviated handshakes can
+    /// outlive the original proxy either.
+    pub(crate) fn from_master(master: [u8; 32], expires_at: u64, cred_not_after: u64) -> Self {
         let ticket = hmac_sha256(&master, TICKET_LABEL);
         ResumptionData {
             ticket,
             master,
-            expires_at,
+            expires_at: expires_at.min(cred_not_after),
+            cred_not_after,
         }
+    }
+
+    /// Expiry of the credentials that authenticated this session — the
+    /// hard upper bound no rotation can extend past.
+    pub fn cred_not_after(&self) -> u64 {
+        self.cred_not_after
     }
 
     /// The opaque lookup key the client presents in ResumeHello.
@@ -91,6 +108,16 @@ impl ResumptionData {
     pub fn is_expired(&self, now: u64) -> bool {
         now >= self.expires_at
     }
+}
+
+/// Earliest `not_after` across a certificate chain — the instant the
+/// chain as a whole stops validating. Empty chains are unbounded.
+pub(crate) fn chain_not_after(chain: &[Certificate]) -> u64 {
+    chain
+        .iter()
+        .map(|c| c.tbs.validity.not_after)
+        .min()
+        .unwrap_or(u64::MAX)
 }
 
 // ----------------------------------------------------------------------
@@ -324,8 +351,11 @@ impl ClientResume {
         let finished = ResumeFinished {
             mac: ks.finished_mac("resume client finished"),
         };
-        let channel = SecureChannel::from_key_block(self.session.peer, &ks.key_block, true)
-            .with_resumption(ResumptionData::from_master(ks.master, self.new_expires_at));
+        let cred_not_after = self.session.data.cred_not_after;
+        let channel =
+            SecureChannel::from_key_block(self.session.peer, &ks.key_block, true).with_resumption(
+                ResumptionData::from_master(ks.master, self.new_expires_at, cred_not_after),
+            );
         Ok((finished.to_bytes(), channel))
     }
 }
@@ -339,6 +369,7 @@ struct ServerSession {
     master: [u8; 32],
     peer: ValidatedIdentity,
     expires_at: u64,
+    cred_not_after: u64,
 }
 
 /// Server-side session cache keyed by ticket, capacity-bounded with
@@ -378,6 +409,7 @@ impl ServerSessionCache {
             master: data.master,
             peer: channel.peer.clone(),
             expires_at: data.expires_at,
+            cred_not_after: data.cred_not_after,
         };
         if self.map.insert(ticket, session).is_some() {
             self.order.retain(|k| k != &ticket);
@@ -425,7 +457,11 @@ impl ServerSessionCache {
             server_random,
             finished_mac: ks.finished_mac("resume server finished"),
         };
-        let resumption = ResumptionData::from_master(ks.master, now.saturating_add(self.lifetime));
+        let resumption = ResumptionData::from_master(
+            ks.master,
+            now.saturating_add(self.lifetime),
+            session.cred_not_after,
+        );
         Ok((
             sh.to_bytes(),
             ServerResumeAwait {
@@ -632,6 +668,119 @@ mod tests {
         assert!(cache.lookup("s1", 100).is_none()); // evicted
         assert!(cache.lookup("s2", 100).is_some());
         assert!(cache.lookup("s3", 100).is_some());
+    }
+
+    #[test]
+    fn ticket_lifetime_bounded_by_credential_expiry() {
+        use gridsec_pki::proxy::{issue_proxy, ProxyType};
+        use gridsec_pki::validate::validate_chain;
+        use gridsec_testbed::clock::SimClock;
+
+        let mut w = world();
+        let clock = SimClock::starting_at(100);
+
+        // A short-lived proxy: expires long before the default session
+        // lifetime would.
+        let proxy = issue_proxy(
+            &mut w.rng,
+            &w.alice,
+            ProxyType::Impersonation,
+            512,
+            clock.now(),
+            500,
+        )
+        .unwrap();
+        let proxy_expiry = proxy.certificate().tbs.validity.not_after;
+        assert_eq!(proxy_expiry, 600);
+
+        let cfg_c = TlsConfig::new(proxy.clone(), w.trust.clone(), clock.now());
+        let cfg_s = TlsConfig::new(w.server.clone(), w.trust.clone(), clock.now());
+        let (cch, sch) = handshake_in_memory(cfg_c, cfg_s, &mut w.rng).unwrap();
+
+        // Both sides clamp the ticket to the proxy's not_after, not
+        // now + DEFAULT_SESSION_LIFETIME.
+        assert_eq!(cch.resumption().unwrap().expires_at(), proxy_expiry);
+        assert_eq!(sch.resumption().unwrap().expires_at(), proxy_expiry);
+        assert_eq!(cch.resumption().unwrap().cred_not_after(), proxy_expiry);
+
+        let mut client_cache = ClientSessionCache::new(4);
+        let mut server_cache = ServerSessionCache::new(4, DEFAULT_SESSION_LIFETIME);
+        assert!(client_cache.store("fs1", &cch));
+        assert!(server_cache.store(&sch));
+        let session = client_cache.lookup("fs1", clock.now()).unwrap();
+
+        // The proxy expires between the full handshake and the attempted
+        // abbreviated one.
+        clock.advance(600);
+        let now = clock.now();
+        assert!(now > proxy_expiry);
+
+        // Client-side cache already refuses to offer the session ...
+        assert!(client_cache.lookup("fs1", now).is_none());
+
+        // ... and a stale client that held on to it is refused by the
+        // server, which drops the dead entry.
+        let (_cr, hello) = resume_client(session, now, DEFAULT_SESSION_LIFETIME, &mut w.rng);
+        assert!(matches!(
+            server_cache.accept(&hello, now, &mut w.rng),
+            Err(TlsError::Protocol("expired session ticket"))
+        ));
+        assert!(server_cache.is_empty());
+
+        // The fall-back full handshake then fails chain validation: the
+        // expired proxy cannot re-authenticate.
+        assert!(validate_chain(proxy.chain(), &w.trust, now).is_err());
+        let cfg_c = TlsConfig::new(proxy, w.trust.clone(), now);
+        let cfg_s = TlsConfig::new(w.server.clone(), w.trust.clone(), now);
+        assert!(matches!(
+            handshake_in_memory(cfg_c, cfg_s, &mut w.rng),
+            Err(TlsError::Pki(_))
+        ));
+    }
+
+    #[test]
+    fn rotation_cannot_outlive_the_credential() {
+        use gridsec_pki::proxy::{issue_proxy, ProxyType};
+
+        let mut w = world();
+        let proxy = issue_proxy(
+            &mut w.rng,
+            &w.alice,
+            ProxyType::Impersonation,
+            512,
+            100,
+            900,
+        )
+        .unwrap();
+        let proxy_expiry = proxy.certificate().tbs.validity.not_after;
+
+        let cfg_c = TlsConfig::new(proxy, w.trust.clone(), 100);
+        let cfg_s = TlsConfig::new(w.server.clone(), w.trust.clone(), 100);
+        let (cch, sch) = handshake_in_memory(cfg_c, cfg_s, &mut w.rng).unwrap();
+        let mut client_cache = ClientSessionCache::new(4);
+        let mut server_cache = ServerSessionCache::new(4, DEFAULT_SESSION_LIFETIME);
+        client_cache.store("fs1", &cch);
+        server_cache.store(&sch);
+
+        // Resume repeatedly, advancing time; every rotated ticket stays
+        // clamped to the original credential expiry, so the chain of
+        // abbreviated handshakes dies exactly when the proxy does.
+        let mut now = 300;
+        for _ in 0..3 {
+            let session = client_cache.lookup("fs1", now).unwrap();
+            let (cr, hello) = resume_client(session, now, DEFAULT_SESSION_LIFETIME, &mut w.rng);
+            let (sh, await_finished) = server_cache.accept(&hello, now, &mut w.rng).unwrap();
+            let (finished, cch) = cr.step(&sh).unwrap();
+            let sch = await_finished.step(&finished).unwrap();
+            assert_eq!(cch.resumption().unwrap().expires_at(), proxy_expiry);
+            assert_eq!(sch.resumption().unwrap().expires_at(), proxy_expiry);
+            client_cache.store("fs1", &cch);
+            server_cache.store(&sch);
+            now += 200;
+        }
+
+        // Past the proxy's not_after, the last rotated ticket is dead too.
+        assert!(client_cache.lookup("fs1", proxy_expiry).is_none());
     }
 
     #[test]

@@ -5,8 +5,10 @@
 # chaos suite must be deterministic (same seed -> byte-identical event
 # transcript AND trace dump across two fresh processes) — the
 # network-faults-only profile, the combined crash/restart profile
-# (seeded process kills + write-ahead-journal recovery), and the striped
-# GridFTP scenario (mid-stripe kills + AIMD congestion control) — the
+# (seeded process kills + write-ahead-journal recovery), the striped
+# GridFTP scenario (mid-stripe kills + AIMD congestion control), and the
+# credential-lifetime suite (expiry-storm renewal waves + portal armed
+# kills with exactly-once proxy issuance) — the
 # perf claims must hold, the storm/striped bench metrics must be
 # two-run byte-identical, and the committed EXPERIMENTS.md tables must
 # match what the pinned seed regenerates (drift gate).
@@ -184,18 +186,58 @@ stage_striped_chaos() {
     echo "ok: $slines striped-transcript lines identical across two runs (seed $chaos_seed)"
 }
 
+# Credential-lifetime chaos: the expiry-storm scenario (hundreds of
+# staggered-lifetime principals, seeded issuer skew and near-zero
+# lifetimes, renewal waves batched through the handshake mill, corrupt
+# openers) must render its metrics byte-identically across two fresh
+# processes, and the portal armed-kill flow (client killed at
+# cred.store / cred.reacquire / cred.renew) must recover with
+# exactly-once proxy issuance.
+stage_cred_chaos() {
+    for run in 1 2; do
+        GRIDSEC_CHAOS_SEED="$chaos_seed" \
+        GRIDSEC_EXPIRY_RENDER="$tdir/expiry-render.$run" \
+            cargo test -q --offline -p gridsec-integration --test chaos -- \
+            expiry_storm_same_seed_is_byte_identical > /dev/null
+    done
+    if ! cmp -s "$tdir/expiry-render.1" "$tdir/expiry-render.2"; then
+        echo "FAIL: expiry-storm renders differ across runs with seed $chaos_seed" >&2
+        diff "$tdir/expiry-render.1" "$tdir/expiry-render.2" | head -20 >&2 || true
+        exit 1
+    fi
+    # The storm must actually exercise the lifetime failure modes —
+    # a run with no renewals or no fail-closed principals gates nothing.
+    if ! grep -q "^renewal waves=" "$tdir/expiry-render.1" || \
+       grep -Eq " renewals=0( |$)" "$tdir/expiry-render.1" || \
+       grep -Eq " failed_closed=0( |$)" "$tdir/expiry-render.1" || \
+       grep -Eq " stillborn=0( |$)" "$tdir/expiry-render.1"; then
+        echo "FAIL: expiry-storm render is vacuous (missing renewals or failure modes):" >&2
+        head -3 "$tdir/expiry-render.1" >&2
+        exit 1
+    fi
+    GRIDSEC_CHAOS_SEED="$chaos_seed" \
+        cargo test -q --offline -p gridsec-integration --test chaos -- \
+        portal_recovers_from_armed_credential_kills > /dev/null
+    echo "ok: $(head -1 "$tdir/expiry-render.1") (byte-identical across two runs; portal armed kills recovered)"
+}
+
 # Deep only: sweep a fixed matrix of crash seeds — each must complete
 # every flow (recovery works wherever the kills land) and replay
 # byte-identically within the process (asserted by the test itself).
+# The same matrix drives the credential-lifetime suite: the portal must
+# recover from armed kills and the expiry storm must replay
+# byte-identically wherever the renewal/crash schedules land.
 stage_deep_matrix() {
     for s in 0xC4A05EED 0x1 0xDEADBEEF 0xA5A5A5A5 0x7777777777777777; do
         echo "-- crash seed $s"
         GRIDSEC_CHAOS_SEED="$s" \
             cargo test -q --offline -p gridsec-integration --test chaos -- \
             all_flows_complete_under_combined_crash_and_loss \
-            crash_chaos_same_seed_is_byte_identical > /dev/null
+            crash_chaos_same_seed_is_byte_identical \
+            portal_recovers_from_armed_credential_kills \
+            expiry_storm_same_seed_is_byte_identical > /dev/null
     done
-    echo "ok: crash seed matrix complete"
+    echo "ok: crash seed matrix complete (incl. credential-lifetime suite)"
 }
 
 # Offline micro-gate on the four perf claims (DESIGN.md §13.4, §14):
@@ -304,7 +346,7 @@ stage_drift() {
 # ---------------------------------------------------------------------------
 
 ALL_STAGES="grep_guard fmt build clippy test examples chaos crash_chaos \
-striped_chaos perf_guard vo_storm handshake_storm striped_xfer drift"
+striped_chaos cred_chaos perf_guard vo_storm handshake_storm striped_xfer drift"
 if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
     ALL_STAGES="$ALL_STAGES deep_matrix"
 fi

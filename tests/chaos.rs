@@ -364,6 +364,82 @@ fn figure5_striped_same_seed_is_byte_identical() {
 }
 
 #[test]
+fn portal_recovers_from_armed_credential_kills() {
+    use gridsec_integration::scenarios::portal::portal_recovery;
+    // Kill the portal (the *client*) at each credential kill point in
+    // turn: after storing at the repository, after re-acquiring a
+    // proxy, and after the mid-job renewal. Each reborn incarnation
+    // replays its journaled intent; the scenario itself asserts the
+    // repository issued exactly one proxy per intent and that exactly
+    // one job process exists at the end.
+    let opts = ChaosOpts {
+        armed_crashes: vec![
+            ("cred.store".to_string(), 1),
+            ("cred.reacquire".to_string(), 1),
+            ("cred.renew".to_string(), 1),
+        ],
+        ..ChaosOpts::default()
+    };
+    let r = portal_recovery(chaos_seed(), &opts);
+    assert!(r.completed, "portal flow survives armed credential kills");
+    assert_eq!(r.crashes, 3, "each armed point fired exactly once");
+    assert_eq!(r.restarts, 3);
+    assert_eq!(r.metrics.counters.get("portal.incarnations"), Some(&4));
+    assert_eq!(
+        r.metrics.counters.get("portal.intents.recovered"),
+        Some(&2),
+        "acquire and renew each completed by a reborn portal"
+    );
+    let transcript = r.lines.join("\n");
+    for needle in ["cred.store", "cred.reacquire", "cred.renew"] {
+        assert!(
+            transcript.contains(needle),
+            "missing {needle}:\n{transcript}"
+        );
+    }
+}
+
+#[test]
+fn expiry_storm_same_seed_is_byte_identical() {
+    use gridsec_integration::scenarios::expiry_storm::{run_expiry_storm, ExpiryOpts};
+    // Hundreds of staggered-lifetime principals, seeded issuer skew,
+    // near-zero lifetimes, renewal waves batched through the handshake
+    // mill, corrupt openers — the full metrics render must be a pure
+    // function of the seed across two in-process runs (verify.sh
+    // additionally compares across two fresh processes).
+    let principals = std::env::var("GRIDSEC_EXPIRY_PRINCIPALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let opts = ExpiryOpts::new(principals, chaos_seed());
+    let r1 = run_expiry_storm(&opts);
+    let r2 = run_expiry_storm(&opts);
+    let render = r1.deterministic_render();
+    assert_eq!(
+        render,
+        r2.deterministic_render(),
+        "expiry-storm metrics must replay byte-identically"
+    );
+    // The storm must actually exercise every lifetime failure mode —
+    // otherwise the determinism gate is vacuous.
+    assert!(r1.renewals > 0, "no renewals happened:\n{render}");
+    assert!(r1.stillborn > 0, "no skew-stillborn proxies:\n{render}");
+    assert!(r1.failed_closed > 0, "nothing failed closed:\n{render}");
+    assert!(
+        r1.mill_rejected > 0,
+        "no corrupt openers rejected:\n{render}"
+    );
+    assert_eq!(
+        r1.survived + r1.stillborn + r1.failed_closed,
+        principals as u64,
+        "every principal must reach a verdict:\n{render}"
+    );
+    if let Ok(path) = std::env::var("GRIDSEC_EXPIRY_RENDER") {
+        std::fs::write(&path, &render).expect("write expiry-storm render");
+    }
+}
+
+#[test]
 fn figure5_striped_seed_drives_the_run() {
     use gridsec_integration::scenarios::figure5_striped;
     let opts = ChaosOpts::default();
