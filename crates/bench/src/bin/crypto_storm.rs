@@ -1,24 +1,25 @@
-//! VO-storm scale bench: run `scenarios::vo_storm` at 10⁵ principals
-//! (one scheduled task each, zero threads) and emit the storm's trace
-//! metrics as `BENCH_vo_storm.json`.
+//! Crypto-storm scale bench: run `scenarios::crypto_storm` at 5×10⁵
+//! principals — every one performing real per-session handshake crypto
+//! against mill gateways, zero threads — and emit the storm's trace
+//! metrics as `BENCH_crypto_storm.json`.
 //!
 //! Every metric except wall time is a pure function of the seed, so CI
 //! runs a reduced-scale version twice and byte-compares the metrics
-//! files plus the deterministic render (see `scripts/verify.sh`).
+//! files plus the deterministic render (see `scripts/verify.sh`). The
+//! recorded BENCH json additionally carries wall-clock throughput rows
+//! (`cstorm.wall_ms`, `cstorm.established_per_sec`) — those are
+//! measurements, not invariants, and stay out of the deterministic
+//! render.
 //!
 //! Usage:
 //!
 //! ```text
-//! vo_storm [--seed 0x570A11] [--principals 100000] [--metrics-out FILE]
+//! crypto_storm [--seed 0xC57] [--principals 500000] [--metrics-out FILE]
 //! # reports -> $GRIDSEC_BENCH_DIR (default .)
 //! # env overrides: GRIDSEC_STORM_PRINCIPALS, GRIDSEC_STORM_SEED
 //! ```
-//!
-//! `--metrics-out FILE` additionally writes the deterministic render
-//! (report header + metrics, no wall time) to FILE — the artifact the
-//! CI two-run gate compares.
 
-use gridsec_integration::scenarios::vo_storm::{run_vo_storm, StormOpts};
+use gridsec_integration::scenarios::crypto_storm::{run_crypto_storm, CryptoStormOpts};
 
 fn parse_u64(v: &str, what: &str) -> u64 {
     let v = v.trim();
@@ -30,8 +31,8 @@ fn parse_u64(v: &str, what: &str) -> u64 {
 }
 
 fn main() {
-    let mut seed: u64 = 0x0057_0A11;
-    let mut principals: usize = 100_000;
+    let mut seed: u64 = 0x0000_0C57;
+    let mut principals: usize = 500_000;
     let mut metrics_out: Option<String> = None;
     if let Ok(v) = std::env::var("GRIDSEC_STORM_SEED") {
         seed = parse_u64(&v, "GRIDSEC_STORM_SEED");
@@ -62,55 +63,56 @@ fn main() {
     }
 
     let dir = std::env::var("GRIDSEC_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
-    let report = run_vo_storm(&StormOpts::new(principals, seed));
+    let report = run_crypto_storm(&CryptoStormOpts::new(principals, seed));
 
     if let Some(path) = &metrics_out {
         std::fs::write(path, report.deterministic_render()).expect("write --metrics-out file");
     }
+
     // The BENCH artifact = deterministic counters + wall-clock
     // throughput rows (two-run CI compares the render, not this file).
     let mut bench = report.metrics.clone();
     bench
         .counters
-        .insert("storm.principals".into(), report.principals as u64);
-    bench
-        .counters
-        .insert("storm.live_high_water".into(), report.sched.live_high_water);
-    bench
-        .counters
-        .insert("storm.wall_ms".into(), report.wall_ms as u64);
+        .insert("cstorm.principals".into(), report.principals as u64);
     bench.counters.insert(
-        "storm.flows_per_sec".into(),
-        (report.completed as u128 * 1000)
-            .checked_div(report.wall_ms)
-            .unwrap_or(0) as u64,
+        "cstorm.live_high_water".into(),
+        report.sched.live_high_water,
+    );
+    bench
+        .counters
+        .insert("cstorm.wall_ms".into(), report.wall_ms as u64);
+    bench.counters.insert(
+        "cstorm.established_per_sec".into(),
+        report.flows_per_wall_second() as u64,
     );
     bench.counters.insert(
-        "storm.messages_per_sec".into(),
+        "cstorm.messages_per_sec".into(),
         (report.traffic.messages as u128 * 1000)
             .checked_div(report.wall_ms)
             .unwrap_or(0) as u64,
     );
     let path = bench
-        .write_bench_json("vo_storm", &dir)
-        .expect("write BENCH_vo_storm.json");
+        .write_bench_json("crypto_storm", &dir)
+        .expect("write BENCH_crypto_storm.json");
 
     println!(
-        "vo_storm: seed=0x{seed:016x} principals={} completed={} failed={} \
-         sim_s={} msgs={} retx={} steps={} flows/sim_s={:.1} wall_ms={} -> {path}",
+        "crypto_storm: seed=0x{seed:016x} principals={} established={} rejected={} \
+         sim_s={} msgs={} waves={} live_hw={} steps={} est/wall_s={:.1} wall_ms={} -> {path}",
         report.principals,
-        report.completed,
-        report.failed,
+        report.established,
+        report.rejected,
         report.sim_seconds,
         report.traffic.messages,
         report
             .metrics
             .counters
-            .get("storm.retransmissions")
+            .get("cstorm.gw.waves")
             .copied()
             .unwrap_or(0),
+        report.sched.live_high_water,
         report.sched.steps,
-        report.flows_per_sim_second(),
+        report.flows_per_wall_second(),
         report.wall_ms,
     );
 }

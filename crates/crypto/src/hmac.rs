@@ -58,6 +58,91 @@ impl HmacSha256 {
     }
 }
 
+/// An HMAC key schedule precomputed once and reused: the SHA-256 states
+/// with the ipad- and opad-xored key blocks already absorbed.
+///
+/// [`HmacSha256::new`] derives the padded key and absorbs one 64-byte
+/// block into the inner hash on every call, and `finalize` absorbs the
+/// opad block into a fresh outer hash — two compression-function
+/// invocations of pure key schedule per MAC. When many MACs share one
+/// key (every HKDF-Expand block is keyed by the same PRK; a TLS key
+/// schedule MACs its Finished messages and derives its resumption
+/// ticket under the same master secret), priming once and cloning the
+/// two states per MAC skips that rework — the same fixed-base
+/// amortization `gridsec_bignum::precomp` applies to modular
+/// exponentiation, applied to the symmetric side.
+///
+/// Byte-identity with the one-shot path is pinned by tests here and in
+/// `gridsec-tls` (the RFC 4231/5869 vectors run through this type via
+/// [`hkdf_expand`]).
+#[derive(Clone)]
+pub struct PrimedHmac {
+    /// SHA-256 state with `key ⊕ ipad` absorbed.
+    inner: Sha256,
+    /// SHA-256 state with `key ⊕ opad` absorbed.
+    outer: Sha256,
+}
+
+impl PrimedHmac {
+    /// Precompute the key schedule for `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            k[..DIGEST_LEN].copy_from_slice(&sha256(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        PrimedHmac { inner, outer }
+    }
+
+    /// Begin a streaming MAC from the primed states.
+    pub fn begin(&self) -> PrimedMac {
+        PrimedMac {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+
+    /// One-shot MAC over `data`. Identical bytes to
+    /// [`hmac_sha256`]`(key, data)` for the priming key.
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut m = self.begin();
+        m.update(data);
+        m.finalize()
+    }
+}
+
+/// A streaming MAC started from a [`PrimedHmac`].
+pub struct PrimedMac {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl PrimedMac {
+    /// Absorb message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalize and return the 32-byte tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = self.outer;
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
 /// HKDF-Extract (RFC 5869 §2.2): `PRK = HMAC(salt, ikm)`.
 pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
     hmac_sha256(salt, ikm)
@@ -66,11 +151,14 @@ pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// HKDF-Expand (RFC 5869 §2.3) producing `len` bytes (≤ 255 * 32).
 pub fn hkdf_expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
     assert!(len <= 255 * DIGEST_LEN, "HKDF output too long");
+    // Every block is keyed by the same PRK: prime the key schedule once
+    // and clone it per block instead of re-deriving it.
+    let primed = PrimedHmac::new(prk);
     let mut out = Vec::with_capacity(len);
     let mut t: Vec<u8> = Vec::new();
     let mut counter = 1u8;
     while out.len() < len {
-        let mut mac = HmacSha256::new(prk);
+        let mut mac = primed.begin();
         mac.update(&t);
         mac.update(info);
         mac.update(&[counter]);
@@ -175,6 +263,32 @@ mod tests {
         mac.update(&data[..123]);
         mac.update(&data[123..]);
         assert_eq!(mac.finalize(), hmac_sha256(key, &data));
+    }
+
+    #[test]
+    fn primed_is_byte_identical_to_one_shot() {
+        // Every key-length regime: empty, short, block-boundary
+        // (63/64/65), and hashed-down long keys.
+        let data: Vec<u8> = (0..300u16).map(|i| (i * 7) as u8).collect();
+        for key_len in [0usize, 1, 31, 32, 63, 64, 65, 100, 131, 256] {
+            let key: Vec<u8> = (0..key_len).map(|i| (i * 13 + 5) as u8).collect();
+            let primed = PrimedHmac::new(&key);
+            for msg_len in [0usize, 1, 55, 56, 64, 120, 300] {
+                assert_eq!(
+                    primed.mac(&data[..msg_len]),
+                    hmac_sha256(&key, &data[..msg_len]),
+                    "key_len={key_len} msg_len={msg_len}"
+                );
+            }
+            // Streaming splits hit the same bytes, and a primed
+            // schedule is reusable: the second begin() is unaffected by
+            // the first.
+            let mut m = primed.begin();
+            m.update(&data[..123]);
+            m.update(&data[123..]);
+            assert_eq!(m.finalize(), hmac_sha256(&key, &data));
+            assert_eq!(primed.mac(b"again"), hmac_sha256(&key, b"again"));
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod congestion;
+pub mod poll;
 pub mod resume;
 pub mod stripe;
 
@@ -31,10 +32,9 @@ use gridsec_authz::gridmap::GridMapFile;
 use gridsec_bignum::prime::EntropySource;
 use gridsec_pki::credential::Credential;
 use gridsec_pki::store::TrustStore;
-use gridsec_pki::validate::EffectiveRights;
-use gridsec_testbed::os::{FileMode, SimOs, Uid};
+use gridsec_testbed::os::SimOs;
 use gridsec_tls::handshake::TlsConfig;
-use gridsec_tls::stream::{client_connect, server_accept, SecureStream};
+use gridsec_tls::stream::{client_connect, SecureStream};
 
 /// Errors from transfer operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,104 +110,25 @@ impl GridFtpServer {
         })
     }
 
-    /// Handshake + authorization prologue shared by the classic and
-    /// resumable session loops: accept the secure channel, enforce the
-    /// rights split, map the identity, and send the greeting.
-    fn accept_and_map<S: Read + Write, E: EntropySource>(
-        &mut self,
-        stream: S,
-        rng: &mut E,
-        now: u64,
-    ) -> Result<(SecureStream<S>, Uid), FtpError> {
-        let config = TlsConfig::new(self.credential.clone(), self.trust.clone(), now);
-        let mut secured: SecureStream<S> =
-            server_accept(stream, config, rng).map_err(|e| FtpError::Channel(e.to_string()))?;
-
-        // Authorization: data movement allowed for Full and Limited
-        // rights; Independent proxies inherit nothing.
-        let peer = secured.peer().clone();
-        if peer.rights == EffectiveRights::Independent {
-            let _ = secured.send(b"ERR independent proxies have no inherited rights");
-            return Err(FtpError::RightsRefused("independent proxy"));
-        }
-        let account = self
-            .gridmap
-            .lookup(&peer.base_identity)
-            .ok_or_else(|| {
-                let _ = secured.send(b"ERR no mapping");
-                FtpError::NoMapping(peer.base_identity.to_string())
-            })?
-            .to_string();
-        let uid = self
-            .os
-            .uid_of(&self.host, &account)
-            .map_err(|e| FtpError::File(e.to_string()))?;
-        secured
-            .send(format!("OK mapped to {account}").as_bytes())
-            .map_err(|e| FtpError::Channel(e.to_string()))?;
-        Ok((secured, uid))
-    }
-
     /// Serve one session on an accepted raw stream: handshake, then
     /// commands until `QUIT` or EOF. Returns the number of transfers.
+    ///
+    /// Blocking compatibility shim over the sans-io
+    /// [`poll::ServerSession`] machine, which holds all the protocol
+    /// logic.
     pub fn serve_session<S: Read + Write, E: EntropySource>(
         &mut self,
         stream: S,
         rng: &mut E,
         now: u64,
     ) -> Result<u64, FtpError> {
-        let (mut secured, uid) = self.accept_and_map(stream, rng, now)?;
-        let mut session_transfers = 0u64;
-        // Commands until QUIT or peer close.
-        while let Ok(cmd) = secured.recv() {
-            let text = String::from_utf8_lossy(&cmd).into_owned();
-            if text == "QUIT" {
-                let _ = secured.send(b"BYE");
-                break;
-            } else if let Some(path) = text.strip_prefix("GET ") {
-                match self.os.read_file(&self.host, path, uid) {
-                    Ok(data) => {
-                        secured
-                            .send(format!("DATA {}", data.len()).as_bytes())
-                            .and_then(|_| secured.send(&data))
-                            .map_err(|e| FtpError::Channel(e.to_string()))?;
-                        session_transfers += 1;
-                        self.transfers += 1;
-                    }
-                    Err(e) => {
-                        secured
-                            .send(format!("ERR {e}").as_bytes())
-                            .map_err(|e| FtpError::Channel(e.to_string()))?;
-                    }
-                }
-            } else if let Some(path) = text.strip_prefix("PUT ") {
-                let data = secured
-                    .recv()
-                    .map_err(|e| FtpError::Channel(e.to_string()))?;
-                match self
-                    .os
-                    .write_file(&self.host, path, uid, FileMode::private(), data)
-                {
-                    Ok(()) => {
-                        secured
-                            .send(b"STORED")
-                            .map_err(|e| FtpError::Channel(e.to_string()))?;
-                        session_transfers += 1;
-                        self.transfers += 1;
-                    }
-                    Err(e) => {
-                        secured
-                            .send(format!("ERR {e}").as_bytes())
-                            .map_err(|e| FtpError::Channel(e.to_string()))?;
-                    }
-                }
-            } else {
-                secured
-                    .send(b"ERR unknown command")
-                    .map_err(|e| FtpError::Channel(e.to_string()))?;
-            }
-        }
-        Ok(session_transfers)
+        use gridsec_testbed::faults::CrashPlan;
+        let mut machine =
+            poll::ServerSession::new(self, poll::Dialect::Classic, now, CrashPlan::disabled());
+        let mut stream = stream;
+        let out = poll::drive_blocking(&mut machine, &mut stream, rng);
+        self.transfers += machine.completed();
+        out
     }
 
     /// Shared OS handle (for test assertions).
@@ -306,8 +227,13 @@ mod tests {
     use gridsec_pki::ca::CertificateAuthority;
     use gridsec_pki::name::DistinguishedName;
     use gridsec_pki::proxy::{issue_proxy, ProxyType};
-    use gridsec_testbed::net::StreamPair;
-    use gridsec_testbed::os::ROOT_UID;
+    use gridsec_testbed::faults::CrashPlan;
+    use gridsec_testbed::net::{with_stream_pump, Network, StreamPair};
+    use gridsec_testbed::os::{FileMode, ROOT_UID};
+    use gridsec_testbed::sched::Scheduler;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn dn(s: &str) -> DistinguishedName {
         DistinguishedName::parse(s).unwrap()
@@ -317,7 +243,7 @@ mod tests {
         rng: ChaChaRng,
         trust: TrustStore,
         jane: Credential,
-        server: GridFtpServer,
+        server: Arc<Mutex<GridFtpServer>>,
     }
 
     fn world() -> World {
@@ -341,40 +267,54 @@ mod tests {
             rng,
             trust,
             jane,
-            server,
+            server: Arc::new(Mutex::new(server)),
         }
     }
 
     /// Run client ops against the server on a stream pair; the server
-    /// runs on a second thread.
+    /// runs as a sans-io scheduler task, pumped whenever the blocking
+    /// client waits for bytes.
     fn with_session<F, R>(
         w: &mut World,
         cred: Credential,
         f: F,
     ) -> (Result<R, FtpError>, Result<u64, FtpError>)
     where
-        F: FnOnce(&mut GridFtpClient<gridsec_testbed::net::SimStream>) -> Result<R, FtpError>
-            + Send,
-        R: Send,
+        F: FnOnce(&mut GridFtpClient<gridsec_testbed::net::SimStream>) -> Result<R, FtpError>,
     {
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         let (a, b, _) = StreamPair::new();
+        let task = poll::SessionTask {
+            server: Arc::clone(&w.server),
+            dialect: poll::Dialect::Classic,
+            now: 100,
+            plan: CrashPlan::disabled(),
+        };
+        let served = task.spawn(
+            &mut sched.borrow_mut(),
+            &net,
+            "ftp-classic",
+            b,
+            b"server side",
+        );
         let trust = w.trust.clone();
         let mut client_rng = ChaChaRng::from_seed_bytes(b"client side");
-        std::thread::scope(|scope| {
-            let server = &mut w.server;
-            let server_thread = scope.spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(b"server side");
-                server.serve_session(b, &mut rng, 100)
-            });
-            let result = (|| {
+        let pump = Rc::clone(&sched);
+        let result = with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
                 let mut client = GridFtpClient::connect(a, cred, trust, 100, &mut client_rng)?;
                 let out = f(&mut client)?;
                 client.quit()?;
                 Ok(out)
-            })();
-            let served = server_thread.join().unwrap();
-            (result, served)
-        })
+            },
+        );
+        // Drain the scheduler so the server task observes the client's
+        // close and resolves its outcome.
+        while sched.borrow_mut().pump() > 0 {}
+        let served = served.borrow_mut().take().expect("server session resolved");
+        (result, served)
     }
 
     #[test]
@@ -388,9 +328,9 @@ mod tests {
         assert_eq!(result.unwrap(), b"simulation output");
         assert_eq!(served.unwrap(), 2);
         // File landed under the mapped account's uid.
-        let uid = w.server.os().uid_of("data1", "jdoe").unwrap();
-        assert!(w
-            .server
+        let srv = w.server.lock().unwrap();
+        let uid = srv.os().uid_of("data1", "jdoe").unwrap();
+        assert!(srv
             .os()
             .read_file("data1", "/home/jdoe/results.dat", uid)
             .is_ok());
@@ -428,7 +368,11 @@ mod tests {
         let mut rng = ChaChaRng::from_seed_bytes(b"stranger");
         let ca2 = CertificateAuthority::create_root(&mut rng, dn("/O=G2/CN=CA"), 512, 0, 1000);
         // Trusted CA but unmapped user: add CA2 to server trust first.
-        w.server.trust.add_root(ca2.certificate().clone());
+        w.server
+            .lock()
+            .unwrap()
+            .trust
+            .add_root(ca2.certificate().clone());
         let mut trust2 = w.trust.clone();
         trust2.add_root(ca2.certificate().clone());
         w.trust = trust2;
@@ -443,6 +387,8 @@ mod tests {
         let mut w = world();
         // A root-owned private file is invisible to jdoe.
         w.server
+            .lock()
+            .unwrap()
             .os()
             .write_file(
                 "data1",

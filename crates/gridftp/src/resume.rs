@@ -42,7 +42,6 @@ use std::io::{Read, Write};
 use gridsec_bignum::prime::EntropySource;
 use gridsec_crypto::sha256::sha256;
 use gridsec_testbed::faults::CrashPlan;
-use gridsec_testbed::os::FileMode;
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_tls::retry::{connect_with_retry, is_transient};
 use gridsec_tls::stream::SecureStream;
@@ -67,6 +66,10 @@ impl GridFtpServer {
     /// point kills this session's process mid-transfer (the connection
     /// dies with it), leaving recovery to the durable staging file and
     /// the client's restart markers.
+    ///
+    /// Blocking compatibility shim over the sans-io
+    /// [`poll::ServerSession`](crate::poll::ServerSession) machine,
+    /// which holds the restart-marker protocol logic.
     pub fn serve_resumable<S: Read + Write, E: EntropySource>(
         &mut self,
         stream: S,
@@ -74,132 +77,20 @@ impl GridFtpServer {
         now: u64,
         plan: &CrashPlan,
     ) -> Result<u64, FtpError> {
-        let (mut secured, uid) = self.accept_and_map(stream, rng, now)?;
-        // If a previous session died at a kill point, this accept *is*
-        // the restarted server process, serving from durable state (the
-        // final files and any `.part` restart markers).
-        plan.confirm_restart("gridftp", now, self.transfers as usize);
-        let mut session_transfers = 0u64;
-        while let Ok(cmd) = secured.recv() {
-            let text = String::from_utf8_lossy(&cmd).into_owned();
-            if text == "QUIT" {
-                let _ = secured.send(b"BYE");
-                break;
-            } else if let Some(rest) = text.strip_prefix("GETR ") {
-                let (path, offset) = match parse_two(rest) {
-                    Some(v) => v,
-                    None => {
-                        send_line(&mut secured, "ERR bad GETR arguments")?;
-                        continue;
-                    }
-                };
-                let data = match self.os.read_file(&self.host, &path, uid) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        send_line(&mut secured, &format!("ERR {e}"))?;
-                        continue;
-                    }
-                };
-                if offset > data.len() {
-                    send_line(&mut secured, "ERR offset beyond end of file")?;
-                    continue;
-                }
-                let digest = hex(&sha256(&data));
-                send_line(
-                    &mut secured,
-                    &format!("DATA {} {offset} {digest}", data.len()),
-                )?;
-                let mut pos = offset;
-                while pos < data.len() {
-                    if plan.fires("xfer.get.chunk") {
-                        plan.confirm_kill("gridftp", now);
-                        return Err(FtpError::Channel("killed at xfer.get.chunk".to_string()));
-                    }
-                    let end = (pos + CHUNK).min(data.len());
-                    secured
-                        .send(&data[pos..end])
-                        .map_err(|e| FtpError::Channel(e.to_string()))?;
-                    pos = end;
-                }
-                session_transfers += 1;
-                self.transfers += 1;
-            } else if let Some(rest) = text.strip_prefix("PUTR ") {
-                let (path, total) = match parse_two(rest) {
-                    Some(v) => v,
-                    None => {
-                        send_line(&mut secured, "ERR bad PUTR arguments")?;
-                        continue;
-                    }
-                };
-                let part = format!("{path}.part");
-                let stat = |p: &str| self.os.file_len(&self.host, p).ok().flatten();
-                // Resume offset from durable state: the staging file if
-                // one exists, else "complete" if a previous session
-                // already promoted the final file to full length.
-                let staged = match (stat(&part), stat(&path)) {
-                    (Some(n), _) => n,
-                    (None, Some(n)) if n == total => total,
-                    _ => 0,
-                };
-                if staged > total {
-                    send_line(&mut secured, "ERR staged data exceeds total")?;
-                    continue;
-                }
-                send_line(&mut secured, &format!("OFFSET {staged}"))?;
-                let mut pos = staged;
-                while pos < total {
-                    let chunk = secured
-                        .recv()
-                        .map_err(|e| FtpError::Channel(e.to_string()))?;
-                    if plan.fires("xfer.put.chunk") {
-                        // Received but never made durable: the dead
-                        // process drops it, and the client re-sends
-                        // from the OFFSET the restarted server reads
-                        // back from the staging file.
-                        plan.confirm_kill("gridftp", now);
-                        return Err(FtpError::Channel("killed at xfer.put.chunk".to_string()));
-                    }
-                    if pos + chunk.len() > total {
-                        return Err(FtpError::Protocol(
-                            "upload overruns declared total".to_string(),
-                        ));
-                    }
-                    self.os
-                        .append_file(&self.host, &part, uid, FileMode::private(), &chunk)
-                        .map_err(|e| FtpError::File(e.to_string()))?;
-                    pos += chunk.len();
-                }
-                // Promote the complete staging file (idempotent: a
-                // repeat PUTR of a finished transfer skips straight
-                // here with no staging file left).
-                if stat(&part) == Some(total) {
-                    let data = self
-                        .os
-                        .read_file(&self.host, &part, uid)
-                        .map_err(|e| FtpError::File(e.to_string()))?;
-                    self.os
-                        .write_file(&self.host, &path, uid, FileMode::private(), data)
-                        .map_err(|e| FtpError::File(e.to_string()))?;
-                    self.os
-                        .remove_file(&self.host, &part, uid)
-                        .map_err(|e| FtpError::File(e.to_string()))?;
-                }
-                let data = self
-                    .os
-                    .read_file(&self.host, &path, uid)
-                    .map_err(|e| FtpError::File(e.to_string()))?;
-                send_line(&mut secured, &format!("STORED {}", hex(&sha256(&data))))?;
-                session_transfers += 1;
-                self.transfers += 1;
-            } else {
-                send_line(&mut secured, "ERR unknown command")?;
-            }
-        }
-        Ok(session_transfers)
+        let mut machine = crate::poll::ServerSession::new(
+            self,
+            crate::poll::Dialect::Resumable,
+            now,
+            plan.clone(),
+        );
+        let mut stream = stream;
+        let out = crate::poll::drive_blocking(&mut machine, &mut stream, rng);
+        self.transfers += machine.completed();
+        out
     }
 }
 
-fn parse_two(rest: &str) -> Option<(String, usize)> {
+pub(crate) fn parse_two(rest: &str) -> Option<(String, usize)> {
     let mut it = rest.split_whitespace();
     let path = it.next()?.to_string();
     let n: usize = it.next()?.parse().ok()?;
@@ -207,15 +98,6 @@ fn parse_two(rest: &str) -> Option<(String, usize)> {
         return None;
     }
     Some((path, n))
-}
-
-pub(crate) fn send_line<S: Read + Write>(
-    stream: &mut SecureStream<S>,
-    line: &str,
-) -> Result<(), FtpError> {
-    stream
-        .send(line.as_bytes())
-        .map_err(|e| FtpError::Channel(e.to_string()))
 }
 
 /// Outcome of a completed resumable transfer.
@@ -491,15 +373,19 @@ pub(crate) fn parse_field<T: std::str::FromStr>(f: Option<&str>) -> Result<T, Se
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::poll::{Dialect, SessionTask};
     use gridsec_authz::gridmap::GridMapFile;
     use gridsec_crypto::rng::ChaChaRng;
     use gridsec_pki::ca::CertificateAuthority;
     use gridsec_pki::credential::Credential;
     use gridsec_pki::name::DistinguishedName;
     use gridsec_pki::store::TrustStore;
-    use gridsec_testbed::net::{SimStream, StreamPair};
-    use gridsec_testbed::os::SimOs;
+    use gridsec_testbed::net::{with_stream_pump, Network, SimStream, StreamPair};
+    use gridsec_testbed::os::{FileMode, SimOs};
+    use gridsec_testbed::sched::Scheduler;
     use gridsec_util::trace::{install, Tracer};
+    use std::cell::RefCell;
+    use std::rc::Rc;
     use std::sync::{Arc, Mutex};
 
     fn dn(s: &str) -> DistinguishedName {
@@ -541,30 +427,38 @@ mod tests {
         (0..len).map(|i| (i * 31 % 251) as u8).collect()
     }
 
-    /// A dialer that spawns one detached server session per dial over a
+    /// A dialer that spawns one sans-io server task per dial over a
     /// seeded lossy pair. Each dial gets a distinct loss schedule
     /// (`base_seed + n`) and a distinct, deterministic server rng.
     fn dialer(
         w: &World,
+        sched: &Rc<RefCell<Scheduler>>,
+        net: &Network,
         plan: CrashPlan,
         base_seed: u64,
         drop: f64,
     ) -> impl FnMut(u32) -> Result<SimStream, TlsError> {
-        let server = Arc::clone(&w.server);
+        let task = SessionTask {
+            server: Arc::clone(&w.server),
+            dialect: Dialect::Resumable,
+            now: 100,
+            plan,
+        };
+        let sched = Rc::clone(sched);
+        let net = net.clone();
         let mut n = 0u64;
         move |_| {
             n += 1;
-            let (a, b, _) = StreamPair::lossy(base_seed.wrapping_add(n), drop);
-            let server = Arc::clone(&server);
-            let plan = plan.clone();
             let seed = base_seed.wrapping_add(n);
-            std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(&seed.to_be_bytes());
-                let _ = server
-                    .lock()
-                    .unwrap()
-                    .serve_resumable(b, &mut rng, 100, &plan);
-            });
+            let (a, b, _) = StreamPair::lossy(seed, drop);
+            let mailbox = format!("resume-{base_seed:x}-{n}");
+            task.spawn(
+                &mut sched.borrow_mut(),
+                &net,
+                &mailbox,
+                b,
+                &seed.to_be_bytes(),
+            );
             Ok(a)
         }
     }
@@ -578,17 +472,18 @@ mod tests {
     }
 
     fn run_get(w: &World, plan: CrashPlan, seed: u64, drop: f64, path: &str) -> XferOutcome {
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         let mut rng = ChaChaRng::from_seed_bytes(b"resume client");
         let config = TlsConfig::new(w.jane.clone(), w.trust.clone(), 100);
-        resumable_get(
-            &config,
-            &mut rng,
-            RetryPolicy::default(),
-            dialer(w, plan, seed, drop),
-            path,
-            64,
+        let dial = dialer(w, &sched, &net, plan, seed, drop);
+        let pump = Rc::clone(&sched);
+        with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                resumable_get(&config, &mut rng, RetryPolicy::default(), dial, path, 64).unwrap()
+            },
         )
-        .unwrap()
     }
 
     fn run_put(
@@ -599,18 +494,27 @@ mod tests {
         path: &str,
         data: &[u8],
     ) -> XferOutcome {
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         let mut rng = ChaChaRng::from_seed_bytes(b"resume client");
         let config = TlsConfig::new(w.jane.clone(), w.trust.clone(), 100);
-        resumable_put(
-            &config,
-            &mut rng,
-            RetryPolicy::default(),
-            dialer(w, plan, seed, drop),
-            path,
-            data,
-            64,
+        let dial = dialer(w, &sched, &net, plan, seed, drop);
+        let pump = Rc::clone(&sched);
+        with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                resumable_put(
+                    &config,
+                    &mut rng,
+                    RetryPolicy::default(),
+                    dial,
+                    path,
+                    data,
+                    64,
+                )
+                .unwrap()
+            },
         )
-        .unwrap()
     }
 
     #[test]

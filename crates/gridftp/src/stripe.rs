@@ -47,7 +47,6 @@ use gridsec_bignum::prime::EntropySource;
 use gridsec_crypto::sha256::sha256;
 use gridsec_testbed::faults::CrashPlan;
 use gridsec_testbed::net::StreamStats;
-use gridsec_testbed::os::FileMode;
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_tls::retry::connect_with_retry;
 use gridsec_tls::stream::SecureStream;
@@ -57,7 +56,7 @@ use gridsec_util::throttle::TokenBucket;
 use gridsec_util::trace;
 
 use crate::congestion::{AimdConfig, AimdController};
-use crate::resume::{greet, hex, parse_field, recv_text, send_line, tls_err, SessionErr, CHUNK};
+use crate::resume::{greet, hex, parse_field, recv_text, tls_err, SessionErr, CHUNK};
 use crate::{FtpError, GridFtpServer};
 
 /// Simulated-tick costs of the transfer primitives. Goodput is measured
@@ -177,6 +176,10 @@ pub fn merge_ranges(total: usize, parts: &[(usize, Vec<u8>)]) -> Result<Vec<u8>,
 /// the transfer counter — file operations run on a cloned
 /// [`SimOs`](gridsec_testbed::os::SimOs) handle, and per-range staging
 /// files never collide across stripes.
+///
+/// Blocking compatibility shim over the sans-io
+/// [`poll::ServerSession`](crate::poll::ServerSession) machine, which
+/// holds the stripe credit-window protocol logic.
 pub fn serve_striped<S: Read + Write, E: EntropySource>(
     server: &Mutex<GridFtpServer>,
     stream: S,
@@ -184,260 +187,18 @@ pub fn serve_striped<S: Read + Write, E: EntropySource>(
     now: u64,
     plan: &CrashPlan,
 ) -> Result<u64, FtpError> {
-    let (mut secured, uid, os, host) = {
-        let mut guard = server.lock().expect("gridftp server mutex");
-        let (secured, uid) = guard.accept_and_map(stream, rng, now)?;
-        // If a previous stripe session died at a kill point, this
-        // accept is the restarted process serving from durable state.
-        plan.confirm_restart("gridftp", now, 0);
-        (secured, uid, guard.os.clone(), guard.host.clone())
+    let mut machine = {
+        let guard = server.lock().expect("gridftp server mutex");
+        crate::poll::ServerSession::new(&guard, crate::poll::Dialect::Striped, now, plan.clone())
     };
-    let chan = |e: TlsError| FtpError::Channel(e.to_string());
-    let stat = |p: &str| os.file_len(&host, p).ok().flatten();
-    let mut session_transfers = 0u64;
-    'session: while let Ok(cmd) = secured.recv() {
-        let text = String::from_utf8_lossy(&cmd).into_owned();
-        if text == "QUIT" {
-            let _ = secured.send(b"BYE");
-            break;
-        } else if let Some(rest) = text.strip_prefix("SIZE ") {
-            match os.read_file(&host, rest.trim(), uid) {
-                Ok(d) => send_line(
-                    &mut secured,
-                    &format!("SIZE {} {}", d.len(), hex(&sha256(&d))),
-                )?,
-                Err(e) => send_line(&mut secured, &format!("ERR {e}"))?,
-            }
-        } else if let Some(rest) = text.strip_prefix("GETS ") {
-            let mut it = rest.split_whitespace();
-            let (path, from, end) = match (
-                it.next(),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next(),
-            ) {
-                (Some(p), Some(f), Some(e), None) => (p.to_string(), f, e),
-                _ => {
-                    send_line(&mut secured, "ERR bad GETS arguments")?;
-                    continue 'session;
-                }
-            };
-            let data = match os.read_file(&host, &path, uid) {
-                Ok(d) => d,
-                Err(e) => {
-                    send_line(&mut secured, &format!("ERR {e}"))?;
-                    continue 'session;
-                }
-            };
-            if from > end || end > data.len() {
-                send_line(&mut secured, "ERR bad stripe range")?;
-                continue 'session;
-            }
-            send_line(
-                &mut secured,
-                &format!("RANGE {} {}", data.len(), hex(&sha256(&data))),
-            )?;
-            let mut pos = from;
-            while pos < end {
-                let req = secured.recv().map_err(chan)?;
-                let rtext = String::from_utf8_lossy(&req).into_owned();
-                let n = match rtext
-                    .strip_prefix("PULL ")
-                    .and_then(|v| v.parse::<usize>().ok())
-                {
-                    Some(n) if n > 0 => n,
-                    _ => {
-                        send_line(&mut secured, "ERR expected PULL")?;
-                        continue 'session;
-                    }
-                };
-                for _ in 0..n {
-                    if pos >= end {
-                        break;
-                    }
-                    if plan.fires("xfer.stripe.get.chunk") {
-                        plan.confirm_kill("gridftp", now);
-                        return Err(FtpError::Channel(
-                            "killed at xfer.stripe.get.chunk".to_string(),
-                        ));
-                    }
-                    let to = (pos + CHUNK).min(end);
-                    secured.send(&data[pos..to]).map_err(chan)?;
-                    pos = to;
-                }
-            }
-            session_transfers += 1;
-            server.lock().expect("gridftp server mutex").transfers += 1;
-        } else if let Some(rest) = text.strip_prefix("PUTS ") {
-            let mut it = rest.split_whitespace();
-            let parsed = (
-                it.next(),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next(),
-            );
-            let (path, start, end, total) = match parsed {
-                (Some(p), Some(s), Some(e), Some(t), None) if s <= e && e <= t => {
-                    (p.to_string(), s, e, t)
-                }
-                _ => {
-                    send_line(&mut secured, "ERR bad PUTS arguments")?;
-                    continue 'session;
-                }
-            };
-            let part = part_path(&path, start, end);
-            let span = end - start;
-            // Resume offset from durable state: this range's staging
-            // file, or "complete" if the whole file was already
-            // promoted by an earlier FINS.
-            let staged = match (stat(&part), stat(&path)) {
-                (Some(n), _) => n.min(span),
-                (None, Some(n)) if n == total => span,
-                _ => 0,
-            };
-            send_line(&mut secured, &format!("OFFSET {}", start + staged))?;
-            let mut pos = staged;
-            while pos < span {
-                let req = secured.recv().map_err(chan)?;
-                let rtext = String::from_utf8_lossy(&req).into_owned();
-                let n = match rtext
-                    .strip_prefix("SEND ")
-                    .and_then(|v| v.parse::<usize>().ok())
-                {
-                    Some(n) if n > 0 => n,
-                    _ => {
-                        send_line(&mut secured, "ERR expected SEND")?;
-                        continue 'session;
-                    }
-                };
-                for _ in 0..n {
-                    if pos >= span {
-                        break;
-                    }
-                    let chunk = secured.recv().map_err(chan)?;
-                    if plan.fires("xfer.stripe.put.chunk") {
-                        // Received but never made durable: the client
-                        // re-sends from the OFFSET the restarted server
-                        // reads back from this range's staging file.
-                        plan.confirm_kill("gridftp", now);
-                        return Err(FtpError::Channel(
-                            "killed at xfer.stripe.put.chunk".to_string(),
-                        ));
-                    }
-                    if pos + chunk.len() > span {
-                        return Err(FtpError::Protocol(
-                            "stripe upload overruns its range".to_string(),
-                        ));
-                    }
-                    os.append_file(&host, &part, uid, FileMode::private(), &chunk)
-                        .map_err(|e| FtpError::File(e.to_string()))?;
-                    pos += chunk.len();
-                }
-                send_line(&mut secured, &format!("ACK {}", start + pos))?;
-            }
-            session_transfers += 1;
-            server.lock().expect("gridftp server mutex").transfers += 1;
-        } else if let Some(rest) = text.strip_prefix("FINS ") {
-            let mut it = rest.split_whitespace();
-            let parsed = (
-                it.next(),
-                it.next().and_then(|v| v.parse::<usize>().ok()),
-                it.next(),
-                it.next(),
-                it.next(),
-            );
-            let (path, total, sha, ranges_field) = match parsed {
-                (Some(p), Some(t), Some(s), Some(r), None) => {
-                    (p.to_string(), t, s.to_string(), r.to_string())
-                }
-                _ => {
-                    send_line(&mut secured, "ERR bad FINS arguments")?;
-                    continue 'session;
-                }
-            };
-            let ranges = match parse_ranges(&ranges_field) {
-                Some(r) => r,
-                None => {
-                    send_line(&mut secured, "ERR bad FINS ranges")?;
-                    continue 'session;
-                }
-            };
-            // Idempotent short-circuit: a merge that crashed after the
-            // promote (or a lost STORED reply) retries into this arm.
-            if stat(&path) == Some(total) {
-                let data = os
-                    .read_file(&host, &path, uid)
-                    .map_err(|e| FtpError::File(e.to_string()))?;
-                if hex(&sha256(&data)) == sha {
-                    for (s, e) in &ranges {
-                        let _ = os.remove_file(&host, &part_path(&path, *s, *e), uid);
-                    }
-                    send_line(&mut secured, &format!("STORED {sha}"))?;
-                    session_transfers += 1;
-                    server.lock().expect("gridftp server mutex").transfers += 1;
-                    continue 'session;
-                }
-            }
-            let mut parts: Vec<(usize, Vec<u8>)> = Vec::new();
-            let mut bad: Option<String> = None;
-            for (s, e) in &ranges {
-                match os.read_file(&host, &part_path(&path, *s, *e), uid) {
-                    Ok(d) if d.len() == e - s => parts.push((*s, d)),
-                    Ok(d) => {
-                        bad = Some(format!(
-                            "stripe part {s}-{e} has {} of {} bytes",
-                            d.len(),
-                            e - s
-                        ));
-                        break;
-                    }
-                    Err(err) => {
-                        bad = Some(format!("stripe part {s}-{e}: {err}"));
-                        break;
-                    }
-                }
-            }
-            if let Some(msg) = bad {
-                send_line(&mut secured, &format!("ERR {msg}"))?;
-                continue 'session;
-            }
-            let merged = match merge_ranges(total, &parts) {
-                Ok(m) => m,
-                Err(e) => {
-                    send_line(&mut secured, &format!("ERR {e}"))?;
-                    continue 'session;
-                }
-            };
-            if hex(&sha256(&merged)) != sha {
-                send_line(
-                    &mut secured,
-                    "ERR assembled file does not match client digest",
-                )?;
-                continue 'session;
-            }
-            if plan.fires("xfer.stripe.merge") {
-                // Parts are still durable; the retried FINS merges again.
-                plan.confirm_kill("gridftp", now);
-                return Err(FtpError::Channel("killed at xfer.stripe.merge".to_string()));
-            }
-            os.write_file(&host, &path, uid, FileMode::private(), merged)
-                .map_err(|e| FtpError::File(e.to_string()))?;
-            for (s, e) in &ranges {
-                let _ = os.remove_file(&host, &part_path(&path, *s, *e), uid);
-            }
-            send_line(&mut secured, &format!("STORED {sha}"))?;
-            session_transfers += 1;
-            server.lock().expect("gridftp server mutex").transfers += 1;
-        } else {
-            send_line(&mut secured, "ERR unknown command")?;
-        }
-    }
-    Ok(session_transfers)
+    let mut stream = stream;
+    let out = crate::poll::drive_blocking(&mut machine, &mut stream, rng);
+    server.lock().expect("gridftp server mutex").transfers += machine.completed();
+    out
 }
 
 /// `"0-1024,1024-2048"` → pairs; `"-"` → no ranges (empty file).
-fn parse_ranges(field: &str) -> Option<Vec<(usize, usize)>> {
+pub(crate) fn parse_ranges(field: &str) -> Option<Vec<(usize, usize)>> {
     if field == "-" {
         return Some(Vec::new());
     }
@@ -1208,14 +969,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::poll::{Dialect, SessionTask};
     use gridsec_authz::gridmap::GridMapFile;
     use gridsec_crypto::rng::ChaChaRng;
     use gridsec_pki::ca::CertificateAuthority;
     use gridsec_pki::credential::Credential;
     use gridsec_pki::name::DistinguishedName;
     use gridsec_pki::store::TrustStore;
-    use gridsec_testbed::net::{SimStream, StreamPair};
-    use gridsec_testbed::os::SimOs;
+    use gridsec_testbed::net::{with_stream_pump, Network, SimStream, StreamPair};
+    use gridsec_testbed::os::{FileMode, SimOs};
+    use gridsec_testbed::sched::Scheduler;
+    use std::cell::RefCell;
+    use std::rc::Rc;
     use std::sync::{Arc, Mutex};
 
     fn dn(s: &str) -> DistinguishedName {
@@ -1256,26 +1021,37 @@ mod tests {
         (0..len).map(|i| (i * 31 % 251) as u8).collect()
     }
 
-    /// One detached `serve_striped` session per dial, over a seeded
-    /// lossy pair whose stats handle goes back to the client engine.
+    /// One sans-io striped server task per dial, over a seeded lossy
+    /// pair whose stats handle goes back to the client engine.
     fn dialer(
         w: &World,
+        sched: &Rc<RefCell<Scheduler>>,
+        net: &Network,
         plan: CrashPlan,
         base_seed: u64,
         drop: f64,
     ) -> impl FnMut(usize, u32) -> Result<(SimStream, StreamStats), TlsError> {
-        let server = Arc::clone(&w.server);
+        let task = SessionTask {
+            server: Arc::clone(&w.server),
+            dialect: Dialect::Striped,
+            now: 100,
+            plan,
+        };
+        let sched = Rc::clone(sched);
+        let net = net.clone();
         let mut n = 0u64;
         move |slot, _attempt| {
             n += 1;
             let seed = base_seed.wrapping_add(n).wrapping_add((slot as u64) << 32);
             let (a, b, stats) = StreamPair::lossy(seed, drop);
-            let server = Arc::clone(&server);
-            let plan = plan.clone();
-            std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(&seed.to_be_bytes());
-                let _ = serve_striped(&server, b, &mut rng, 100, &plan);
-            });
+            let mailbox = format!("stripe-{base_seed:x}-{slot}-{n}");
+            task.spawn(
+                &mut sched.borrow_mut(),
+                &net,
+                &mailbox,
+                b,
+                &seed.to_be_bytes(),
+            );
             Ok((a, stats))
         }
     }
@@ -1296,17 +1072,18 @@ mod tests {
         path: &str,
         opts: StripeOpts,
     ) -> StripedOutcome {
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         let mut rng = ChaChaRng::from_seed_bytes(b"stripe client");
         let config = TlsConfig::new(w.jane.clone(), w.trust.clone(), 100);
-        striped_get(
-            &config,
-            &mut rng,
-            RetryPolicy::default(),
-            dialer(w, plan, seed, drop),
-            path,
-            opts,
+        let dial = dialer(w, &sched, &net, plan, seed, drop);
+        let pump = Rc::clone(&sched);
+        with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                striped_get(&config, &mut rng, RetryPolicy::default(), dial, path, opts).unwrap()
+            },
         )
-        .unwrap()
     }
 
     fn run_put(
@@ -1318,18 +1095,27 @@ mod tests {
         data: &[u8],
         opts: StripeOpts,
     ) -> StripedOutcome {
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         let mut rng = ChaChaRng::from_seed_bytes(b"stripe client");
         let config = TlsConfig::new(w.jane.clone(), w.trust.clone(), 100);
-        striped_put(
-            &config,
-            &mut rng,
-            RetryPolicy::default(),
-            dialer(w, plan, seed, drop),
-            path,
-            data,
-            opts,
+        let dial = dialer(w, &sched, &net, plan, seed, drop);
+        let pump = Rc::clone(&sched);
+        with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                striped_put(
+                    &config,
+                    &mut rng,
+                    RetryPolicy::default(),
+                    dial,
+                    path,
+                    data,
+                    opts,
+                )
+                .unwrap()
+            },
         )
-        .unwrap()
     }
 
     #[test]

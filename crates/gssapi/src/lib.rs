@@ -29,6 +29,7 @@ pub mod context;
 pub mod delegation;
 pub mod mill;
 pub mod net;
+pub mod poll;
 
 pub use context::{AcceptorContext, EstablishedContext, InitiatorContext, StepResult};
 

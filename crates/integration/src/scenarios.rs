@@ -28,6 +28,7 @@ use gridsec_gram::remote::{job_state_remote, submit_job_resilient};
 use gridsec_gram::resource::{GramConfig, GramResource};
 use gridsec_gram::types::{JobDescription, JobState};
 use gridsec_gram::Requestor;
+use gridsec_gridftp::poll::{Dialect, SessionTask};
 use gridsec_gridftp::resume::{resumable_get, resumable_put};
 use gridsec_gridftp::GridFtpServer;
 use gridsec_gsi::sso;
@@ -45,9 +46,12 @@ use gridsec_pki::store::TrustStore;
 use gridsec_services::audit::AuditLog;
 use gridsec_testbed::clock::SimClock;
 use gridsec_testbed::faults::{CrashPlan, CrashableServer, Journal};
-use gridsec_testbed::net::{FaultProfile, FaultStats, Network, SimStream, StreamPair};
+use gridsec_testbed::net::{
+    with_stream_pump, FaultProfile, FaultStats, Network, SimStream, StreamPair,
+};
 use gridsec_testbed::os::{FileMode, SimOs, ROOT_UID};
 use gridsec_testbed::rpc::RpcClient;
+use gridsec_testbed::sched::Scheduler;
 use gridsec_tls::handshake::TlsConfig;
 use gridsec_tls::session::{ClientSessionCache, DEFAULT_SESSION_CAPACITY};
 use gridsec_util::retry::RetryPolicy;
@@ -59,6 +63,7 @@ use std::sync::Mutex;
 
 use crate::{basic_world, dn};
 
+pub mod crypto_storm;
 pub mod expiry_storm;
 pub mod portal;
 pub mod vo_storm;
@@ -638,16 +643,22 @@ pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         uid
     };
 
-    // One detached server session per dial; the session mutex
-    // serializes them, and tears propagate symmetrically (a torn write
-    // resets the peer), so the shared crash plan draws stay
-    // deterministic. Threads are joined before reporting.
-    let handles: Rc<RefCell<Vec<std::thread::JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+    // One sans-io server session task per dial; the session mutex
+    // serializes machine construction, and tears propagate symmetrically
+    // (a torn write resets the peer), so the shared crash plan draws
+    // stay deterministic. The scheduler is drained before reporting.
+    let task_net = Network::new();
+    let sched = Rc::new(RefCell::new(Scheduler::new(&task_net)));
     let drop_rate = if opts.partition_all { 1.0 } else { 0.10 };
     let mk_dial = |label: u64| {
-        let server = Arc::clone(&server);
-        let plan = plan.clone();
-        let handles = handles.clone();
+        let task = SessionTask {
+            server: Arc::clone(&server),
+            dialect: Dialect::Resumable,
+            now: 100,
+            plan: plan.clone(),
+        };
+        let sched = Rc::clone(&sched);
+        let net = task_net.clone();
         let mut n = 0u64;
         move |_attempt: u32| {
             n += 1;
@@ -655,25 +666,21 @@ pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
                 .wrapping_add(label.wrapping_mul(1_000_003))
                 .wrapping_add(n);
             let (a, b, _) = StreamPair::lossy(stream_seed, drop_rate);
-            let server = Arc::clone(&server);
-            let plan = plan.clone();
-            let h = std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(&stream_seed.to_be_bytes());
-                let _ = server
-                    .lock()
-                    .unwrap()
-                    .serve_resumable(b, &mut rng, 100, &plan);
-            });
-            handles.borrow_mut().push(h);
+            let mailbox = format!("fig5-{label}-{n}");
+            task.spawn(
+                &mut sched.borrow_mut(),
+                &net,
+                &mailbox,
+                b,
+                &stream_seed.to_be_bytes(),
+            );
             Ok::<SimStream, gridsec_tls::TlsError>(a)
         }
     };
     let config = TlsConfig::new(jane, trust, 100);
     let mut client_rng = ChaChaRng::from_seed_bytes(b"chaos fig5 client");
-    let join_all = |handles: &Rc<RefCell<Vec<std::thread::JoinHandle<()>>>>| {
-        for h in handles.borrow_mut().drain(..) {
-            let _ = h.join();
-        }
+    let drain_all = |sched: &Rc<RefCell<Scheduler>>| {
+        while sched.borrow_mut().pump() > 0 {}
     };
     let finish = |r: Rig, completed: bool, lines: Vec<String>, stats: FaultStats| {
         assert!(r.audit.verify().is_ok(), "fig5: audit hash chain verifies");
@@ -692,16 +699,22 @@ pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     };
 
     if opts.partition_all {
-        let res = resumable_get(
-            &config,
-            &mut client_rng,
-            policy(),
-            mk_dial(1),
-            "/home/jdoe/results.dat",
-            3,
+        let pump = Rc::clone(&sched);
+        let res = with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            || {
+                resumable_get(
+                    &config,
+                    &mut client_rng,
+                    policy(),
+                    mk_dial(1),
+                    "/home/jdoe/results.dat",
+                    3,
+                )
+            },
         );
         assert!(res.is_err(), "total loss must exhaust the resume budget");
-        join_all(&handles);
+        drain_all(&sched);
         let stats = FaultStats {
             blocked: 1,
             ..FaultStats::default()
@@ -709,28 +722,40 @@ pub fn figure5_xfer(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         return finish(r, false, vec!["fig5 xfer blocked".to_string()], stats);
     }
 
-    let got = resumable_get(
-        &config,
-        &mut client_rng,
-        policy(),
-        mk_dial(1),
-        "/home/jdoe/results.dat",
-        64,
+    let pump = Rc::clone(&sched);
+    let got = with_stream_pump(
+        move || pump.borrow_mut().pump(),
+        || {
+            resumable_get(
+                &config,
+                &mut client_rng,
+                policy(),
+                mk_dial(1),
+                "/home/jdoe/results.dat",
+                64,
+            )
+        },
     )
     .expect("figure 5 GET must complete under lossy streams + crashes");
     assert_eq!(got.bytes, data, "GET bytes hash-equal");
 
-    let put = resumable_put(
-        &config,
-        &mut client_rng,
-        policy(),
-        mk_dial(2),
-        "/home/jdoe/upload.dat",
-        &data,
-        64,
+    let pump = Rc::clone(&sched);
+    let put = with_stream_pump(
+        move || pump.borrow_mut().pump(),
+        || {
+            resumable_put(
+                &config,
+                &mut client_rng,
+                policy(),
+                mk_dial(2),
+                "/home/jdoe/upload.dat",
+                &data,
+                64,
+            )
+        },
     )
     .expect("figure 5 PUT must complete under lossy streams + crashes");
-    join_all(&handles);
+    drain_all(&sched);
 
     {
         let s = server.lock().unwrap();
@@ -834,15 +859,21 @@ pub fn figure5_striped(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         uid
     };
 
-    let handles: Rc<RefCell<Vec<std::thread::JoinHandle<()>>>> = Rc::new(RefCell::new(Vec::new()));
+    let task_net = Network::new();
+    let sched = Rc::new(RefCell::new(Scheduler::new(&task_net)));
     let drop_rate = if opts.partition_all { 1.0 } else { 0.10 };
-    // Dialer per direction: one detached striped server session per
-    // dial. The client engine drives one stripe exchange at a time, so
+    // Dialer per direction: one sans-io striped server task per dial.
+    // The client engine drives one stripe exchange at a time, so
     // crash-plan and loss draws stay causally ordered (deterministic).
     let mk_dial = |label: u64| {
-        let server = Arc::clone(&server);
-        let plan = plan.clone();
-        let handles = handles.clone();
+        let task = SessionTask {
+            server: Arc::clone(&server),
+            dialect: Dialect::Striped,
+            now: 100,
+            plan: plan.clone(),
+        };
+        let sched = Rc::clone(&sched);
+        let net = task_net.clone();
         let mut n = 0u64;
         move |slot: usize, _attempt: u32| {
             n += 1;
@@ -851,22 +882,21 @@ pub fn figure5_striped(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
                 .wrapping_add((slot as u64) << 40)
                 .wrapping_add(n);
             let (a, b, stats) = StreamPair::lossy(stream_seed, drop_rate);
-            let server = Arc::clone(&server);
-            let plan = plan.clone();
-            let h = std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(&stream_seed.to_be_bytes());
-                let _ = gridsec_gridftp::stripe::serve_striped(&server, b, &mut rng, 100, &plan);
-            });
-            handles.borrow_mut().push(h);
+            let mailbox = format!("fig5s-{label}-{slot}-{n}");
+            task.spawn(
+                &mut sched.borrow_mut(),
+                &net,
+                &mailbox,
+                b,
+                &stream_seed.to_be_bytes(),
+            );
             Ok::<_, gridsec_tls::TlsError>((a, stats))
         }
     };
     let config = TlsConfig::new(jane, trust, 100);
     let mut client_rng = ChaChaRng::from_seed_bytes(b"chaos fig5s client");
-    let join_all = |handles: &Rc<RefCell<Vec<std::thread::JoinHandle<()>>>>| {
-        for h in handles.borrow_mut().drain(..) {
-            let _ = h.join();
-        }
+    let drain_all = |sched: &Rc<RefCell<Scheduler>>| {
+        while sched.borrow_mut().pump() > 0 {}
     };
     let finish = |r: Rig, completed: bool, lines: Vec<String>, stats: FaultStats| {
         assert!(r.audit.verify().is_ok(), "fig5s: audit hash chain verifies");
@@ -891,19 +921,25 @@ pub fn figure5_striped(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
     };
 
     if opts.partition_all {
-        let res = striped_get(
-            &config,
-            &mut client_rng,
-            policy(),
-            mk_dial(1),
-            "/home/jdoe/striped.dat",
-            StripeOpts {
-                max_sessions: 3,
-                ..opts_for(1)
+        let pump = Rc::clone(&sched);
+        let res = with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            || {
+                striped_get(
+                    &config,
+                    &mut client_rng,
+                    policy(),
+                    mk_dial(1),
+                    "/home/jdoe/striped.dat",
+                    StripeOpts {
+                        max_sessions: 3,
+                        ..opts_for(1)
+                    },
+                )
             },
         );
         assert!(res.is_err(), "total loss must exhaust the stripe budget");
-        join_all(&handles);
+        drain_all(&sched);
         let stats = FaultStats {
             blocked: 1,
             ..FaultStats::default()
@@ -911,28 +947,40 @@ pub fn figure5_striped(seed: u64, opts: &ChaosOpts) -> ScenarioReport {
         return finish(r, false, vec!["fig5s xfer blocked".to_string()], stats);
     }
 
-    let got = striped_get(
-        &config,
-        &mut client_rng,
-        policy(),
-        mk_dial(1),
-        "/home/jdoe/striped.dat",
-        opts_for(1),
+    let pump = Rc::clone(&sched);
+    let got = with_stream_pump(
+        move || pump.borrow_mut().pump(),
+        || {
+            striped_get(
+                &config,
+                &mut client_rng,
+                policy(),
+                mk_dial(1),
+                "/home/jdoe/striped.dat",
+                opts_for(1),
+            )
+        },
     )
     .expect("striped GET must complete under lossy streams + crashes");
     assert_eq!(got.bytes, data, "striped GET bytes hash-equal");
 
-    let put = striped_put(
-        &config,
-        &mut client_rng,
-        policy(),
-        mk_dial(2),
-        "/home/jdoe/striped-up.dat",
-        &data,
-        opts_for(2),
+    let pump = Rc::clone(&sched);
+    let put = with_stream_pump(
+        move || pump.borrow_mut().pump(),
+        || {
+            striped_put(
+                &config,
+                &mut client_rng,
+                policy(),
+                mk_dial(2),
+                "/home/jdoe/striped-up.dat",
+                &data,
+                opts_for(2),
+            )
+        },
     )
     .expect("striped PUT must complete under lossy streams + crashes");
-    join_all(&handles);
+    drain_all(&sched);
 
     {
         let s = server.lock().unwrap();

@@ -32,6 +32,7 @@
 
 pub mod clock;
 pub mod faults;
+pub mod names;
 pub mod net;
 pub mod os;
 pub mod rpc;

@@ -29,10 +29,12 @@
 //! enabled: the legacy zero-latency direct-delivery path is unchanged.
 
 use crate::clock::SimClock;
+use crate::names::{NameId, NameTable};
 use crate::TestbedError;
-use gridsec_util::channel::{unbounded, Receiver, Sender};
+use gridsec_util::channel::{unbounded, Receiver, Sender, TryRecvError};
 use gridsec_util::rng::{DetRng, RngCore};
 use gridsec_util::sync::Mutex;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{self, Read, Write};
@@ -185,8 +187,8 @@ pub struct FaultStats {
 struct PendingDelivery {
     deliver_at: u64,
     seq: u64,
-    from: String,
-    to: String,
+    from: NameId,
+    to: NameId,
     payload: Vec<u8>,
 }
 
@@ -194,8 +196,8 @@ struct FaultState {
     clock: SimClock,
     rng: DetRng,
     profile: FaultProfile,
-    link_profiles: HashMap<(String, String), FaultProfile>,
-    partitions: HashSet<(String, String)>,
+    link_profiles: HashMap<(NameId, NameId), FaultProfile>,
+    partitions: HashSet<(NameId, NameId)>,
     pending: BinaryHeap<Reverse<PendingDelivery>>,
     seq: u64,
     transcript: Vec<String>,
@@ -215,14 +217,14 @@ impl FaultState {
         lo + self.rng.next_u64() % (hi - lo + 1)
     }
 
-    fn profile_for(&self, from: &str, to: &str) -> FaultProfile {
+    fn profile_for(&self, from: NameId, to: NameId) -> FaultProfile {
         self.link_profiles
-            .get(&(from.to_string(), to.to_string()))
+            .get(&(from, to))
             .copied()
             .unwrap_or(self.profile)
     }
 
-    fn partitioned(&self, a: &str, b: &str) -> bool {
+    fn partitioned(&self, a: NameId, b: NameId) -> bool {
         self.partitions.contains(&normalize_pair(a, b))
     }
 
@@ -238,27 +240,32 @@ impl FaultState {
         now + latency + jitter
     }
 
-    /// Decide the fate of one sent message and queue its copies.
-    fn inject(&mut self, from: &str, to: &str, payload: Vec<u8>) {
+    /// Decide the fate of one sent message and queue its copies. The
+    /// caller supplies the endpoint names alongside their ids so
+    /// transcript lines (when recording is on) need no table lookup.
+    fn inject(&mut self, from: NameId, to: NameId, names: (&str, &str), payload: Vec<u8>) {
         self.stats.sent += 1;
         let now = self.clock.now();
         let id = self.stats.sent;
         let len = payload.len();
+        let (from_name, to_name) = names;
         let prof = self.profile_for(from, to);
 
         if self.partitioned(from, to) {
             self.stats.blocked += 1;
             if self.record_transcript {
-                self.transcript
-                    .push(format!("[t={now}] #{id} {from}->{to} {len}B partitioned"));
+                self.transcript.push(format!(
+                    "[t={now}] #{id} {from_name}->{to_name} {len}B partitioned"
+                ));
             }
             return;
         }
         if self.draw_unit() < prof.drop {
             self.stats.dropped += 1;
             if self.record_transcript {
-                self.transcript
-                    .push(format!("[t={now}] #{id} {from}->{to} {len}B drop"));
+                self.transcript.push(format!(
+                    "[t={now}] #{id} {from_name}->{to_name} {len}B drop"
+                ));
             }
             return;
         }
@@ -274,7 +281,7 @@ impl FaultState {
         if self.record_transcript {
             let times: Vec<String> = arrivals.iter().map(|t| format!("@{t}")).collect();
             self.transcript.push(format!(
-                "[t={now}] #{id} {from}->{to} {len}B deliver{}",
+                "[t={now}] #{id} {from_name}->{to_name} {len}B deliver{}",
                 times.join(",")
             ));
         }
@@ -283,19 +290,19 @@ impl FaultState {
             self.pending.push(Reverse(PendingDelivery {
                 deliver_at,
                 seq: self.seq,
-                from: from.to_string(),
-                to: to.to_string(),
+                from,
+                to,
                 payload: payload.clone(),
             }));
         }
     }
 }
 
-fn normalize_pair(a: &str, b: &str) -> (String, String) {
+fn normalize_pair(a: NameId, b: NameId) -> (NameId, NameId) {
     if a <= b {
-        (a.to_string(), b.to_string())
+        (a, b)
     } else {
-        (b.to_string(), a.to_string())
+        (b, a)
     }
 }
 
@@ -307,7 +314,8 @@ pub struct Network {
 
 #[derive(Default)]
 struct NetworkInner {
-    endpoints: Mutex<HashMap<String, Sender<Message>>>,
+    names: Mutex<NameTable>,
+    endpoints: Mutex<HashMap<NameId, Sender<Message>>>,
     counters: Counters,
     faults: Mutex<Option<FaultState>>,
     wakes: Mutex<WakeLog>,
@@ -315,14 +323,14 @@ struct NetworkInner {
 
 /// Delivery notifications for the discrete-event scheduler
 /// ([`crate::sched`]): when enabled, every successful mailbox delivery
-/// appends the recipient's name, in delivery order, so the scheduler
-/// can wake the task waiting on that mailbox without polling every
-/// endpoint. Disabled by default so non-scheduled networks pay nothing
-/// and accumulate nothing.
+/// appends the recipient's interned id, in delivery order, so the
+/// scheduler can wake the task waiting on that mailbox without polling
+/// every endpoint. Disabled by default so non-scheduled networks pay
+/// nothing and accumulate nothing.
 #[derive(Default)]
 struct WakeLog {
     enabled: bool,
-    names: Vec<String>,
+    ids: Vec<NameId>,
 }
 
 impl Network {
@@ -331,16 +339,36 @@ impl Network {
         Network::default()
     }
 
+    /// Intern `name` in the network's name table, returning its dense
+    /// [`NameId`]. Idempotent; the id is valid for the network's
+    /// lifetime.
+    pub fn intern(&self, name: &str) -> NameId {
+        self.inner.names.lock().intern(name)
+    }
+
+    /// Look up an already-interned name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.inner.names.lock().get(name)
+    }
+
+    /// Resolve an interned id back to its name (owned, since the table
+    /// lives behind a lock).
+    pub fn resolve(&self, id: NameId) -> String {
+        self.inner.names.lock().resolve(id).to_string()
+    }
+
     /// Register an endpoint name, returning its handle. Re-registering a
     /// name replaces the previous endpoint: the old handle keeps any mail
     /// already in its mailbox but receives nothing further (its receiver
     /// reports `Disconnected` once drained). Use [`Network::try_register`]
     /// to refuse instead of replace.
     pub fn register(&self, name: &str) -> Endpoint {
+        let id = self.intern(name);
         let (tx, rx) = unbounded();
-        self.inner.endpoints.lock().insert(name.to_string(), tx);
+        self.inner.endpoints.lock().insert(id, tx);
         Endpoint {
             name: name.to_string(),
+            id,
             network: self.clone(),
             rx,
         }
@@ -350,15 +378,17 @@ impl Network {
     /// [`TestbedError::EndpointInUse`] if the name is already taken
     /// (instead of silently replacing it as [`Network::register`] does).
     pub fn try_register(&self, name: &str) -> Result<Endpoint, TestbedError> {
+        let id = self.intern(name);
         let mut map = self.inner.endpoints.lock();
-        if map.contains_key(name) {
+        if map.contains_key(&id) {
             return Err(TestbedError::EndpointInUse(name.to_string()));
         }
         let (tx, rx) = unbounded();
-        map.insert(name.to_string(), tx);
+        map.insert(id, tx);
         drop(map);
         Ok(Endpoint {
             name: name.to_string(),
+            id,
             network: self.clone(),
             rx,
         })
@@ -366,12 +396,17 @@ impl Network {
 
     /// Remove an endpoint (its receiver starts reporting `Disconnected`).
     pub fn unregister(&self, name: &str) {
-        self.inner.endpoints.lock().remove(name);
+        if let Some(id) = self.lookup(name) {
+            self.inner.endpoints.lock().remove(&id);
+        }
     }
 
     /// `true` iff an endpoint with this name is registered.
     pub fn is_registered(&self, name: &str) -> bool {
-        self.inner.endpoints.lock().contains_key(name)
+        match self.lookup(name) {
+            Some(id) => self.inner.endpoints.lock().contains_key(&id),
+            None => false,
+        }
     }
 
     /// Arm the deterministic fault layer. All subsequent sends draw
@@ -411,17 +446,26 @@ impl Network {
         self.inner.wakes.lock().enabled = true;
     }
 
-    /// Drain the delivery notification log: the names of endpoints that
-    /// received mail since the last call, in delivery order. Empty
-    /// unless [`Network::enable_wake_log`] was called.
-    pub fn take_wakes(&self) -> Vec<String> {
-        std::mem::take(&mut self.inner.wakes.lock().names)
+    /// Drain the delivery notification log: the interned ids of
+    /// endpoints that received mail since the last call, in delivery
+    /// order. Empty unless [`Network::enable_wake_log`] was called.
+    pub fn take_wakes(&self) -> Vec<NameId> {
+        std::mem::take(&mut self.inner.wakes.lock().ids)
     }
 
-    fn record_delivery(&self, to: &str) {
+    /// Append a synthetic delivery notification for `id`, exactly as if
+    /// a message had just been delivered to that mailbox. This is how
+    /// non-datagram wake sources (e.g. a [`SimStream`] becoming
+    /// readable, see [`SimStream::wake_on_readable`]) reach a scheduler
+    /// task parked in `WaitMail`.
+    pub fn notify_wake(&self, id: NameId) {
+        self.record_delivery(id);
+    }
+
+    fn record_delivery(&self, to: NameId) {
         let mut log = self.inner.wakes.lock();
         if log.enabled {
-            log.names.push(to.to_string());
+            log.ids.push(to);
         }
     }
 
@@ -437,9 +481,9 @@ impl Network {
 
     /// Override the fault profile for one directed link `from -> to`.
     pub fn set_link_profile(&self, from: &str, to: &str, profile: FaultProfile) {
+        let key = (self.intern(from), self.intern(to));
         if let Some(fs) = self.inner.faults.lock().as_mut() {
-            fs.link_profiles
-                .insert((from.to_string(), to.to_string()), profile);
+            fs.link_profiles.insert(key, profile);
         }
     }
 
@@ -447,15 +491,17 @@ impl Network {
     /// an active partition are blocked (counted in
     /// [`FaultStats::blocked`]); copies already in flight still arrive.
     pub fn partition(&self, a: &str, b: &str) {
+        let key = normalize_pair(self.intern(a), self.intern(b));
         if let Some(fs) = self.inner.faults.lock().as_mut() {
-            fs.partitions.insert(normalize_pair(a, b));
+            fs.partitions.insert(key);
         }
     }
 
     /// Heal the partition between `a` and `b`, if any.
     pub fn heal(&self, a: &str, b: &str) {
+        let key = normalize_pair(self.intern(a), self.intern(b));
         if let Some(fs) = self.inner.faults.lock().as_mut() {
-            fs.partitions.remove(&normalize_pair(a, b));
+            fs.partitions.remove(&key);
         }
     }
 
@@ -495,7 +541,7 @@ impl Network {
                 Some(tx) => {
                     self.inner.counters.record(entry.payload.len());
                     tx.send(Message {
-                        from: entry.from.clone(),
+                        from: self.resolve(entry.from),
                         payload: entry.payload,
                     })
                     .is_ok()
@@ -505,7 +551,7 @@ impl Network {
                 None => false,
             };
             if ok {
-                self.record_delivery(&entry.to);
+                self.record_delivery(entry.to);
             }
             let mut guard = self.inner.faults.lock();
             if let Some(fs) = guard.as_mut() {
@@ -545,17 +591,26 @@ impl Network {
         self.inner.faults.lock().as_ref().map(|fs| fs.stats)
     }
 
-    fn send(&self, from: &str, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
+    fn send(
+        &self,
+        from: NameId,
+        from_name: &str,
+        to: &str,
+        payload: Vec<u8>,
+    ) -> Result<(), TestbedError> {
+        let to_id = self
+            .lookup(to)
+            .ok_or_else(|| TestbedError::NoSuchEndpoint(to.to_string()))?;
         {
             let map = self.inner.endpoints.lock();
-            if !map.contains_key(to) {
+            if !map.contains_key(&to_id) {
                 return Err(TestbedError::NoSuchEndpoint(to.to_string()));
             }
         }
         {
             let mut guard = self.inner.faults.lock();
             if let Some(fs) = guard.as_mut() {
-                fs.inject(from, to, payload);
+                fs.inject(from, to_id, (from_name, to), payload);
                 drop(guard);
                 // Zero-latency copies may already be due.
                 self.pump();
@@ -564,17 +619,17 @@ impl Network {
         }
         let tx = {
             let map = self.inner.endpoints.lock();
-            map.get(to)
+            map.get(&to_id)
                 .cloned()
                 .ok_or_else(|| TestbedError::NoSuchEndpoint(to.to_string()))?
         };
         self.inner.counters.record(payload.len());
         tx.send(Message {
-            from: from.to_string(),
+            from: from_name.to_string(),
             payload,
         })
         .map_err(|_| TestbedError::Disconnected)?;
-        self.record_delivery(to);
+        self.record_delivery(to_id);
         Ok(())
     }
 
@@ -587,6 +642,7 @@ impl Network {
 /// A registered endpoint: can send to any name and receive its own mail.
 pub struct Endpoint {
     name: String,
+    id: NameId,
     network: Network,
     rx: Receiver<Message>,
 }
@@ -597,6 +653,11 @@ impl Endpoint {
         &self.name
     }
 
+    /// This endpoint's interned id in the network's name table.
+    pub fn id(&self) -> NameId {
+        self.id
+    }
+
     /// The network this endpoint is registered on.
     pub fn network(&self) -> &Network {
         &self.network
@@ -604,7 +665,7 @@ impl Endpoint {
 
     /// Send `payload` to endpoint `to`.
     pub fn send(&self, to: &str, payload: Vec<u8>) -> Result<(), TestbedError> {
-        self.network.send(&self.name, to, payload)
+        self.network.send(self.id, &self.name, to, payload)
     }
 
     /// Block until a message arrives.
@@ -671,6 +732,13 @@ struct StreamFault {
     drop: f64,
 }
 
+/// A readable-side wake registration, shared by both halves of one
+/// stream direction: the reader installs `(network, mailbox id)` via
+/// [`SimStream::wake_on_readable`]; the writer notifies it after every
+/// chunk (and on drop) so a scheduler task parked in `WaitMail` wakes
+/// when bytes — or EOF — become observable.
+type WakeSlot = Arc<Mutex<Option<(Network, NameId)>>>;
+
 /// One direction of a byte stream.
 struct StreamHalf {
     tx: Sender<Chunk>,
@@ -680,11 +748,67 @@ struct StreamHalf {
     counters: Arc<Counters>,
     fault: Option<StreamFault>,
     dead: bool,
+    /// Wake slot for *this* half's read direction (we are the reader).
+    read_wake: WakeSlot,
+    /// Wake slot for the peer's read direction (we are the writer).
+    write_wake: WakeSlot,
 }
 
 /// A connected, blocking, in-memory byte stream (one side of a pair).
+///
+/// Two read disciplines coexist:
+///
+/// * **Blocking** ([`Read::read`]) — parks on the channel until the
+///   peer writes, as a real socket would. If a *stream pump* is
+///   installed on the current thread ([`with_stream_pump`]), an empty
+///   channel instead drives the pump (typically
+///   [`Scheduler::pump`](crate::sched::Scheduler::pump)) until data
+///   appears or the pump reports quiescence — which is how blocking
+///   client code talks to a peer that is a scheduler task on the *same*
+///   thread without deadlocking.
+/// * **Non-blocking** ([`SimStream::try_read`]) — for scheduler tasks
+///   themselves, which must never park; they return
+///   [`Step::WaitMail`](crate::sched::Step::WaitMail) and rely on
+///   [`SimStream::wake_on_readable`] notifications instead.
 pub struct SimStream {
     half: StreamHalf,
+}
+
+std::thread_local! {
+    /// Stack of installed stream pumps for this thread (innermost last).
+    static STREAM_PUMPS: RefCell<Vec<Box<dyn FnMut() -> usize>>> = RefCell::new(Vec::new());
+}
+
+/// Install `pump` as the stream pump for the current thread while `f`
+/// runs. A blocking [`SimStream`] read that finds its channel empty
+/// calls the pump in a loop instead of parking; the pump returns the
+/// number of task steps it executed, and a return of `0` with still no
+/// data means the simulated world is quiescent — the read then fails
+/// with `ConnectionReset` ("stalled") rather than deadlocking the
+/// thread. Nests: the innermost pump wins.
+pub fn with_stream_pump<R>(pump: impl FnMut() -> usize + 'static, f: impl FnOnce() -> R) -> R {
+    STREAM_PUMPS.with(|s| s.borrow_mut().push(Box::new(pump)));
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            STREAM_PUMPS.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let _guard = PopGuard;
+    f()
+}
+
+/// Run the innermost installed pump once, returning `Some(steps)` or
+/// `None` if no pump is installed. The pump is removed from the stack
+/// while it runs, so stream reads *inside* pumped tasks fall back to
+/// channel blocking (tasks must use [`SimStream::try_read`] anyway).
+fn run_stream_pump() -> Option<usize> {
+    let mut pump = STREAM_PUMPS.with(|s| s.borrow_mut().pop())?;
+    let steps = pump();
+    STREAM_PUMPS.with(|s| s.borrow_mut().push(pump));
+    Some(steps)
 }
 
 /// Create a connected stream pair with shared byte accounting.
@@ -715,6 +839,9 @@ impl StreamPair {
         let (a2b_tx, a2b_rx) = unbounded();
         let (b2a_tx, b2a_rx) = unbounded();
         let counters = Arc::new(Counters::default());
+        // One wake slot per direction, shared by its writer and reader.
+        let a_reads: WakeSlot = Arc::new(Mutex::new(None));
+        let b_reads: WakeSlot = Arc::new(Mutex::new(None));
         let mk_fault = |dir: u64| {
             fault.map(|(seed, drop)| StreamFault {
                 rng: DetRng::seed_from_u64(seed ^ dir),
@@ -730,6 +857,8 @@ impl StreamPair {
                 counters: counters.clone(),
                 fault: mk_fault(0x05ee_da2b_u64),
                 dead: false,
+                read_wake: a_reads.clone(),
+                write_wake: b_reads.clone(),
             },
         };
         let b = SimStream {
@@ -741,6 +870,8 @@ impl StreamPair {
                 counters: counters.clone(),
                 fault: mk_fault(0x05ee_db2a_u64),
                 dead: false,
+                read_wake: b_reads,
+                write_wake: a_reads,
             },
         };
         (a, b, StreamStats { counters })
@@ -766,49 +897,142 @@ impl StreamStats {
     }
 }
 
-impl Read for SimStream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        if self.half.dead {
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionReset,
-                "connection torn by simulated loss",
-            ));
+fn reset_err() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionReset,
+        "connection torn by simulated loss",
+    )
+}
+
+impl SimStream {
+    /// Register a wake target for this stream's read direction: every
+    /// chunk the peer writes (and the peer's eventual drop) appends a
+    /// delivery notification for `mailbox` to `net`'s wake log, exactly
+    /// like datagram mail. A scheduler task owning this stream parks
+    /// with [`Step::WaitMail`](crate::sched::Step::WaitMail) and is
+    /// woken when bytes are observable via [`SimStream::try_read`].
+    pub fn wake_on_readable(&self, net: &Network, mailbox: &str) {
+        let id = net.intern(mailbox);
+        *self.half.read_wake.lock() = Some((net.clone(), id));
+    }
+
+    fn notify_peer(&self) {
+        if let Some((net, id)) = self.half.write_wake.lock().as_ref() {
+            net.notify_wake(*id);
         }
-        if self.half.read_pos == self.half.read_buf.len() {
-            match self.half.rx.recv() {
-                Ok(Chunk::Data(chunk)) => {
-                    self.half.read_buf = chunk;
-                    self.half.read_pos = 0;
-                }
-                Ok(Chunk::Reset) => {
-                    self.half.dead = true;
-                    self.half
-                        .counters
-                        .resets_seen
-                        .fetch_add(1, Ordering::Relaxed);
-                    return Err(io::Error::new(
-                        io::ErrorKind::ConnectionReset,
-                        "connection torn by simulated loss",
-                    ));
-                }
-                Err(_) => return Ok(0), // EOF: peer dropped
+    }
+
+    /// Pull one buffered chunk into the read buffer. `Ok(true)` means
+    /// bytes are now available; `Ok(false)` means EOF (peer dropped).
+    fn accept_chunk(&mut self, chunk: Result<Chunk, TryRecvError>) -> io::Result<bool> {
+        match chunk {
+            Ok(Chunk::Data(data)) => {
+                self.half.read_buf = data;
+                self.half.read_pos = 0;
+                Ok(true)
             }
+            Ok(Chunk::Reset) => {
+                self.half.dead = true;
+                self.half
+                    .counters
+                    .resets_seen
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(reset_err())
+            }
+            Err(_) => Ok(false), // EOF: peer dropped
         }
+    }
+
+    fn copy_out(&mut self, buf: &mut [u8]) -> usize {
         let available = &self.half.read_buf[self.half.read_pos..];
         let n = available.len().min(buf.len());
         buf[..n].copy_from_slice(&available[..n]);
         self.half.read_pos += n;
-        Ok(n)
+        n
+    }
+
+    /// Non-blocking read for scheduler tasks. Returns:
+    ///
+    /// * `Ok(Some(n))` with `n > 0` — bytes copied out.
+    /// * `Ok(Some(0))` — EOF: the peer dropped its stream.
+    /// * `Ok(None)` — no data *yet*; park in `WaitMail` (with
+    ///   [`SimStream::wake_on_readable`] registered) and try again.
+    /// * `Err` — the connection was torn by the seeded loss layer.
+    pub fn try_read(&mut self, buf: &mut [u8]) -> io::Result<Option<usize>> {
+        if self.half.dead {
+            return Err(reset_err());
+        }
+        if self.half.read_pos == self.half.read_buf.len() {
+            match self.half.rx.try_recv() {
+                Err(TryRecvError::Empty) => return Ok(None),
+                other => {
+                    if !self.accept_chunk(other)? {
+                        return Ok(Some(0));
+                    }
+                }
+            }
+        }
+        Ok(Some(self.copy_out(buf)))
+    }
+}
+
+impl Drop for SimStream {
+    fn drop(&mut self) {
+        // The peer's next read sees EOF; wake it so a parked scheduler
+        // task observes the close instead of waiting forever.
+        self.notify_peer();
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.half.dead {
+            return Err(reset_err());
+        }
+        if self.half.read_pos == self.half.read_buf.len() {
+            loop {
+                match self.half.rx.try_recv() {
+                    Err(TryRecvError::Empty) => match run_stream_pump() {
+                        // Pump made progress: the peer task may have
+                        // written; poll the channel again.
+                        Some(steps) if steps > 0 => continue,
+                        // Pump quiescent and still nothing: the peer
+                        // will never write. Fail instead of parking a
+                        // thread that is also the peer's executor.
+                        Some(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::ConnectionReset,
+                                "stream stalled: scheduler quiescent with no data",
+                            ))
+                        }
+                        // No pump installed: true blocking semantics.
+                        None => match self.half.rx.recv() {
+                            Ok(chunk) => {
+                                if !self.accept_chunk(Ok(chunk))? {
+                                    return Ok(0);
+                                }
+                                break;
+                            }
+                            Err(_) => return Ok(0), // EOF: peer dropped
+                        },
+                    },
+                    other => {
+                        if !self.accept_chunk(other)? {
+                            return Ok(0);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(self.copy_out(buf))
     }
 }
 
 impl Write for SimStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         if self.half.dead {
-            return Err(io::Error::new(
-                io::ErrorKind::ConnectionReset,
-                "connection torn by simulated loss",
-            ));
+            return Err(reset_err());
         }
         self.half
             .counters
@@ -823,6 +1047,7 @@ impl Write for SimStream {
                     .torn_writes
                     .fetch_add(1, Ordering::Relaxed);
                 let _ = self.half.tx.send(Chunk::Reset);
+                self.notify_peer();
                 return Err(io::Error::new(
                     io::ErrorKind::ConnectionReset,
                     "write lost; connection torn",
@@ -834,6 +1059,7 @@ impl Write for SimStream {
             .tx
             .send(Chunk::Data(buf.to_vec()))
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
+        self.notify_peer();
         Ok(buf.len())
     }
     fn flush(&mut self) -> io::Result<()> {

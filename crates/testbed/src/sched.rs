@@ -42,6 +42,7 @@
 //! [`Endpoint::recv_timeout`]: crate::net::Endpoint::recv_timeout
 
 use crate::clock::SimClock;
+use crate::names::NameId;
 use crate::net::Network;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -113,12 +114,7 @@ enum State {
 struct Slot {
     task: Box<dyn Task>,
     state: State,
-    /// Bumped every step; timer entries carry the epoch they were
-    /// registered under, so a stale timer (the task already woke for
-    /// another reason and moved on) is ignored instead of spuriously
-    /// waking a later wait.
-    epoch: u64,
-    mailbox: Option<String>,
+    mailbox: Option<NameId>,
 }
 
 /// Counters describing one scheduler run.
@@ -136,19 +132,36 @@ pub struct SchedStats {
     pub mail_wakes: u64,
     /// Wakes caused by a timer (sleep or wait deadline).
     pub timer_wakes: u64,
+    /// Peak number of simultaneously live tasks — the storm benches'
+    /// bounded-memory proxy: completed task slots are recycled, so this
+    /// tracks arena size, not total tasks spawned.
+    pub live_high_water: u64,
 }
 
 /// A deterministic run queue of [`Task`]s over one [`Network`].
+///
+/// Task slots form a free-list arena: a slot vacated by [`Step::Done`]
+/// is reused by the next spawn (LIFO), so a storm that spawns 10⁶
+/// short-lived tasks holds memory proportional to the *live*
+/// high-water mark, not the spawn count. Per-slot wake epochs survive
+/// reuse — they are bumped on every step *and* on every respawn — so a
+/// stale timer registered by a slot's previous occupant can never wake
+/// its current one.
 pub struct Scheduler {
     net: Network,
     clock: SimClock,
     slots: Vec<Option<Slot>>,
+    /// Vacated slot indexes available for reuse (LIFO).
+    free: Vec<TaskId>,
+    /// Per-slot wake epoch; lives outside [`Slot`] so it persists
+    /// across vacancy and reuse.
+    epochs: Vec<u64>,
     ready: VecDeque<TaskId>,
     /// Min-heap of `(wake_at, seq, task, epoch)`; `seq` makes the order
     /// total, `epoch` invalidates entries for waits that already ended.
     timers: BinaryHeap<Reverse<(u64, u64, TaskId, u64)>>,
     timer_seq: u64,
-    mailboxes: HashMap<String, TaskId>,
+    mailboxes: HashMap<NameId, TaskId>,
     live: usize,
     stats: SchedStats,
 }
@@ -165,6 +178,8 @@ impl Scheduler {
             net: net.clone(),
             clock,
             slots: Vec::new(),
+            free: Vec::new(),
+            epochs: Vec::new(),
             ready: VecDeque::new(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
@@ -205,22 +220,40 @@ impl Scheduler {
     /// replaces the first as the wake target (mirroring
     /// [`Network::register`]'s replace semantics). It starts ready.
     pub fn spawn_mailbox(&mut self, mailbox: &str, task: impl Task + 'static) -> TaskId {
-        self.spawn_slot(Some(mailbox.to_string()), Box::new(task))
+        let id = self.net.intern(mailbox);
+        self.spawn_slot(Some(id), Box::new(task))
     }
 
-    fn spawn_slot(&mut self, mailbox: Option<String>, task: Box<dyn Task>) -> TaskId {
-        let id = self.slots.len();
-        if let Some(mb) = &mailbox {
-            self.mailboxes.insert(mb.clone(), id);
+    /// Like [`Scheduler::spawn_mailbox`] but with the mailbox name
+    /// already interned ([`Network::intern`]) — the storm generators'
+    /// hot path, which avoids re-hashing the name string per spawn.
+    pub fn spawn_mailbox_id(&mut self, mailbox: NameId, task: impl Task + 'static) -> TaskId {
+        self.spawn_slot(Some(mailbox), Box::new(task))
+    }
+
+    fn spawn_slot(&mut self, mailbox: Option<NameId>, task: Box<dyn Task>) -> TaskId {
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(None);
+                self.epochs.push(0);
+                self.slots.len() - 1
+            }
+        };
+        // Invalidate any timer still in the heap from the slot's
+        // previous occupant.
+        self.epochs[id] += 1;
+        if let Some(mb) = mailbox {
+            self.mailboxes.insert(mb, id);
         }
-        self.slots.push(Some(Slot {
+        self.slots[id] = Some(Slot {
             task,
             state: State::Ready,
-            epoch: 0,
             mailbox,
-        }));
+        });
         self.live += 1;
         self.stats.spawned += 1;
+        self.stats.live_high_water = self.stats.live_high_water.max(self.live as u64);
         self.ready.push_back(id);
         id
     }
@@ -248,7 +281,7 @@ impl Scheduler {
             }
             self.timers.pop();
             if let Some(slot) = self.slots[id].as_mut() {
-                if slot.epoch == epoch && slot.state != State::Ready {
+                if self.epochs[id] == epoch && slot.state != State::Ready {
                     slot.state = State::Ready;
                     self.stats.timer_wakes += 1;
                     self.ready.push_back(id);
@@ -267,7 +300,7 @@ impl Scheduler {
         };
         let step = slot.task.step(&cx);
         self.stats.steps += 1;
-        slot.epoch += 1;
+        self.epochs[id] += 1;
         match step {
             Step::Done => {
                 self.live -= 1;
@@ -277,7 +310,10 @@ impl Scheduler {
                         self.mailboxes.remove(mb);
                     }
                 }
-                return; // slot stays vacated; the task is dropped here
+                // The slot stays vacated (the task is dropped here) and
+                // its index goes back to the arena for reuse.
+                self.free.push(id);
+                return;
             }
             Step::Yield => {
                 slot.state = State::Ready;
@@ -291,7 +327,7 @@ impl Scheduler {
                     slot.state = State::Sleeping;
                     self.timer_seq += 1;
                     self.timers
-                        .push(Reverse((at, self.timer_seq, id, slot.epoch)));
+                        .push(Reverse((at, self.timer_seq, id, self.epochs[id])));
                 }
             }
             Step::WaitMail { deadline } => match deadline {
@@ -304,7 +340,7 @@ impl Scheduler {
                     if let Some(d) = other {
                         self.timer_seq += 1;
                         self.timers
-                            .push(Reverse((d, self.timer_seq, id, slot.epoch)));
+                            .push(Reverse((d, self.timer_seq, id, self.epochs[id])));
                     }
                 }
             },
@@ -331,6 +367,24 @@ impl Scheduler {
         }
     }
 
+    /// One pump round for blocking client code waiting on scheduled
+    /// peers (the [`with_stream_pump`](crate::net::with_stream_pump)
+    /// hook): poll ready tasks; if none ran, advance the clock to the
+    /// next event and poll again. Returns the number of task steps
+    /// executed — `0` means the world is quiescent and whatever the
+    /// caller is waiting for will never happen.
+    pub fn pump(&mut self) -> usize {
+        loop {
+            let steps = self.poll();
+            if steps > 0 {
+                return steps;
+            }
+            if !self.advance() {
+                return 0;
+            }
+        }
+    }
+
     /// Advance the clock to the next event (earliest timer or scheduled
     /// network delivery). Returns `false` if there is none — the world
     /// is quiescent.
@@ -339,7 +393,7 @@ impl Scheduler {
         // clock stop.
         while let Some(Reverse((_, _, id, epoch))) = self.timers.peek().copied() {
             let stale = match &self.slots[id] {
-                Some(slot) => slot.epoch != epoch || slot.state == State::Ready,
+                Some(slot) => self.epochs[id] != epoch || slot.state == State::Ready,
                 None => true,
             };
             if !stale {

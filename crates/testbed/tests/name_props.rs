@@ -1,0 +1,123 @@
+//! Property tests for the interned-name table (`testbed::names`).
+//!
+//! The storm schedulers route every wake and delivery through
+//! [`NameId`]s, so the whole event loop rests on two properties:
+//!
+//! * **Round-trip** — `resolve(intern(name)) == name` for every name,
+//!   through both the raw [`NameTable`] and the [`Network`] wrapper,
+//!   and `intern` is idempotent (same string, same id, any order, any
+//!   interleaving with other names).
+//! * **No collisions** — distinct names never share an id, ids are
+//!   allocated densely from 0, and the table stays collision-free at
+//!   storm scale (10⁵ names in one table).
+//!
+//! Case counts scale with `GRIDSEC_PT_CASES` like every other property
+//! suite (see `scripts/verify.sh` deep mode).
+
+use std::collections::HashMap;
+
+use gridsec_testbed::names::NameTable;
+use gridsec_testbed::net::Network;
+use gridsec_util::check::{check, Gen};
+
+/// Name shapes the repo actually interns: storm principals (`p123`,
+/// `c123`), gateways (`vo-gw-3`, `cstorm-gw-1`), service mailboxes,
+/// and arbitrary ascii junk (names are not validated anywhere, so the
+/// table must take whatever arrives).
+fn random_name(g: &mut Gen) -> String {
+    match g.pick(4) {
+        0 => format!("p{}", g.u64_in(0..200_000)),
+        1 => format!("cstorm-gw-{}", g.u64_in(0..64)),
+        2 => format!("svc-{}", g.string("abcdefghijklmnopqrstuvwxyz-._", 0..12)),
+        _ => g.string(" !\"#$%&'()*+,-./0123456789:;<=>?@ABCxyz{|}~", 0..20),
+    }
+}
+
+#[test]
+fn intern_round_trips_and_is_idempotent() {
+    check("names.round_trip", 200, |g| {
+        let mut table = NameTable::new();
+        let names = g.vec(0..120, random_name);
+        let ids: Vec<_> = names.iter().map(|n| table.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            assert_eq!(
+                table.resolve(*id),
+                name,
+                "resolve returns the name verbatim"
+            );
+            assert_eq!(table.get(name), Some(*id), "get finds the same id");
+            // Re-interning — in any later position — returns the id the
+            // first intern allocated.
+            assert_eq!(table.intern(name), *id, "intern is idempotent");
+        }
+        // Table size counts distinct names, not intern calls.
+        let distinct: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(table.len(), distinct.len());
+    });
+}
+
+#[test]
+fn distinct_names_never_collide() {
+    check("names.no_collisions", 200, |g| {
+        let mut table = NameTable::new();
+        let names = g.vec(0..120, random_name);
+        let mut by_id: HashMap<usize, String> = HashMap::new();
+        for name in &names {
+            let id = table.intern(name).index();
+            match by_id.get(&id) {
+                Some(prev) => {
+                    assert_eq!(prev, name, "two distinct names resolved to the same NameId")
+                }
+                None => {
+                    // Dense allocation: a fresh name gets the next index.
+                    assert_eq!(id, by_id.len(), "ids are allocated densely from 0");
+                    by_id.insert(id, name.clone());
+                }
+            }
+        }
+    });
+}
+
+/// Storm-scale: 10⁵ distinct names in one table — the population the
+/// vo_storm/crypto_storm generators actually intern — round-trip with
+/// zero collisions, through the thread-safe [`Network`] wrapper the
+/// schedulers use.
+#[test]
+fn hundred_thousand_names_round_trip_without_collisions() {
+    let net = Network::new();
+    let mut table = NameTable::new();
+    let total = 100_000u64;
+    let mut ids = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        // The generators' real shapes, plus a tail designed to tempt a
+        // weak hash into colliding (shared prefixes, numeric suffixes).
+        let name = match i % 4 {
+            0 => format!("p{}", i / 4),
+            1 => format!("c{}", i / 4),
+            2 => format!("vo-gw-{}", i),
+            _ => format!("cstorm-gw-{}-session-{}", i % 97, i),
+        };
+        let id = net.intern(&name);
+        assert_eq!(table.intern(&name), id, "table and network agree on ids");
+        assert_eq!(net.resolve(id), name, "round-trip at index {i}");
+        ids.push(id);
+    }
+    // Dense, duplicate-free id space: sorted indexes are exactly 0..n.
+    let mut indexes: Vec<usize> = ids.iter().map(|id| id.index()).collect();
+    indexes.sort_unstable();
+    for (expect, got) in indexes.iter().enumerate() {
+        assert_eq!(expect, *got, "id space has a hole or a collision");
+    }
+    assert_eq!(table.len(), total as usize);
+    // Idempotency survives scale: a second pass allocates nothing new.
+    for (i, id) in (0..total).zip(&ids) {
+        let name = match i % 4 {
+            0 => format!("p{}", i / 4),
+            1 => format!("c{}", i / 4),
+            2 => format!("vo-gw-{}", i),
+            _ => format!("cstorm-gw-{}-session-{}", i % 97, i),
+        };
+        assert_eq!(net.intern(&name), *id);
+    }
+    assert_eq!(table.len(), total as usize);
+}

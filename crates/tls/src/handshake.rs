@@ -24,7 +24,7 @@ use gridsec_bignum::prime::EntropySource;
 use gridsec_bignum::BigUint;
 use gridsec_crypto::ct::ct_eq;
 use gridsec_crypto::dh::{DhGroup, DhKeyPair};
-use gridsec_crypto::hmac::{hkdf_expand, hkdf_extract, hmac_sha256};
+use gridsec_crypto::hmac::{hkdf_expand, hkdf_extract, PrimedHmac};
 use gridsec_crypto::rng::ChaChaRng;
 use gridsec_crypto::sha256::sha256;
 use gridsec_pki::cert::Certificate;
@@ -229,6 +229,11 @@ impl Codec for ClientFinished {
 pub(crate) struct KeySchedule {
     pub(crate) master: [u8; 32],
     pub(crate) key_block: Vec<u8>,
+    /// Master-keyed HMAC schedule, primed once: the Finished MACs and
+    /// the resumption ticket are all keyed by the master secret, so the
+    /// padded-key absorption is paid once per handshake instead of once
+    /// per MAC (the symmetric analogue of the fixed-base DH precomp).
+    primed: PrimedHmac,
     transcript: [u8; 32],
     server_random: [u8; 32],
 }
@@ -248,19 +253,28 @@ impl KeySchedule {
         let mut info = b"gsi tls key expansion".to_vec();
         info.extend_from_slice(&transcript);
         let key_block = hkdf_expand(&master, &info, crate::channel::KEY_BLOCK_LEN);
+        let primed = PrimedHmac::new(&master);
         KeySchedule {
             master,
             key_block,
+            primed,
             transcript,
             server_random: *server_random,
         }
     }
 
     pub(crate) fn finished_mac(&self, label: &str) -> [u8; 32] {
-        let mut data = label.as_bytes().to_vec();
-        data.extend_from_slice(&self.transcript);
-        data.extend_from_slice(&self.server_random);
-        hmac_sha256(&self.master, &data)
+        let mut mac = self.primed.begin();
+        mac.update(label.as_bytes());
+        mac.update(&self.transcript);
+        mac.update(&self.server_random);
+        mac.finalize()
+    }
+
+    /// Mint the resumption state for this key schedule, deriving the
+    /// ticket through the primed master-keyed HMAC.
+    pub(crate) fn resumption(&self, expires_at: u64, cred_not_after: u64) -> ResumptionData {
+        ResumptionData::from_master_primed(&self.primed, self.master, expires_at, cred_not_after)
     }
 }
 
@@ -368,8 +382,7 @@ impl ClientHandshake {
         // so the ticket must die with whichever credential dies first.
         let cred_not_after = crate::session::chain_not_after(self.config.credential.chain())
             .min(crate::session::chain_not_after(&sh.chain));
-        let resumption = ResumptionData::from_master(
-            ks.master,
+        let resumption = ks.resumption(
             self.config.now.saturating_add(self.config.session_lifetime),
             cred_not_after,
         );
@@ -464,8 +477,7 @@ fn server_respond<E: EntropySource>(
     // so both sides mint identically-stamped resumption state.
     let cred_not_after = crate::session::chain_not_after(config.credential.chain())
         .min(crate::session::chain_not_after(&ch.chain));
-    let resumption = ResumptionData::from_master(
-        ks.master,
+    let resumption = ks.resumption(
         config.now.saturating_add(config.session_lifetime),
         cred_not_after,
     );

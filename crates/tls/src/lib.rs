@@ -19,8 +19,14 @@
 //! * [`channel`] — the record protection layer: a [`channel::SecureChannel`]
 //!   seals/opens individual messages with ChaCha20-Poly1305 under
 //!   direction-specific keys and sequence-number nonces.
-//! * [`stream`] — GT2 mode: pump the same tokens over a blocking byte
-//!   stream with length-prefixed framing ([`stream::client_connect`] /
+//! * [`records`] — the sans-io record layer: feed-bytes-in/events-out
+//!   state machines ([`records::ClientConnector`],
+//!   [`records::ServerAcceptor`], [`records::RecordSession`]) with no
+//!   transport assumptions, so a TLS endpoint can live inside a
+//!   discrete-event scheduler task.
+//! * [`stream`] — GT2 mode: the blocking compatibility shim over
+//!   [`records`], pumping the same tokens over a byte stream with
+//!   length-prefixed framing ([`stream::client_connect`] /
 //!   [`stream::server_accept`]), yielding a [`stream::SecureStream`].
 //! * [`session`] — session resumption: a completed handshake mints a
 //!   ticket both sides derive from the master secret; a later context
@@ -37,6 +43,7 @@
 pub mod channel;
 pub mod handshake;
 pub mod pool;
+pub mod records;
 pub mod retry;
 pub mod session;
 pub mod stream;

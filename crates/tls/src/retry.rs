@@ -98,12 +98,16 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::server_accept;
+    use crate::records::{Accepted, RecordSession, ServerAcceptor};
+    use crate::stream::write_frame;
     use gridsec_crypto::rng::ChaChaRng;
     use gridsec_pki::ca::CertificateAuthority;
     use gridsec_pki::name::DistinguishedName;
     use gridsec_pki::store::TrustStore;
-    use gridsec_testbed::net::StreamPair;
+    use gridsec_testbed::net::{with_stream_pump, Network, SimStream, StreamPair};
+    use gridsec_testbed::sched::{Scheduler, Step, TaskCx};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn dn(s: &str) -> DistinguishedName {
         DistinguishedName::parse(s).unwrap()
@@ -129,28 +133,90 @@ mod tests {
         }
     }
 
-    /// Dial a lossy pair and run the server side on a thread; each
-    /// attempt gets a fresh connection with a seed derived from the
-    /// attempt index, so the whole retry sequence is deterministic.
+    /// Spawn an uppercase-echo TLS server as a scheduler task over
+    /// `stream`: sans-io accept, one request/reply, then done — the
+    /// scheduled replacement for the old per-dial server thread. Any
+    /// tear or protocol error just ends this connection's task; the
+    /// client redials with a fresh pair and a fresh task.
+    fn spawn_upper_server(
+        sched: &Rc<RefCell<Scheduler>>,
+        net: &Network,
+        mailbox: &str,
+        mut stream: SimStream,
+        config: TlsConfig,
+    ) {
+        stream.wake_on_readable(net, mailbox);
+        let mut rng = ChaChaRng::from_seed_bytes(b"server side");
+        let mut acceptor = Some(ServerAcceptor::new(config));
+        let mut session: Option<RecordSession> = None;
+        sched
+            .borrow_mut()
+            .spawn_mailbox(mailbox, move |_cx: &TaskCx| {
+                let mut tmp = [0u8; 4096];
+                loop {
+                    match stream.try_read(&mut tmp) {
+                        Ok(Some(0)) | Err(_) => return Step::Done,
+                        Ok(Some(n)) => match (&mut session, &mut acceptor) {
+                            (Some(s), _) => s.feed(&tmp[..n]),
+                            (None, Some(a)) => a.feed(&tmp[..n]),
+                            (None, None) => unreachable!("acceptor lives until establishment"),
+                        },
+                        Ok(None) => break,
+                    }
+                }
+                if session.is_none() {
+                    loop {
+                        match acceptor.as_mut().unwrap().advance(&mut rng) {
+                            Err(_) => return Step::Done,
+                            Ok(Accepted::Pending) => break,
+                            Ok(Accepted::Respond(token)) => {
+                                if write_frame(&mut stream, &token).is_err() {
+                                    return Step::Done;
+                                }
+                            }
+                            Ok(Accepted::Established(s)) => {
+                                session = Some(*s);
+                                acceptor = None;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(s) = session.as_mut() {
+                    match s.next_message() {
+                        Err(_) => return Step::Done,
+                        Ok(Some(msg)) => {
+                            let sealed = s.send(&msg.to_ascii_uppercase());
+                            let _ = write_frame(&mut stream, &sealed);
+                            return Step::Done;
+                        }
+                        Ok(None) => {}
+                    }
+                }
+                Step::WaitMail { deadline: None }
+            });
+    }
+
+    /// Dial a lossy pair and run the server side as a scheduler task;
+    /// each attempt gets a fresh connection with a seed derived from
+    /// the attempt index, so the whole retry sequence is deterministic.
     fn lossy_dialer(
+        sched: Rc<RefCell<Scheduler>>,
+        net: Network,
         server_cfg: TlsConfig,
         base_seed: u64,
         drop_rate: f64,
-    ) -> impl FnMut(u32) -> Result<gridsec_testbed::net::SimStream, TlsError> {
+    ) -> impl FnMut(u32) -> Result<SimStream, TlsError> {
         move |attempt| {
             let (client_side, server_side, _) =
                 StreamPair::lossy(base_seed.wrapping_add(u64::from(attempt)), drop_rate);
-            let cfg = server_cfg.clone();
-            std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(b"server side");
-                // A torn handshake just kills this connection's server;
-                // the client redials with a new pair and a new thread.
-                if let Ok(mut s) = server_accept(server_side, cfg, &mut rng) {
-                    if let Ok(msg) = s.recv() {
-                        let _ = s.send(&msg.to_ascii_uppercase());
-                    }
-                }
-            });
+            spawn_upper_server(
+                &sched,
+                &net,
+                &format!("retry-server-{base_seed:x}-{attempt}"),
+                server_side,
+                server_cfg.clone(),
+            );
             Ok(client_side)
         }
     }
@@ -158,45 +224,67 @@ mod tests {
     #[test]
     fn clean_transport_connects_first_try() {
         let mut w = world();
-        let dialer = lossy_dialer(w.server_cfg.clone(), 1, 0.0);
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
+        let dialer = lossy_dialer(sched.clone(), net, w.server_cfg.clone(), 1, 0.0);
         let policy = RetryPolicy::default();
-        let (mut stream, stats) =
-            connect_with_retry(&w.client_cfg.clone(), &mut w.rng, policy, dialer, |_, _| {})
+        let pump = sched.clone();
+        with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                let (mut stream, stats) = connect_with_retry(
+                    &w.client_cfg.clone(),
+                    &mut w.rng,
+                    policy,
+                    dialer,
+                    |_, _| {},
+                )
                 .unwrap();
-        assert_eq!(stats.attempts, 1);
-        stream.send(b"gt2 job").unwrap();
-        assert_eq!(stream.recv().unwrap(), b"GT2 JOB");
+                assert_eq!(stats.attempts, 1);
+                stream.send(b"gt2 job").unwrap();
+                assert_eq!(stream.recv().unwrap(), b"GT2 JOB");
+            },
+        );
     }
 
     #[test]
     fn retries_through_torn_connections_deterministically() {
         let run = || {
             let mut w = world();
-            let dialer = lossy_dialer(w.server_cfg.clone(), 0xD1A1, 0.05);
+            let net = Network::new();
+            let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
+            let dialer = lossy_dialer(sched.clone(), net, w.server_cfg.clone(), 0xD1A1, 0.05);
             let policy = RetryPolicy {
                 max_attempts: 10,
                 base_timeout: 1,
                 multiplier: 2,
                 max_timeout: 8,
             };
-            let mut waited = 0u64;
-            let (mut stream, stats) = connect_with_retry(
-                &w.client_cfg.clone(),
-                &mut w.rng,
-                policy,
-                dialer,
-                |_, wait| waited += wait,
+            let pump = sched.clone();
+            with_stream_pump(
+                move || pump.borrow_mut().pump(),
+                move || {
+                    let mut waited = 0u64;
+                    let (mut stream, stats) = connect_with_retry(
+                        &w.client_cfg.clone(),
+                        &mut w.rng,
+                        policy,
+                        dialer,
+                        |_, wait| waited += wait,
+                    )
+                    .unwrap();
+                    // The stream stays lossy after the handshake, so the
+                    // app exchange may still tear; only a non-transport
+                    // error is a test failure here (the retry driver's
+                    // contract covers establishment, not the application
+                    // conversation).
+                    match stream.send(b"payload").and_then(|()| stream.recv()) {
+                        Ok(msg) => assert_eq!(msg, b"PAYLOAD"),
+                        Err(e) => assert!(is_transient(&e), "{e:?}"),
+                    }
+                    (stats, waited)
+                },
             )
-            .unwrap();
-            // The stream stays lossy after the handshake, so the app
-            // exchange may still tear; only a non-transport error is a
-            // test failure here (the retry driver's contract covers
-            // establishment, not the application conversation).
-            match stream.send(b"payload").and_then(|()| stream.recv()) {
-                Ok(msg) => assert_eq!(msg, b"PAYLOAD"),
-                Err(e) => assert!(is_transient(&e), "{e:?}"),
-            }
-            (stats, waited)
         };
         let (s1, w1) = run();
         let (s2, w2) = run();
@@ -209,17 +297,25 @@ mod tests {
     #[test]
     fn exhausted_policy_returns_last_io_error() {
         let mut w = world();
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
         // drop rate 1.0: the very first client write dies, every attempt.
-        let dialer = lossy_dialer(w.server_cfg.clone(), 3, 1.0);
+        let dialer = lossy_dialer(sched.clone(), net, w.server_cfg.clone(), 3, 1.0);
         let policy = RetryPolicy {
             max_attempts: 3,
             base_timeout: 1,
             multiplier: 2,
             max_timeout: 4,
         };
-        let err = connect_with_retry(&w.client_cfg.clone(), &mut w.rng, policy, dialer, |_, _| {})
-            .map(|_| ())
-            .unwrap_err();
+        let pump = sched.clone();
+        let err = with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                connect_with_retry(&w.client_cfg.clone(), &mut w.rng, policy, dialer, |_, _| {})
+                    .map(|_| ())
+                    .unwrap_err()
+            },
+        );
         assert!(is_transient(&err), "{err:?}");
     }
 
@@ -238,26 +334,45 @@ mod tests {
         let mut rogue_trust = w.client_cfg.trust.clone();
         rogue_trust.add_root(rogue_ca.certificate().clone());
         let rogue_cfg = TlsConfig::new(rogue, rogue_trust, 100);
-        let mut attempts = 0u32;
-        let dialer = |_attempt: u32| {
-            attempts += 1;
-            let (client_side, server_side, _) = StreamPair::new();
-            let cfg = rogue_cfg.clone();
-            std::thread::spawn(move || {
-                let mut rng = ChaChaRng::from_seed_bytes(b"server side");
-                let _ = server_accept(server_side, cfg, &mut rng);
-            });
-            Ok(client_side)
+        let net = Network::new();
+        let sched = Rc::new(RefCell::new(Scheduler::new(&net)));
+        let attempts = Rc::new(RefCell::new(0u32));
+        let dialer = {
+            let sched = sched.clone();
+            let net = net.clone();
+            let attempts = attempts.clone();
+            move |attempt: u32| {
+                *attempts.borrow_mut() += 1;
+                let (client_side, server_side, _) = StreamPair::new();
+                spawn_upper_server(
+                    &sched,
+                    &net,
+                    &format!("rogue-server-{attempt}"),
+                    server_side,
+                    rogue_cfg.clone(),
+                );
+                Ok(client_side)
+            }
         };
-        let result = connect_with_retry(
-            &w.client_cfg.clone(),
-            &mut w.rng,
-            RetryPolicy::default(),
-            dialer,
-            |_, _| {},
-        )
-        .map(|_| ());
+        let pump = sched.clone();
+        let result = with_stream_pump(
+            move || pump.borrow_mut().pump(),
+            move || {
+                connect_with_retry(
+                    &w.client_cfg.clone(),
+                    &mut w.rng,
+                    RetryPolicy::default(),
+                    dialer,
+                    |_, _| {},
+                )
+                .map(|_| ())
+            },
+        );
         assert!(result.is_err());
-        assert_eq!(attempts, 1, "security failures must not be retried");
+        assert_eq!(
+            *attempts.borrow(),
+            1,
+            "security failures must not be retried"
+        );
     }
 }

@@ -28,7 +28,7 @@ use std::collections::{HashMap, VecDeque};
 
 use gridsec_bignum::prime::EntropySource;
 use gridsec_crypto::ct::ct_eq;
-use gridsec_crypto::hmac::hmac_sha256;
+use gridsec_crypto::hmac::{hmac_sha256, PrimedHmac};
 use gridsec_pki::cert::Certificate;
 use gridsec_pki::encoding::{Codec, Decoder, Encoder};
 use gridsec_pki::validate::ValidatedIdentity;
@@ -78,8 +78,33 @@ impl ResumptionData {
     /// authenticated it have expired. Rotation on resumption carries
     /// the bound forward, so no chain of abbreviated handshakes can
     /// outlive the original proxy either.
+    // In non-test builds every caller goes through the primed path;
+    // this stays as the one-shot reference the byte-identity test
+    // compares against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn from_master(master: [u8; 32], expires_at: u64, cred_not_after: u64) -> Self {
         let ticket = hmac_sha256(&master, TICKET_LABEL);
+        ResumptionData {
+            ticket,
+            master,
+            expires_at: expires_at.min(cred_not_after),
+            cred_not_after,
+        }
+    }
+
+    /// Like [`ResumptionData::from_master`], but deriving the ticket
+    /// through an already-primed master-keyed HMAC schedule —
+    /// byte-identical output (pinned by `primed_ticket_matches_one_shot`
+    /// below), minus the per-call key-schedule rework. `primed` MUST be
+    /// keyed by `master`.
+    pub(crate) fn from_master_primed(
+        primed: &PrimedHmac,
+        master: [u8; 32],
+        expires_at: u64,
+        cred_not_after: u64,
+    ) -> Self {
+        let ticket = primed.mac(TICKET_LABEL);
+        debug_assert_eq!(ticket, hmac_sha256(&master, TICKET_LABEL));
         ResumptionData {
             ticket,
             master,
@@ -352,10 +377,8 @@ impl ClientResume {
             mac: ks.finished_mac("resume client finished"),
         };
         let cred_not_after = self.session.data.cred_not_after;
-        let channel =
-            SecureChannel::from_key_block(self.session.peer, &ks.key_block, true).with_resumption(
-                ResumptionData::from_master(ks.master, self.new_expires_at, cred_not_after),
-            );
+        let channel = SecureChannel::from_key_block(self.session.peer, &ks.key_block, true)
+            .with_resumption(ks.resumption(self.new_expires_at, cred_not_after));
         Ok((finished.to_bytes(), channel))
     }
 }
@@ -457,11 +480,7 @@ impl ServerSessionCache {
             server_random,
             finished_mac: ks.finished_mac("resume server finished"),
         };
-        let resumption = ResumptionData::from_master(
-            ks.master,
-            now.saturating_add(self.lifetime),
-            session.cred_not_after,
-        );
+        let resumption = ks.resumption(now.saturating_add(self.lifetime), session.cred_not_after);
         Ok((
             sh.to_bytes(),
             ServerResumeAwait {
@@ -596,6 +615,35 @@ mod tests {
         assert_eq!(sch.open(&m).unwrap(), b"GET /jobs");
         let r = sch.seal(b"200 OK");
         assert_eq!(cch.open(&r).unwrap(), b"200 OK");
+    }
+
+    #[test]
+    fn primed_ticket_matches_one_shot() {
+        // The primed-HMAC derivation path (KeySchedule::resumption →
+        // from_master_primed) must be byte-identical to the one-shot
+        // reference, full and abbreviated handshakes alike.
+        let mut w = world();
+        let (_cc, mut sc, session) = establish_and_cache(&mut w);
+        let check = |data: &ResumptionData| {
+            assert_eq!(*data.ticket(), hmac_sha256(&data.master, TICKET_LABEL));
+            let reference =
+                ResumptionData::from_master(data.master, data.expires_at, data.cred_not_after);
+            assert_eq!(data.ticket(), reference.ticket());
+            assert_eq!(data.expires_at(), reference.expires_at());
+        };
+        check(&session.data);
+
+        let (cr, hello) = resume_client(session, 200, 3_600, &mut w.rng);
+        let (sh, await_finished) = sc.accept(&hello, 200, &mut w.rng).unwrap();
+        let (finished, cch) = cr.step(&sh).unwrap();
+        let sch = await_finished.step(&finished).unwrap();
+        check(cch.resumption().unwrap());
+        check(sch.resumption().unwrap());
+        assert_eq!(
+            cch.resumption().unwrap().ticket(),
+            sch.resumption().unwrap().ticket(),
+            "both sides mint the same rotated ticket"
+        );
     }
 
     #[test]

@@ -75,6 +75,13 @@ stage_grep_guard() {
         ' "$manifest")
     done
     [ "$bad" -eq 0 ] || exit 1
+    # The TLS/GridFTP data path is sans-io and scheduler-driven: no code
+    # in those crates may spawn or scope a thread (doc comments excepted).
+    if grep -rEn 'thread::(spawn|scope)\(' crates/tls/src crates/gridftp/src \
+        | grep -vE '^[^:]+:[0-9]+: *//'; then
+        echo "FAIL: thread spawn/scope in the TLS/GridFTP data path above" >&2
+        exit 1
+    fi
 }
 
 stage_fmt() {
@@ -237,7 +244,24 @@ stage_deep_matrix() {
             portal_recovers_from_armed_credential_kills \
             expiry_storm_same_seed_is_byte_identical > /dev/null
     done
-    echo "ok: crash seed matrix complete (incl. credential-lifetime suite)"
+    # The same matrix sweeps the crypto-real login storm: whatever the
+    # seed does to credential assignment, stagger, and wave shapes, the
+    # metrics must stay byte-identical across two fresh processes.
+    for s in 0xC4A05EED 0x1 0xDEADBEEF 0xA5A5A5A5 0x7777777777777777; do
+        echo "-- crypto_storm seed $s"
+        for run in 1 2; do
+            GRIDSEC_STORM_SEED="$s" GRIDSEC_STORM_PRINCIPALS=800 \
+            GRIDSEC_BENCH_DIR="$tdir" \
+                cargo run -q --offline --release -p gridsec-bench --bin crypto_storm -- \
+                --metrics-out "$tdir/cstorm-deep.$run" > /dev/null
+        done
+        if ! cmp -s "$tdir/cstorm-deep.1" "$tdir/cstorm-deep.2"; then
+            echo "FAIL: crypto_storm metrics differ across runs with seed $s" >&2
+            diff "$tdir/cstorm-deep.1" "$tdir/cstorm-deep.2" | head -20 >&2 || true
+            exit 1
+        fi
+    done
+    echo "ok: crash seed matrix complete (incl. credential-lifetime suite + crypto_storm)"
 }
 
 # Offline micro-gate on the four perf claims (DESIGN.md §13.4, §14):
@@ -326,6 +350,39 @@ stage_striped_xfer() {
     echo "ok: $(head -1 "$tdir/striped.1") (byte-identical across two runs)"
 }
 
+# Reduced-scale run of the crypto-real login storm (the bench bin
+# defaults to 5x10^5 principals; bench-results/after/BENCH_crypto_storm.json
+# records the full-scale run — the >=2x mill-batched-poll and storm-scale
+# claims themselves are gated by perf_guard). Every principal performs a
+# real handshake, so every metric except wall time must be a pure
+# function of the seed across two fresh processes, and no trusted
+# credential may be refused.
+stage_crypto_storm() {
+    for run in 1 2; do
+        GRIDSEC_STORM_PRINCIPALS="${GRIDSEC_CRYPTO_STORM_PRINCIPALS:-1500}" \
+        GRIDSEC_BENCH_DIR="$tdir" \
+            cargo run -q --offline --release -p gridsec-bench --bin crypto_storm -- \
+            --metrics-out "$tdir/cstorm.$run" > /dev/null
+    done
+    if ! cmp -s "$tdir/cstorm.1" "$tdir/cstorm.2"; then
+        echo "FAIL: crypto_storm metrics differ across two runs of the same seed" >&2
+        diff "$tdir/cstorm.1" "$tdir/cstorm.2" | head -20 >&2 || true
+        exit 1
+    fi
+    if grep -q "^counter cstorm.flows.rejected_credential = " "$tdir/cstorm.1"; then
+        echo "FAIL: crypto_storm refused a trusted credential:" >&2
+        head -4 "$tdir/cstorm.1" >&2
+        exit 1
+    fi
+    if ! grep -q "^counter cstorm.flows.established = " "$tdir/cstorm.1" || \
+       grep -q "^counter cstorm.gw.waves = 0$" "$tdir/cstorm.1"; then
+        echo "FAIL: crypto_storm established nothing or never batched a wave:" >&2
+        cat "$tdir/cstorm.1" >&2
+        exit 1
+    fi
+    echo "ok: $(head -1 "$tdir/cstorm.1") (byte-identical across two runs)"
+}
+
 # Replay the chaos flows from the pinned seed, regenerate the
 # flow-metrics tables, and require the committed EXPERIMENTS.md to
 # already match — deterministic metrics mean any diff is real drift.
@@ -346,7 +403,8 @@ stage_drift() {
 # ---------------------------------------------------------------------------
 
 ALL_STAGES="grep_guard fmt build clippy test examples chaos crash_chaos \
-striped_chaos cred_chaos perf_guard vo_storm handshake_storm striped_xfer drift"
+striped_chaos cred_chaos perf_guard vo_storm handshake_storm striped_xfer \
+crypto_storm drift"
 if [ "${GRIDSEC_VERIFY_DEEP:-0}" = "1" ]; then
     ALL_STAGES="$ALL_STAGES deep_matrix"
 fi
